@@ -1,0 +1,307 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation section, plus ablations for the design choices called
+// out in DESIGN.md. Run everything with
+//
+//	go test -bench=. -benchmem
+//
+// Absolute wall-clock numbers are this reproduction's, not the paper's
+// (their substrate was a C++ iverilog fork on a Xeon server); the custom
+// metrics attached to each benchmark (reduction %, path counts, simulated
+// cycles) are the quantities the paper reports and are what the shape
+// comparison in EXPERIMENTS.md is based on.
+package symsim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"symsim"
+)
+
+// analyzeOnce runs one co-analysis cell and reports the paper's metrics.
+func analyzeOnce(b *testing.B, d symsim.Design, bench string, cfg symsim.Config) *symsim.Result {
+	b.Helper()
+	p, err := symsim.BuildPlatform(d, bench)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := symsim.Analyze(p, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// cells enumerates the full benchmark x design evaluation matrix.
+func cells() []struct {
+	Bench  string
+	Design symsim.Design
+} {
+	var out []struct {
+		Bench  string
+		Design symsim.Design
+	}
+	for _, bench := range symsim.Benchmarks() {
+		for _, d := range []symsim.Design{symsim.BM32, symsim.OMSP430, symsim.DR5} {
+			out = append(out, struct {
+				Bench  string
+				Design symsim.Design
+			}{bench, d})
+		}
+	}
+	return out
+}
+
+// BenchmarkTable3GateCounts regenerates the Table 3 measurement for every
+// benchmark x design cell: exercisable gate count and percent reduction.
+func BenchmarkTable3GateCounts(b *testing.B) {
+	for _, c := range cells() {
+		c := c
+		b.Run(fmt.Sprintf("%s/%s", c.Bench, c.Design), func(b *testing.B) {
+			var res *symsim.Result
+			for i := 0; i < b.N; i++ {
+				res = analyzeOnce(b, c.Design, c.Bench, symsim.Config{})
+			}
+			b.ReportMetric(float64(res.ExercisableCount), "gates")
+			b.ReportMetric(res.ReductionPct(), "%reduction")
+		})
+	}
+}
+
+// BenchmarkTable4Paths regenerates the Table 4 measurement for every cell:
+// simulation paths created and skipped plus simulated cycles.
+func BenchmarkTable4Paths(b *testing.B) {
+	for _, c := range cells() {
+		c := c
+		b.Run(fmt.Sprintf("%s/%s", c.Bench, c.Design), func(b *testing.B) {
+			var res *symsim.Result
+			for i := 0; i < b.N; i++ {
+				res = analyzeOnce(b, c.Design, c.Bench, symsim.Config{})
+			}
+			b.ReportMetric(float64(res.PathsCreated), "paths")
+			b.ReportMetric(float64(res.PathsSkipped), "skipped")
+			b.ReportMetric(float64(res.SimulatedCycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkFigure5Reduction regenerates the Figure 5 series: the toggled
+// gate-count reduction per benchmark, one sub-benchmark per design, with
+// the series value attached as a metric.
+func BenchmarkFigure5Reduction(b *testing.B) {
+	for _, d := range []symsim.Design{symsim.BM32, symsim.OMSP430, symsim.DR5} {
+		d := d
+		b.Run(string(d), func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				total = 0
+				for _, bench := range symsim.Benchmarks() {
+					res := analyzeOnce(b, d, bench, symsim.Config{})
+					total += res.ReductionPct()
+				}
+			}
+			b.ReportMetric(total/float64(len(symsim.Benchmarks())), "mean%reduction")
+		})
+	}
+}
+
+// BenchmarkFigure6Paths regenerates the Figure 6 series: simulated paths
+// per benchmark, one sub-benchmark per design.
+func BenchmarkFigure6Paths(b *testing.B) {
+	for _, d := range []symsim.Design{symsim.BM32, symsim.OMSP430, symsim.DR5} {
+		d := d
+		b.Run(string(d), func(b *testing.B) {
+			var total int
+			for i := 0; i < b.N; i++ {
+				total = 0
+				for _, bench := range symsim.Benchmarks() {
+					res := analyzeOnce(b, d, bench, symsim.Config{})
+					total += res.PathsCreated
+				}
+			}
+			b.ReportMetric(float64(total), "paths-total")
+		})
+	}
+}
+
+// BenchmarkTable2Synthesis measures platform elaboration (the "synthesis"
+// substrate producing the Table 2 gate counts).
+func BenchmarkTable2Synthesis(b *testing.B) {
+	for _, d := range []symsim.Design{symsim.BM32, symsim.OMSP430, symsim.DR5} {
+		d := d
+		b.Run(string(d), func(b *testing.B) {
+			var gates int
+			for i := 0; i < b.N; i++ {
+				p, err := symsim.BuildPlatform(d, "tea8")
+				if err != nil {
+					b.Fatal(err)
+				}
+				gates = len(p.Design.Gates)
+			}
+			b.ReportMetric(float64(gates), "gates")
+		})
+	}
+}
+
+// BenchmarkBespokeFlow measures the pruning + re-synthesis step of the
+// bespoke generation (paper §3) on the largest design.
+func BenchmarkBespokeFlow(b *testing.B) {
+	res := analyzeOnce(b, symsim.BM32, "tHold", symsim.Config{})
+	b.ResetTimer()
+	var out *symsim.BespokeResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = symsim.Bespoke(res)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(out.BespokeGates), "bespoke-gates")
+}
+
+// --- Ablations (DESIGN.md experiment index E8-E10) ---
+
+// BenchmarkAblationMergePolicy compares the conservative-state policies of
+// paper Figure 3 on the dr5 software-multiply workload.
+func BenchmarkAblationMergePolicy(b *testing.B) {
+	policies := []struct {
+		name string
+		mk   func() symsim.Policy
+	}{
+		{"merge-all", symsim.MergeAllPolicy},
+		{"clustered-2", func() symsim.Policy { return symsim.ClusteredPolicy(2) }},
+		{"clustered-4", func() symsim.Policy { return symsim.ClusteredPolicy(4) }},
+		{"exact-64", func() symsim.Policy { return symsim.ExactPolicy(64) }},
+	}
+	for _, pol := range policies {
+		pol := pol
+		b.Run(pol.name, func(b *testing.B) {
+			var res *symsim.Result
+			for i := 0; i < b.N; i++ {
+				res = analyzeOnce(b, symsim.DR5, "mult", symsim.Config{Policy: pol.mk(), MaxPaths: 100000})
+			}
+			b.ReportMetric(float64(res.PathsCreated), "paths")
+			b.ReportMetric(float64(res.ExercisableCount), "gates")
+		})
+	}
+}
+
+// BenchmarkAblationParallelism measures the parallel path workers of
+// paper §3.3 ("launching these processes in parallel can drastically
+// improve simulation time") on a fork-heavy workload.
+func BenchmarkAblationParallelism(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				analyzeOnce(b, symsim.BM32, "inSort", symsim.Config{Workers: workers})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSymbolTracking compares anonymous-X and
+// identified-symbol propagation (paper §3.4, Figure 4) on a reconvergent
+// XOR tree.
+func BenchmarkAblationSymbolTracking(b *testing.B) {
+	m := symsim.NewModule("recon")
+	in := m.Input("in", 32)
+	// Reconvergent cone (paper Figure 4): out[i] = in[i] ^ ~in[i], which
+	// identified propagation proves constant while anonymous X cannot.
+	outs := make(symsim.Bus, 32)
+	for i := range outs {
+		outs[i] = m.XorBit(in[i], m.NotBit(in[i]))
+	}
+	m.Output("out", outs)
+	if err := m.N.Freeze(); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("anonymous", func(b *testing.B) {
+		var unknown int
+		for i := 0; i < b.N; i++ {
+			ev := symsim.NewSymEvaluator(m.N)
+			for j := 0; j < 32; j++ {
+				ev.AssignByName(fmt.Sprintf("in[%d]", j), symsim.SymAnon(0))
+			}
+			if err := ev.Run(); err != nil {
+				b.Fatal(err)
+			}
+			unknown = 0
+			for _, o := range outs {
+				if !ev.Value(o).IsKnown() {
+					unknown++
+				}
+			}
+		}
+		b.ReportMetric(float64(unknown), "unknown-outputs")
+	})
+	b.Run("identified", func(b *testing.B) {
+		var unknown int
+		for i := 0; i < b.N; i++ {
+			ev := symsim.NewSymEvaluator(m.N)
+			for j := 0; j < 32; j++ {
+				ev.AssignByName(fmt.Sprintf("in[%d]", j), symsim.SymInput(uint32(j+1), 0))
+			}
+			if err := ev.Run(); err != nil {
+				b.Fatal(err)
+			}
+			unknown = 0
+			for _, o := range outs {
+				if !ev.Value(o).IsKnown() {
+					unknown++
+				}
+			}
+		}
+		b.ReportMetric(float64(unknown), "unknown-outputs")
+	})
+}
+
+// BenchmarkAblationMemX compares the Verilog-compatible and sound
+// X-address write semantics (DESIGN.md substitution table) on the
+// store-heavy insertion sort.
+func BenchmarkAblationMemX(b *testing.B) {
+	b.Run("verilog", func(b *testing.B) {
+		var res *symsim.Result
+		for i := 0; i < b.N; i++ {
+			res = analyzeOnce(b, symsim.DR5, "inSort", symsim.Config{})
+		}
+		b.ReportMetric(float64(res.ExercisableCount), "gates")
+	})
+	b.Run("sound", func(b *testing.B) {
+		var res *symsim.Result
+		for i := 0; i < b.N; i++ {
+			res = analyzeOnce(b, symsim.DR5, "inSort", symsim.Config{MemX: symsim.MemXSound})
+		}
+		b.ReportMetric(float64(res.ExercisableCount), "gates")
+	})
+}
+
+// BenchmarkEngineThroughput measures the raw event-driven engine: concrete
+// cycles per second on the largest core running tea8.
+func BenchmarkEngineThroughput(b *testing.B) {
+	p, err := symsim.BuildPlatform(symsim.BM32, "tea8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.Design.Freeze(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	cycles := uint64(0)
+	for i := 0; i < b.N; i++ {
+		sim := symsim.NewSimulator(p.Design, symsim.SimOptions{})
+		sim.SetMonitorX(&p.Monitor)
+		sim.BindStimulus(p.Stimulus())
+		for {
+			st, err := sim.Step()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st != symsim.Running {
+				break
+			}
+		}
+		cycles += sim.Cycles()
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+}

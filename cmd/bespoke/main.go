@@ -1,0 +1,199 @@
+// Command bespoke runs the full bespoke-processor flow for one
+// benchmark/design pair: symbolic co-analysis, pruning and re-synthesis,
+// and — optionally — the paper's §5.0.1 validation against a concrete
+// input vector.
+//
+// Usage:
+//
+//	bespoke -design omsp430 -bench tHold
+//	bespoke -design bm32 -bench Div -validate -inputs 1000,7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"io"
+
+	"symsim/internal/bespoke"
+	"symsim/internal/core"
+	"symsim/internal/logic"
+	"symsim/internal/power"
+	"symsim/internal/prog"
+	"symsim/internal/report"
+	"symsim/internal/vvp"
+)
+
+func main() {
+	var (
+		design   = flag.String("design", "omsp430", "processor: bm32 | omsp430 | dr5")
+		bench    = flag.String("bench", "tHold", "benchmark name")
+		workers  = flag.Int("workers", 1, "parallel path workers")
+		validate = flag.Bool("validate", false, "run the fixed-input equivalence validation")
+		inputs   = flag.String("inputs", "", "comma-separated input words for -validate/-power (fills the benchmark's X words in order)")
+		outJSON  = flag.String("o", "", "write the bespoke netlist as interchange JSON to this file")
+		outVlog  = flag.String("verilog", "", "write the bespoke netlist as structural Verilog to this file")
+		powerRep = flag.Bool("power", false, "measure switching activity of the concrete run (needs -inputs)")
+		vcdOut   = flag.String("vcd", "", "dump the concrete run's waveform (needs -inputs)")
+	)
+	flag.Parse()
+
+	p, err := report.BuildPlatform(report.Design(*design), *bench)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := core.Analyze(p, core.Config{Workers: *workers})
+	if err != nil {
+		fatal(err)
+	}
+	bsp, err := bespoke.Generate(res)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("design            %s\n", p.Name)
+	fmt.Printf("benchmark         %s\n", *bench)
+	fmt.Printf("original gates    %d\n", bsp.OriginalGates)
+	fmt.Printf("exercisable gates %d  (%.2f%% reduction)\n", bsp.ExercisableGates, bsp.ReductionPct())
+	fmt.Printf("bespoke netlist   %d physical gates after re-synthesis\n", bsp.BespokeGates)
+	fmt.Printf("re-synthesis      %d tied, %d folded, %d swept, %d X-ties\n",
+		bsp.Resynth.Tied, bsp.Resynth.Folded, bsp.Resynth.Swept, bsp.Resynth.XTies)
+
+	if *outJSON != "" {
+		if err := writeFile(*outJSON, bsp.Bespoke.Write); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote             %s (interchange JSON)\n", *outJSON)
+	}
+	if *outVlog != "" {
+		if err := writeFile(*outVlog, bsp.Bespoke.WriteVerilog); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote             %s (structural Verilog)\n", *outVlog)
+	}
+
+	if !*validate && !*powerRep && *vcdOut == "" {
+		return
+	}
+	var mi []bespoke.MemInit
+	width := 32
+	if *design == "omsp430" {
+		width = 16
+	}
+	if *inputs != "" {
+		// Re-derive the benchmark's input words: rebuild the image to
+		// learn the X word indices, then pin them in order.
+		img, err := prog.Build(*bench, benchISA(*design))
+		if err != nil {
+			fatal(err)
+		}
+		vals := strings.Split(*inputs, ",")
+		for i, w := range img.XWords {
+			if i >= len(vals) {
+				break
+			}
+			v, err := strconv.ParseUint(strings.TrimSpace(vals[i]), 0, 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad input %q: %w", vals[i], err))
+			}
+			mi = append(mi, bespoke.MemInit{Mem: "dmem", Word: w, Val: logic.NewVecUint64(width, v)})
+		}
+	}
+	if *validate {
+		rep, err := bespoke.Validate(res, bsp, p, mi, 1<<22)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("validation        PASS: %d cycles, %d output samples equal, %d memory words equal,\n",
+			rep.Cycles, rep.OutputsCompared, rep.MemWordsCompared)
+		fmt.Printf("                  exercised(%d) ⊆ exercisable(%d), 0 violations\n",
+			rep.ExercisedConcrete, res.ExercisableCount)
+	}
+	if *powerRep {
+		pmi := make([]power.MemInit, len(mi))
+		for i, in := range mi {
+			pmi[i] = power.MemInit{Mem: in.Mem, Word: in.Word, Val: in.Val}
+		}
+		pf, err := power.Measure(p, pmi, 1<<22)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(pf.Report(res))
+	}
+	if *vcdOut != "" {
+		if err := dumpVCD(*vcdOut, p, mi); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote             %s (waveform)\n", *vcdOut)
+	}
+}
+
+// writeFile creates path and streams gen into it.
+func writeFile(path string, gen func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := gen(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// dumpVCD reruns the application concretely with tracing and writes the
+// waveform.
+func dumpVCD(path string, p *core.Platform, mi []bespoke.MemInit) error {
+	if err := p.Design.Freeze(); err != nil {
+		return err
+	}
+	tr := &vvp.Trace{}
+	sim := vvp.New(p.Design, vvp.Options{Trace: tr})
+	sim.SetMonitorX(&p.Monitor)
+	sim.BindStimulus(p.Stimulus())
+	for _, in := range mi {
+		id, ok := p.Design.MemByName(in.Mem)
+		if !ok {
+			return fmt.Errorf("no memory %q", in.Mem)
+		}
+		sim.SetMemWord(id, in.Word, in.Val)
+	}
+	for {
+		status, err := sim.Step()
+		if err != nil {
+			return err
+		}
+		if status == vvp.Finished {
+			break
+		}
+		if status == vvp.HaltX {
+			return fmt.Errorf("run halted on X; provide -inputs for a concrete waveform")
+		}
+		if sim.Cycles() > 1<<22 {
+			return fmt.Errorf("no finish")
+		}
+	}
+	return writeFile(path, func(w io.Writer) error {
+		return vvp.WriteVCD(w, p.Design, tr, "1ns")
+	})
+}
+
+// benchISA maps a design name to its benchmark ISA.
+func benchISA(design string) prog.ISA {
+	switch design {
+	case "bm32":
+		return prog.ISAMips
+	case "omsp430":
+		return prog.ISAMsp430
+	default:
+		return prog.ISARV32
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bespoke:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,159 @@
+// Command symsim runs one symbolic hardware/software co-analysis: a
+// benchmark application on one of the three evaluation processors, under a
+// selectable conservative-state policy. It prints the exercisable-gate
+// dichotomy and the path/cycle statistics of the run.
+//
+// Usage:
+//
+//	symsim -design omsp430 -bench tHold
+//	symsim -design dr5 -bench mult -policy clustered -k 4
+//	symsim -design bm32 -bench Div -workers 8 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"symsim/internal/core"
+	"symsim/internal/csm"
+	"symsim/internal/netlist"
+	"symsim/internal/report"
+	"symsim/internal/vvp"
+)
+
+func main() {
+	var (
+		design  = flag.String("design", "omsp430", "processor: bm32 | omsp430 | dr5")
+		bench   = flag.String("bench", "tHold", "benchmark: Div | inSort | binSearch | tHold | mult | tea8")
+		policy  = flag.String("policy", "merge-all", "conservative state policy: merge-all | clustered | exact | constrained")
+		k       = flag.Int("k", 4, "states per PC for the clustered policy")
+		maxSt   = flag.Int("max-states", 4096, "state budget for the exact policy")
+		consF   = flag.String("constraints", "", "constraint file for the constrained policy")
+		workers = flag.Int("workers", 1, "parallel path workers")
+		memx    = flag.String("memx", "verilog", "X-address write semantics: verilog | sound")
+		verbose = flag.Bool("v", false, "print per-path details")
+		dumpDir = flag.String("dump-states", "", "write every saved halt state to this directory (sim_state.log files)")
+		vcdOut  = flag.String("vcd", "", "dump the initial symbolic path's waveform (X values visible) to this file")
+	)
+	flag.Parse()
+
+	p, err := report.BuildPlatform(report.Design(*design), *bench)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := core.Config{Workers: *workers}
+	switch *memx {
+	case "verilog":
+		cfg.MemX = vvp.MemXVerilog
+	case "sound":
+		cfg.MemX = vvp.MemXSound
+	default:
+		fatal(fmt.Errorf("unknown -memx %q", *memx))
+	}
+	switch *policy {
+	case "merge-all":
+		cfg.Policy = csm.NewMergeAll()
+	case "clustered":
+		cfg.Policy = csm.NewClustered(*k)
+	case "exact":
+		cfg.Policy = csm.NewExact(*maxSt)
+	case "constrained":
+		f, err := os.Open(*consF)
+		if err != nil {
+			fatal(fmt.Errorf("constrained policy needs -constraints: %w", err))
+		}
+		cons, err := csm.ParseConstraints(f, p.Spec)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Policy = csm.NewConstrained(p.Spec.Bits(), cons)
+	default:
+		fatal(fmt.Errorf("unknown -policy %q", *policy))
+	}
+
+	if *dumpDir != "" {
+		if err := os.MkdirAll(*dumpDir, 0o755); err != nil {
+			fatal(err)
+		}
+		var mu sync.Mutex
+		cfg.OnHalt = func(pathID int, st vvp.State) {
+			data, err := st.MarshalBinary()
+			if err != nil {
+				fatal(err)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			name := filepath.Join(*dumpDir, fmt.Sprintf("sim_state_%04d_pc%04x.log", pathID, st.PC))
+			if err := os.WriteFile(name, data, 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	var tr *vvp.Trace
+	if *vcdOut != "" {
+		tr = &vvp.Trace{}
+		cfg.Trace = tr
+	}
+
+	res, err := core.Analyze(p, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if tr != nil {
+		f, err := os.Create(*vcdOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := vvp.WriteVCD(f, p.Design, tr, "1ns"); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("waveform    %s (initial symbolic path)\n", *vcdOut)
+	}
+	if *dumpDir != "" {
+		fmt.Printf("states      dumped to %s\n", *dumpDir)
+	}
+
+	fmt.Printf("design      %s (%d gates, %d state bits)\n", p.Name, res.TotalGates, p.Spec.Bits())
+	fmt.Printf("benchmark   %s\n", *bench)
+	fmt.Printf("policy      %s (%d conservative states)\n", res.Policy, res.CSMStates)
+	fmt.Printf("exercisable %d / %d gates  (%.2f%% reduction)\n",
+		res.ExercisableCount, res.TotalGates, res.ReductionPct())
+	fmt.Printf("paths       %d created, %d skipped\n", res.PathsCreated, res.PathsSkipped)
+	fmt.Printf("cycles      %d simulated\n", res.SimulatedCycles)
+
+	if *verbose {
+		fmt.Println("\npath segments:")
+		for _, ps := range res.Paths {
+			fmt.Printf("  #%-4d %8d cycles  %-9s", ps.ID, ps.Cycles, ps.End)
+			if ps.End != core.EndFinished {
+				fmt.Printf("  pc=%#06x", ps.HaltPC)
+			}
+			fmt.Println()
+		}
+		fmt.Println("\nuntoggled constant sample (first 20):")
+		n := 0
+		for gi, ex := range res.ExercisableGates {
+			if ex || n >= 20 {
+				continue
+			}
+			out := res.Design.Gates[gi].Out
+			fmt.Printf("  %-28s = %v\n", res.Design.NetName(out), res.ConstNets[out])
+			n++
+		}
+	}
+	_ = netlist.NoNet
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "symsim:", err)
+	os.Exit(1)
+}

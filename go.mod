@@ -1,0 +1,3 @@
+module symsim
+
+go 1.22

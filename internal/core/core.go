@@ -1,0 +1,464 @@
+// Package core implements the paper's primary contribution: design-agnostic
+// symbolic hardware/software co-analysis (Algorithm 1). Given a platform —
+// any gate-level design exposing a program counter, monitored control-flow
+// signals and a terminating condition — it simulates the application with
+// all inputs replaced by Xs, forks execution at PC-changing instructions
+// whose monitored signals are unknown, manages conservative states through
+// a pluggable CSM policy, and produces the dichotomy of exercisable vs
+// never-exercisable gates that downstream application-specific
+// optimizations (bespoke processors, power gating, peak-power analysis,
+// security guarantees) consume.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"symsim/internal/csm"
+	"symsim/internal/logic"
+	"symsim/internal/netlist"
+	"symsim/internal/vvp"
+)
+
+// Platform packages everything the co-analysis needs to know about a
+// design under test: the testbench harness of paper Listing 1, expressed
+// as data. CPU packages construct one per {processor, application} pair.
+type Platform struct {
+	// Name identifies the design for reports (e.g. "bm32").
+	Name string
+	// Design is the frozen gate-level netlist with the application binary
+	// preloaded in its program ROM and input-dependent memory regions
+	// initialized to X.
+	Design *netlist.Netlist
+	// Spec locates the machine state (all DFFs, writable memories, PC).
+	Spec *vvp.StateSpec
+	// Monitor is the $monitor_x argument: control-flow signals to watch.
+	Monitor vvp.MonitorXSpec
+	// HalfPeriod is the clock half-period in simulation time units.
+	HalfPeriod uint64
+	// ResetCycles is the number of clock cycles rst_n stays asserted.
+	ResetCycles int
+	// Inputs holds additional primary-input events (the "provide Xs to
+	// the application" initializations of Listing 1; unlisted inputs stay
+	// X, which is already the most conservative assignment).
+	Inputs []vvp.InputEvent
+	// Specialize, when non-nil, refines a forked child's starting state
+	// with the chosen branch interpretation — the paper's "Xs in the
+	// monitored state are re-interpreted as ones or zeros" (§3.3). The
+	// openMSP430 platform uses it to pin the status flag a conditional
+	// jump tests; designs whose branch conditions are relations between
+	// registers (bm32, dr5) cannot refine their state this way and leave
+	// it nil.
+	Specialize func(st vvp.State, taken bool) vvp.State
+}
+
+// Config tunes one co-analysis run. The zero value selects the paper's
+// defaults: merge-all conservative states, a single worker (the
+// deterministic Algorithm 1 ordering), and Verilog memory-X semantics.
+type Config struct {
+	// Policy is the conservative state manager; nil selects MergeAll.
+	Policy csm.Manager
+	// Workers is the number of parallel path workers (paper §3.3: "Since
+	// each branch of the simulation can be run by a separate process,
+	// launching these processes in parallel can drastically improve
+	// simulation time"). 0 or 1 runs the deterministic sequential order.
+	Workers int
+	// MaxCyclesPerPath bounds one path segment; 0 means 1<<20.
+	MaxCyclesPerPath uint64
+	// MaxPaths bounds total created paths; 0 means 1<<20.
+	MaxPaths int
+	// MemX selects memory X-address semantics (default Verilog).
+	MemX vvp.MemXPolicy
+	// OnHalt, when non-nil, receives every saved halt state before the
+	// CSM classifies it — the hook behind on-disk state dumps (the
+	// "sim_state.log" files of the paper's flow). Called from path
+	// workers; must be safe for concurrent use when Workers > 1.
+	OnHalt func(pathID int, st vvp.State)
+	// Trace, when non-nil, records the event list of the initial
+	// (cold-boot) path — enough for a symbolic waveform showing the Xs
+	// flowing from the application inputs to the first fork.
+	Trace *vvp.Trace
+}
+
+// PathEnd describes how one simulated path segment terminated.
+type PathEnd uint8
+
+const (
+	// EndForked: the path halted at an X branch and spawned children.
+	EndForked PathEnd = iota
+	// EndSubsumed: the halt state was covered by the CSM (skipped).
+	EndSubsumed
+	// EndFinished: the application reached its terminating condition.
+	EndFinished
+)
+
+// String returns a short name for the path end.
+func (e PathEnd) String() string {
+	switch e {
+	case EndForked:
+		return "forked"
+	case EndSubsumed:
+		return "subsumed"
+	case EndFinished:
+		return "finished"
+	}
+	return fmt.Sprintf("PathEnd(%d)", uint8(e))
+}
+
+// PathStat records one simulated path segment for Table 4 style reporting.
+type PathStat struct {
+	ID     int
+	Cycles uint64
+	HaltPC uint64
+	End    PathEnd
+}
+
+// Result is the outcome of a co-analysis: the gate dichotomy plus the
+// path/cycle accounting of paper Table 4.
+type Result struct {
+	Design *netlist.Netlist
+
+	// ToggledNets marks every net that toggled or carried X in some path.
+	ToggledNets []bool
+	// ConstNets holds, for untoggled nets, the constant value observed
+	// throughout the whole analysis (indexed by net).
+	ConstNets []logic.Value
+	// ExercisableGates marks gates driving a toggled net.
+	ExercisableGates []bool
+	// ExercisableCount is the paper's "exercisable gate count" metric.
+	ExercisableCount int
+	// TotalGates is the design's gate count.
+	TotalGates int
+
+	// PathsCreated counts worklist entries (the initial path plus two per
+	// fork); PathsSkipped counts paths that ended subsumed by the CSM.
+	PathsCreated, PathsSkipped int
+	// SimulatedCycles sums clock cycles over all simulated paths.
+	SimulatedCycles uint64
+	// Paths lists the per-segment statistics in completion order.
+	Paths []PathStat
+	// Policy names the CSM policy used.
+	Policy string
+	// CSMStates is the number of conservative states retained.
+	CSMStates int
+}
+
+// ReductionPct returns the percentage of gates proven unexercisable —
+// the "% reduction" of paper Table 3 / Figure 5.
+func (r *Result) ReductionPct() float64 {
+	if r.TotalGates == 0 {
+		return 0
+	}
+	return 100 * float64(r.TotalGates-r.ExercisableCount) / float64(r.TotalGates)
+}
+
+// entry is one unprocessed execution path (the stack U of Algorithm 1):
+// a saved state plus the control-signal setting selecting which outcome of
+// the forked branch this path follows.
+type entry struct {
+	state    vvp.State
+	forced   logic.Value
+	hasForce bool
+}
+
+// pathOutcome carries what one simulated segment produced.
+type pathOutcome struct {
+	stat    PathStat
+	halt    vvp.State
+	toggled []bool
+	endVals []logic.Value
+	err     error
+}
+
+// Stimulus builds the testbench stimulus for p: clock, reset sequence and
+// the platform's input events.
+func (p *Platform) Stimulus() *vvp.Stimulus {
+	st := vvp.NewStimulus(p.Design.Inputs[0], p.HalfPeriod)
+	// By construction rtl.NewModule makes input 0 the clock and input 1
+	// rst_n; assert reset just after t=0 and release mid-low-phase after
+	// ResetCycles posedges.
+	rstn := p.Design.Inputs[1]
+	st.At(1, rstn, logic.Lo)
+	release := (uint64(2*p.ResetCycles))*p.HalfPeriod + 1
+	st.At(release, rstn, logic.Hi)
+	for _, e := range p.Inputs {
+		st.At(e.Time, e.Net, e.Val)
+	}
+	st.Finalize()
+	return st
+}
+
+// resetEndTime returns the first time at which recording should start: the
+// application state right after reset deasserts (Algorithm 1 lines 4–5).
+func (p *Platform) resetEndTime() uint64 {
+	return (uint64(2*p.ResetCycles))*p.HalfPeriod + 1
+}
+
+// Analyze runs symbolic hardware/software co-analysis of the application
+// preloaded in p against its design (paper Algorithm 1).
+func Analyze(p *Platform, cfg Config) (*Result, error) {
+	if cfg.Policy == nil {
+		cfg.Policy = csm.NewMergeAll()
+	}
+	if cfg.MaxCyclesPerPath == 0 {
+		cfg.MaxCyclesPerPath = 1 << 20
+	}
+	if cfg.MaxPaths == 0 {
+		cfg.MaxPaths = 1 << 20
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if err := p.Design.Freeze(); err != nil {
+		return nil, err
+	}
+
+	a := &analysis{p: p, cfg: cfg}
+	a.res = &Result{
+		Design:      p.Design,
+		ToggledNets: make([]bool, len(p.Design.Nets)),
+		ConstNets:   make([]logic.Value, len(p.Design.Nets)),
+		TotalGates:  len(p.Design.Gates),
+		Policy:      cfg.Policy.Name(),
+	}
+	a.constSeen = make([]bool, len(p.Design.Nets))
+
+	// Initial path: cold boot through reset (no saved state).
+	a.stack = []entry{{}}
+	a.res.PathsCreated = 1
+
+	if err := a.run(); err != nil {
+		return nil, err
+	}
+
+	a.res.ExercisableGates = make([]bool, len(p.Design.Gates))
+	for gi := range p.Design.Gates {
+		if a.res.ToggledNets[p.Design.Gates[gi].Out] {
+			a.res.ExercisableGates[gi] = true
+			a.res.ExercisableCount++
+		}
+	}
+	a.res.CSMStates = cfg.Policy.States()
+	return a.res, nil
+}
+
+type analysis struct {
+	p   *Platform
+	cfg Config
+	res *Result
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	stack     []entry
+	active    int
+	fatal     error
+	constSeen []bool
+	nextID    int
+}
+
+// run executes the worklist until exhaustion (Algorithm 1 line 11). With
+// one worker the order is the deterministic LIFO of the paper's
+// pseudo-code; with more workers paths run concurrently against the shared
+// CSM.
+func (a *analysis) run() error {
+	a.cond = sync.NewCond(&a.mu)
+	var wg sync.WaitGroup
+	for w := 0; w < a.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a.worker()
+		}()
+	}
+	wg.Wait()
+	return a.fatal
+}
+
+func (a *analysis) worker() {
+	// One reusable simulator per worker: Restore overrides the entire
+	// processor and simulator state (the paper's $initialize_state
+	// semantics), so forked paths do not need a fresh instance — only the
+	// cold-boot path does.
+	var cached *vvp.Simulator
+	for {
+		a.mu.Lock()
+		for len(a.stack) == 0 && a.active > 0 && a.fatal == nil {
+			a.cond.Wait()
+		}
+		if len(a.stack) == 0 || a.fatal != nil {
+			a.mu.Unlock()
+			a.cond.Broadcast()
+			return
+		}
+		e := a.stack[len(a.stack)-1]
+		a.stack = a.stack[:len(a.stack)-1]
+		a.active++
+		id := a.nextID
+		a.nextID++
+		a.mu.Unlock()
+
+		out := a.simulatePath(id, e, &cached)
+
+		a.mu.Lock()
+		a.active--
+		if out.err != nil {
+			if a.fatal == nil {
+				a.fatal = out.err
+			}
+			a.mu.Unlock()
+			a.cond.Broadcast()
+			return
+		}
+		a.absorb(out)
+		if out.stat.End == EndForked {
+			if a.res.PathsCreated+2 <= a.cfg.MaxPaths {
+				taken, notTaken := out.halt.Clone(), out.halt.Clone()
+				if a.p.Specialize != nil {
+					taken = a.p.Specialize(taken, true)
+					notTaken = a.p.Specialize(notTaken, false)
+				}
+				a.stack = append(a.stack,
+					entry{state: taken, forced: logic.Hi, hasForce: true},
+					entry{state: notTaken, forced: logic.Lo, hasForce: true},
+				)
+				a.res.PathsCreated += 2
+			} else if a.fatal == nil {
+				a.fatal = fmt.Errorf("core: path budget %d exhausted", a.cfg.MaxPaths)
+			}
+		}
+		a.mu.Unlock()
+		a.cond.Broadcast()
+	}
+}
+
+// absorb merges one path's toggle profile and untoggled-net constants into
+// the global result (Algorithm 1 lines 29–39). Caller holds a.mu.
+func (a *analysis) absorb(out pathOutcome) {
+	a.res.SimulatedCycles += out.stat.Cycles
+	if out.stat.End == EndSubsumed {
+		a.res.PathsSkipped++
+	}
+	a.res.Paths = append(a.res.Paths, out.stat)
+	for n, t := range out.toggled {
+		if t {
+			a.res.ToggledNets[n] = true
+			continue
+		}
+		v := out.endVals[n]
+		if !a.constSeen[n] {
+			a.constSeen[n] = true
+			a.res.ConstNets[n] = v
+		} else if a.res.ConstNets[n] != v {
+			// The net is constant within each path but differs between
+			// paths: no single tie-off value exists, so it counts as
+			// exercisable.
+			a.res.ToggledNets[n] = true
+		}
+	}
+}
+
+// simulatePath runs one worklist entry to its halt/finish (Algorithm 1
+// lines 12–19) and classifies the outcome against the CSM (lines 20–27).
+// cached holds the worker's reusable simulator.
+func (a *analysis) simulatePath(id int, e entry, cached **vvp.Simulator) pathOutcome {
+	out := pathOutcome{stat: PathStat{ID: id}}
+	var sim *vvp.Simulator
+	if e.state.Bits.Width() != 0 && *cached != nil {
+		sim = *cached
+	} else {
+		opts := vvp.Options{MemX: a.cfg.MemX}
+		if e.state.Bits.Width() == 0 {
+			opts.Trace = a.cfg.Trace
+		}
+		sim = vvp.New(a.p.Design, opts)
+		sim.SetMonitorX(&a.p.Monitor)
+		sim.BindStimulus(a.p.Stimulus())
+	}
+
+	if e.state.Bits.Width() == 0 {
+		// Initial path: simulate the reset sequence, then start the
+		// toggle profile at the application's initial state. The
+		// cold-boot simulator is not recycled (its memory contents have
+		// advanced past the image's initial values).
+		resetEnd := a.p.resetEndTime()
+		for sim.Now() <= resetEnd {
+			if _, err := sim.Step(); err != nil {
+				out.err = err
+				return out
+			}
+		}
+		sim.StartRecording()
+	} else {
+		*cached = sim
+		if err := sim.Restore(a.p.Spec, e.state); err != nil {
+			out.err = err
+			return out
+		}
+		if e.hasForce {
+			// Continue down one execution path: force the resolved
+			// branch condition across the capturing clock edge
+			// (paper §3 step 3, "set control signals").
+			release := sim.Now() + 3*a.p.HalfPeriod
+			sim.Force(a.p.Monitor.Cond, e.forced, release)
+		}
+		sim.StartRecording()
+	}
+
+	startCycles := sim.Cycles()
+	status, err := sim.Run(a.cfg.MaxCyclesPerPath)
+	out.stat.Cycles = sim.Cycles() - startCycles
+	if err != nil {
+		out.err = fmt.Errorf("core: path %d: %w", id, err)
+		return out
+	}
+
+	// Copy the profile before the simulator is discarded.
+	out.toggled = append([]bool(nil), sim.Toggled()...)
+	out.endVals = make([]logic.Value, len(a.p.Design.Nets))
+	for n := range out.endVals {
+		out.endVals[n] = sim.Value(netlist.NetID(n))
+	}
+
+	switch status {
+	case vvp.Finished:
+		out.stat.End = EndFinished
+		return out
+	case vvp.HaltX:
+		st := sim.Snapshot(a.p.Spec)
+		if !st.PCKnown {
+			out.err = errors.New("core: program counter contained X at halt; cannot index conservative states")
+			return out
+		}
+		out.stat.HaltPC = st.PC
+		if a.cfg.OnHalt != nil {
+			a.cfg.OnHalt(id, st)
+		}
+		d := a.cfg.Policy.Observe(st)
+		if d.Subsumed {
+			out.stat.End = EndSubsumed
+			return out
+		}
+		out.stat.End = EndForked
+		out.halt = d.Explore
+		return out
+	}
+	out.err = fmt.Errorf("core: path %d ended in unexpected status %v", id, status)
+	return out
+}
+
+// TieOffs derives the bespoke tie-off list from a result: one constant per
+// unexercisable gate (paper §3: "fanout values of pruned gates are set to
+// the constant value seen during the symbolic simulation").
+func (r *Result) TieOffs() []netlist.TieOff {
+	var ties []netlist.TieOff
+	for gi := range r.Design.Gates {
+		if !r.ExercisableGates[gi] {
+			ties = append(ties, netlist.TieOff{
+				Gate:  netlist.GateID(gi),
+				Value: r.ConstNets[r.Design.Gates[gi].Out],
+			})
+		}
+	}
+	return ties
+}

@@ -1,0 +1,91 @@
+package csm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"symsim/internal/logic"
+	"symsim/internal/vvp"
+)
+
+// ParseConstraints reads the CSM constraint text format of paper §3.3.
+// Each non-comment line has the form
+//
+//	pc=<hex|*> bit=<state-bit-label> val=<0|1>
+//
+// where the bit label is the one reported by vvp.StateSpec.BitLabel, e.g.
+// "dff:regfile_r3[7]" or "mem:dmem[12].4". Lines starting with '#' and
+// blank lines are ignored.
+func ParseConstraints(r io.Reader, sp *vvp.StateSpec) ([]Constraint, error) {
+	var out []Constraint
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		c, err := parseConstraintLine(line, sp)
+		if err != nil {
+			return nil, fmt.Errorf("csm: constraint line %d: %v", lineNo, err)
+		}
+		out = append(out, c)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseConstraintLine(line string, sp *vvp.StateSpec) (Constraint, error) {
+	var c Constraint
+	fields := strings.Fields(line)
+	seen := map[string]bool{}
+	for _, f := range fields {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return c, fmt.Errorf("malformed field %q", f)
+		}
+		if seen[key] {
+			return c, fmt.Errorf("duplicate field %q", key)
+		}
+		seen[key] = true
+		switch key {
+		case "pc":
+			if val == "*" {
+				c.AnyPC = true
+				break
+			}
+			pc, err := strconv.ParseUint(strings.TrimPrefix(val, "0x"), 16, 64)
+			if err != nil {
+				return c, fmt.Errorf("bad pc %q: %v", val, err)
+			}
+			c.PC = pc
+		case "bit":
+			bit := sp.BitByLabel(val)
+			if bit < 0 {
+				return c, fmt.Errorf("unknown state bit %q", val)
+			}
+			c.Bit = bit
+		case "val":
+			switch val {
+			case "0":
+				c.Val = logic.Lo
+			case "1":
+				c.Val = logic.Hi
+			default:
+				return c, fmt.Errorf("bad val %q (want 0 or 1)", val)
+			}
+		default:
+			return c, fmt.Errorf("unknown field %q", key)
+		}
+	}
+	if !seen["pc"] || !seen["bit"] || !seen["val"] {
+		return c, fmt.Errorf("missing field (need pc=, bit=, val=)")
+	}
+	return c, nil
+}

@@ -1,0 +1,72 @@
+package csm
+
+import (
+	"strings"
+	"testing"
+
+	"symsim/internal/logic"
+	"symsim/internal/netlist"
+	"symsim/internal/rtl"
+	"symsim/internal/vvp"
+)
+
+// constraintSpec builds a tiny design with named flip-flops so labels
+// resolve.
+func constraintSpec(t *testing.T) *vvp.StateSpec {
+	t.Helper()
+	m := rtl.NewModule("cdes")
+	d := rtl.Bus{m.N.AddNet("d0"), m.N.AddNet("d1")}
+	q := m.Reg("pc", d, m.Hi(), 0)
+	next := m.Inc(q)
+	for i := range d {
+		m.N.AddGate(netlist.KindBuf, d[i], next[i])
+	}
+	m.Output("pc", q)
+	if err := m.N.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := vvp.SpecFor(m.N, "pc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestParseConstraints(t *testing.T) {
+	sp := constraintSpec(t)
+	text := `
+# pin the low PC bit at address 0x14
+pc=0x14 bit=dff:pc[0] val=0
+pc=* bit=dff:pc[1] val=1
+`
+	cons, err := ParseConstraints(strings.NewReader(text), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cons) != 2 {
+		t.Fatalf("parsed %d constraints", len(cons))
+	}
+	if cons[0].PC != 0x14 || cons[0].AnyPC || cons[0].Val != logic.Lo {
+		t.Errorf("first constraint: %+v", cons[0])
+	}
+	if !cons[1].AnyPC || cons[1].Val != logic.Hi {
+		t.Errorf("second constraint: %+v", cons[1])
+	}
+}
+
+func TestParseConstraintsErrors(t *testing.T) {
+	sp := constraintSpec(t)
+	for _, bad := range []string{
+		"pc=0x14 bit=dff:pc[0]",         // missing val
+		"pc=zz bit=dff:pc[0] val=0",     // bad pc
+		"pc=* bit=dff:nothere val=0",    // unknown bit
+		"pc=* bit=dff:pc[0] val=x",      // bad value
+		"pc=* pc=1 bit=dff:pc[0] val=0", // duplicate field
+		"pc=* bit=dff:pc[0] val=0 hm=1", // unknown field
+		"malformed",                     // no '='
+	} {
+		if _, err := ParseConstraints(strings.NewReader(bad), sp); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}

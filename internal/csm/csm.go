@@ -1,0 +1,245 @@
+// Package csm implements the Conservative State Manager of paper §3.3: a
+// repository of previously-simulated symbolic states indexed by the PC of
+// the PC-changing instruction at which they were observed. When the
+// simulator halts and hands over a state, the CSM either recognizes it as a
+// subset of what has already been simulated for that PC (no further
+// simulation required) or produces a more conservative superstate covering
+// both, to be pushed onto the unprocessed-path worklist.
+//
+// How conservative states are formed is configurable (paper Figure 3):
+// MergeAll reproduces the single-uber-state approach of prior work [4],
+// Clustered keeps up to k states per PC trading simulation effort for less
+// over-approximation, Exact never merges (exhaustive path enumeration),
+// and Constrained post-processes merged states with user-supplied
+// application constraints in the style of [15].
+package csm
+
+import (
+	"fmt"
+	"sync"
+
+	"symsim/internal/logic"
+	"symsim/internal/vvp"
+)
+
+// Decision is the CSM's verdict on one halted state.
+type Decision struct {
+	// Subsumed is true when the state is covered by an already-simulated
+	// conservative state for the same PC; the path needs no further
+	// exploration (Algorithm 1 line 26).
+	Subsumed bool
+	// Explore is the (possibly merged, possibly constrained) state to
+	// continue simulating when Subsumed is false.
+	Explore vvp.State
+}
+
+// Manager is the interface of a conservative state repository. Observe is
+// safe for concurrent use; parallel path workers share one Manager.
+type Manager interface {
+	// Observe presents the state saved at a halt and returns the
+	// exploration decision.
+	Observe(st vvp.State) Decision
+	// Name identifies the policy for reports.
+	Name() string
+	// States returns the number of conservative states currently stored.
+	States() int
+}
+
+// --- MergeAll: the prior-work policy [4] ---
+
+// mergeAll keeps exactly one conservative state per PC and merges every
+// non-subsumed arrival into it, replacing all differing bits with X: the
+// quickest-converging, most conservative policy (Figure 3, red).
+type mergeAll struct {
+	mu    sync.Mutex
+	table map[uint64]logic.Vec
+}
+
+// NewMergeAll returns the default CSM policy: one uber-conservative state
+// per PC.
+func NewMergeAll() Manager {
+	return &mergeAll{table: make(map[uint64]logic.Vec)}
+}
+
+func (m *mergeAll) Name() string { return "merge-all" }
+
+func (m *mergeAll) States() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.table)
+}
+
+func (m *mergeAll) Observe(st vvp.State) Decision {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.table[st.PC]
+	if ok && st.Bits.Subset(c) {
+		return Decision{Subsumed: true}
+	}
+	var merged logic.Vec
+	if ok {
+		merged = c.Merge(st.Bits)
+	} else {
+		merged = st.Bits.Clone()
+	}
+	m.table[st.PC] = merged
+	out := st
+	out.Bits = merged.Clone()
+	return Decision{Explore: out}
+}
+
+// --- Exact: no merging ---
+
+// exact records every distinct state and never merges: full path
+// enumeration, intractable for complex control flow (the motivation for
+// conservative states) but exact. Bounded by MaxStates as a safety valve.
+type exact struct {
+	mu    sync.Mutex
+	table map[uint64][]logic.Vec
+	n     int
+	max   int
+}
+
+// NewExact returns a no-merge policy that explores every distinct state.
+// maxStates bounds total stored states (0 = unlimited).
+func NewExact(maxStates int) Manager {
+	return &exact{table: make(map[uint64][]logic.Vec), max: maxStates}
+}
+
+func (e *exact) Name() string { return "exact" }
+
+func (e *exact) States() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.n
+}
+
+func (e *exact) Observe(st vvp.State) Decision {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, c := range e.table[st.PC] {
+		if st.Bits.Subset(c) {
+			return Decision{Subsumed: true}
+		}
+	}
+	if e.max > 0 && e.n >= e.max {
+		// Safety valve: behave like merge-all once the budget is spent,
+		// guaranteeing convergence.
+		if len(e.table[st.PC]) > 0 {
+			c := e.table[st.PC][0]
+			merged := c.Merge(st.Bits)
+			e.table[st.PC][0] = merged
+			out := st
+			out.Bits = merged.Clone()
+			return Decision{Explore: out}
+		}
+	}
+	e.table[st.PC] = append(e.table[st.PC], st.Bits.Clone())
+	e.n++
+	return Decision{Explore: st.Clone()}
+}
+
+// --- Clustered: up to k conservative states per PC ---
+
+// clustered keeps up to k conservative states per PC; a non-subsumed
+// arrival merges into the nearest existing state (ternary Hamming
+// distance) once the budget is full — the middle ground of Figure 3
+// (blue): more simulation effort than merge-all, less over-approximation.
+type clustered struct {
+	mu    sync.Mutex
+	k     int
+	table map[uint64][]logic.Vec
+	n     int
+}
+
+// NewClustered returns a policy keeping up to k conservative states per
+// PC. k must be at least 1; k == 1 degenerates to MergeAll.
+func NewClustered(k int) Manager {
+	if k < 1 {
+		panic("csm: NewClustered requires k >= 1")
+	}
+	return &clustered{k: k, table: make(map[uint64][]logic.Vec)}
+}
+
+func (c *clustered) Name() string { return fmt.Sprintf("clustered-%d", c.k) }
+
+func (c *clustered) States() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *clustered) Observe(st vvp.State) Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	states := c.table[st.PC]
+	for _, cs := range states {
+		if st.Bits.Subset(cs) {
+			return Decision{Subsumed: true}
+		}
+	}
+	if len(states) < c.k {
+		c.table[st.PC] = append(states, st.Bits.Clone())
+		c.n++
+		return Decision{Explore: st.Clone()}
+	}
+	best, bestD := 0, -1
+	for i, cs := range states {
+		d := st.Bits.HammingKnown(cs)
+		if bestD < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	merged := states[best].Merge(st.Bits)
+	states[best] = merged
+	out := st
+	out.Bits = merged.Clone()
+	return Decision{Explore: out}
+}
+
+// --- Constrained: merge-all refined by application constraints [15] ---
+
+// Constraint pins one state bit at one PC (or every PC) to a known value.
+// The CSM applies constraints after merging, trimming over-approximation
+// the designer knows to be impossible (paper §3.3: "The CSM accepts
+// constraints in the form of a text file and uses them to reduce
+// over-approximation of conservative states").
+type Constraint struct {
+	// PC restricts the constraint to states saved at this PC; AnyPC
+	// applies it everywhere.
+	PC uint64
+	// AnyPC makes the constraint PC-independent.
+	AnyPC bool
+	// Bit is the state-bit index (see vvp.StateSpec.BitLabel).
+	Bit int
+	// Val is the pinned value (must be a known level).
+	Val logic.Value
+}
+
+type constrained struct {
+	inner Manager
+	cons  []Constraint
+	bits  int
+}
+
+// NewConstrained wraps the merge-all policy with application constraints.
+// bits is the state width (vvp.StateSpec.Bits()).
+func NewConstrained(bits int, cons []Constraint) Manager {
+	return &constrained{inner: NewMergeAll(), cons: cons, bits: bits}
+}
+
+func (c *constrained) Name() string { return "constrained" }
+func (c *constrained) States() int  { return c.inner.States() }
+
+func (c *constrained) Observe(st vvp.State) Decision {
+	d := c.inner.Observe(st)
+	if d.Subsumed {
+		return d
+	}
+	for _, con := range c.cons {
+		if (con.AnyPC || con.PC == d.Explore.PC) && con.Bit >= 0 && con.Bit < c.bits {
+			d.Explore.Bits.Set(con.Bit, con.Val)
+		}
+	}
+	return d
+}

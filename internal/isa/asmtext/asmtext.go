@@ -1,0 +1,133 @@
+// Package asmtext is the textual assembler front end: it parses assembly
+// source for any of the three evaluation ISAs and drives the corresponding
+// builder API, producing the same loadable images the built-in benchmarks
+// use. This is what makes the toolchain usable standalone — the paper's
+// flow takes an "application binary", and this package lets a user write
+// one as a .s file.
+//
+// Common syntax:
+//
+//	; comment        # comment        // comment
+//	label:
+//	        <mnemonic> <operands>     ; instruction (ISA-specific operands)
+//	.word  <index> <value>            ; initialize data-memory word
+//	.xword <index>                    ; mark data word as application input
+//
+// Mnemonics are case-insensitive. Numbers accept decimal, 0x hex and
+// -negatives. See the per-ISA operand grammars on AssembleRV32,
+// AssembleMIPS and AssembleMSP430.
+package asmtext
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// line is one parsed source line.
+type line struct {
+	no     int
+	label  string
+	mnem   string
+	ops    []string
+	isDir  bool
+	rawOps string
+}
+
+// parse splits source text into logical lines. hashComments controls
+// whether '#' starts a comment (it does for RV32/MIPS; MSP430 uses '#'
+// for immediate operands).
+func parse(src string, hashComments bool) ([]line, error) {
+	markers := []string{";", "//"}
+	if hashComments {
+		markers = append(markers, "#")
+	}
+	var out []line
+	for no, raw := range strings.Split(src, "\n") {
+		l := raw
+		for _, marker := range markers {
+			if i := strings.Index(l, marker); i >= 0 {
+				l = l[:i]
+			}
+		}
+		l = strings.TrimSpace(l)
+		if l == "" {
+			continue
+		}
+		ln := line{no: no + 1}
+		// Leading label(s).
+		for {
+			if i := strings.Index(l, ":"); i >= 0 && !strings.ContainsAny(l[:i], " \t") {
+				if ln.label != "" {
+					out = append(out, ln)
+					ln = line{no: no + 1}
+				}
+				ln.label = strings.TrimSpace(l[:i])
+				l = strings.TrimSpace(l[i+1:])
+				continue
+			}
+			break
+		}
+		if l != "" {
+			fields := strings.Fields(l)
+			ln.mnem = strings.ToLower(fields[0])
+			ln.isDir = strings.HasPrefix(ln.mnem, ".")
+			ln.rawOps = strings.TrimSpace(strings.TrimPrefix(l, fields[0]))
+			if ln.rawOps != "" {
+				for _, op := range strings.Split(ln.rawOps, ",") {
+					ln.ops = append(ln.ops, strings.TrimSpace(op))
+				}
+			}
+		}
+		if ln.label != "" || ln.mnem != "" {
+			out = append(out, ln)
+		}
+	}
+	return out, nil
+}
+
+func (l line) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: "+format, append([]any{l.no}, args...)...)
+}
+
+func (l line) wantOps(n int) error {
+	if len(l.ops) != n {
+		return l.errf("%s expects %d operands, got %d", l.mnem, n, len(l.ops))
+	}
+	return nil
+}
+
+// dirFields returns the whitespace-separated operands of a directive.
+func (l line) dirFields() []string { return strings.Fields(l.rawOps) }
+
+// num parses a decimal or 0x-hex integer.
+func num(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	base := 10
+	if strings.HasPrefix(strings.ToLower(s), "0x") {
+		base = 16
+		s = s[2:]
+	}
+	v, err := strconv.ParseInt(s, base, 64)
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// memOperand parses "offset(reg)" returning the offset text and reg text.
+func memOperand(s string) (off, reg string, ok bool) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return "", "", false
+	}
+	return strings.TrimSpace(s[:open]), strings.TrimSpace(s[open+1 : len(s)-1]), true
+}

@@ -1,0 +1,21 @@
+package asmtext
+
+import (
+	"fmt"
+
+	"symsim/internal/isa"
+)
+
+// Assemble dispatches on the ISA name: "rv32e", "mips32" or "msp430"
+// (matching internal/prog's ISA identifiers).
+func Assemble(target, src string) (*isa.Image, error) {
+	switch target {
+	case "rv32e", "rv32", "riscv":
+		return AssembleRV32(src)
+	case "mips32", "mips":
+		return AssembleMIPS(src)
+	case "msp430":
+		return AssembleMSP430(src)
+	}
+	return nil, fmt.Errorf("asmtext: unknown ISA %q (want rv32e, mips32 or msp430)", target)
+}

@@ -1,0 +1,260 @@
+package asmtext
+
+import (
+	"fmt"
+	"strings"
+
+	"symsim/internal/isa"
+	"symsim/internal/isa/mips"
+)
+
+// mipsRegs maps "$0".."$31" and the conventional names to numbers.
+var mipsRegs = func() map[string]int {
+	m := map[string]int{}
+	names := []string{"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+		"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+		"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+		"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra"}
+	for i, name := range names {
+		m["$"+name] = i
+		m[fmt.Sprintf("$%d", i)] = i
+	}
+	return m
+}()
+
+func mipsReg(l line, s string) (int, error) {
+	r, ok := mipsRegs[strings.ToLower(strings.TrimSpace(s))]
+	if !ok {
+		return 0, l.errf("bad register %q", s)
+	}
+	return r, nil
+}
+
+// AssembleMIPS assembles MIPS32 source. Operand grammar:
+//
+//	addu $rd, $rs, $rt           ; r-type: add addu sub subu and or xor nor slt sltu
+//	sll  $rd, $rt, shamt         ; shifts: sll srl sra
+//	sllv $rd, $rt, $rs           ; variable shifts: sllv srlv srav
+//	addiu $rt, $rs, imm          ; i-type: addi addiu slti sltiu andi ori xori
+//	lui  $rt, imm
+//	lw   $rt, off($rs)           ; also sw
+//	beq  $rs, $rt, label         ; also bne
+//	j    label / jal label / jr $rs
+//	mult $rs, $rt / multu / mflo $rd / mfhi $rd
+//	li   $rt, imm                ; pseudo
+//	nop / halt
+func AssembleMIPS(src string) (*isa.Image, error) {
+	lines, err := parse(src, true)
+	if err != nil {
+		return nil, err
+	}
+	a := mips.NewAsm()
+	for _, l := range lines {
+		if l.label != "" {
+			a.Label(l.label)
+		}
+		if l.mnem == "" {
+			continue
+		}
+		if l.isDir {
+			if err := directive(a.Word, a.XWord, l); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := mipsInstr(a, l); err != nil {
+			return nil, err
+		}
+	}
+	return a.Assemble()
+}
+
+func mipsInstr(a *mips.Asm, l line) error {
+	rrr := map[string]func(rd, rs, rt int){
+		"add": a.ADD, "addu": a.ADDU, "sub": a.SUB, "subu": a.SUBU,
+		"and": a.AND, "or": a.OR, "xor": a.XOR, "nor": a.NOR,
+		"slt": a.SLT, "sltu": a.SLTU,
+	}
+	shImm := map[string]func(rd, rt, sh int){"sll": a.SLL, "srl": a.SRL, "sra": a.SRA}
+	shVar := map[string]func(rd, rt, rs int){"sllv": a.SLLV, "srlv": a.SRLV, "srav": a.SRAV}
+	rri := map[string]func(rt, rs int, imm int32){
+		"addi": a.ADDI, "addiu": a.ADDIU, "slti": a.SLTI, "sltiu": a.SLTIU,
+		"andi": a.ANDI, "ori": a.ORI, "xori": a.XORI,
+	}
+
+	regs := func(n int) ([]int, error) {
+		if err := l.wantOps(n); err != nil {
+			return nil, err
+		}
+		out := make([]int, n)
+		for i := 0; i < n; i++ {
+			r, err := mipsReg(l, l.ops[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	switch {
+	case rrr[l.mnem] != nil:
+		r, err := regs(3)
+		if err != nil {
+			return err
+		}
+		rrr[l.mnem](r[0], r[1], r[2])
+	case shImm[l.mnem] != nil:
+		if err := l.wantOps(3); err != nil {
+			return err
+		}
+		rd, err := mipsReg(l, l.ops[0])
+		if err != nil {
+			return err
+		}
+		rt, err := mipsReg(l, l.ops[1])
+		if err != nil {
+			return err
+		}
+		sh, err := num(l.ops[2])
+		if err != nil || sh < 0 || sh > 31 {
+			return l.errf("bad shift amount %q", l.ops[2])
+		}
+		shImm[l.mnem](rd, rt, int(sh))
+	case shVar[l.mnem] != nil:
+		r, err := regs(3)
+		if err != nil {
+			return err
+		}
+		shVar[l.mnem](r[0], r[1], r[2])
+	case rri[l.mnem] != nil:
+		if err := l.wantOps(3); err != nil {
+			return err
+		}
+		rt, err := mipsReg(l, l.ops[0])
+		if err != nil {
+			return err
+		}
+		rs, err := mipsReg(l, l.ops[1])
+		if err != nil {
+			return err
+		}
+		imm, err := num(l.ops[2])
+		if err != nil {
+			return l.errf("bad immediate %q", l.ops[2])
+		}
+		rri[l.mnem](rt, rs, int32(imm))
+	case l.mnem == "lui":
+		if err := l.wantOps(2); err != nil {
+			return err
+		}
+		rt, err := mipsReg(l, l.ops[0])
+		if err != nil {
+			return err
+		}
+		imm, err := num(l.ops[1])
+		if err != nil {
+			return l.errf("bad immediate %q", l.ops[1])
+		}
+		a.LUI(rt, uint16(imm))
+	case l.mnem == "li":
+		if err := l.wantOps(2); err != nil {
+			return err
+		}
+		rt, err := mipsReg(l, l.ops[0])
+		if err != nil {
+			return err
+		}
+		imm, err := num(l.ops[1])
+		if err != nil {
+			return l.errf("bad immediate %q", l.ops[1])
+		}
+		a.LI(rt, int32(imm))
+	case l.mnem == "lw" || l.mnem == "sw":
+		if err := l.wantOps(2); err != nil {
+			return err
+		}
+		rt, err := mipsReg(l, l.ops[0])
+		if err != nil {
+			return err
+		}
+		offS, baseS, ok := memOperand(l.ops[1])
+		if !ok {
+			return l.errf("bad memory operand %q", l.ops[1])
+		}
+		off := int64(0)
+		if offS != "" {
+			if off, err = num(offS); err != nil {
+				return l.errf("bad offset %q", offS)
+			}
+		}
+		base, err := mipsReg(l, baseS)
+		if err != nil {
+			return err
+		}
+		if l.mnem == "lw" {
+			a.LW(rt, base, int32(off))
+		} else {
+			a.SW(rt, base, int32(off))
+		}
+	case l.mnem == "beq" || l.mnem == "bne":
+		if err := l.wantOps(3); err != nil {
+			return err
+		}
+		rs, err := mipsReg(l, l.ops[0])
+		if err != nil {
+			return err
+		}
+		rt, err := mipsReg(l, l.ops[1])
+		if err != nil {
+			return err
+		}
+		if l.mnem == "beq" {
+			a.BEQ(rs, rt, l.ops[2])
+		} else {
+			a.BNE(rs, rt, l.ops[2])
+		}
+	case l.mnem == "j" || l.mnem == "jal":
+		if err := l.wantOps(1); err != nil {
+			return err
+		}
+		if l.mnem == "j" {
+			a.J(l.ops[0])
+		} else {
+			a.JAL(l.ops[0])
+		}
+	case l.mnem == "jr":
+		r, err := regs(1)
+		if err != nil {
+			return err
+		}
+		a.JR(r[0])
+	case l.mnem == "mult" || l.mnem == "multu":
+		r, err := regs(2)
+		if err != nil {
+			return err
+		}
+		if l.mnem == "mult" {
+			a.MULT(r[0], r[1])
+		} else {
+			a.MULTU(r[0], r[1])
+		}
+	case l.mnem == "mflo" || l.mnem == "mfhi":
+		r, err := regs(1)
+		if err != nil {
+			return err
+		}
+		if l.mnem == "mflo" {
+			a.MFLO(r[0])
+		} else {
+			a.MFHI(r[0])
+		}
+	case l.mnem == "nop":
+		a.NOP()
+	case l.mnem == "halt":
+		a.Halt()
+	default:
+		return l.errf("unknown mnemonic %q", l.mnem)
+	}
+	return nil
+}

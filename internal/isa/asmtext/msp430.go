@@ -1,0 +1,212 @@
+package asmtext
+
+import (
+	"fmt"
+	"strings"
+
+	"symsim/internal/isa"
+	"symsim/internal/isa/msp430"
+)
+
+func msp430Reg(l line, s string) (int, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	var r int
+	if _, err := fmt.Sscanf(s, "r%d", &r); err != nil || r < 0 || r > 15 || fmt.Sprintf("r%d", r) != s {
+		return 0, l.errf("bad register %q", s)
+	}
+	return r, nil
+}
+
+// msp430Operand classifies a Format I operand.
+type msp430Operand struct {
+	kind byte // 'r' register, 'i' #imm, 'm' off(rn), 'a' &abs
+	reg  int
+	val  int64
+}
+
+func msp430ParseOp(l line, s string) (msp430Operand, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case strings.HasPrefix(s, "#"):
+		v, err := num(s[1:])
+		if err != nil {
+			return msp430Operand{}, l.errf("bad immediate %q", s)
+		}
+		return msp430Operand{kind: 'i', val: v}, nil
+	case strings.HasPrefix(s, "&"):
+		v, err := num(s[1:])
+		if err != nil {
+			return msp430Operand{}, l.errf("bad absolute address %q", s)
+		}
+		return msp430Operand{kind: 'a', val: v}, nil
+	default:
+		if offS, baseS, ok := memOperand(s); ok {
+			off := int64(0)
+			var err error
+			if offS != "" {
+				if off, err = num(offS); err != nil {
+					return msp430Operand{}, l.errf("bad offset %q", offS)
+				}
+			}
+			base, err := msp430Reg(l, baseS)
+			if err != nil {
+				return msp430Operand{}, err
+			}
+			return msp430Operand{kind: 'm', reg: base, val: off}, nil
+		}
+		r, err := msp430Reg(l, s)
+		if err != nil {
+			return msp430Operand{}, err
+		}
+		return msp430Operand{kind: 'r', reg: r}, nil
+	}
+}
+
+// AssembleMSP430 assembles MSP430 source. Operand grammar (word ops only):
+//
+//	mov  r4, r5                  ; two-operand: mov add addc sub subc cmp
+//	add  #10, r5                 ;   bit bic bis xor and
+//	mov  4(r6), r7               ; indexed source
+//	mov  r7, 4(r6)               ; indexed destination
+//	mov  &0x0200, r4             ; absolute via the zeroed r3 base
+//	mov  r4, &0x0200
+//	rra  r4                      ; one-operand: rra rrc swpb sxt
+//	jne  label                   ; jumps: jne/jnz jeq/jz jnc jc jn jge jl jmp
+//	halt                         ; jmp-to-self terminator
+//	wdtoff                       ; the canonical watchdog-disable prologue
+func AssembleMSP430(src string) (*isa.Image, error) {
+	lines, err := parse(src, false)
+	if err != nil {
+		return nil, err
+	}
+	a := msp430.NewAsm()
+	word16 := func(idx int, v uint32) { a.Word(idx, uint16(v)) }
+	for _, l := range lines {
+		if l.label != "" {
+			a.Label(l.label)
+		}
+		if l.mnem == "" {
+			continue
+		}
+		if l.isDir {
+			if err := directive(word16, a.XWord, l); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := msp430Instr(a, l); err != nil {
+			return nil, err
+		}
+	}
+	return a.Assemble()
+}
+
+func msp430Instr(a *msp430.Asm, l line) error {
+	twoOp := map[string]int{
+		"mov": msp430.OpMOV, "add": msp430.OpADD, "addc": msp430.OpADDC,
+		"sub": msp430.OpSUB, "subc": msp430.OpSUBC, "cmp": msp430.OpCMP,
+		"bit": msp430.OpBIT, "bic": msp430.OpBIC, "bis": msp430.OpBIS,
+		"xor": msp430.OpXOR, "and": msp430.OpAND,
+	}
+	oneOp := map[string]func(int){"rra": a.RRA, "rrc": a.RRC, "swpb": a.SWPB, "sxt": a.SXT}
+	jumps := map[string]func(string){
+		"jne": a.JNE, "jnz": a.JNE, "jeq": a.JEQ, "jz": a.JEQ,
+		"jnc": a.JNC, "jc": a.JC, "jn": a.JN, "jge": a.JGE, "jl": a.JL, "jmp": a.JMP,
+	}
+
+	switch {
+	case twoOp[l.mnem] != 0:
+		if err := l.wantOps(2); err != nil {
+			return err
+		}
+		src, err := msp430ParseOp(l, l.ops[0])
+		if err != nil {
+			return err
+		}
+		dst, err := msp430ParseOp(l, l.ops[1])
+		if err != nil {
+			return err
+		}
+		return msp430Emit(a, l, twoOp[l.mnem], src, dst)
+	case oneOp[l.mnem] != nil:
+		if err := l.wantOps(1); err != nil {
+			return err
+		}
+		r, err := msp430Reg(l, l.ops[0])
+		if err != nil {
+			return err
+		}
+		oneOp[l.mnem](r)
+	case jumps[l.mnem] != nil:
+		if err := l.wantOps(1); err != nil {
+			return err
+		}
+		jumps[l.mnem](l.ops[0])
+	case l.mnem == "halt":
+		a.Halt()
+	case l.mnem == "wdtoff":
+		a.DisableWatchdog()
+	default:
+		return l.errf("unknown mnemonic %q", l.mnem)
+	}
+	return nil
+}
+
+// msp430Emit dispatches a two-operand instruction to the builder. The
+// builder supports one extension word per instruction, so immediate or
+// memory sources combine only with register destinations and vice versa.
+// Absolute operands lower to indexed mode off the zeroed r3.
+func msp430Emit(a *msp430.Asm, l line, op int, src, dst msp430Operand) error {
+	if src.kind == 'a' {
+		src = msp430Operand{kind: 'm', reg: msp430.R3, val: src.val}
+	}
+	if dst.kind == 'a' {
+		dst = msp430Operand{kind: 'm', reg: msp430.R3, val: dst.val}
+	}
+	if src.kind != 'r' && dst.kind != 'r' {
+		return l.errf("at most one memory/immediate operand per instruction")
+	}
+	emitRR := map[int]func(int, int){
+		msp430.OpMOV: a.MOV, msp430.OpADD: a.ADD, msp430.OpADDC: a.ADDC,
+		msp430.OpSUB: a.SUB, msp430.OpSUBC: a.SUBC, msp430.OpCMP: a.CMP,
+		msp430.OpBIT: a.BIT, msp430.OpBIC: a.BIC, msp430.OpBIS: a.BIS,
+		msp430.OpXOR: a.XOR, msp430.OpAND: a.AND,
+	}
+	emitRI := map[int]func(int32, int){
+		msp430.OpMOV: a.MOVI, msp430.OpADD: a.ADDI, msp430.OpSUB: a.SUBI,
+		msp430.OpCMP: a.CMPI, msp430.OpBIT: a.BITI, msp430.OpBIC: a.BICI,
+		msp430.OpBIS: a.BISI, msp430.OpXOR: a.XORI, msp430.OpAND: a.ANDI,
+	}
+	emitRM := map[int]func(int32, int, int){
+		msp430.OpMOV: a.MOVM, msp430.OpADD: a.ADDM, msp430.OpSUB: a.SUBM,
+		msp430.OpCMP: a.CMPM,
+	}
+	switch {
+	case src.kind == 'r' && dst.kind == 'r':
+		emitRR[op](src.reg, dst.reg)
+	case src.kind == 'i' && dst.kind == 'r':
+		f, ok := emitRI[op]
+		if !ok {
+			return l.errf("immediate source unsupported for this mnemonic")
+		}
+		f(int32(src.val), dst.reg)
+	case src.kind == 'm' && dst.kind == 'r':
+		f, ok := emitRM[op]
+		if !ok {
+			return l.errf("indexed source unsupported for this mnemonic")
+		}
+		f(int32(src.val), src.reg, dst.reg)
+	case src.kind == 'r' && dst.kind == 'm':
+		switch op {
+		case msp430.OpMOV:
+			a.MOVRM(src.reg, int32(dst.val), dst.reg)
+		case msp430.OpADD:
+			a.ADDRM(src.reg, int32(dst.val), dst.reg)
+		default:
+			return l.errf("indexed destination unsupported for this mnemonic")
+		}
+	default:
+		return l.errf("unsupported operand combination")
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+package asmtext
+
+import (
+	"fmt"
+	"strings"
+
+	"symsim/internal/isa"
+	"symsim/internal/isa/rv32"
+)
+
+// rv32Regs maps register operand spellings (numeric x0..x15 and RV32E ABI
+// names) to register numbers.
+var rv32Regs = func() map[string]int {
+	m := map[string]int{}
+	abi := []string{"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+		"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5"}
+	for i, name := range abi {
+		m[name] = i
+		m[fmt.Sprintf("x%d", i)] = i
+	}
+	m["fp"] = 8
+	return m
+}()
+
+func rv32Reg(l line, s string) (int, error) {
+	r, ok := rv32Regs[strings.ToLower(strings.TrimSpace(s))]
+	if !ok {
+		return 0, l.errf("bad register %q", s)
+	}
+	return r, nil
+}
+
+// AssembleRV32 assembles RV32E source. Operand grammar:
+//
+//	add  rd, rs1, rs2            ; r-type: add sub sll slt sltu xor srl sra or and
+//	addi rd, rs1, imm            ; i-type: addi slti sltiu xori ori andi
+//	slli rd, rs1, shamt          ; shifts: slli srli srai
+//	lui  rd, imm
+//	lw   rd, off(rs1)
+//	sw   rs2, off(rs1)
+//	beq  rs1, rs2, label         ; branches: beq bne blt bge bltu bgeu
+//	jal  rd, label
+//	jalr rd, off(rs1)
+//	li   rd, imm                 ; pseudo: expands to lui+addi as needed
+//	nop / halt                   ; halt = jump-to-self terminator
+func AssembleRV32(src string) (*isa.Image, error) {
+	lines, err := parse(src, true)
+	if err != nil {
+		return nil, err
+	}
+	a := rv32.NewAsm()
+	for _, l := range lines {
+		if l.label != "" {
+			a.Label(l.label)
+		}
+		if l.mnem == "" {
+			continue
+		}
+		if l.isDir {
+			if err := directive(a.Word, a.XWord, l); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := rv32Instr(a, l); err != nil {
+			return nil, err
+		}
+	}
+	return a.Assemble()
+}
+
+func rv32Instr(a *rv32.Asm, l line) error {
+	rrr := map[string]func(rd, rs1, rs2 int){
+		"add": a.ADD, "sub": a.SUB, "sll": a.SLL, "slt": a.SLT, "sltu": a.SLTU,
+		"xor": a.XOR, "srl": a.SRL, "sra": a.SRA, "or": a.OR, "and": a.AND,
+	}
+	rri := map[string]func(rd, rs1 int, imm int32){
+		"addi": a.ADDI, "slti": a.SLTI, "sltiu": a.SLTIU,
+		"xori": a.XORI, "ori": a.ORI, "andi": a.ANDI,
+	}
+	shift := map[string]func(rd, rs1, sh int){"slli": a.SLLI, "srli": a.SRLI, "srai": a.SRAI}
+	branch := map[string]func(rs1, rs2 int, label string){
+		"beq": a.BEQ, "bne": a.BNE, "blt": a.BLT, "bge": a.BGE,
+		"bltu": a.BLTU, "bgeu": a.BGEU,
+	}
+
+	switch {
+	case rrr[l.mnem] != nil:
+		if err := l.wantOps(3); err != nil {
+			return err
+		}
+		rd, err := rv32Reg(l, l.ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := rv32Reg(l, l.ops[1])
+		if err != nil {
+			return err
+		}
+		rs2, err := rv32Reg(l, l.ops[2])
+		if err != nil {
+			return err
+		}
+		rrr[l.mnem](rd, rs1, rs2)
+	case rri[l.mnem] != nil:
+		if err := l.wantOps(3); err != nil {
+			return err
+		}
+		rd, err := rv32Reg(l, l.ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := rv32Reg(l, l.ops[1])
+		if err != nil {
+			return err
+		}
+		imm, err := num(l.ops[2])
+		if err != nil {
+			return l.errf("bad immediate %q", l.ops[2])
+		}
+		rri[l.mnem](rd, rs1, int32(imm))
+	case shift[l.mnem] != nil:
+		if err := l.wantOps(3); err != nil {
+			return err
+		}
+		rd, err := rv32Reg(l, l.ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := rv32Reg(l, l.ops[1])
+		if err != nil {
+			return err
+		}
+		sh, err := num(l.ops[2])
+		if err != nil || sh < 0 || sh > 31 {
+			return l.errf("bad shift amount %q", l.ops[2])
+		}
+		shift[l.mnem](rd, rs1, int(sh))
+	case branch[l.mnem] != nil:
+		if err := l.wantOps(3); err != nil {
+			return err
+		}
+		rs1, err := rv32Reg(l, l.ops[0])
+		if err != nil {
+			return err
+		}
+		rs2, err := rv32Reg(l, l.ops[1])
+		if err != nil {
+			return err
+		}
+		branch[l.mnem](rs1, rs2, l.ops[2])
+	case l.mnem == "lui":
+		if err := l.wantOps(2); err != nil {
+			return err
+		}
+		rd, err := rv32Reg(l, l.ops[0])
+		if err != nil {
+			return err
+		}
+		imm, err := num(l.ops[1])
+		if err != nil {
+			return l.errf("bad immediate %q", l.ops[1])
+		}
+		a.LUI(rd, uint32(imm))
+	case l.mnem == "li":
+		if err := l.wantOps(2); err != nil {
+			return err
+		}
+		rd, err := rv32Reg(l, l.ops[0])
+		if err != nil {
+			return err
+		}
+		imm, err := num(l.ops[1])
+		if err != nil {
+			return l.errf("bad immediate %q", l.ops[1])
+		}
+		a.LI(rd, int32(imm))
+	case l.mnem == "lw" || l.mnem == "sw":
+		if err := l.wantOps(2); err != nil {
+			return err
+		}
+		r1, err := rv32Reg(l, l.ops[0])
+		if err != nil {
+			return err
+		}
+		offS, baseS, ok := memOperand(l.ops[1])
+		if !ok {
+			return l.errf("bad memory operand %q", l.ops[1])
+		}
+		off := int64(0)
+		if offS != "" {
+			if off, err = num(offS); err != nil {
+				return l.errf("bad offset %q", offS)
+			}
+		}
+		base, err := rv32Reg(l, baseS)
+		if err != nil {
+			return err
+		}
+		if l.mnem == "lw" {
+			a.LW(r1, base, int32(off))
+		} else {
+			a.SW(r1, base, int32(off))
+		}
+	case l.mnem == "jal":
+		if err := l.wantOps(2); err != nil {
+			return err
+		}
+		rd, err := rv32Reg(l, l.ops[0])
+		if err != nil {
+			return err
+		}
+		a.JAL(rd, l.ops[1])
+	case l.mnem == "jalr":
+		if err := l.wantOps(2); err != nil {
+			return err
+		}
+		rd, err := rv32Reg(l, l.ops[0])
+		if err != nil {
+			return err
+		}
+		offS, baseS, ok := memOperand(l.ops[1])
+		if !ok {
+			return l.errf("bad jalr operand %q", l.ops[1])
+		}
+		off := int64(0)
+		if offS != "" {
+			if off, err = num(offS); err != nil {
+				return l.errf("bad offset %q", offS)
+			}
+		}
+		base, err := rv32Reg(l, baseS)
+		if err != nil {
+			return err
+		}
+		a.JALR(rd, base, int32(off))
+	case l.mnem == "nop":
+		a.NOP()
+	case l.mnem == "halt":
+		a.Halt()
+	default:
+		return l.errf("unknown mnemonic %q", l.mnem)
+	}
+	return nil
+}
+
+// directive handles .word and .xword for any ISA's builder. Directive
+// operands are whitespace-separated.
+func directive(word func(int, uint32), xword func(int), l line) error {
+	f := l.dirFields()
+	switch l.mnem {
+	case ".word":
+		if len(f) != 2 {
+			return l.errf(".word expects 2 operands, got %d", len(f))
+		}
+		idx, err := num(f[0])
+		if err != nil {
+			return l.errf("bad index %q", f[0])
+		}
+		val, err := num(f[1])
+		if err != nil {
+			return l.errf("bad value %q", f[1])
+		}
+		word(int(idx), uint32(val))
+	case ".xword":
+		if len(f) != 1 {
+			return l.errf(".xword expects 1 operand, got %d", len(f))
+		}
+		idx, err := num(f[0])
+		if err != nil {
+			return l.errf("bad index %q", f[0])
+		}
+		xword(int(idx))
+	default:
+		return l.errf("unknown directive %q", l.mnem)
+	}
+	return nil
+}

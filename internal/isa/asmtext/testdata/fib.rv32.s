@@ -1,0 +1,11 @@
+; fib(10) on dr5: iterative Fibonacci, result at data word 0.
+        li   t0, 10          ; n
+        li   t1, 0           ; a
+        li   t2, 1           ; b
+loop:   add  a0, t1, t2      ; a+b
+        add  t1, t2, zero    ; a = b
+        add  t2, a0, zero    ; b = a+b
+        addi t0, t0, -1
+        bne  t0, zero, loop
+        sw   t1, 0(zero)
+        halt

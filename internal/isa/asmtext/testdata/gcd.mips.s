@@ -1,0 +1,12 @@
+# gcd(48, 36) on bm32 by repeated subtraction; result at data word 0.
+        li    $t0, 48
+        li    $t1, 36
+loop:   beq   $t0, $t1, done
+        sltu  $t2, $t0, $t1
+        bne   $t2, $zero, swap
+        subu  $t0, $t0, $t1
+        j     loop
+swap:   subu  $t1, $t1, $t0
+        j     loop
+done:   sw    $t0, 0($zero)
+        halt

@@ -1,0 +1,14 @@
+; population count of 0xB7 on openMSP430; result at data word 0.
+        wdtoff
+        mov  #0xB7, r4       ; value
+        mov  #0, r5          ; count
+        mov  #8, r6          ; bits
+loop:   bit  #1, r4
+        jz   skip
+        add  #1, r5
+skip:   rra  r4
+        and  #0x7FFF, r4     ; logical shift: clear the replicated sign
+        sub  #1, r6
+        jnz  loop
+        mov  r5, &0x0200
+        halt

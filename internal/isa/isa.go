@@ -1,0 +1,110 @@
+// Package isa holds the pieces shared by the three instruction-set
+// assemblers (mips, msp430, rv32): the loadable program image handed to a
+// CPU builder and the label-patching machinery the assemblers use.
+//
+// The paper runs compiled C benchmarks; this reproduction hand-assembles
+// the same six benchmarks per ISA (see internal/prog), preserving the
+// control-flow structure the paper's results depend on.
+package isa
+
+import (
+	"fmt"
+
+	"symsim/internal/logic"
+)
+
+// Image is an assembled program plus its data-memory initialization: the
+// inputs the testbench of paper Listing 1 replaces with Xs are listed in
+// XWords.
+type Image struct {
+	// ROM holds program memory words (width fixed by the target CPU).
+	ROM []logic.Vec
+	// Data holds the initial data-memory contents (missing words are X by
+	// memory default, so list *known* initial words here).
+	Data map[int]logic.Vec
+	// XWords lists data words that are application inputs: the loader
+	// leaves them all-X ("set input dependent memory locations as X").
+	XWords []int
+	// Symbols maps label names to their program addresses, for
+	// disassembly and debugging.
+	Symbols map[string]uint32
+}
+
+// DataVec renders the data initialization for a memory of the given word
+// count and width: known words from Data, everything else X.
+func (im *Image) DataVec(words, width int) []logic.Vec {
+	out := make([]logic.Vec, words)
+	for i := range out {
+		out[i] = logic.NewVec(width) // all X
+	}
+	// Unwritten RAM powers up unknown, but the bulk of a benchmark's
+	// working memory is written before use; words never listed stay X
+	// only if the program truly never initializes them.
+	for w, v := range im.Data {
+		if w >= 0 && w < words {
+			c := logic.NewVec(width)
+			for b := 0; b < width && b < v.Width(); b++ {
+				c.Set(b, v.Get(b))
+			}
+			out[w] = c
+		}
+	}
+	return out
+}
+
+// Fixup is a pending label reference within an assembler.
+type Fixup struct {
+	// Word is the instruction index to patch.
+	Word int
+	// Label is the referenced label name.
+	Label string
+	// Apply patches the encoded word given the resolved label address
+	// and the address of the referencing instruction.
+	Apply func(word uint64, labelAddr, instrAddr uint32) (uint64, error)
+}
+
+// Labels tracks label definitions and fixups for a two-pass assembler.
+type Labels struct {
+	Defs   map[string]uint32
+	Fixups []Fixup
+}
+
+// NewLabels returns an empty label tracker.
+func NewLabels() *Labels { return &Labels{Defs: make(map[string]uint32)} }
+
+// Define binds a label to an address; duplicate definitions error at
+// Resolve time via a sentinel.
+func (l *Labels) Define(name string, addr uint32) error {
+	if _, dup := l.Defs[name]; dup {
+		return fmt.Errorf("isa: duplicate label %q", name)
+	}
+	l.Defs[name] = addr
+	return nil
+}
+
+// Resolve applies every fixup against the definitions, patching words via
+// the patch callback.
+func (l *Labels) Resolve(addrOf func(word int) uint32, get func(word int) uint64, set func(word int, v uint64)) error {
+	for _, f := range l.Fixups {
+		target, ok := l.Defs[f.Label]
+		if !ok {
+			return fmt.Errorf("isa: undefined label %q", f.Label)
+		}
+		patched, err := f.Apply(get(f.Word), target, addrOf(f.Word))
+		if err != nil {
+			return fmt.Errorf("isa: label %q: %v", f.Label, err)
+		}
+		set(f.Word, patched)
+	}
+	return nil
+}
+
+// FitsSigned reports whether v fits in a signed field of the given bits.
+func FitsSigned(v int64, bits int) bool {
+	min := -(int64(1) << uint(bits-1))
+	max := int64(1)<<uint(bits-1) - 1
+	return v >= min && v <= max
+}
+
+// VecOf packs the low width bits of v into a known logic vector.
+func VecOf(width int, v uint64) logic.Vec { return logic.NewVecUint64(width, v) }

@@ -1,0 +1,90 @@
+package isa
+
+import (
+	"testing"
+
+	"symsim/internal/logic"
+)
+
+func TestFitsSigned(t *testing.T) {
+	cases := []struct {
+		v    int64
+		bits int
+		want bool
+	}{
+		{0, 12, true}, {2047, 12, true}, {-2048, 12, true},
+		{2048, 12, false}, {-2049, 12, false},
+		{-1, 1, true}, {0, 1, true}, {1, 1, false},
+	}
+	for _, c := range cases {
+		if got := FitsSigned(c.v, c.bits); got != c.want {
+			t.Errorf("FitsSigned(%d, %d) = %v", c.v, c.bits, got)
+		}
+	}
+}
+
+func TestLabelsResolve(t *testing.T) {
+	l := NewLabels()
+	if err := l.Define("a", 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Define("a", 12); err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+	words := []uint64{0, 0}
+	l.Fixups = append(l.Fixups, Fixup{
+		Word: 1, Label: "a",
+		Apply: func(w uint64, target, instr uint32) (uint64, error) {
+			return uint64(target - instr), nil
+		},
+	})
+	err := l.Resolve(
+		func(w int) uint32 { return uint32(w) * 4 },
+		func(w int) uint64 { return words[w] },
+		func(w int, v uint64) { words[w] = v },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if words[1] != 4 {
+		t.Errorf("patched word = %d, want 4", words[1])
+	}
+
+	l.Fixups = append(l.Fixups, Fixup{Word: 0, Label: "missing", Apply: nil})
+	if err := l.Resolve(func(int) uint32 { return 0 }, func(int) uint64 { return 0 }, func(int, uint64) {}); err == nil {
+		t.Fatal("missing label resolved")
+	}
+}
+
+func TestImageDataVec(t *testing.T) {
+	img := &Image{Data: map[int]logic.Vec{
+		2: logic.NewVecUint64(16, 0xBEEF),
+		9: logic.NewVecUint64(16, 7),
+	}}
+	vecs := img.DataVec(4, 16)
+	if len(vecs) != 4 {
+		t.Fatalf("len = %d", len(vecs))
+	}
+	// Word 2 known, others all-X, out-of-range word 9 dropped.
+	if v, ok := vecs[2].Uint64(); !ok || v != 0xBEEF {
+		t.Errorf("word 2 = %s", vecs[2])
+	}
+	if vecs[0].CountX() != 16 || vecs[3].CountX() != 16 {
+		t.Error("unset words should be all-X")
+	}
+}
+
+func TestImageDataVecWidthClamp(t *testing.T) {
+	img := &Image{Data: map[int]logic.Vec{0: logic.NewVecUint64(32, 0xFFFF0001)}}
+	vecs := img.DataVec(1, 16)
+	if v, ok := vecs[0].Uint64(); !ok || v != 0x0001 {
+		t.Errorf("clamped word = %s", vecs[0])
+	}
+}
+
+func TestVecOf(t *testing.T) {
+	v := VecOf(8, 0xA5)
+	if got, ok := v.Uint64(); !ok || got != 0xA5 {
+		t.Errorf("VecOf = %s", v)
+	}
+}

@@ -1,0 +1,104 @@
+package mips
+
+import "fmt"
+
+// Disasm renders one encoded instruction for debugging and test oracles.
+// Unknown encodings render as ".word 0x...".
+func Disasm(w uint32) string {
+	op := w >> 26
+	rs := w >> 21 & 0x1F
+	rt := w >> 16 & 0x1F
+	rd := w >> 11 & 0x1F
+	sh := w >> 6 & 0x1F
+	funct := w & 0x3F
+	imm := int16(w & 0xFFFF)
+	uimm := w & 0xFFFF
+
+	if w == 0 {
+		return "nop"
+	}
+	switch op {
+	case opSPECIAL:
+		switch funct {
+		case fnSLL:
+			return fmt.Sprintf("sll $%d, $%d, %d", rd, rt, sh)
+		case fnSRL:
+			return fmt.Sprintf("srl $%d, $%d, %d", rd, rt, sh)
+		case fnSRA:
+			return fmt.Sprintf("sra $%d, $%d, %d", rd, rt, sh)
+		case fnSLLV:
+			return fmt.Sprintf("sllv $%d, $%d, $%d", rd, rt, rs)
+		case fnSRLV:
+			return fmt.Sprintf("srlv $%d, $%d, $%d", rd, rt, rs)
+		case fnSRAV:
+			return fmt.Sprintf("srav $%d, $%d, $%d", rd, rt, rs)
+		case fnJR:
+			return fmt.Sprintf("jr $%d", rs)
+		case fnMFHI:
+			return fmt.Sprintf("mfhi $%d", rd)
+		case fnMFLO:
+			return fmt.Sprintf("mflo $%d", rd)
+		case fnMULT:
+			return fmt.Sprintf("mult $%d, $%d", rs, rt)
+		case fnMULTU:
+			return fmt.Sprintf("multu $%d, $%d", rs, rt)
+		case fnADD:
+			return rform("add", rd, rs, rt)
+		case fnADDU:
+			return rform("addu", rd, rs, rt)
+		case fnSUB:
+			return rform("sub", rd, rs, rt)
+		case fnSUBU:
+			return rform("subu", rd, rs, rt)
+		case fnAND:
+			return rform("and", rd, rs, rt)
+		case fnOR:
+			return rform("or", rd, rs, rt)
+		case fnXOR:
+			return rform("xor", rd, rs, rt)
+		case fnNOR:
+			return rform("nor", rd, rs, rt)
+		case fnSLT:
+			return rform("slt", rd, rs, rt)
+		case fnSLTU:
+			return rform("sltu", rd, rs, rt)
+		}
+	case opJ:
+		return fmt.Sprintf("j 0x%x", w&0x03FFFFFF<<2)
+	case opJAL:
+		return fmt.Sprintf("jal 0x%x", w&0x03FFFFFF<<2)
+	case opBEQ:
+		return fmt.Sprintf("beq $%d, $%d, %d", rs, rt, imm)
+	case opBNE:
+		return fmt.Sprintf("bne $%d, $%d, %d", rs, rt, imm)
+	case opADDI:
+		return iform("addi", rt, rs, int32(imm))
+	case opADDIU:
+		return iform("addiu", rt, rs, int32(imm))
+	case opSLTI:
+		return iform("slti", rt, rs, int32(imm))
+	case opSLTIU:
+		return iform("sltiu", rt, rs, int32(imm))
+	case opANDI:
+		return fmt.Sprintf("andi $%d, $%d, 0x%x", rt, rs, uimm)
+	case opORI:
+		return fmt.Sprintf("ori $%d, $%d, 0x%x", rt, rs, uimm)
+	case opXORI:
+		return fmt.Sprintf("xori $%d, $%d, 0x%x", rt, rs, uimm)
+	case opLUI:
+		return fmt.Sprintf("lui $%d, 0x%x", rt, uimm)
+	case opLW:
+		return fmt.Sprintf("lw $%d, %d($%d)", rt, imm, rs)
+	case opSW:
+		return fmt.Sprintf("sw $%d, %d($%d)", rt, imm, rs)
+	}
+	return fmt.Sprintf(".word 0x%08x", w)
+}
+
+func rform(name string, rd, rs, rt uint32) string {
+	return fmt.Sprintf("%s $%d, $%d, $%d", name, rd, rs, rt)
+}
+
+func iform(name string, rt, rs uint32, imm int32) string {
+	return fmt.Sprintf("%s $%d, $%d, %d", name, rt, rs, imm)
+}

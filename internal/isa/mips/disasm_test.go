@@ -1,0 +1,70 @@
+package mips
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisasmGolden(t *testing.T) {
+	cases := []struct {
+		build func(a *Asm)
+		want  string
+	}{
+		{func(a *Asm) { a.ADDU(T2, T0, T1) }, "addu $10, $8, $9"},
+		{func(a *Asm) { a.SLL(T2, T1, 4) }, "sll $10, $9, 4"},
+		{func(a *Asm) { a.JR(RA) }, "jr $31"},
+		{func(a *Asm) { a.MULTU(T0, T1) }, "multu $8, $9"},
+		{func(a *Asm) { a.MFLO(T2) }, "mflo $10"},
+		{func(a *Asm) { a.ADDIU(T0, ZERO, -5) }, "addiu $8, $0, -5"},
+		{func(a *Asm) { a.ORI(T0, ZERO, 0xBEEF) }, "ori $8, $0, 0xbeef"},
+		{func(a *Asm) { a.LUI(T0, 0x1234) }, "lui $8, 0x1234"},
+		{func(a *Asm) { a.LW(T0, SP, -8) }, "lw $8, -8($29)"},
+		{func(a *Asm) { a.SW(T0, SP, 12) }, "sw $8, 12($29)"},
+		{func(a *Asm) { a.NOP() }, "nop"},
+	}
+	for i, c := range cases {
+		got := Disasm(word(t, c.build))
+		if got != c.want {
+			t.Errorf("case %d: %q, want %q", i, got, c.want)
+		}
+	}
+}
+
+func TestDisasmCoversAllEmitters(t *testing.T) {
+	a := NewAsm()
+	a.ADD(T0, T0, T1)
+	a.SUB(T0, T0, T1)
+	a.SUBU(T0, T0, T1)
+	a.AND(T0, T0, T1)
+	a.OR(T0, T0, T1)
+	a.XOR(T0, T0, T1)
+	a.NOR(T0, T0, T1)
+	a.SLT(T0, T0, T1)
+	a.SLTU(T0, T0, T1)
+	a.SRL(T0, T1, 2)
+	a.SRA(T0, T1, 2)
+	a.SLLV(T0, T1, T2)
+	a.SRLV(T0, T1, T2)
+	a.SRAV(T0, T1, T2)
+	a.MFHI(T0)
+	a.MULT(T0, T1)
+	a.ADDI(T0, T0, 1)
+	a.SLTI(T0, T0, 1)
+	a.SLTIU(T0, T0, 1)
+	a.XORI(T0, T0, 1)
+	a.BEQ(T0, T1, "l")
+	a.BNE(T0, T1, "l")
+	a.Label("l")
+	a.J("l")
+	a.JAL("l")
+	img := a.MustAssemble()
+	for i, w := range img.ROM {
+		v, _ := w.Uint64()
+		if s := Disasm(uint32(v)); strings.HasPrefix(s, ".word") {
+			t.Errorf("instruction %d (%#08x) not disassembled", i, v)
+		}
+	}
+	if s := Disasm(0xFC000000); !strings.HasPrefix(s, ".word") {
+		t.Errorf("garbage disassembled as %q", s)
+	}
+}

@@ -1,0 +1,348 @@
+// Package mips implements a MIPS32-subset encoder, assembler and
+// disassembler for the bm32 processor of the paper's evaluation (a custom
+// implementation of the textbook 32-bit MIPS [24], with a hardware
+// multiplier). Conditional control flow follows the MIPS idiom the paper
+// describes in §5.0.3: a compare (SLT/SUB) writes a general register and
+// BEQ/BNE against $zero resolves the jump, so the monitored control-flow
+// state is the 16-bit compare-result bus rather than 1-bit flags.
+package mips
+
+import (
+	"fmt"
+
+	"symsim/internal/isa"
+	"symsim/internal/logic"
+)
+
+// Register aliases.
+const (
+	ZERO = iota
+	AT
+	V0
+	V1
+	A0
+	A1
+	A2
+	A3
+	T0
+	T1
+	T2
+	T3
+	T4
+	T5
+	T6
+	T7
+	S0
+	S1
+	S2
+	S3
+	S4
+	S5
+	S6
+	S7
+	T8
+	T9
+	K0
+	K1
+	GP
+	SP
+	FP
+	RA
+)
+
+// R-type funct codes of the implemented subset.
+const (
+	fnSLL   = 0x00
+	fnSRL   = 0x02
+	fnSRA   = 0x03
+	fnSLLV  = 0x04
+	fnSRLV  = 0x06
+	fnSRAV  = 0x07
+	fnJR    = 0x08
+	fnMFHI  = 0x10
+	fnMFLO  = 0x12
+	fnMULT  = 0x18
+	fnMULTU = 0x19
+	fnADD   = 0x20
+	fnADDU  = 0x21
+	fnSUB   = 0x22
+	fnSUBU  = 0x23
+	fnAND   = 0x24
+	fnOR    = 0x25
+	fnXOR   = 0x26
+	fnNOR   = 0x27
+	fnSLT   = 0x2A
+	fnSLTU  = 0x2B
+)
+
+// Opcodes of the implemented subset.
+const (
+	opSPECIAL = 0x00
+	opJ       = 0x02
+	opJAL     = 0x03
+	opBEQ     = 0x04
+	opBNE     = 0x05
+	opADDI    = 0x08
+	opADDIU   = 0x09
+	opSLTI    = 0x0A
+	opSLTIU   = 0x0B
+	opANDI    = 0x0C
+	opORI     = 0x0D
+	opXORI    = 0x0E
+	opLUI     = 0x0F
+	opLW      = 0x23
+	opSW      = 0x2B
+)
+
+func checkReg(r int) {
+	if r < 0 || r > 31 {
+		panic(fmt.Sprintf("mips: register $%d out of range", r))
+	}
+}
+
+// EncodeR encodes an R-type instruction.
+func EncodeR(rs, rt, rd, shamt, funct uint32) uint32 {
+	return rs<<21 | rt<<16 | rd<<11 | shamt<<6 | funct
+}
+
+// EncodeI encodes an I-type instruction.
+func EncodeI(op uint32, rs, rt uint32, imm uint16) uint32 {
+	return op<<26 | rs<<21 | rt<<16 | uint32(imm)
+}
+
+// EncodeJ encodes a J-type instruction; target is a byte address.
+func EncodeJ(op uint32, target uint32) uint32 {
+	return op<<26 | target>>2&0x03FFFFFF
+}
+
+// Asm is a two-pass MIPS32 assembler.
+type Asm struct {
+	words  []uint32
+	labels *isa.Labels
+	data   map[int]logic.Vec
+	xwords []int
+	err    error
+}
+
+// NewAsm returns an empty assembler.
+func NewAsm() *Asm {
+	return &Asm{labels: isa.NewLabels(), data: make(map[int]logic.Vec)}
+}
+
+// PC returns the byte address of the next emitted instruction.
+func (a *Asm) PC() uint32 { return uint32(len(a.words)) * 4 }
+
+// Label defines name at the current PC.
+func (a *Asm) Label(name string) {
+	if err := a.labels.Define(name, a.PC()); err != nil && a.err == nil {
+		a.err = err
+	}
+}
+
+func (a *Asm) emit(w uint32) { a.words = append(a.words, w) }
+
+// Word initializes data-memory word index to a known 32-bit value.
+func (a *Asm) Word(index int, v uint32) { a.data[index] = isa.VecOf(32, uint64(v)) }
+
+// XWord marks data-memory word index as an application input (left X).
+func (a *Asm) XWord(index int) { a.xwords = append(a.xwords, index) }
+
+func (a *Asm) rtype(rd, rs, rt, shamt, funct int) {
+	checkReg(rd)
+	checkReg(rs)
+	checkReg(rt)
+	a.emit(EncodeR(uint32(rs), uint32(rt), uint32(rd), uint32(shamt), uint32(funct)))
+}
+
+// ADDU: rd = rs + rt.
+func (a *Asm) ADDU(rd, rs, rt int) { a.rtype(rd, rs, rt, 0, fnADDU) }
+
+// ADD: rd = rs + rt (no trap in this implementation).
+func (a *Asm) ADD(rd, rs, rt int) { a.rtype(rd, rs, rt, 0, fnADD) }
+
+// SUBU: rd = rs - rt.
+func (a *Asm) SUBU(rd, rs, rt int) { a.rtype(rd, rs, rt, 0, fnSUBU) }
+
+// SUB: rd = rs - rt.
+func (a *Asm) SUB(rd, rs, rt int) { a.rtype(rd, rs, rt, 0, fnSUB) }
+
+// AND: rd = rs & rt.
+func (a *Asm) AND(rd, rs, rt int) { a.rtype(rd, rs, rt, 0, fnAND) }
+
+// OR: rd = rs | rt.
+func (a *Asm) OR(rd, rs, rt int) { a.rtype(rd, rs, rt, 0, fnOR) }
+
+// XOR: rd = rs ^ rt.
+func (a *Asm) XOR(rd, rs, rt int) { a.rtype(rd, rs, rt, 0, fnXOR) }
+
+// NOR: rd = ~(rs | rt).
+func (a *Asm) NOR(rd, rs, rt int) { a.rtype(rd, rs, rt, 0, fnNOR) }
+
+// SLT: rd = (rs <s rt).
+func (a *Asm) SLT(rd, rs, rt int) { a.rtype(rd, rs, rt, 0, fnSLT) }
+
+// SLTU: rd = (rs <u rt).
+func (a *Asm) SLTU(rd, rs, rt int) { a.rtype(rd, rs, rt, 0, fnSLTU) }
+
+// SLL: rd = rt << shamt.
+func (a *Asm) SLL(rd, rt, shamt int) { a.rtype(rd, 0, rt, shamt, fnSLL) }
+
+// SRL: rd = rt >>u shamt.
+func (a *Asm) SRL(rd, rt, shamt int) { a.rtype(rd, 0, rt, shamt, fnSRL) }
+
+// SRA: rd = rt >>s shamt.
+func (a *Asm) SRA(rd, rt, shamt int) { a.rtype(rd, 0, rt, shamt, fnSRA) }
+
+// SLLV: rd = rt << rs.
+func (a *Asm) SLLV(rd, rt, rs int) { a.rtype(rd, rs, rt, 0, fnSLLV) }
+
+// SRLV: rd = rt >>u rs.
+func (a *Asm) SRLV(rd, rt, rs int) { a.rtype(rd, rs, rt, 0, fnSRLV) }
+
+// SRAV: rd = rt >>s rs.
+func (a *Asm) SRAV(rd, rt, rs int) { a.rtype(rd, rs, rt, 0, fnSRAV) }
+
+// JR jumps to the address in rs.
+func (a *Asm) JR(rs int) { a.rtype(0, rs, 0, 0, fnJR) }
+
+// MULT: {HI,LO} = rs * rt via the hardware multiplier.
+func (a *Asm) MULT(rs, rt int) { a.rtype(0, rs, rt, 0, fnMULT) }
+
+// MULTU: unsigned multiply.
+func (a *Asm) MULTU(rs, rt int) { a.rtype(0, rs, rt, 0, fnMULTU) }
+
+// MFLO: rd = LO.
+func (a *Asm) MFLO(rd int) { a.rtype(rd, 0, 0, 0, fnMFLO) }
+
+// MFHI: rd = HI.
+func (a *Asm) MFHI(rd int) { a.rtype(rd, 0, 0, 0, fnMFHI) }
+
+func (a *Asm) itype(op uint32, rt, rs int, imm int32) {
+	checkReg(rt)
+	checkReg(rs)
+	if !isa.FitsSigned(int64(imm), 16) && uint32(imm) > 0xFFFF && a.err == nil {
+		a.err = fmt.Errorf("mips: immediate %d out of 16-bit range", imm)
+	}
+	a.emit(EncodeI(op, uint32(rs), uint32(rt), uint16(imm)))
+}
+
+// ADDI: rt = rs + imm.
+func (a *Asm) ADDI(rt, rs int, imm int32) { a.itype(opADDI, rt, rs, imm) }
+
+// ADDIU: rt = rs + imm (no trap).
+func (a *Asm) ADDIU(rt, rs int, imm int32) { a.itype(opADDIU, rt, rs, imm) }
+
+// SLTI: rt = (rs <s imm).
+func (a *Asm) SLTI(rt, rs int, imm int32) { a.itype(opSLTI, rt, rs, imm) }
+
+// SLTIU: rt = (rs <u imm).
+func (a *Asm) SLTIU(rt, rs int, imm int32) { a.itype(opSLTIU, rt, rs, imm) }
+
+// ANDI: rt = rs & imm (zero-extended).
+func (a *Asm) ANDI(rt, rs int, imm int32) { a.itype(opANDI, rt, rs, imm) }
+
+// ORI: rt = rs | imm (zero-extended).
+func (a *Asm) ORI(rt, rs int, imm int32) { a.itype(opORI, rt, rs, imm) }
+
+// XORI: rt = rs ^ imm (zero-extended).
+func (a *Asm) XORI(rt, rs int, imm int32) { a.itype(opXORI, rt, rs, imm) }
+
+// LUI: rt = imm << 16.
+func (a *Asm) LUI(rt int, imm uint16) { a.itype(opLUI, rt, 0, int32(imm)) }
+
+// LW: rt = mem[rs + imm].
+func (a *Asm) LW(rt, rs int, imm int32) { a.itype(opLW, rt, rs, imm) }
+
+// SW: mem[rs + imm] = rt.
+func (a *Asm) SW(rt, rs int, imm int32) { a.itype(opSW, rt, rs, imm) }
+
+func (a *Asm) branch(op uint32, rs, rt int, label string) {
+	checkReg(rs)
+	checkReg(rt)
+	a.labels.Fixups = append(a.labels.Fixups, isa.Fixup{
+		Word: len(a.words), Label: label,
+		Apply: func(word uint64, target, instr uint32) (uint64, error) {
+			off := (int64(target) - int64(instr) - 4) / 4
+			if !isa.FitsSigned(off, 16) {
+				return 0, fmt.Errorf("branch offset %d out of range", off)
+			}
+			return word&^0xFFFF | uint64(uint16(off)), nil
+		},
+	})
+	a.emit(EncodeI(op, uint32(rs), uint32(rt), 0))
+}
+
+// BEQ branches to label when rs == rt. This implementation of bm32 has no
+// branch delay slot.
+func (a *Asm) BEQ(rs, rt int, label string) { a.branch(opBEQ, rs, rt, label) }
+
+// BNE branches to label when rs != rt.
+func (a *Asm) BNE(rs, rt int, label string) { a.branch(opBNE, rs, rt, label) }
+
+func (a *Asm) jump(op uint32, label string) {
+	a.labels.Fixups = append(a.labels.Fixups, isa.Fixup{
+		Word: len(a.words), Label: label,
+		Apply: func(word uint64, target, instr uint32) (uint64, error) {
+			return uint64(EncodeJ(op, target)), nil
+		},
+	})
+	a.emit(EncodeJ(op, 0))
+}
+
+// J jumps to label.
+func (a *Asm) J(label string) { a.jump(opJ, label) }
+
+// JAL jumps to label and writes the return address to $ra.
+func (a *Asm) JAL(label string) { a.jump(opJAL, label) }
+
+// Halt emits the terminating jump-to-self.
+func (a *Asm) Halt() {
+	here := fmt.Sprintf(".halt%d", len(a.words))
+	a.Label(here)
+	a.J(here)
+}
+
+// LI loads a 32-bit constant (LUI+ORI, or one instruction when it fits).
+func (a *Asm) LI(rt int, v int32) {
+	switch {
+	case isa.FitsSigned(int64(v), 16):
+		a.ADDIU(rt, ZERO, v)
+	case uint32(v)&0xFFFF == 0:
+		a.LUI(rt, uint16(uint32(v)>>16))
+	default:
+		a.LUI(rt, uint16(uint32(v)>>16))
+		a.ORI(rt, rt, int32(uint32(v)&0xFFFF))
+	}
+}
+
+// NOP emits sll $0, $0, 0.
+func (a *Asm) NOP() { a.emit(0) }
+
+// Assemble resolves labels and returns the image.
+func (a *Asm) Assemble() (*isa.Image, error) {
+	if a.err != nil {
+		return nil, a.err
+	}
+	err := a.labels.Resolve(
+		func(w int) uint32 { return uint32(w) * 4 },
+		func(w int) uint64 { return uint64(a.words[w]) },
+		func(w int, v uint64) { a.words[w] = uint32(v) },
+	)
+	if err != nil {
+		return nil, err
+	}
+	img := &isa.Image{Data: a.data, XWords: a.xwords, Symbols: a.labels.Defs}
+	for _, w := range a.words {
+		img.ROM = append(img.ROM, isa.VecOf(32, uint64(w)))
+	}
+	return img, nil
+}
+
+// MustAssemble is Assemble that panics on error.
+func (a *Asm) MustAssemble() *isa.Image {
+	img, err := a.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return img
+}

@@ -1,0 +1,68 @@
+package msp430
+
+import "fmt"
+
+// Disasm renders one instruction for debugging. Instructions with an
+// extension word take it as ext; the returned width reports how many words
+// the instruction consumed (1 or 2). Unknown encodings render as ".word".
+func Disasm(w, ext uint16) (text string, width int) {
+	// Jumps.
+	if w&0xE000 == 0x2000 {
+		cond := int(w >> 10 & 7)
+		off := int16(w<<6) >> 6
+		names := [...]string{"jne", "jeq", "jnc", "jc", "jn", "jge", "jl", "jmp"}
+		return fmt.Sprintf("%s %+d", names[cond], off), 1
+	}
+	// Format II.
+	if w&0xFC00 == 0x1000 {
+		op2 := int(w >> 7 & 7)
+		as := int(w >> 4 & 3)
+		dst := int(w & 0xF)
+		names := map[int]string{Op2RRC: "rrc", Op2SWPB: "swpb", Op2RRA: "rra", Op2SXT: "sxt"}
+		name, ok := names[op2]
+		if !ok {
+			return fmt.Sprintf(".word 0x%04x", w), 1
+		}
+		switch as {
+		case 0:
+			return fmt.Sprintf("%s r%d", name, dst), 1
+		case 1:
+			return fmt.Sprintf("%s %d(r%d)", name, int16(ext), dst), 2
+		}
+		return fmt.Sprintf(".word 0x%04x", w), 1
+	}
+	// Format I.
+	op := int(w >> 12)
+	if op < 4 {
+		return fmt.Sprintf(".word 0x%04x", w), 1
+	}
+	names := [...]string{4: "mov", 5: "add", 6: "addc", 7: "subc", 8: "sub",
+		9: "cmp", 10: "dadd", 11: "bit", 12: "bic", 13: "bis", 14: "xor", 15: "and"}
+	src := int(w >> 8 & 0xF)
+	ad := int(w >> 7 & 1)
+	as := int(w >> 4 & 3)
+	dst := int(w & 0xF)
+
+	width = 1
+	var srcStr string
+	switch as {
+	case 0:
+		srcStr = fmt.Sprintf("r%d", src)
+	case 1:
+		srcStr = fmt.Sprintf("%d(r%d)", int16(ext), src)
+		width = 2
+	case 3:
+		srcStr = fmt.Sprintf("#%d", int16(ext))
+		width = 2
+	default:
+		srcStr = fmt.Sprintf("@r%d", src)
+	}
+	var dstStr string
+	if ad == 1 {
+		dstStr = fmt.Sprintf("%d(r%d)", int16(ext), dst)
+		width = 2
+	} else {
+		dstStr = fmt.Sprintf("r%d", dst)
+	}
+	return fmt.Sprintf("%s %s, %s", names[op], srcStr, dstStr), width
+}

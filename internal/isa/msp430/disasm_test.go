@@ -1,0 +1,67 @@
+package msp430
+
+import (
+	"strings"
+	"testing"
+)
+
+// disasmAll walks an image and returns the disassembly lines.
+func disasmAll(t *testing.T, a *Asm) []string {
+	t.Helper()
+	img, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for i := 0; i < len(img.ROM); {
+		w, _ := img.ROM[i].Uint64()
+		var ext uint64
+		if i+1 < len(img.ROM) {
+			ext, _ = img.ROM[i+1].Uint64()
+		}
+		text, width := Disasm(uint16(w), uint16(ext))
+		out = append(out, text)
+		i += width
+	}
+	return out
+}
+
+func TestDisasmGolden(t *testing.T) {
+	a := NewAsm()
+	a.MOV(R4, R5)
+	a.ADDI(-3, R6)
+	a.MOVM(8, R4, R7)
+	a.MOVRM(R7, 10, R4)
+	a.RRA(R8)
+	a.SWPB(R9)
+	a.CMP(R4, R5)
+	a.JEQ("end")
+	a.Label("end")
+	a.Halt()
+	got := disasmAll(t, a)
+	want := []string{
+		"mov r4, r5",
+		"add #-3, r6",
+		"mov 8(r4), r7",
+		"mov r7, 10(r4)",
+		"rra r8",
+		"swpb r9",
+		"cmp r4, r5",
+		"jeq +0",
+		"jmp -1",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("lines = %d, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("line %d: %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDisasmRejectsGarbage(t *testing.T) {
+	if s, w := Disasm(0x0123, 0); !strings.HasPrefix(s, ".word") || w != 1 {
+		t.Errorf("garbage: %q width %d", s, w)
+	}
+}

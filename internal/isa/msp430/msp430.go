@@ -1,0 +1,382 @@
+// Package msp430 implements an MSP430-subset encoder, assembler and
+// disassembler for the openMSP430 processor of the paper's evaluation.
+// The MSP430 resolves conditional jumps from the 1-bit N, Z, C and V flags
+// of the status register — the architectural property behind openMSP430's
+// small simulation path counts in paper §5.0.3 — and its benchmarks use
+// the hardware multiplier peripheral instead of a multiply instruction.
+//
+// Supported encodings (word operations only, B/W = 0):
+//
+//   - Format I  (two-operand): MOV ADD ADDC SUB SUBC CMP BIT BIC BIS XOR AND
+//     with source modes register / indexed x(Rn) / immediate #n, and
+//     destination modes register / indexed x(Rn). At most one extension
+//     word per instruction (the assembler rejects #imm -> x(Rn) forms).
+//   - Format II (one-operand):  RRA RRC SWPB SXT, register mode.
+//   - Jumps: JNE JEQ JNC JC JN JGE JL JMP with 10-bit word offsets.
+package msp430
+
+import (
+	"fmt"
+
+	"symsim/internal/isa"
+	"symsim/internal/logic"
+)
+
+// General-purpose registers. R0-R3 are special in real MSP430 (PC, SP, SR,
+// CG); this implementation keeps them out of program use except that R0 as
+// a Format I source with As=11 encodes immediate mode, as on real silicon.
+const (
+	R0 = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+)
+
+// Format I opcodes.
+const (
+	OpMOV  = 0x4
+	OpADD  = 0x5
+	OpADDC = 0x6
+	OpSUBC = 0x7
+	OpSUB  = 0x8
+	OpCMP  = 0x9
+	OpDADD = 0xA
+	OpBIT  = 0xB
+	OpBIC  = 0xC
+	OpBIS  = 0xD
+	OpXOR  = 0xE
+	OpAND  = 0xF
+)
+
+// Format II opcodes (bits 9:7).
+const (
+	Op2RRC  = 0
+	Op2SWPB = 1
+	Op2RRA  = 2
+	Op2SXT  = 3
+)
+
+// Jump condition codes (bits 12:10).
+const (
+	CondJNE = 0
+	CondJEQ = 1
+	CondJNC = 2
+	CondJC  = 3
+	CondJN  = 4
+	CondJGE = 5
+	CondJL  = 6
+	CondJMP = 7
+)
+
+// Memory map of the openMSP430 platform (byte addresses).
+const (
+	// AddrP1IN..AddrP1DIR are the GPIO port registers.
+	AddrP1IN  = 0x0020
+	AddrP1OUT = 0x0022
+	AddrP1DIR = 0x0024
+	// AddrWDTCTL is the watchdog control register (bit 7 = WDTHOLD).
+	AddrWDTCTL = 0x0120
+	// WDTHold is the watchdog hold bit within WDTCTL.
+	WDTHold = 0x0080
+	// AddrMPY..AddrRESHI are the 16x16 hardware multiplier registers.
+	AddrMPY   = 0x0130
+	AddrOP2   = 0x0132
+	AddrRESLO = 0x0134
+	AddrRESHI = 0x0136
+	// AddrTACTL..AddrTACCR0 are the TimerA registers (TACTL bit 0 = run).
+	AddrTACTL  = 0x0160
+	AddrTAR    = 0x0170
+	AddrTACCR0 = 0x0172
+	// RAMBase is the first data RAM byte address.
+	RAMBase = 0x0200
+)
+
+// DataAddr returns the byte address of data-memory word index.
+func DataAddr(index int) int32 { return int32(RAMBase + 2*index) }
+
+func checkReg(r int) {
+	if r < 0 || r > 15 {
+		panic(fmt.Sprintf("msp430: register r%d out of range", r))
+	}
+}
+
+// EncodeFmt1 encodes a two-operand instruction word.
+func EncodeFmt1(op, src int, ad, bw, as, dst int) uint16 {
+	return uint16(op)<<12 | uint16(src)<<8 | uint16(ad)<<7 | uint16(bw)<<6 |
+		uint16(as)<<4 | uint16(dst)
+}
+
+// EncodeFmt2 encodes a one-operand instruction word.
+func EncodeFmt2(op2, bw, as, dst int) uint16 {
+	return 0x1000 | uint16(op2)<<7 | uint16(bw)<<6 | uint16(as)<<4 | uint16(dst)
+}
+
+// EncodeJump encodes a jump with a signed 10-bit word offset.
+func EncodeJump(cond int, off int32) uint16 {
+	return 0x2000 | uint16(cond)<<10 | uint16(off)&0x3FF
+}
+
+// Asm is a two-pass MSP430 assembler.
+type Asm struct {
+	words  []uint16
+	labels *isa.Labels
+	data   map[int]logic.Vec
+	xwords []int
+	err    error
+}
+
+// NewAsm returns an empty assembler.
+func NewAsm() *Asm {
+	return &Asm{labels: isa.NewLabels(), data: make(map[int]logic.Vec)}
+}
+
+// PC returns the byte address of the next emitted word.
+func (a *Asm) PC() uint32 { return uint32(len(a.words)) * 2 }
+
+// Label defines name at the current PC.
+func (a *Asm) Label(name string) {
+	if err := a.labels.Define(name, a.PC()); err != nil && a.err == nil {
+		a.err = err
+	}
+}
+
+func (a *Asm) emit(w uint16) { a.words = append(a.words, w) }
+
+// Word initializes data-memory word index to a known 16-bit value.
+func (a *Asm) Word(index int, v uint16) { a.data[index] = isa.VecOf(16, uint64(v)) }
+
+// XWord marks data-memory word index as an application input (left X).
+func (a *Asm) XWord(index int) { a.xwords = append(a.xwords, index) }
+
+// --- Format I, register-register ---
+
+func (a *Asm) rr(op, src, dst int) {
+	checkReg(src)
+	checkReg(dst)
+	a.emit(EncodeFmt1(op, src, 0, 0, 0, dst))
+}
+
+// MOV: dst = src.
+func (a *Asm) MOV(src, dst int) { a.rr(OpMOV, src, dst) }
+
+// ADD: dst += src, sets NZCV.
+func (a *Asm) ADD(src, dst int) { a.rr(OpADD, src, dst) }
+
+// ADDC: dst += src + C.
+func (a *Asm) ADDC(src, dst int) { a.rr(OpADDC, src, dst) }
+
+// SUB: dst -= src, sets NZCV.
+func (a *Asm) SUB(src, dst int) { a.rr(OpSUB, src, dst) }
+
+// SUBC: dst = dst - src - 1 + C.
+func (a *Asm) SUBC(src, dst int) { a.rr(OpSUBC, src, dst) }
+
+// CMP: sets NZCV from dst - src without writing back.
+func (a *Asm) CMP(src, dst int) { a.rr(OpCMP, src, dst) }
+
+// BIT: sets NZ from dst & src without writing back.
+func (a *Asm) BIT(src, dst int) { a.rr(OpBIT, src, dst) }
+
+// BIC: dst &= ^src.
+func (a *Asm) BIC(src, dst int) { a.rr(OpBIC, src, dst) }
+
+// BIS: dst |= src.
+func (a *Asm) BIS(src, dst int) { a.rr(OpBIS, src, dst) }
+
+// XOR: dst ^= src, sets NZ.
+func (a *Asm) XOR(src, dst int) { a.rr(OpXOR, src, dst) }
+
+// AND: dst &= src, sets NZ.
+func (a *Asm) AND(src, dst int) { a.rr(OpAND, src, dst) }
+
+// --- Format I, immediate source (#imm, As=11, src=R0) ---
+
+func (a *Asm) ri(op int, imm int32, dst int) {
+	checkReg(dst)
+	a.emit(EncodeFmt1(op, R0, 0, 0, 3, dst))
+	a.emit(uint16(imm))
+}
+
+// MOVI: dst = #imm.
+func (a *Asm) MOVI(imm int32, dst int) { a.ri(OpMOV, imm, dst) }
+
+// ADDI: dst += #imm.
+func (a *Asm) ADDI(imm int32, dst int) { a.ri(OpADD, imm, dst) }
+
+// SUBI: dst -= #imm.
+func (a *Asm) SUBI(imm int32, dst int) { a.ri(OpSUB, imm, dst) }
+
+// CMPI: flags from dst - #imm.
+func (a *Asm) CMPI(imm int32, dst int) { a.ri(OpCMP, imm, dst) }
+
+// ANDI: dst &= #imm.
+func (a *Asm) ANDI(imm int32, dst int) { a.ri(OpAND, imm, dst) }
+
+// BISI: dst |= #imm.
+func (a *Asm) BISI(imm int32, dst int) { a.ri(OpBIS, imm, dst) }
+
+// BICI: dst &= ^#imm.
+func (a *Asm) BICI(imm int32, dst int) { a.ri(OpBIC, imm, dst) }
+
+// XORI: dst ^= #imm.
+func (a *Asm) XORI(imm int32, dst int) { a.ri(OpXOR, imm, dst) }
+
+// BITI: flags from dst & #imm.
+func (a *Asm) BITI(imm int32, dst int) { a.ri(OpBIT, imm, dst) }
+
+// --- Format I, indexed source x(Rn) ---
+
+func (a *Asm) rm(op int, off int32, base, dst int) {
+	checkReg(base)
+	checkReg(dst)
+	a.emit(EncodeFmt1(op, base, 0, 0, 1, dst))
+	a.emit(uint16(off))
+}
+
+// MOVM: dst = mem[base + off] (MOV x(Rn), Rd).
+func (a *Asm) MOVM(off int32, base, dst int) { a.rm(OpMOV, off, base, dst) }
+
+// ADDM: dst += mem[base + off].
+func (a *Asm) ADDM(off int32, base, dst int) { a.rm(OpADD, off, base, dst) }
+
+// SUBM: dst -= mem[base + off].
+func (a *Asm) SUBM(off int32, base, dst int) { a.rm(OpSUB, off, base, dst) }
+
+// CMPM: flags from dst - mem[base + off].
+func (a *Asm) CMPM(off int32, base, dst int) { a.rm(OpCMP, off, base, dst) }
+
+// --- Format I, indexed destination (Rs -> x(Rn)) ---
+
+func (a *Asm) mr(op, src int, off int32, base int) {
+	checkReg(src)
+	checkReg(base)
+	a.emit(EncodeFmt1(op, src, 1, 0, 0, base))
+	a.emit(uint16(off))
+}
+
+// MOVRM: mem[base + off] = src (MOV Rs, x(Rn)).
+func (a *Asm) MOVRM(src int, off int32, base int) { a.mr(OpMOV, src, off, base) }
+
+// ADDRM: mem[base + off] += src.
+func (a *Asm) ADDRM(src int, off int32, base int) { a.mr(OpADD, src, off, base) }
+
+// --- Format II ---
+
+func (a *Asm) fmt2(op2, dst int) {
+	checkReg(dst)
+	a.emit(EncodeFmt2(op2, 0, 0, dst))
+}
+
+// RRA: arithmetic shift right by one, LSB to carry.
+func (a *Asm) RRA(dst int) { a.fmt2(Op2RRA, dst) }
+
+// RRC: rotate right through carry.
+func (a *Asm) RRC(dst int) { a.fmt2(Op2RRC, dst) }
+
+// SWPB: swap bytes.
+func (a *Asm) SWPB(dst int) { a.fmt2(Op2SWPB, dst) }
+
+// SXT: sign-extend the low byte.
+func (a *Asm) SXT(dst int) { a.fmt2(Op2SXT, dst) }
+
+// --- Jumps ---
+
+func (a *Asm) jump(cond int, label string) {
+	a.labels.Fixups = append(a.labels.Fixups, isa.Fixup{
+		Word: len(a.words), Label: label,
+		Apply: func(word uint64, target, instr uint32) (uint64, error) {
+			off := (int64(target) - int64(instr) - 2) / 2
+			if !isa.FitsSigned(off, 10) {
+				return 0, fmt.Errorf("jump offset %d out of range", off)
+			}
+			return uint64(EncodeJump(cond, int32(off))), nil
+		},
+	})
+	a.emit(EncodeJump(cond, 0))
+}
+
+// JNE branches when Z is clear (also known as JNZ).
+func (a *Asm) JNE(label string) { a.jump(CondJNE, label) }
+
+// JEQ branches when Z is set (also known as JZ).
+func (a *Asm) JEQ(label string) { a.jump(CondJEQ, label) }
+
+// JNC branches when C is clear.
+func (a *Asm) JNC(label string) { a.jump(CondJNC, label) }
+
+// JC branches when C is set.
+func (a *Asm) JC(label string) { a.jump(CondJC, label) }
+
+// JN branches when N is set.
+func (a *Asm) JN(label string) { a.jump(CondJN, label) }
+
+// JGE branches when N xor V is clear (signed >=).
+func (a *Asm) JGE(label string) { a.jump(CondJGE, label) }
+
+// JL branches when N xor V is set (signed <).
+func (a *Asm) JL(label string) { a.jump(CondJL, label) }
+
+// JMP branches unconditionally.
+func (a *Asm) JMP(label string) { a.jump(CondJMP, label) }
+
+// Halt emits the terminating jump-to-self (JMP with offset -1).
+func (a *Asm) Halt() { a.emit(EncodeJump(CondJMP, -1)) }
+
+// DisableWatchdog emits the canonical MSP430 crt0 prologue
+// "MOV #WDTHOLD, &WDTCTL" that every compiled benchmark starts with.
+func (a *Asm) DisableWatchdog() {
+	// Immediate source with absolute-style indexed destination via R3=0:
+	// the assembler keeps R3 zeroed, so x(R3) addresses absolute x. Real
+	// MSP430 uses the &ABS mode (Ad=1, dst=SR); this implementation
+	// reaches the same effect through a zeroed base register. One
+	// extension word only: first load the immediate into R15.
+	a.MOVI(WDTHold, R15)
+	a.MOVRM(R15, AddrWDTCTL, R3)
+}
+
+// StoreAbs emits mem[addr] = src via the zeroed R3 base.
+func (a *Asm) StoreAbs(src int, addr int32) { a.MOVRM(src, addr, R3) }
+
+// LoadAbs emits dst = mem[addr] via the zeroed R3 base.
+func (a *Asm) LoadAbs(addr int32, dst int) { a.MOVM(addr, R3, dst) }
+
+// Assemble resolves labels and returns the image.
+func (a *Asm) Assemble() (*isa.Image, error) {
+	if a.err != nil {
+		return nil, a.err
+	}
+	err := a.labels.Resolve(
+		func(w int) uint32 { return uint32(w) * 2 },
+		func(w int) uint64 { return uint64(a.words[w]) },
+		func(w int, v uint64) { a.words[w] = uint16(v) },
+	)
+	if err != nil {
+		return nil, err
+	}
+	img := &isa.Image{Data: a.data, XWords: a.xwords, Symbols: a.labels.Defs}
+	for _, w := range a.words {
+		img.ROM = append(img.ROM, isa.VecOf(16, uint64(w)))
+	}
+	return img, nil
+}
+
+// MustAssemble is Assemble that panics on error.
+func (a *Asm) MustAssemble() *isa.Image {
+	img, err := a.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return img
+}

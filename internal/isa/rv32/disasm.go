@@ -1,0 +1,82 @@
+package rv32
+
+import "fmt"
+
+// Disasm renders one encoded instruction for debugging and test oracles.
+// Unknown encodings render as ".word 0x...".
+func Disasm(w uint32) string {
+	opcode := w & 0x7F
+	rd := int(w >> 7 & 0x1F)
+	funct3 := w >> 12 & 0x7
+	rs1 := int(w >> 15 & 0x1F)
+	rs2 := int(w >> 20 & 0x1F)
+	funct7 := w >> 25
+
+	immI := int32(w) >> 20
+	immS := int32(w)>>25<<5 | int32(w>>7&0x1F)
+	immB := int32(w>>31&1)<<12 | int32(w>>7&1)<<11 | int32(w>>25&0x3F)<<5 | int32(w>>8&0xF)<<1
+	immB = immB << 19 >> 19
+	immJ := int32(w>>31&1)<<20 | int32(w>>12&0xFF)<<12 | int32(w>>20&1)<<11 | int32(w>>21&0x3FF)<<1
+	immJ = immJ << 11 >> 11
+
+	switch opcode {
+	case opLUI:
+		return fmt.Sprintf("lui x%d, 0x%x", rd, w>>12)
+	case opALUImm:
+		switch funct3 {
+		case 0b000:
+			return fmt.Sprintf("addi x%d, x%d, %d", rd, rs1, immI)
+		case 0b010:
+			return fmt.Sprintf("slti x%d, x%d, %d", rd, rs1, immI)
+		case 0b011:
+			return fmt.Sprintf("sltiu x%d, x%d, %d", rd, rs1, immI)
+		case 0b100:
+			return fmt.Sprintf("xori x%d, x%d, %d", rd, rs1, immI)
+		case 0b110:
+			return fmt.Sprintf("ori x%d, x%d, %d", rd, rs1, immI)
+		case 0b111:
+			return fmt.Sprintf("andi x%d, x%d, %d", rd, rs1, immI)
+		case 0b001:
+			return fmt.Sprintf("slli x%d, x%d, %d", rd, rs1, rs2)
+		case 0b101:
+			if funct7 == 0b0100000 {
+				return fmt.Sprintf("srai x%d, x%d, %d", rd, rs1, rs2)
+			}
+			return fmt.Sprintf("srli x%d, x%d, %d", rd, rs1, rs2)
+		}
+	case opALU:
+		name := map[uint32]string{
+			0b000: "add", 0b001: "sll", 0b010: "slt", 0b011: "sltu",
+			0b100: "xor", 0b101: "srl", 0b110: "or", 0b111: "and",
+		}[funct3]
+		if funct7 == 0b0100000 {
+			if funct3 == 0b000 {
+				name = "sub"
+			} else if funct3 == 0b101 {
+				name = "sra"
+			}
+		}
+		return fmt.Sprintf("%s x%d, x%d, x%d", name, rd, rs1, rs2)
+	case opLoad:
+		if funct3 == 0b010 {
+			return fmt.Sprintf("lw x%d, %d(x%d)", rd, immI, rs1)
+		}
+	case opStore:
+		if funct3 == 0b010 {
+			return fmt.Sprintf("sw x%d, %d(x%d)", rs2, immS, rs1)
+		}
+	case opBranch:
+		name := map[uint32]string{
+			0b000: "beq", 0b001: "bne", 0b100: "blt",
+			0b101: "bge", 0b110: "bltu", 0b111: "bgeu",
+		}[funct3]
+		if name != "" {
+			return fmt.Sprintf("%s x%d, x%d, %d", name, rs1, rs2, immB)
+		}
+	case opJAL:
+		return fmt.Sprintf("jal x%d, %d", rd, immJ)
+	case opJALR:
+		return fmt.Sprintf("jalr x%d, %d(x%d)", rd, immI, rs1)
+	}
+	return fmt.Sprintf(".word 0x%08x", w)
+}

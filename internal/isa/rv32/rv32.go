@@ -1,0 +1,334 @@
+// Package rv32 implements an RV32E-subset encoder, assembler and
+// disassembler for the dr5 processor (darkRiscV in the paper): 16 integer
+// registers, the base integer instruction set, no hardware multiply —
+// which is why the mult benchmark on dr5 runs a software shift-and-add
+// loop and explores multiple simulation paths (paper §5.0.3).
+package rv32
+
+import (
+	"fmt"
+
+	"symsim/internal/isa"
+	"symsim/internal/logic"
+)
+
+// Register aliases (RV32E: x0..x15).
+const (
+	X0 = iota
+	RA
+	SP
+	GP
+	TP
+	T0
+	T1
+	T2
+	S0
+	S1
+	A0
+	A1
+	A2
+	A3
+	A4
+	A5
+)
+
+// Opcodes and funct fields of the implemented subset.
+const (
+	opLUI    = 0b0110111
+	opALUImm = 0b0010011
+	opALU    = 0b0110011
+	opLoad   = 0b0000011
+	opStore  = 0b0100011
+	opBranch = 0b1100011
+	opJAL    = 0b1101111
+	opJALR   = 0b1100111
+)
+
+func checkReg(r int) {
+	if r < 0 || r > 15 {
+		panic(fmt.Sprintf("rv32: register x%d out of RV32E range", r))
+	}
+}
+
+// EncodeR encodes an R-type instruction.
+func EncodeR(funct7, rs2, rs1, funct3, rd, opcode uint32) uint32 {
+	return funct7<<25 | rs2<<20 | rs1<<15 | funct3<<12 | rd<<7 | opcode
+}
+
+// EncodeI encodes an I-type instruction with a 12-bit signed immediate.
+func EncodeI(imm int32, rs1, funct3, rd, opcode uint32) uint32 {
+	return uint32(imm)&0xFFF<<20 | rs1<<15 | funct3<<12 | rd<<7 | opcode
+}
+
+// EncodeS encodes an S-type (store) instruction.
+func EncodeS(imm int32, rs2, rs1, funct3, opcode uint32) uint32 {
+	u := uint32(imm)
+	return u>>5&0x7F<<25 | rs2<<20 | rs1<<15 | funct3<<12 | u&0x1F<<7 | opcode
+}
+
+// EncodeB encodes a B-type (branch) instruction; imm is the byte offset.
+func EncodeB(imm int32, rs2, rs1, funct3, opcode uint32) uint32 {
+	u := uint32(imm)
+	return u>>12&1<<31 | u>>5&0x3F<<25 | rs2<<20 | rs1<<15 |
+		funct3<<12 | u>>1&0xF<<8 | u>>11&1<<7 | opcode
+}
+
+// EncodeU encodes a U-type instruction (LUI).
+func EncodeU(imm uint32, rd, opcode uint32) uint32 {
+	return imm&0xFFFFF000 | rd<<7 | opcode
+}
+
+// EncodeJ encodes a J-type (JAL) instruction; imm is the byte offset.
+func EncodeJ(imm int32, rd, opcode uint32) uint32 {
+	u := uint32(imm)
+	return u>>20&1<<31 | u>>1&0x3FF<<21 | u>>11&1<<20 | u>>12&0xFF<<12 | rd<<7 | opcode
+}
+
+// Asm is a two-pass RV32E assembler.
+type Asm struct {
+	words  []uint32
+	labels *isa.Labels
+	data   map[int]logic.Vec
+	xwords []int
+	err    error
+}
+
+// NewAsm returns an empty assembler.
+func NewAsm() *Asm {
+	return &Asm{labels: isa.NewLabels(), data: make(map[int]logic.Vec)}
+}
+
+// PC returns the byte address of the next emitted instruction.
+func (a *Asm) PC() uint32 { return uint32(len(a.words)) * 4 }
+
+// Label defines name at the current PC.
+func (a *Asm) Label(name string) {
+	if err := a.labels.Define(name, a.PC()); err != nil && a.err == nil {
+		a.err = err
+	}
+}
+
+func (a *Asm) emit(w uint32) { a.words = append(a.words, w) }
+
+// --- data segment helpers ---
+
+// Word initializes data-memory word index to a known 32-bit value.
+func (a *Asm) Word(index int, v uint32) { a.data[index] = isa.VecOf(32, uint64(v)) }
+
+// XWord marks data-memory word index as an application input (left X).
+func (a *Asm) XWord(index int) { a.xwords = append(a.xwords, index) }
+
+// --- instructions ---
+
+// LUI loads imm (upper 20 bits) into rd.
+func (a *Asm) LUI(rd int, imm uint32) { checkReg(rd); a.emit(EncodeU(imm, uint32(rd), opLUI)) }
+
+// ADDI: rd = rs1 + imm.
+func (a *Asm) ADDI(rd, rs1 int, imm int32) { a.itype(rd, rs1, imm, 0b000) }
+
+// SLTI: rd = (rs1 <s imm).
+func (a *Asm) SLTI(rd, rs1 int, imm int32) { a.itype(rd, rs1, imm, 0b010) }
+
+// SLTIU: rd = (rs1 <u imm).
+func (a *Asm) SLTIU(rd, rs1 int, imm int32) { a.itype(rd, rs1, imm, 0b011) }
+
+// XORI: rd = rs1 ^ imm.
+func (a *Asm) XORI(rd, rs1 int, imm int32) { a.itype(rd, rs1, imm, 0b100) }
+
+// ORI: rd = rs1 | imm.
+func (a *Asm) ORI(rd, rs1 int, imm int32) { a.itype(rd, rs1, imm, 0b110) }
+
+// ANDI: rd = rs1 & imm.
+func (a *Asm) ANDI(rd, rs1 int, imm int32) { a.itype(rd, rs1, imm, 0b111) }
+
+func (a *Asm) itype(rd, rs1 int, imm int32, funct3 uint32) {
+	checkReg(rd)
+	checkReg(rs1)
+	if !isa.FitsSigned(int64(imm), 12) && a.err == nil {
+		a.err = fmt.Errorf("rv32: immediate %d out of 12-bit range", imm)
+	}
+	a.emit(EncodeI(imm, uint32(rs1), funct3, uint32(rd), opALUImm))
+}
+
+// SLLI: rd = rs1 << sh.
+func (a *Asm) SLLI(rd, rs1, sh int) {
+	checkReg(rd)
+	checkReg(rs1)
+	a.emit(EncodeR(0, uint32(sh), uint32(rs1), 0b001, uint32(rd), opALUImm))
+}
+
+// SRLI: rd = rs1 >>u sh.
+func (a *Asm) SRLI(rd, rs1, sh int) {
+	checkReg(rd)
+	checkReg(rs1)
+	a.emit(EncodeR(0, uint32(sh), uint32(rs1), 0b101, uint32(rd), opALUImm))
+}
+
+// SRAI: rd = rs1 >>s sh.
+func (a *Asm) SRAI(rd, rs1, sh int) {
+	checkReg(rd)
+	checkReg(rs1)
+	a.emit(EncodeR(0b0100000, uint32(sh), uint32(rs1), 0b101, uint32(rd), opALUImm))
+}
+
+func (a *Asm) rtype(rd, rs1, rs2 int, funct3, funct7 uint32) {
+	checkReg(rd)
+	checkReg(rs1)
+	checkReg(rs2)
+	a.emit(EncodeR(funct7, uint32(rs2), uint32(rs1), funct3, uint32(rd), opALU))
+}
+
+// ADD: rd = rs1 + rs2.
+func (a *Asm) ADD(rd, rs1, rs2 int) { a.rtype(rd, rs1, rs2, 0b000, 0) }
+
+// SUB: rd = rs1 - rs2.
+func (a *Asm) SUB(rd, rs1, rs2 int) { a.rtype(rd, rs1, rs2, 0b000, 0b0100000) }
+
+// SLL: rd = rs1 << rs2.
+func (a *Asm) SLL(rd, rs1, rs2 int) { a.rtype(rd, rs1, rs2, 0b001, 0) }
+
+// SLT: rd = (rs1 <s rs2).
+func (a *Asm) SLT(rd, rs1, rs2 int) { a.rtype(rd, rs1, rs2, 0b010, 0) }
+
+// SLTU: rd = (rs1 <u rs2).
+func (a *Asm) SLTU(rd, rs1, rs2 int) { a.rtype(rd, rs1, rs2, 0b011, 0) }
+
+// XOR: rd = rs1 ^ rs2.
+func (a *Asm) XOR(rd, rs1, rs2 int) { a.rtype(rd, rs1, rs2, 0b100, 0) }
+
+// SRL: rd = rs1 >>u rs2.
+func (a *Asm) SRL(rd, rs1, rs2 int) { a.rtype(rd, rs1, rs2, 0b101, 0) }
+
+// SRA: rd = rs1 >>s rs2.
+func (a *Asm) SRA(rd, rs1, rs2 int) { a.rtype(rd, rs1, rs2, 0b101, 0b0100000) }
+
+// OR: rd = rs1 | rs2.
+func (a *Asm) OR(rd, rs1, rs2 int) { a.rtype(rd, rs1, rs2, 0b110, 0) }
+
+// AND: rd = rs1 & rs2.
+func (a *Asm) AND(rd, rs1, rs2 int) { a.rtype(rd, rs1, rs2, 0b111, 0) }
+
+// LW: rd = mem[rs1 + imm].
+func (a *Asm) LW(rd, rs1 int, imm int32) {
+	checkReg(rd)
+	checkReg(rs1)
+	a.emit(EncodeI(imm, uint32(rs1), 0b010, uint32(rd), opLoad))
+}
+
+// SW: mem[rs1 + imm] = rs2.
+func (a *Asm) SW(rs2, rs1 int, imm int32) {
+	checkReg(rs2)
+	checkReg(rs1)
+	a.emit(EncodeS(imm, uint32(rs2), uint32(rs1), 0b010, opStore))
+}
+
+func (a *Asm) branch(rs1, rs2 int, funct3 uint32, label string) {
+	checkReg(rs1)
+	checkReg(rs2)
+	a.labels.Fixups = append(a.labels.Fixups, isa.Fixup{
+		Word: len(a.words), Label: label,
+		Apply: func(word uint64, target, instr uint32) (uint64, error) {
+			off := int64(target) - int64(instr)
+			if !isa.FitsSigned(off, 13) {
+				return 0, fmt.Errorf("branch offset %d out of range", off)
+			}
+			return uint64(uint32(word) | EncodeB(int32(off), 0, 0, 0, 0)), nil
+		},
+	})
+	a.emit(EncodeB(0, uint32(rs2), uint32(rs1), funct3, opBranch))
+}
+
+// BEQ branches to label when rs1 == rs2.
+func (a *Asm) BEQ(rs1, rs2 int, label string) { a.branch(rs1, rs2, 0b000, label) }
+
+// BNE branches to label when rs1 != rs2.
+func (a *Asm) BNE(rs1, rs2 int, label string) { a.branch(rs1, rs2, 0b001, label) }
+
+// BLT branches to label when rs1 <s rs2.
+func (a *Asm) BLT(rs1, rs2 int, label string) { a.branch(rs1, rs2, 0b100, label) }
+
+// BGE branches to label when rs1 >=s rs2.
+func (a *Asm) BGE(rs1, rs2 int, label string) { a.branch(rs1, rs2, 0b101, label) }
+
+// BLTU branches to label when rs1 <u rs2.
+func (a *Asm) BLTU(rs1, rs2 int, label string) { a.branch(rs1, rs2, 0b110, label) }
+
+// BGEU branches to label when rs1 >=u rs2.
+func (a *Asm) BGEU(rs1, rs2 int, label string) { a.branch(rs1, rs2, 0b111, label) }
+
+// JAL jumps to label, writing the return address to rd.
+func (a *Asm) JAL(rd int, label string) {
+	checkReg(rd)
+	a.labels.Fixups = append(a.labels.Fixups, isa.Fixup{
+		Word: len(a.words), Label: label,
+		Apply: func(word uint64, target, instr uint32) (uint64, error) {
+			off := int64(target) - int64(instr)
+			if !isa.FitsSigned(off, 21) {
+				return 0, fmt.Errorf("jal offset %d out of range", off)
+			}
+			return uint64(uint32(word) | EncodeJ(int32(off), 0, 0)), nil
+		},
+	})
+	a.emit(EncodeJ(0, uint32(rd), opJAL))
+}
+
+// JALR jumps to rs1+imm, writing the return address to rd.
+func (a *Asm) JALR(rd, rs1 int, imm int32) {
+	checkReg(rd)
+	checkReg(rs1)
+	a.emit(EncodeI(imm, uint32(rs1), 0b000, uint32(rd), opJALR))
+}
+
+// Halt emits the terminating jump-to-self the dr5 core detects as the
+// simulation terminating condition.
+func (a *Asm) Halt() {
+	here := fmt.Sprintf(".halt%d", len(a.words))
+	a.Label(here)
+	a.JAL(X0, here)
+}
+
+// LI loads a full 32-bit constant with LUI+ADDI (one ADDI when it fits).
+func (a *Asm) LI(rd int, v int32) {
+	if isa.FitsSigned(int64(v), 12) {
+		a.ADDI(rd, X0, v)
+		return
+	}
+	upper := uint32(v) + 0x800 // compensate ADDI sign extension
+	a.LUI(rd, upper&0xFFFFF000)
+	if low := int32(uint32(v)<<20) >> 20; low != 0 {
+		a.ADDI(rd, rd, low)
+	}
+}
+
+// NOP emits addi x0, x0, 0.
+func (a *Asm) NOP() { a.ADDI(X0, X0, 0) }
+
+// Assemble resolves labels and returns the image.
+func (a *Asm) Assemble() (*isa.Image, error) {
+	if a.err != nil {
+		return nil, a.err
+	}
+	err := a.labels.Resolve(
+		func(w int) uint32 { return uint32(w) * 4 },
+		func(w int) uint64 { return uint64(a.words[w]) },
+		func(w int, v uint64) { a.words[w] = uint32(v) },
+	)
+	if err != nil {
+		return nil, err
+	}
+	img := &isa.Image{Data: a.data, XWords: a.xwords, Symbols: a.labels.Defs}
+	for _, w := range a.words {
+		img.ROM = append(img.ROM, isa.VecOf(32, uint64(w)))
+	}
+	return img, nil
+}
+
+// MustAssemble is Assemble that panics on error; for tests and the fixed
+// benchmark programs.
+func (a *Asm) MustAssemble() *isa.Image {
+	img, err := a.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return img
+}

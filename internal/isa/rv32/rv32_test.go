@@ -1,0 +1,165 @@
+package rv32
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEncodings(t *testing.T) {
+	// Golden encodings cross-checked against the RISC-V spec examples.
+	cases := []struct {
+		emit func(a *Asm)
+		want uint32
+	}{
+		{func(a *Asm) { a.ADDI(A0, X0, 42) }, 0x02A00513},
+		{func(a *Asm) { a.ADD(A0, A1, A2) }, 0x00C58533},
+		{func(a *Asm) { a.SUB(A0, A1, A2) }, 0x40C58533},
+		{func(a *Asm) { a.LUI(T0, 0xDEAD000) }, 0x0DEAD2B7},
+		{func(a *Asm) { a.LW(A0, SP, 8) }, 0x00812503},
+		{func(a *Asm) { a.SW(A0, SP, 8) }, 0x00A12423},
+		{func(a *Asm) { a.SLLI(T1, T1, 3) }, 0x00331313},
+		{func(a *Asm) { a.SRAI(T1, T1, 3) }, 0x40335313},
+		{func(a *Asm) { a.JALR(X0, RA, 0) }, 0x00008067},
+	}
+	for i, c := range cases {
+		a := NewAsm()
+		c.emit(a)
+		img := a.MustAssemble()
+		got, _ := img.ROM[0].Uint64()
+		if uint32(got) != c.want {
+			t.Errorf("case %d: encoded %#08x, want %#08x (%s)", i, got, c.want, Disasm(uint32(got)))
+		}
+	}
+}
+
+func TestBranchOffsetEncoding(t *testing.T) {
+	a := NewAsm()
+	a.Label("top")
+	a.NOP()
+	a.BNE(T0, X0, "top") // offset -4
+	img := a.MustAssemble()
+	w, _ := img.ROM[1].Uint64()
+	if s := Disasm(uint32(w)); s != "bne x5, x0, -4" {
+		t.Errorf("disasm = %q", s)
+	}
+	// Forward branch.
+	b := NewAsm()
+	b.BEQ(T0, T1, "fwd")
+	b.NOP()
+	b.Label("fwd")
+	img = b.MustAssemble()
+	w, _ = img.ROM[0].Uint64()
+	if s := Disasm(uint32(w)); s != "beq x5, x6, 8" {
+		t.Errorf("disasm = %q", s)
+	}
+}
+
+func TestJALOffsetEncoding(t *testing.T) {
+	a := NewAsm()
+	a.NOP()
+	a.NOP()
+	a.Label("fn")
+	a.NOP()
+	b := NewAsm()
+	b.JAL(RA, "fn")
+	b.NOP()
+	b.Label("fn")
+	img := b.MustAssemble()
+	w, _ := img.ROM[0].Uint64()
+	if s := Disasm(uint32(w)); s != "jal x1, 8" {
+		t.Errorf("disasm = %q", s)
+	}
+}
+
+func TestLICoversFullRange(t *testing.T) {
+	for _, v := range []int32{0, 1, -1, 2047, -2048, 2048, -2049, 0x12345678, -0x12345678, 0x7FFFFFFF, -0x80000000} {
+		a := NewAsm()
+		a.LI(T0, v)
+		if _, err := a.Assemble(); err != nil {
+			t.Errorf("LI(%d): %v", v, err)
+		}
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	a := NewAsm()
+	a.BNE(T0, X0, "nowhere")
+	if _, err := a.Assemble(); err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Errorf("undefined label: %v", err)
+	}
+	b := NewAsm()
+	b.Label("dup")
+	b.Label("dup")
+	b.NOP()
+	if _, err := b.Assemble(); err == nil {
+		t.Error("duplicate label accepted")
+	}
+	c := NewAsm()
+	c.ADDI(T0, X0, 5000) // out of 12-bit range
+	if _, err := c.Assemble(); err == nil {
+		t.Error("oversized immediate accepted")
+	}
+}
+
+func TestRegisterRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("x16 accepted in RV32E")
+		}
+	}()
+	a := NewAsm()
+	a.ADD(16, 0, 0)
+}
+
+func TestDisasmCoverage(t *testing.T) {
+	a := NewAsm()
+	a.LUI(T0, 0x1000)
+	a.ADDI(T0, T0, 1)
+	a.SLTI(T0, T0, 2)
+	a.SLTIU(T0, T0, 2)
+	a.XORI(T0, T0, 3)
+	a.ORI(T0, T0, 4)
+	a.ANDI(T0, T0, 5)
+	a.SLLI(T0, T0, 1)
+	a.SRLI(T0, T0, 1)
+	a.SRAI(T0, T0, 1)
+	a.ADD(T0, T0, T1)
+	a.SUB(T0, T0, T1)
+	a.SLT(T0, T0, T1)
+	a.SLTU(T0, T0, T1)
+	a.XOR(T0, T0, T1)
+	a.SRL(T0, T0, T1)
+	a.SRA(T0, T0, T1)
+	a.OR(T0, T0, T1)
+	a.AND(T0, T0, T1)
+	a.SLL(T0, T0, T1)
+	a.LW(T0, SP, 0)
+	a.SW(T0, SP, 0)
+	a.BLTU(T0, T1, "x")
+	a.BGEU(T0, T1, "x")
+	a.BLT(T0, T1, "x")
+	a.BGE(T0, T1, "x")
+	a.Label("x")
+	a.JALR(RA, T0, 4)
+	img := a.MustAssemble()
+	for i, w := range img.ROM {
+		v, _ := w.Uint64()
+		if s := Disasm(uint32(v)); strings.HasPrefix(s, ".word") {
+			t.Errorf("instruction %d (%#08x) not disassembled", i, v)
+		}
+	}
+	if s := Disasm(0xFFFFFFFF); !strings.HasPrefix(s, ".word") {
+		t.Errorf("garbage disassembled as %q", s)
+	}
+}
+
+func TestHaltIsSelfJump(t *testing.T) {
+	a := NewAsm()
+	a.NOP()
+	a.Halt()
+	img := a.MustAssemble()
+	w, _ := img.ROM[1].Uint64()
+	if s := Disasm(uint32(w)); s != "jal x0, 0" {
+		t.Errorf("halt = %q", s)
+	}
+}

@@ -1,0 +1,56 @@
+// Package iss provides instruction-set simulators (golden models) for the
+// three evaluation ISAs. They interpret the same binary images the
+// gate-level cores execute and are used for co-simulation: random programs
+// run on both the interpreter and the gate-level netlist, and the
+// architectural state must match cycle-for-instruction. This is the
+// reference-model verification layer that gives the co-analysis results
+// their credibility — if the cores were wrong, the symbolic dichotomy
+// would be wrong too.
+package iss
+
+import "fmt"
+
+// State is the architectural state common to the three machines: a
+// register file, a program counter, data memory and a halted flag.
+// Register and memory widths are ISA-specific (the MSP430 uses 16-bit
+// words; values are stored masked).
+type State struct {
+	PC     uint32
+	Regs   []uint32
+	Mem    []uint32 // data memory, word-addressed
+	Halted bool
+
+	// Flags are the MSP430 status bits (unused by the other ISAs).
+	FlagN, FlagZ, FlagC, FlagV bool
+
+	// HI and LO are the bm32 multiplier result registers.
+	HI, LO uint32
+}
+
+// Model is one instruction-set simulator.
+type Model interface {
+	// Reset initializes the architectural state for the loaded program.
+	Reset()
+	// Step executes one instruction; it returns an error on an encoding
+	// the subset does not implement.
+	Step() error
+	// State exposes the architectural state for comparison.
+	State() *State
+}
+
+// Run steps the model until it halts or maxInstrs instructions execute.
+func Run(m Model, maxInstrs int) error {
+	m.Reset()
+	for i := 0; i < maxInstrs; i++ {
+		if m.State().Halted {
+			return nil
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	if !m.State().Halted {
+		return fmt.Errorf("iss: no halt within %d instructions", maxInstrs)
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package iss
+
+import (
+	"fmt"
+
+	"symsim/internal/isa"
+)
+
+// MIPS interprets the bm32 subset of MIPS32, matching the gate-level core
+// in internal/cpu/bm32: no branch delay slots, 16-bit PC arithmetic,
+// a 14-bit jump-target field, unsigned {HI,LO} multiplication for both
+// MULT encodings, and the taken-self-jump terminating condition.
+type MIPS struct {
+	rom  []uint32
+	st   State
+	init map[int]uint32
+}
+
+// NewMIPS builds an interpreter for the image.
+func NewMIPS(img *isa.Image) *MIPS {
+	m := &MIPS{init: map[int]uint32{}}
+	for _, w := range img.ROM {
+		v, _ := w.Uint64()
+		m.rom = append(m.rom, uint32(v))
+	}
+	for idx, v := range img.Data {
+		if u, ok := v.Uint64(); ok {
+			m.init[idx] = uint32(u)
+		}
+	}
+	return m
+}
+
+// State exposes the architectural state.
+func (m *MIPS) State() *State { return &m.st }
+
+// Reset re-initializes registers, memory and the PC.
+func (m *MIPS) Reset() {
+	m.st = State{Regs: make([]uint32, 32), Mem: make([]uint32, 256)}
+	for idx, v := range m.init {
+		if idx >= 0 && idx < len(m.st.Mem) {
+			m.st.Mem[idx] = v
+		}
+	}
+}
+
+func (m *MIPS) setReg(i, v uint32) {
+	if i&0x1F != 0 {
+		m.st.Regs[i&0x1F] = v
+	}
+}
+
+// Step executes one instruction.
+func (m *MIPS) Step() error {
+	idx := int(m.st.PC>>2) & 0x3FF
+	if idx >= len(m.rom) {
+		return fmt.Errorf("iss/mips: fetch past program end at pc=%#x", m.st.PC)
+	}
+	w := m.rom[idx]
+	op := w >> 26
+	rs := w >> 21 & 0x1F
+	rt := w >> 16 & 0x1F
+	rd := w >> 11 & 0x1F
+	sh := w >> 6 & 0x1F
+	funct := w & 0x3F
+	imm := w & 0xFFFF
+	immSE := uint32(int32(int16(imm)))
+
+	pc := m.st.PC & 0xFFFF
+	pc4 := (pc + 4) & 0xFFFF
+	next := pc4
+
+	a := m.st.Regs[rs]
+	b := m.st.Regs[rt]
+
+	takeJump := func(target uint32) {
+		target &= 0xFFFF
+		if target == pc {
+			m.st.Halted = true
+		}
+		next = target
+	}
+
+	switch op {
+	case 0x00: // SPECIAL
+		switch funct {
+		case 0x00:
+			m.setReg(rd, b<<sh)
+		case 0x02:
+			m.setReg(rd, b>>sh)
+		case 0x03:
+			m.setReg(rd, uint32(int32(b)>>sh))
+		case 0x04:
+			m.setReg(rd, b<<(a&0x1F))
+		case 0x06:
+			m.setReg(rd, b>>(a&0x1F))
+		case 0x07:
+			m.setReg(rd, uint32(int32(b)>>(a&0x1F)))
+		case 0x08: // JR
+			takeJump(a)
+		case 0x10:
+			m.setReg(rd, m.st.HI)
+		case 0x12:
+			m.setReg(rd, m.st.LO)
+		case 0x18, 0x19: // MULT/MULTU: the core multiplies unsigned
+			prod := uint64(a) * uint64(b)
+			m.st.LO = uint32(prod)
+			m.st.HI = uint32(prod >> 32)
+		case 0x20, 0x21:
+			m.setReg(rd, a+b)
+		case 0x22, 0x23:
+			m.setReg(rd, a-b)
+		case 0x24:
+			m.setReg(rd, a&b)
+		case 0x25:
+			m.setReg(rd, a|b)
+		case 0x26:
+			m.setReg(rd, a^b)
+		case 0x27:
+			m.setReg(rd, ^(a | b))
+		case 0x2A:
+			m.setReg(rd, boolTo(int32(a) < int32(b)))
+		case 0x2B:
+			m.setReg(rd, boolTo(a < b))
+		default:
+			return fmt.Errorf("iss/mips: unsupported funct %#x", funct)
+		}
+	case 0x02: // J — the core uses the low 14 bits of the field
+		takeJump(w & 0x3FFF << 2)
+	case 0x03: // JAL
+		m.setReg(31, pc4)
+		takeJump(w & 0x3FFF << 2)
+	case 0x04: // BEQ
+		if a == b {
+			takeJump(pc4 + immSE<<2)
+		}
+	case 0x05: // BNE
+		if a != b {
+			takeJump(pc4 + immSE<<2)
+		}
+	case 0x08, 0x09: // ADDI/ADDIU
+		m.setReg(rt, a+immSE)
+	case 0x0A: // SLTI
+		m.setReg(rt, boolTo(int32(a) < int32(immSE)))
+	case 0x0B: // SLTIU
+		m.setReg(rt, boolTo(a < immSE))
+	case 0x0C: // ANDI
+		m.setReg(rt, a&imm)
+	case 0x0D: // ORI
+		m.setReg(rt, a|imm)
+	case 0x0E: // XORI
+		m.setReg(rt, a^imm)
+	case 0x0F: // LUI
+		m.setReg(rt, imm<<16)
+	case 0x23: // LW
+		m.setReg(rt, m.st.Mem[int(a+immSE)>>2&0xFF])
+	case 0x2B: // SW
+		m.st.Mem[int(a+immSE)>>2&0xFF] = b
+	default:
+		return fmt.Errorf("iss/mips: unsupported opcode %#x", op)
+	}
+	m.st.PC = next
+	return nil
+}
+
+func boolTo(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,338 @@
+package iss
+
+import (
+	"fmt"
+
+	"symsim/internal/isa"
+	"symsim/internal/isa/msp430"
+)
+
+// MSP430 interprets the openMSP430 subset, matching the gate-level core in
+// internal/cpu/omsp430: Format I with register/indexed/immediate source
+// and register/indexed destination modes (at most one extension word),
+// Format II register/indexed, flag-resolved jumps, the hardware
+// multiplier peripheral, and the JMP-minus-one terminating condition.
+// Cycle-counting peripherals (watchdog counter, TimerA) are not modelled:
+// their readback is timing-dependent, so co-simulation programs must not
+// read them.
+type MSP430 struct {
+	rom  []uint16
+	st   State
+	init map[int]uint16
+
+	mpy, op2 uint16
+	wdtctl   uint16
+	tactl    uint16
+	taccr0   uint16
+	p1out    uint16
+	p1dir    uint16
+}
+
+// NewMSP430 builds an interpreter for the image.
+func NewMSP430(img *isa.Image) *MSP430 {
+	m := &MSP430{init: map[int]uint16{}}
+	for _, w := range img.ROM {
+		v, _ := w.Uint64()
+		m.rom = append(m.rom, uint16(v))
+	}
+	for idx, v := range img.Data {
+		if u, ok := v.Uint64(); ok {
+			m.init[idx] = uint16(u)
+		}
+	}
+	return m
+}
+
+// State exposes the architectural state. Register and memory words hold
+// 16-bit values zero-extended into the uint32 slots.
+func (m *MSP430) State() *State { return &m.st }
+
+// Reset re-initializes registers, memory, peripherals and the PC.
+func (m *MSP430) Reset() {
+	m.st = State{Regs: make([]uint32, 16), Mem: make([]uint32, 256)}
+	m.mpy, m.op2, m.wdtctl, m.tactl, m.taccr0, m.p1out, m.p1dir = 0, 0, 0, 0, 0, 0, 0
+	for idx, v := range m.init {
+		if idx >= 0 && idx < len(m.st.Mem) {
+			m.st.Mem[idx] = uint32(v)
+		}
+	}
+}
+
+// read implements the data-space read mux of the core: exact MMIO
+// addresses first, then the (aliasing) RAM read.
+func (m *MSP430) read(addr uint16) uint16 {
+	switch int32(addr) {
+	case msp430.AddrP1OUT:
+		return m.p1out
+	case msp430.AddrP1DIR:
+		return m.p1dir
+	case msp430.AddrWDTCTL:
+		return m.wdtctl
+	case msp430.AddrMPY:
+		return m.mpy
+	case msp430.AddrOP2:
+		return m.op2
+	case msp430.AddrRESLO:
+		return uint16(uint32(m.mpy) * uint32(m.op2))
+	case msp430.AddrRESHI:
+		return uint16(uint32(m.mpy) * uint32(m.op2) >> 16)
+	case msp430.AddrTACTL:
+		return m.tactl
+	case msp430.AddrTACCR0:
+		return m.taccr0
+	}
+	return uint16(m.st.Mem[int(addr>>1)&0xFF])
+}
+
+// write implements the data-space write decode: exact MMIO strobes plus
+// the range-checked RAM write.
+func (m *MSP430) write(addr, v uint16) {
+	switch int32(addr) {
+	case msp430.AddrP1OUT:
+		m.p1out = v & 0xFF
+		return
+	case msp430.AddrP1DIR:
+		m.p1dir = v & 0xFF
+		return
+	case msp430.AddrWDTCTL:
+		m.wdtctl = v
+		return
+	case msp430.AddrMPY:
+		m.mpy = v
+		return
+	case msp430.AddrOP2:
+		m.op2 = v
+		return
+	case msp430.AddrTACTL:
+		m.tactl = v
+		return
+	case msp430.AddrTACCR0:
+		m.taccr0 = v
+		return
+	}
+	// RAM: bit 9 set, bits 15:10 clear (the core's isRAM decode).
+	if addr&0x0200 != 0 && addr&0xFC00 == 0 {
+		m.st.Mem[int(addr>>1)&0xFF] = uint32(v)
+	}
+}
+
+func (m *MSP430) reg(i int) uint16       { return uint16(m.st.Regs[i&0xF]) }
+func (m *MSP430) setReg(i int, v uint16) { m.st.Regs[i&0xF] = uint32(v) }
+
+// Step executes one instruction.
+func (m *MSP430) Step() error {
+	pc := uint16(m.st.PC)
+	fetch := func() (uint16, error) {
+		idx := int(pc>>1) & 0x3FF
+		if idx >= len(m.rom) {
+			return 0, fmt.Errorf("iss/msp430: fetch past program end at pc=%#x", pc)
+		}
+		w := m.rom[idx]
+		pc += 2
+		return w, nil
+	}
+	w, err := fetch()
+	if err != nil {
+		return err
+	}
+
+	// Jumps.
+	if w&0xE000 == 0x2000 {
+		cond := int(w >> 10 & 7)
+		off := int16(w<<6) >> 6 // 10-bit signed word offset
+		taken := false
+		switch cond {
+		case msp430.CondJNE:
+			taken = !m.st.FlagZ
+		case msp430.CondJEQ:
+			taken = m.st.FlagZ
+		case msp430.CondJNC:
+			taken = !m.st.FlagC
+		case msp430.CondJC:
+			taken = m.st.FlagC
+		case msp430.CondJN:
+			taken = m.st.FlagN
+		case msp430.CondJGE:
+			taken = m.st.FlagN == m.st.FlagV
+		case msp430.CondJL:
+			taken = m.st.FlagN != m.st.FlagV
+		case msp430.CondJMP:
+			taken = true
+		}
+		if taken {
+			if w&0x3FF == 0x3FF { // offset -1: jump to self
+				m.st.Halted = true
+			}
+			pc = uint16(int32(pc) + int32(off)*2)
+		}
+		m.st.PC = uint32(pc)
+		return nil
+	}
+
+	// Format II.
+	if w&0xFC00 == 0x1000 {
+		op2 := int(w >> 7 & 7)
+		as := int(w >> 4 & 3)
+		dst := int(w & 0xF)
+		var val uint16
+		var memAddr uint16
+		fromMem := false
+		switch as {
+		case 0:
+			val = m.reg(dst)
+		case 1:
+			ext, err := fetch()
+			if err != nil {
+				return err
+			}
+			memAddr = m.reg(dst) + ext
+			val = m.read(memAddr)
+			fromMem = true
+		default:
+			return fmt.Errorf("iss/msp430: format II As=%d unsupported", as)
+		}
+		var res uint16
+		switch op2 {
+		case msp430.Op2RRC:
+			res = val >> 1
+			if m.st.FlagC {
+				res |= 0x8000
+			}
+			m.setFlagsShift(res, val)
+		case msp430.Op2SWPB:
+			res = val<<8 | val>>8
+		case msp430.Op2RRA:
+			res = uint16(int16(val) >> 1)
+			m.setFlagsShift(res, val)
+		case msp430.Op2SXT:
+			res = uint16(int16(int8(val)))
+			m.setFlagsLogical(res)
+		default:
+			return fmt.Errorf("iss/msp430: format II op %d unsupported", op2)
+		}
+		if fromMem {
+			m.write(memAddr, res)
+		} else {
+			m.setReg(dst, res)
+		}
+		m.st.PC = uint32(pc)
+		return nil
+	}
+
+	// Format I.
+	op := int(w >> 12)
+	if op < 4 {
+		return fmt.Errorf("iss/msp430: opcode %#x unsupported", op)
+	}
+	src := int(w >> 8 & 0xF)
+	ad := int(w >> 7 & 1)
+	as := int(w >> 4 & 3)
+	dst := int(w & 0xF)
+
+	var ext uint16
+	needExt := as == 1 || as == 3 || ad == 1
+	if needExt {
+		if ext, err = fetch(); err != nil {
+			return err
+		}
+	}
+	if (as == 1 || as == 3) && ad == 1 {
+		return fmt.Errorf("iss/msp430: two extension words not supported")
+	}
+
+	var srcVal uint16
+	switch as {
+	case 0:
+		srcVal = m.reg(src)
+	case 1:
+		srcVal = m.read(m.reg(src) + ext)
+	case 3:
+		srcVal = ext // #imm (src = R0)
+	default:
+		return fmt.Errorf("iss/msp430: As=%d unsupported", as)
+	}
+	var dstAddr uint16
+	var dstVal uint16
+	if ad == 1 {
+		dstAddr = m.reg(dst) + ext
+		dstVal = m.read(dstAddr)
+	} else {
+		dstVal = m.reg(dst)
+	}
+
+	res, write := m.fmt1(op, srcVal, dstVal)
+	if write {
+		if ad == 1 {
+			m.write(dstAddr, res)
+		} else {
+			m.setReg(dst, res)
+		}
+	}
+	m.st.PC = uint32(pc)
+	return nil
+}
+
+// fmt1 computes a two-operand result and updates flags exactly as the
+// gate-level ALU does.
+func (m *MSP430) fmt1(op int, src, dst uint16) (res uint16, write bool) {
+	addFlags := func(a, b uint16, cin uint32) uint16 {
+		sum := uint32(a) + uint32(b) + cin
+		r := uint16(sum)
+		m.st.FlagN = r&0x8000 != 0
+		m.st.FlagZ = r == 0
+		m.st.FlagC = sum > 0xFFFF
+		m.st.FlagV = (a&0x8000 == b&0x8000) && (r&0x8000 != a&0x8000)
+		return r
+	}
+	cBit := uint32(0)
+	if m.st.FlagC {
+		cBit = 1
+	}
+	switch op {
+	case msp430.OpMOV:
+		return src, true
+	case msp430.OpADD:
+		return addFlags(dst, src, 0), true
+	case msp430.OpADDC:
+		return addFlags(dst, src, cBit), true
+	case msp430.OpSUB:
+		return addFlags(dst, ^src, 1), true
+	case msp430.OpSUBC:
+		return addFlags(dst, ^src, cBit), true
+	case msp430.OpCMP:
+		addFlags(dst, ^src, 1)
+		return 0, false
+	case msp430.OpDADD:
+		return addFlags(dst, src, 0), true // binary add, as in the core
+	case msp430.OpBIT:
+		m.setFlagsLogical(dst & src)
+		return 0, false
+	case msp430.OpBIC:
+		return dst &^ src, true
+	case msp430.OpBIS:
+		return dst | src, true
+	case msp430.OpXOR:
+		r := dst ^ src
+		m.setFlagsLogical(r)
+		return r, true
+	case msp430.OpAND:
+		r := dst & src
+		m.setFlagsLogical(r)
+		return r, true
+	}
+	return 0, false
+}
+
+func (m *MSP430) setFlagsLogical(r uint16) {
+	m.st.FlagN = r&0x8000 != 0
+	m.st.FlagZ = r == 0
+	m.st.FlagC = r != 0 // C = ~Z
+	m.st.FlagV = false
+}
+
+func (m *MSP430) setFlagsShift(r, orig uint16) {
+	m.st.FlagN = r&0x8000 != 0
+	m.st.FlagZ = r == 0
+	m.st.FlagC = orig&1 != 0
+	m.st.FlagV = false
+}

@@ -1,0 +1,204 @@
+package iss
+
+import (
+	"fmt"
+
+	"symsim/internal/isa"
+)
+
+// RV32 interprets the dr5 subset of RV32E, bit-for-bit matching the
+// gate-level core in internal/cpu/dr5 (including its documented
+// idiosyncrasies: 16-bit PC arithmetic, 4-bit register fields, JALR
+// without LSB clearing, and the taken-self-jump terminating condition).
+type RV32 struct {
+	rom []uint32
+	st  State
+	// RAMWords mirrors the core's data memory size (256 words, index
+	// wraps modulo the size).
+	init map[int]uint32
+}
+
+// NewRV32 builds an interpreter for the image. Known data words initialize
+// memory; everything else is zero (co-simulation programs must write
+// before reading anything they did not initialize).
+func NewRV32(img *isa.Image) *RV32 {
+	m := &RV32{init: map[int]uint32{}}
+	for _, w := range img.ROM {
+		v, _ := w.Uint64()
+		m.rom = append(m.rom, uint32(v))
+	}
+	for idx, v := range img.Data {
+		u, ok := v.Uint64()
+		if ok {
+			m.init[idx] = uint32(u)
+		}
+	}
+	return m
+}
+
+// State exposes the architectural state.
+func (m *RV32) State() *State { return &m.st }
+
+// Reset re-initializes registers, memory and the PC.
+func (m *RV32) Reset() {
+	m.st = State{Regs: make([]uint32, 16), Mem: make([]uint32, 256)}
+	for idx, v := range m.init {
+		if idx >= 0 && idx < len(m.st.Mem) {
+			m.st.Mem[idx] = v
+		}
+	}
+}
+
+func (m *RV32) fetch() (uint32, error) {
+	idx := int(m.st.PC>>2) & 0x3FF
+	if idx >= len(m.rom) {
+		return 0, fmt.Errorf("iss/rv32: fetch past program end at pc=%#x", m.st.PC)
+	}
+	return m.rom[idx], nil
+}
+
+func (m *RV32) reg(i uint32) uint32 {
+	return m.st.Regs[i&0xF]
+}
+
+func (m *RV32) setReg(i, v uint32) {
+	if i&0xF != 0 {
+		m.st.Regs[i&0xF] = v
+	}
+}
+
+// Step executes one instruction.
+func (m *RV32) Step() error {
+	w, err := m.fetch()
+	if err != nil {
+		return err
+	}
+	opcode := w & 0x7F
+	rd := w >> 7 & 0xF
+	funct3 := w >> 12 & 0x7
+	rs1 := w >> 15 & 0xF
+	rs2 := w >> 20 & 0xF
+	f7b5 := w >> 30 & 1
+
+	immI := uint32(int32(w) >> 20)
+	immS := uint32(int32(w)>>25<<5) | w>>7&0x1F
+	rawB := w>>31&1<<12 | w>>7&1<<11 | w>>25&0x3F<<5 | w>>8&0xF<<1
+	immB := uint32(int32(rawB<<19) >> 19)
+	rawJ := w>>31&1<<20 | w>>12&0xFF<<12 | w>>20&1<<11 | w>>21&0x3FF<<1
+	immJ := uint32(int32(rawJ<<11) >> 11)
+
+	pc := m.st.PC & 0xFFFF
+	pc4 := (pc + 4) & 0xFFFF
+	next := pc4
+
+	a := m.reg(rs1)
+	b := m.reg(rs2)
+
+	alu := func(bop uint32, sub bool) uint32 {
+		switch funct3 {
+		case 0:
+			if sub {
+				return a - bop
+			}
+			return a + bop
+		case 1:
+			return a << (shamt(w, b, opcode) & 31)
+		case 2:
+			if int32(a) < int32(bop) {
+				return 1
+			}
+			return 0
+		case 3:
+			if a < bop {
+				return 1
+			}
+			return 0
+		case 4:
+			return a ^ bop
+		case 5:
+			sh := shamt(w, b, opcode) & 31
+			if f7b5 == 1 {
+				return uint32(int32(a) >> sh)
+			}
+			return a >> sh
+		case 6:
+			return a | bop
+		case 7:
+			return a & bop
+		}
+		return 0
+	}
+
+	switch opcode {
+	case 0b0110111: // LUI
+		m.setReg(rd, w&0xFFFFF000)
+	case 0b0010011: // ALU immediate
+		m.setReg(rd, alu(immI, false))
+	case 0b0110011: // ALU register
+		m.setReg(rd, alu(b, f7b5 == 1 && funct3 == 0))
+	case 0b0000011: // LW
+		if funct3 != 2 {
+			return fmt.Errorf("iss/rv32: unsupported load funct3=%d", funct3)
+		}
+		addr := a + immI
+		m.setReg(rd, m.st.Mem[int(addr>>2)&0xFF])
+	case 0b0100011: // SW
+		if funct3 != 2 {
+			return fmt.Errorf("iss/rv32: unsupported store funct3=%d", funct3)
+		}
+		addr := a + immS
+		m.st.Mem[int(addr>>2)&0xFF] = b
+	case 0b1100011: // branches
+		var taken bool
+		switch funct3 {
+		case 0:
+			taken = a == b
+		case 1:
+			taken = a != b
+		case 4:
+			taken = int32(a) < int32(b)
+		case 5:
+			taken = int32(a) >= int32(b)
+		case 6:
+			taken = a < b
+		case 7:
+			taken = a >= b
+		default:
+			return fmt.Errorf("iss/rv32: bad branch funct3=%d", funct3)
+		}
+		if taken {
+			target := (pc + immB) & 0xFFFF
+			if target == pc {
+				m.st.Halted = true
+			}
+			next = target
+		}
+	case 0b1101111: // JAL
+		target := (pc + immJ) & 0xFFFF
+		m.setReg(rd, pc4)
+		if target == pc {
+			m.st.Halted = true
+		}
+		next = target
+	case 0b1100111: // JALR (the core does not clear the LSB)
+		target := (a + immI) & 0xFFFF
+		m.setReg(rd, pc4)
+		if target == pc {
+			m.st.Halted = true
+		}
+		next = target
+	default:
+		return fmt.Errorf("iss/rv32: unsupported opcode %#x", opcode)
+	}
+	m.st.PC = next
+	return nil
+}
+
+// shamt selects the shift amount: the immediate field for I-type shifts,
+// the low bits of rs2's value for R-type.
+func shamt(w, rs2val, opcode uint32) uint32 {
+	if opcode == 0b0110011 {
+		return rs2val & 0x1F
+	}
+	return w >> 20 & 0x1F
+}

@@ -1,0 +1,53 @@
+package logic
+
+import "testing"
+
+// FuzzVecFromString: any input either errors or round-trips through
+// String, and never panics. Run with `go test -fuzz FuzzVecFromString`;
+// the seed corpus runs as part of the normal test suite.
+func FuzzVecFromString(f *testing.F) {
+	for _, seed := range []string{"", "0", "1", "x", "z", "01xz", "1_0", "0x1x0x1x0x1x0x1x0x",
+		"0000000000000000000000000000000000000000000000000000000000000000111"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := VecFromString(s)
+		if err != nil {
+			return
+		}
+		rt, err := VecFromString(v.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", v.String(), err)
+		}
+		if !rt.Equal(v) {
+			t.Fatalf("round trip changed %q -> %q", v.String(), rt.String())
+		}
+	})
+}
+
+// FuzzVecOps: subset/merge/constrain never panic for same-width vectors
+// and keep their lattice relationships.
+func FuzzVecOps(f *testing.F) {
+	f.Add("01x", "x10")
+	f.Add("0", "1")
+	f.Add("xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx",
+		"000000000000000000000000000000000000000000000000000000000000000000000")
+	f.Fuzz(func(t *testing.T, as, bs string) {
+		a, errA := VecFromString(as)
+		b, errB := VecFromString(bs)
+		if errA != nil || errB != nil || a.Width() != b.Width() || a.Width() == 0 {
+			return
+		}
+		m := a.Merge(b)
+		if !a.Subset(m) || !b.Subset(m) {
+			t.Fatalf("merge of %q and %q -> %q does not cover", as, bs, m.String())
+		}
+		c := a.Clone()
+		c.ConstrainTo(b)
+		for i := 0; i < c.Width(); i++ {
+			if bb := b.Get(i); bb.IsKnown() && c.Get(i) != bb {
+				t.Fatalf("constrain lost bit %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,207 @@
+package logic
+
+import "fmt"
+
+// Sym is a four-valued logic scalar extended with symbol identity and taint
+// labels, implementing the customizable symbol propagation of paper §3.4
+// (Figure 4). A Sym is either a known constant, an anonymous unknown, or a
+// (possibly complemented) reference to a named input symbol. Tracking
+// identity lets recombining paths simplify — XOR of a symbol with itself is
+// logic 0 — which the anonymous-X mode cannot see. Every Sym additionally
+// carries a taint set (a bitmask of up to 64 taint colors) that propagates
+// through every operation, the mechanism behind the gate-level information
+// flow security use-case of [7].
+type Sym struct {
+	kind  symKind
+	id    uint32 // symbol identifier when kind == symVar
+	neg   bool   // complemented reference when kind == symVar
+	Taint uint64 // union of taint colors that influenced this value
+}
+
+type symKind uint8
+
+const (
+	symConst0 symKind = iota
+	symConst1
+	symUnknown // anonymous X: no identity information retained
+	symVar     // identified input symbol (possibly complemented)
+)
+
+// SymConst returns a constant Sym for a known logic level; X and Z map to
+// an anonymous unknown.
+func SymConst(v Value) Sym {
+	switch in(v) {
+	case Lo:
+		return Sym{kind: symConst0}
+	case Hi:
+		return Sym{kind: symConst1}
+	}
+	return Sym{kind: symUnknown}
+}
+
+// SymInput returns a fresh identified symbol with the given id and taint.
+func SymInput(id uint32, taint uint64) Sym {
+	return Sym{kind: symVar, id: id, Taint: taint}
+}
+
+// SymAnon returns an anonymous unknown carrying the given taint.
+func SymAnon(taint uint64) Sym { return Sym{kind: symUnknown, Taint: taint} }
+
+// Value collapses s to four-valued logic, discarding identity information.
+func (s Sym) Value() Value {
+	switch s.kind {
+	case symConst0:
+		return Lo
+	case symConst1:
+		return Hi
+	}
+	return X
+}
+
+// IsKnown reports whether s is a determined constant.
+func (s Sym) IsKnown() bool { return s.kind == symConst0 || s.kind == symConst1 }
+
+// SameSymbol reports whether s and o refer to the same input symbol with
+// the same polarity.
+func (s Sym) SameSymbol(o Sym) bool {
+	return s.kind == symVar && o.kind == symVar && s.id == o.id && s.neg == o.neg
+}
+
+// complementOf reports whether s and o refer to the same input symbol with
+// opposite polarity.
+func complementOf(s, o Sym) bool {
+	return s.kind == symVar && o.kind == symVar && s.id == o.id && s.neg != o.neg
+}
+
+// String formats s as 0, 1, x, sN or ~sN (taint omitted).
+func (s Sym) String() string {
+	switch s.kind {
+	case symConst0:
+		return "0"
+	case symConst1:
+		return "1"
+	case symUnknown:
+		return "x"
+	}
+	if s.neg {
+		return fmt.Sprintf("~s%d", s.id)
+	}
+	return fmt.Sprintf("s%d", s.id)
+}
+
+func taintOf(ss ...Sym) uint64 {
+	var t uint64
+	for _, s := range ss {
+		t |= s.Taint
+	}
+	return t
+}
+
+// SymNot returns the complement of s. Identified symbols flip polarity and
+// retain identity.
+func SymNot(s Sym) Sym {
+	out := s
+	switch s.kind {
+	case symConst0:
+		out.kind = symConst1
+	case symConst1:
+		out.kind = symConst0
+	case symVar:
+		out.neg = !s.neg
+	}
+	return out
+}
+
+// SymAnd returns the conjunction of a and b with symbol-identity
+// simplification: AND(s, s) = s and AND(s, ~s) = 0.
+func SymAnd(a, b Sym) Sym {
+	t := taintOf(a, b)
+	switch {
+	case a.kind == symConst0 || b.kind == symConst0:
+		// A controlling 0 yields 0; taint still flows (the paper's taint
+		// rules are conservative: influence is possible via the gate even
+		// when the level is determined).
+		return Sym{kind: symConst0, Taint: t}
+	case a.kind == symConst1:
+		return withTaint(b, t)
+	case b.kind == symConst1:
+		return withTaint(a, t)
+	case a.SameSymbol(b):
+		return withTaint(a, t)
+	case complementOf(a, b):
+		return Sym{kind: symConst0, Taint: t}
+	}
+	return Sym{kind: symUnknown, Taint: t}
+}
+
+// SymOr returns the disjunction of a and b with symbol-identity
+// simplification: OR(s, s) = s and OR(s, ~s) = 1.
+func SymOr(a, b Sym) Sym {
+	t := taintOf(a, b)
+	switch {
+	case a.kind == symConst1 || b.kind == symConst1:
+		return Sym{kind: symConst1, Taint: t}
+	case a.kind == symConst0:
+		return withTaint(b, t)
+	case b.kind == symConst0:
+		return withTaint(a, t)
+	case a.SameSymbol(b):
+		return withTaint(a, t)
+	case complementOf(a, b):
+		return Sym{kind: symConst1, Taint: t}
+	}
+	return Sym{kind: symUnknown, Taint: t}
+}
+
+// SymXor returns the exclusive-or of a and b with symbol-identity
+// simplification: XOR(s, s) = 0 and XOR(s, ~s) = 1 — the Figure 4 case
+// where identified propagation determines the XOR of a reconverging symbol
+// while anonymous propagation must yield X.
+func SymXor(a, b Sym) Sym {
+	t := taintOf(a, b)
+	switch {
+	case a.IsKnown() && b.IsKnown():
+		return Sym{kind: constKind(a.kind != b.kind), Taint: t}
+	case a.kind == symConst0:
+		return withTaint(b, t)
+	case b.kind == symConst0:
+		return withTaint(a, t)
+	case a.kind == symConst1:
+		return withTaint(SymNot(b), t)
+	case b.kind == symConst1:
+		return withTaint(SymNot(a), t)
+	case a.SameSymbol(b):
+		return Sym{kind: symConst0, Taint: t}
+	case complementOf(a, b):
+		return Sym{kind: symConst1, Taint: t}
+	}
+	return Sym{kind: symUnknown, Taint: t}
+}
+
+// SymMux returns a when sel is 0 and b when sel is 1; with an undetermined
+// select the branches are merged (kept when identical, otherwise unknown).
+func SymMux(sel, a, b Sym) Sym {
+	t := taintOf(sel, a, b)
+	switch sel.kind {
+	case symConst0:
+		return withTaint(a, t)
+	case symConst1:
+		return withTaint(b, t)
+	}
+	if a == withTaint(b, a.Taint) && (a.IsKnown() || a.kind == symVar) {
+		return withTaint(a, t)
+	}
+	return Sym{kind: symUnknown, Taint: t}
+}
+
+func withTaint(s Sym, t uint64) Sym {
+	s.Taint = t
+	return s
+}
+
+func constKind(one bool) symKind {
+	if one {
+		return symConst1
+	}
+	return symConst0
+}

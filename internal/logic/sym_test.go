@@ -1,0 +1,165 @@
+package logic
+
+import "testing"
+
+func TestSymFigure4(t *testing.T) {
+	// Paper Figure 4: a circuit input fans out, is complemented on one
+	// path, and both paths reconverge at an XOR gate. With identified
+	// propagation the XOR output is determined; with anonymous symbols it
+	// must be X.
+	s := SymInput(1, 0)
+
+	// Identified: XOR(s, s) = 0, XOR(s, ~s) = 1.
+	if got := SymXor(s, s); got.Value() != Lo {
+		t.Errorf("XOR(s, s) = %v, want 0", got)
+	}
+	if got := SymXor(s, SymNot(s)); got.Value() != Hi {
+		t.Errorf("XOR(s, ~s) = %v, want 1", got)
+	}
+
+	// Anonymous: the same reconvergence cannot be simplified.
+	a := SymAnon(0)
+	if got := SymXor(a, a); got.Value() != X {
+		t.Errorf("anonymous XOR(x, x) = %v, want x", got)
+	}
+}
+
+func TestSymIdentities(t *testing.T) {
+	s := SymInput(7, 0)
+	ns := SymNot(s)
+	if v := SymAnd(s, ns); v.Value() != Lo {
+		t.Errorf("AND(s, ~s) = %v, want 0", v)
+	}
+	if v := SymOr(s, ns); v.Value() != Hi {
+		t.Errorf("OR(s, ~s) = %v, want 1", v)
+	}
+	if v := SymAnd(s, s); !v.SameSymbol(s) {
+		t.Errorf("AND(s, s) = %v, want s", v)
+	}
+	if v := SymOr(s, s); !v.SameSymbol(s) {
+		t.Errorf("OR(s, s) = %v, want s", v)
+	}
+	if v := SymNot(SymNot(s)); !v.SameSymbol(s) {
+		t.Errorf("~~s = %v, want s", v)
+	}
+}
+
+func TestSymConstantAlgebra(t *testing.T) {
+	s := SymInput(3, 0)
+	one, zero := SymConst(Hi), SymConst(Lo)
+	if v := SymAnd(s, zero); v.Value() != Lo {
+		t.Errorf("AND(s, 0) = %v", v)
+	}
+	if v := SymAnd(s, one); !v.SameSymbol(s) {
+		t.Errorf("AND(s, 1) = %v, want s", v)
+	}
+	if v := SymOr(s, one); v.Value() != Hi {
+		t.Errorf("OR(s, 1) = %v", v)
+	}
+	if v := SymOr(s, zero); !v.SameSymbol(s) {
+		t.Errorf("OR(s, 0) = %v, want s", v)
+	}
+	if v := SymXor(s, zero); !v.SameSymbol(s) {
+		t.Errorf("XOR(s, 0) = %v, want s", v)
+	}
+	if v := SymXor(s, one); !v.SameSymbol(SymNot(s)) {
+		t.Errorf("XOR(s, 1) = %v, want ~s", v)
+	}
+	if v := SymXor(one, one); v.Value() != Lo {
+		t.Errorf("XOR(1, 1) = %v", v)
+	}
+	if v := SymXor(one, zero); v.Value() != Hi {
+		t.Errorf("XOR(1, 0) = %v", v)
+	}
+}
+
+func TestSymDistinctSymbolsDoNotSimplify(t *testing.T) {
+	s1, s2 := SymInput(1, 0), SymInput(2, 0)
+	if v := SymXor(s1, s2); v.Value() != X {
+		t.Errorf("XOR(s1, s2) = %v, want x", v)
+	}
+	if v := SymAnd(s1, s2); v.Value() != X {
+		t.Errorf("AND(s1, s2) = %v, want x", v)
+	}
+}
+
+func TestSymTaintPropagation(t *testing.T) {
+	const secret, public = 1 << 0, 1 << 1
+	s := SymInput(1, secret)
+	p := SymInput(2, public)
+
+	// Taint flows through every operation, including ones whose logic
+	// value is determined (conservative information-flow rule of [7]).
+	if v := SymAnd(s, SymConst(Lo)); v.Taint&secret == 0 {
+		t.Error("taint lost through AND with controlling 0")
+	}
+	if v := SymXor(s, s); v.Taint&secret == 0 {
+		t.Error("taint lost through self-XOR")
+	}
+	v := SymOr(s, p)
+	if v.Taint != secret|public {
+		t.Errorf("taint union = %#x, want %#x", v.Taint, uint64(secret|public))
+	}
+	if v := SymMux(p, s, SymConst(Lo)); v.Taint&public == 0 || v.Taint&secret == 0 {
+		t.Errorf("mux taint = %#x", v.Taint)
+	}
+}
+
+func TestSymMux(t *testing.T) {
+	s := SymInput(4, 0)
+	if v := SymMux(SymConst(Lo), s, SymConst(Hi)); !v.SameSymbol(s) {
+		t.Errorf("mux sel=0 = %v", v)
+	}
+	if v := SymMux(SymConst(Hi), s, SymConst(Hi)); v.Value() != Hi {
+		t.Errorf("mux sel=1 = %v", v)
+	}
+	// Unknown select with identical branches resolves.
+	if v := SymMux(SymAnon(0), s, s); !v.SameSymbol(s) {
+		t.Errorf("mux X sel, equal branches = %v", v)
+	}
+	// Unknown select with different branches is unknown.
+	if v := SymMux(SymAnon(0), s, SymNot(s)); v.Value() != X {
+		t.Errorf("mux X sel, different branches = %v", v)
+	}
+}
+
+func TestSymString(t *testing.T) {
+	s := SymInput(5, 0)
+	if s.String() != "s5" || SymNot(s).String() != "~s5" {
+		t.Errorf("String: %q, %q", s, SymNot(s))
+	}
+	if SymConst(Lo).String() != "0" || SymConst(Hi).String() != "1" || SymAnon(0).String() != "x" {
+		t.Error("const String broken")
+	}
+}
+
+// Property: collapsing to four-valued logic commutes with evaluation —
+// Sym operations are never less conservative than their Value analogues
+// except where identity information legitimately sharpens the result.
+func TestSymSoundAgainstValueSemantics(t *testing.T) {
+	syms := []Sym{SymConst(Lo), SymConst(Hi), SymAnon(0), SymInput(1, 0), SymNot(SymInput(1, 0)), SymInput(2, 0)}
+	type op struct {
+		name string
+		s    func(a, b Sym) Sym
+		v    func(a, b Value) Value
+	}
+	for _, o := range []op{{"and", SymAnd, And}, {"or", SymOr, Or}, {"xor", SymXor, Xor}} {
+		for _, a := range syms {
+			for _, b := range syms {
+				got := o.s(a, b).Value()
+				want := o.v(a.Value(), b.Value())
+				// The identified result must refine the anonymous one:
+				// equal, or known where anonymous is X.
+				if want.IsKnown() && got != want {
+					t.Errorf("%s(%v, %v) = %v, anonymous says %v", o.name, a, b, got, want)
+				}
+				if !want.IsKnown() && got.IsKnown() {
+					// Sharpening is only legal via identity.
+					if !(a.kind == symVar && b.kind == symVar && a.id == b.id) {
+						t.Errorf("%s(%v, %v) sharpened to %v without identity", o.name, a, b, got)
+					}
+				}
+			}
+		}
+	}
+}

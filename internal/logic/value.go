@@ -1,0 +1,176 @@
+// Package logic implements the multi-valued logic substrate used throughout
+// symsim: four-valued scalars (0, 1, X, Z) with Verilog-compatible gate
+// evaluation rules, densely packed ternary vectors with the subset and merge
+// operations required by conservative state management, and identified
+// symbolic values that carry symbol identity and taint labels (paper §3.4,
+// Figure 4).
+//
+// The scalar rules follow IEEE 1364: an unknown (X) or high-impedance (Z)
+// input contaminates a gate output unless a controlling value on another
+// input determines the result (e.g. AND(0, X) = 0, OR(1, X) = 1).
+package logic
+
+import "fmt"
+
+// Value is a four-valued logic scalar. The zero value is Lo (logic 0).
+type Value uint8
+
+const (
+	// Lo is logic 0.
+	Lo Value = iota
+	// Hi is logic 1.
+	Hi
+	// X is an unknown logic value: the symbol the co-analysis propagates
+	// for every application input.
+	X
+	// Z is high impedance. Gates treat Z inputs as X (IEEE 1364 §5.1.10);
+	// Z is distinct only for tri-state modelling and formatting.
+	Z
+)
+
+// String returns the Verilog literal for v: "0", "1", "x" or "z".
+func (v Value) String() string {
+	switch v {
+	case Lo:
+		return "0"
+	case Hi:
+		return "1"
+	case X:
+		return "x"
+	case Z:
+		return "z"
+	}
+	return fmt.Sprintf("Value(%d)", uint8(v))
+}
+
+// ValueOf converts a Verilog value character to a Value.
+// Accepted runes: 0 1 x X z Z.
+func ValueOf(r rune) (Value, error) {
+	switch r {
+	case '0':
+		return Lo, nil
+	case '1':
+		return Hi, nil
+	case 'x', 'X':
+		return X, nil
+	case 'z', 'Z':
+		return Z, nil
+	}
+	return X, fmt.Errorf("logic: invalid value character %q", r)
+}
+
+// Bool returns Hi if b is true and Lo otherwise.
+func Bool(b bool) Value {
+	if b {
+		return Hi
+	}
+	return Lo
+}
+
+// IsKnown reports whether v is a determined logic level (Lo or Hi).
+func (v Value) IsKnown() bool { return v == Lo || v == Hi }
+
+// in canonicalizes a gate input: Z inputs behave as X.
+func in(v Value) Value {
+	if v == Z {
+		return X
+	}
+	return v
+}
+
+// Not returns the logical complement of v (X/Z map to X).
+func Not(v Value) Value {
+	switch in(v) {
+	case Lo:
+		return Hi
+	case Hi:
+		return Lo
+	}
+	return X
+}
+
+// And returns the four-valued conjunction of a and b.
+// Lo is controlling: And(Lo, X) == Lo.
+func And(a, b Value) Value {
+	a, b = in(a), in(b)
+	switch {
+	case a == Lo || b == Lo:
+		return Lo
+	case a == Hi && b == Hi:
+		return Hi
+	}
+	return X
+}
+
+// Or returns the four-valued disjunction of a and b.
+// Hi is controlling: Or(Hi, X) == Hi.
+func Or(a, b Value) Value {
+	a, b = in(a), in(b)
+	switch {
+	case a == Hi || b == Hi:
+		return Hi
+	case a == Lo && b == Lo:
+		return Lo
+	}
+	return X
+}
+
+// Xor returns the four-valued exclusive-or of a and b. Any unknown input
+// makes the result unknown; there is no controlling value for XOR.
+func Xor(a, b Value) Value {
+	a, b = in(a), in(b)
+	if !a.IsKnown() || !b.IsKnown() {
+		return X
+	}
+	return Bool(a != b)
+}
+
+// Nand returns Not(And(a, b)).
+func Nand(a, b Value) Value { return Not(And(a, b)) }
+
+// Nor returns Not(Or(a, b)).
+func Nor(a, b Value) Value { return Not(Or(a, b)) }
+
+// Xnor returns Not(Xor(a, b)).
+func Xnor(a, b Value) Value { return Not(Xor(a, b)) }
+
+// Buf returns v with Z canonicalized to X, the behaviour of a buffer
+// primitive driving a strongly-driven net.
+func Buf(v Value) Value { return in(v) }
+
+// Mux returns a when sel is Lo, b when sel is Hi. When sel is unknown the
+// result is the merge of a and b: their common value if they agree, X
+// otherwise. This is less pessimistic than plain X and matches the
+// ternary-extension mux used by X-propagation-aware simulators.
+func Mux(sel, a, b Value) Value {
+	switch in(sel) {
+	case Lo:
+		return in(a)
+	case Hi:
+		return in(b)
+	}
+	a, b = in(a), in(b)
+	if a == b && a.IsKnown() {
+		return a
+	}
+	return X
+}
+
+// MergeValue returns the least conservative value covering both a and b:
+// the common value when they agree and are known, X otherwise. It is the
+// join of the ternary lattice used for conservative state generation.
+func MergeValue(a, b Value) Value {
+	a, b = in(a), in(b)
+	if a == b && a.IsKnown() {
+		return a
+	}
+	return X
+}
+
+// Covers reports whether value c is at least as conservative as e: c covers
+// e iff c is X, or both are the same known value. It is the scalar form of
+// the subset test of paper Algorithm 1 line 21.
+func Covers(c, e Value) bool {
+	c, e = in(c), in(e)
+	return c == X || c == e
+}

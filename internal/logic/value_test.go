@@ -1,0 +1,206 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueString(t *testing.T) {
+	cases := map[Value]string{Lo: "0", Hi: "1", X: "x", Z: "z"}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("Value(%d).String() = %q, want %q", v, got, want)
+		}
+	}
+	if got := Value(9).String(); got != "Value(9)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}
+
+func TestValueOf(t *testing.T) {
+	for _, c := range []struct {
+		r    rune
+		want Value
+	}{{'0', Lo}, {'1', Hi}, {'x', X}, {'X', X}, {'z', Z}, {'Z', Z}} {
+		got, err := ValueOf(c.r)
+		if err != nil || got != c.want {
+			t.Errorf("ValueOf(%q) = %v, %v; want %v", c.r, got, err, c.want)
+		}
+	}
+	if _, err := ValueOf('q'); err == nil {
+		t.Error("ValueOf('q') succeeded, want error")
+	}
+}
+
+func TestNotTruthTable(t *testing.T) {
+	cases := map[Value]Value{Lo: Hi, Hi: Lo, X: X, Z: X}
+	for in, want := range cases {
+		if got := Not(in); got != want {
+			t.Errorf("Not(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+// ref implements gate semantics by enumerating concrete interpretations of
+// X/Z inputs: the output is the common result if all interpretations agree,
+// X otherwise. Every two-input gate must be at least as precise as plain X
+// contamination and no more optimistic than this reference.
+func ref(op func(a, b Value) Value, a, b Value) Value {
+	interp := func(v Value) []Value {
+		if v.IsKnown() {
+			return []Value{v}
+		}
+		return []Value{Lo, Hi}
+	}
+	var out Value
+	first := true
+	for _, av := range interp(a) {
+		for _, bv := range interp(b) {
+			r := op(av, bv)
+			if first {
+				out, first = r, false
+			} else if r != out {
+				return X
+			}
+		}
+	}
+	return out
+}
+
+func TestGateTruthTables(t *testing.T) {
+	vals := []Value{Lo, Hi, X, Z}
+	gates := []struct {
+		name string
+		f    func(a, b Value) Value
+	}{
+		{"And", And}, {"Or", Or}, {"Xor", Xor},
+		{"Nand", Nand}, {"Nor", Nor}, {"Xnor", Xnor},
+	}
+	for _, g := range gates {
+		for _, a := range vals {
+			for _, b := range vals {
+				want := ref(g.f, a, b)
+				if got := g.f(a, b); got != want {
+					t.Errorf("%s(%v, %v) = %v, want %v", g.name, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestGateCommutativity(t *testing.T) {
+	vals := []Value{Lo, Hi, X, Z}
+	for _, g := range []struct {
+		name string
+		f    func(a, b Value) Value
+	}{{"And", And}, {"Or", Or}, {"Xor", Xor}, {"Nand", Nand}, {"Nor", Nor}, {"Xnor", Xnor}} {
+		for _, a := range vals {
+			for _, b := range vals {
+				if g.f(a, b) != g.f(b, a) {
+					t.Errorf("%s not commutative at (%v, %v)", g.name, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestMux(t *testing.T) {
+	cases := []struct {
+		sel, a, b, want Value
+	}{
+		{Lo, Lo, Hi, Lo},
+		{Hi, Lo, Hi, Hi},
+		{X, Lo, Hi, X},
+		{X, Hi, Hi, Hi}, // branches agree: select is irrelevant
+		{X, Lo, Lo, Lo}, // branches agree
+		{X, X, X, X},    // unknown branches stay unknown
+		{Z, Hi, Hi, Hi}, // Z select behaves as X
+		{Lo, X, Hi, X},  // selected branch unknown
+		{Hi, Lo, X, X},  // selected branch unknown
+		{X, Lo, X, X},   // one branch unknown: cannot agree
+	}
+	for _, c := range cases {
+		if got := Mux(c.sel, c.a, c.b); got != c.want {
+			t.Errorf("Mux(%v, %v, %v) = %v, want %v", c.sel, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMergeValueLattice(t *testing.T) {
+	vals := []Value{Lo, Hi, X}
+	for _, a := range vals {
+		for _, b := range vals {
+			m := MergeValue(a, b)
+			// Join: m covers both operands.
+			if !Covers(m, a) || !Covers(m, b) {
+				t.Errorf("MergeValue(%v, %v) = %v does not cover operands", a, b, m)
+			}
+			// Commutative and idempotent.
+			if MergeValue(b, a) != m {
+				t.Errorf("MergeValue not commutative at (%v, %v)", a, b)
+			}
+			if MergeValue(a, a) != a {
+				t.Errorf("MergeValue(%v, %v) not idempotent", a, a)
+			}
+		}
+	}
+}
+
+func TestCovers(t *testing.T) {
+	cases := []struct {
+		c, e Value
+		want bool
+	}{
+		{X, Lo, true}, {X, Hi, true}, {X, X, true},
+		{Lo, Lo, true}, {Hi, Hi, true},
+		{Lo, Hi, false}, {Hi, Lo, false},
+		{Lo, X, false}, {Hi, X, false},
+	}
+	for _, c := range cases {
+		if got := Covers(c.c, c.e); got != c.want {
+			t.Errorf("Covers(%v, %v) = %v, want %v", c.c, c.e, got, c.want)
+		}
+	}
+}
+
+func TestBool(t *testing.T) {
+	if Bool(true) != Hi || Bool(false) != Lo {
+		t.Error("Bool mapping wrong")
+	}
+}
+
+// Property: De Morgan holds in four-valued logic for all input pairs.
+func TestDeMorganProperty(t *testing.T) {
+	f := func(ab uint8) bool {
+		a := Value(ab % 4)
+		b := Value(ab / 4 % 4)
+		return Not(And(a, b)) == Or(Not(a), Not(b)) &&
+			Not(Or(a, b)) == And(Not(a), Not(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: X-monotonicity — replacing a known input by X never turns a
+// known output into a different known output (it may only become X).
+func TestXMonotonicityProperty(t *testing.T) {
+	gates := []func(a, b Value) Value{And, Or, Xor, Nand, Nor, Xnor}
+	vals := []Value{Lo, Hi}
+	for gi, g := range gates {
+		for _, a := range vals {
+			for _, b := range vals {
+				exact := g(a, b)
+				for _, blurA := range []Value{a, X} {
+					for _, blurB := range []Value{b, X} {
+						got := g(blurA, blurB)
+						if got.IsKnown() && got != exact {
+							t.Errorf("gate %d not X-monotone: (%v,%v)=%v but (%v,%v)=%v",
+								gi, a, b, exact, blurA, blurB, got)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package logic
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Vec is a fixed-width ternary vector (each bit is Lo, Hi or X) stored as
+// two packed bitplanes: known marks determined bits, val holds their level.
+// Bit i of the vector lives at word i/64, bit i%64; bit 0 is the least
+// significant bit. The representation keeps val bits zero wherever known is
+// zero, so two Vecs are bit-identical iff they are semantically equal —
+// which makes Equal, Subset and hashing cheap. Vec is the machine-state
+// currency of the Conservative State Manager: subset tests and merges over
+// thousands of flip-flops reduce to a handful of word operations.
+//
+// The zero Vec has width 0. Use NewVec or VecFromString to construct one.
+type Vec struct {
+	width int
+	known []uint64 // 1 = bit is a determined 0/1
+	val   []uint64 // level of known bits; 0 where !known
+}
+
+// NewVec returns an all-X vector of the given width.
+func NewVec(width int) Vec {
+	if width < 0 {
+		panic("logic: negative Vec width")
+	}
+	n := (width + 63) / 64
+	return Vec{width: width, known: make([]uint64, n), val: make([]uint64, n)}
+}
+
+// NewVecUint64 returns a fully-known vector of the given width holding v.
+// Bits of v above width are discarded.
+func NewVecUint64(width int, v uint64) Vec {
+	vec := NewVec(width)
+	vec.SetUint64(v)
+	return vec
+}
+
+// VecFromString parses a vector from its Verilog-style bit string, most
+// significant bit first, e.g. "0XX1". Underscores are ignored.
+func VecFromString(s string) (Vec, error) {
+	s = strings.ReplaceAll(s, "_", "")
+	v := NewVec(len(s))
+	for i, r := range s {
+		bit, err := ValueOf(r)
+		if err != nil {
+			return Vec{}, fmt.Errorf("logic: bad vector literal %q: %v", s, err)
+		}
+		if bit == Z {
+			bit = X
+		}
+		v.Set(len(s)-1-i, bit)
+	}
+	return v, nil
+}
+
+// MustVec is VecFromString that panics on malformed input. It is intended
+// for tests and compile-time-constant-like literals.
+func MustVec(s string) Vec {
+	v, err := VecFromString(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Width returns the number of bits in v.
+func (v Vec) Width() int { return v.width }
+
+// Clone returns a deep copy of v.
+func (v Vec) Clone() Vec {
+	c := Vec{width: v.width, known: make([]uint64, len(v.known)), val: make([]uint64, len(v.val))}
+	copy(c.known, v.known)
+	copy(c.val, v.val)
+	return c
+}
+
+func (v Vec) check(i int) {
+	if i < 0 || i >= v.width {
+		panic(fmt.Sprintf("logic: Vec bit %d out of range [0,%d)", i, v.width))
+	}
+}
+
+// Get returns bit i of v (Lo, Hi or X).
+func (v Vec) Get(i int) Value {
+	v.check(i)
+	w, b := i/64, uint(i%64)
+	if v.known[w]>>b&1 == 0 {
+		return X
+	}
+	return Value(v.val[w] >> b & 1)
+}
+
+// Set assigns bit i of v. Z is stored as X.
+func (v *Vec) Set(i int, bit Value) {
+	v.check(i)
+	w, b := i/64, uint(i%64)
+	mask := uint64(1) << b
+	switch in(bit) {
+	case Lo:
+		v.known[w] |= mask
+		v.val[w] &^= mask
+	case Hi:
+		v.known[w] |= mask
+		v.val[w] |= mask
+	default:
+		v.known[w] &^= mask
+		v.val[w] &^= mask
+	}
+}
+
+// SetUint64 assigns the low 64 bits of v from u and marks them known; bits
+// of u above the width are ignored, bits of v above 64 become known zeros.
+func (v *Vec) SetUint64(u uint64) {
+	for i := 0; i < v.width; i++ {
+		v.Set(i, Bool(i < 64 && u>>uint(i)&1 == 1))
+	}
+}
+
+// SetAllX makes every bit of v unknown.
+func (v *Vec) SetAllX() {
+	for i := range v.known {
+		v.known[i] = 0
+		v.val[i] = 0
+	}
+}
+
+// IsAllKnown reports whether every bit of v is determined.
+func (v Vec) IsAllKnown() bool {
+	return v.CountX() == 0
+}
+
+// CountX returns the number of unknown bits in v.
+func (v Vec) CountX() int {
+	n := 0
+	for w, k := range v.known {
+		width := 64
+		if w == len(v.known)-1 && v.width%64 != 0 {
+			width = v.width % 64
+		}
+		n += width - bits.OnesCount64(k&lastWordMask(w, v.width))
+	}
+	return n
+}
+
+func lastWordMask(w, width int) uint64 {
+	if (w+1)*64 <= width {
+		return ^uint64(0)
+	}
+	rem := uint(width - w*64)
+	return (uint64(1) << rem) - 1
+}
+
+// Uint64 returns the value of v as an unsigned integer. ok is false when
+// any bit is unknown or the width exceeds 64.
+func (v Vec) Uint64() (u uint64, ok bool) {
+	if v.width > 64 || !v.IsAllKnown() {
+		return 0, false
+	}
+	if len(v.val) == 0 {
+		return 0, true
+	}
+	return v.val[0] & lastWordMask(0, v.width), true
+}
+
+// Equal reports whether v and o have identical width and bit values
+// (X compares equal only to X).
+func (v Vec) Equal(o Vec) bool {
+	if v.width != o.width {
+		return false
+	}
+	for i := range v.known {
+		m := lastWordMask(i, v.width)
+		if v.known[i]&m != o.known[i]&m || v.val[i]&m != o.val[i]&m {
+			return false
+		}
+	}
+	return true
+}
+
+// Subset reports whether v is covered by the conservative vector c: every
+// bit of c is X or agrees with the corresponding known bit of v. A bit that
+// is X in v but known in c is NOT covered (the unknown in v denotes more
+// behaviours than c admits). This is the strict-subset test of paper
+// Algorithm 1 line 21 (Subset is true also when the vectors are equal;
+// callers that need strictness combine it with !Equal).
+func (v Vec) Subset(c Vec) bool {
+	if v.width != c.width {
+		return false
+	}
+	for i := range v.known {
+		m := lastWordMask(i, v.width)
+		// Bits where c is known must be known in v and agree.
+		ck := c.known[i] & m
+		if ck&^v.known[i] != 0 {
+			return false
+		}
+		if (v.val[i]^c.val[i])&ck != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge returns the least conservative vector covering both v and o:
+// agreeing known bits are kept, all others become X. It panics when widths
+// differ. This is the conservative superstate construction of paper
+// Algorithm 1 line 22.
+func (v Vec) Merge(o Vec) Vec {
+	if v.width != o.width {
+		panic(fmt.Sprintf("logic: Merge width mismatch %d vs %d", v.width, o.width))
+	}
+	out := NewVec(v.width)
+	for i := range v.known {
+		agree := v.known[i] & o.known[i] &^ (v.val[i] ^ o.val[i])
+		out.known[i] = agree
+		out.val[i] = v.val[i] & agree
+	}
+	return out
+}
+
+// ConstrainTo intersects v with the constraint vector c in place: wherever c
+// holds a known bit, v adopts it. Constraint files (paper §3.3, [15]) use
+// this to trim over-approximation from merged conservative states.
+func (v *Vec) ConstrainTo(c Vec) {
+	if v.width != c.width {
+		panic(fmt.Sprintf("logic: ConstrainTo width mismatch %d vs %d", v.width, c.width))
+	}
+	for i := range v.known {
+		v.known[i] |= c.known[i]
+		v.val[i] = v.val[i]&^c.known[i] | c.val[i]
+	}
+}
+
+// String returns the Verilog-style bit string of v, MSB first.
+func (v Vec) String() string {
+	var sb strings.Builder
+	sb.Grow(v.width)
+	for i := v.width - 1; i >= 0; i-- {
+		sb.WriteString(v.Get(i).String())
+	}
+	return sb.String()
+}
+
+// HammingKnown returns the number of bit positions where v and o are both
+// known yet disagree, plus the number of positions where exactly one is
+// known. It is the distance metric used by the clustered merge policy to
+// pick which existing conservative state a new state should join.
+func (v Vec) HammingKnown(o Vec) int {
+	if v.width != o.width {
+		panic(fmt.Sprintf("logic: HammingKnown width mismatch %d vs %d", v.width, o.width))
+	}
+	d := 0
+	for i := range v.known {
+		m := lastWordMask(i, v.width)
+		both := v.known[i] & o.known[i] & m
+		d += bits.OnesCount64((v.val[i] ^ o.val[i]) & both)
+		d += bits.OnesCount64((v.known[i] ^ o.known[i]) & m)
+	}
+	return d
+}

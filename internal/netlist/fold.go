@@ -1,0 +1,438 @@
+package netlist
+
+import (
+	"fmt"
+
+	"symsim/internal/logic"
+)
+
+// TieOff describes the replacement of one gate by a constant: the gate is
+// removed and its output net is driven with Value instead. The bespoke flow
+// produces one TieOff per unexercisable gate, carrying the constant value
+// the net held throughout the symbolic simulation (paper §3: "fanout values
+// of pruned gates are set to the constant value seen during the symbolic
+// simulation").
+type TieOff struct {
+	Gate GateID
+	// Value is the observed constant. An X constant means the net was
+	// never driven to a known level in any explored path; it is tied to
+	// logic 0 (an arbitrary but fixed choice) and reported in
+	// ResynthResult.XTies so the validation run can scrutinize it.
+	Value logic.Value
+}
+
+// ResynthResult describes the outcome of Resynthesize.
+type ResynthResult struct {
+	// Netlist is the rebuilt design.
+	Netlist *Netlist
+	// GatesBefore and GatesAfter are primitive-cell counts (memories
+	// excluded, as in the paper's gate counts).
+	GatesBefore, GatesAfter int
+	// Tied is the number of gates removed by tie-offs, Folded the number
+	// removed by constant propagation and simplification, Swept the
+	// number removed as dead logic.
+	Tied, Folded, Swept int
+	// XTies counts tie-offs whose observed constant was X.
+	XTies int
+}
+
+// binding is the resolved value of a net during folding.
+type binding struct {
+	kind  bindKind
+	val   logic.Value // for bindConst
+	alias NetID       // for bindAlias; fully chased
+}
+
+type bindKind uint8
+
+const (
+	bindNet bindKind = iota
+	bindConst
+	bindAlias
+)
+
+// Resynthesize rebuilds n with the given gates tied off to constants,
+// then constant-folds, simplifies and sweeps dead logic — the re-synthesis
+// step of the bespoke processor flow. The returned netlist preserves the
+// primary input and output ports (names and order) and all memories.
+func Resynthesize(n *Netlist, ties []TieOff) (*ResynthResult, error) {
+	res := &ResynthResult{GatesBefore: len(n.Gates)}
+
+	bind := make([]binding, len(n.Nets))
+	tied := make([]bool, len(n.Gates))
+	for _, t := range ties {
+		g := &n.Gates[t.Gate]
+		if tied[t.Gate] {
+			return nil, fmt.Errorf("netlist: gate %d tied off twice", t.Gate)
+		}
+		tied[t.Gate] = true
+		res.Tied++
+		v := t.Value
+		if !v.IsKnown() {
+			res.XTies++
+			v = logic.Lo
+		}
+		bind[g.Out] = binding{kind: bindConst, val: v}
+	}
+
+	// Fold combinational logic in topological order. Gates already tied
+	// keep their constant binding; others simplify against their inputs'
+	// bindings.
+	order, err := n.CombOrder()
+	if err != nil {
+		return nil, err
+	}
+	// rewritten[g] overrides the gate kind/pins when simplification
+	// reduces e.g. NAND(a,1) to NOT(a).
+	rewritten := make(map[GateID]Gate)
+	folded := make([]bool, len(n.Gates))
+	for _, gi := range order {
+		if tied[gi] {
+			continue
+		}
+		g := n.Gates[gi]
+		newGate, b, changed := simplifyGate(g, bind)
+		if b.kind != bindNet {
+			bind[g.Out] = b
+			folded[gi] = true
+			res.Folded++
+		} else if changed {
+			rewritten[gi] = newGate
+		}
+	}
+	// Sequential gates: a DFF whose D input folds to a constant equal to
+	// its reset value (with reset wired) is itself a constant.
+	for gi := range n.Gates {
+		g := &n.Gates[gi]
+		if g.Kind != KindDFF || tied[GateID(gi)] {
+			continue
+		}
+		d := resolve(bind, g.In[DFFPinD])
+		if d.kind == bindConst && d.val == g.Init {
+			bind[g.Out] = binding{kind: bindConst, val: g.Init}
+			folded[gi] = true
+			res.Folded++
+		}
+	}
+
+	// Mark live gates: reachable (through bindings) from primary outputs
+	// and memory pins.
+	live := make([]bool, len(n.Gates))
+	var stack []NetID
+	seen := make([]bool, len(n.Nets))
+	visit := func(id NetID) {
+		b := resolve(bind, id)
+		if b.kind == bindAlias {
+			id = b.alias
+		}
+		if b.kind != bindConst && !seen[id] {
+			seen[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for _, o := range n.Outputs {
+		visit(o)
+	}
+	for _, m := range n.Mems {
+		for _, p := range memInputPins(m) {
+			visit(p)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		d := n.Nets[id].Driver
+		if d == NoGate || tied[d] || folded[d] || live[d] {
+			continue
+		}
+		live[d] = true
+		g := n.Gates[d]
+		if rg, ok := rewritten[d]; ok {
+			g = rg
+		}
+		for _, in := range g.In {
+			visit(in)
+		}
+	}
+
+	// Rebuild.
+	out := New(n.Name + "_bespoke")
+	var c0, c1 NetID = NoNet, NoNet
+	constNet := func(v logic.Value) NetID {
+		if v == logic.Hi {
+			if c1 == NoNet {
+				c1 = out.AddNet("const1")
+				out.AddGate(KindConst1, c1)
+			}
+			return c1
+		}
+		if c0 == NoNet {
+			c0 = out.AddNet("const0")
+			out.AddGate(KindConst0, c0)
+		}
+		return c0
+	}
+	remap := make([]NetID, len(n.Nets))
+	for i := range remap {
+		remap[i] = NoNet
+	}
+	mapNet := func(id NetID) NetID {
+		b := resolve(bind, id)
+		if b.kind == bindConst {
+			return constNet(b.val)
+		}
+		if b.kind == bindAlias {
+			id = b.alias
+		}
+		if remap[id] == NoNet {
+			remap[id] = out.AddNet(n.Nets[id].Name)
+		}
+		return remap[id]
+	}
+	for _, in := range n.Inputs {
+		id := out.AddNet(n.Nets[in].Name)
+		out.Inputs = append(out.Inputs, id)
+		remap[in] = id
+	}
+	for gi := range n.Gates {
+		if !live[gi] {
+			continue
+		}
+		g := n.Gates[gi]
+		if rg, ok := rewritten[GateID(gi)]; ok {
+			g = rg
+		}
+		ins := make([]NetID, len(g.In))
+		for i, in := range g.In {
+			ins[i] = mapNet(in)
+		}
+		ng := out.AddGate(g.Kind, mapNet(g.Out), ins...)
+		out.Gates[ng].Init = g.Init
+		out.Gates[ng].Name = g.Name
+	}
+	for _, m := range n.Mems {
+		nm := &Mem{
+			Name: m.Name, AddrBits: m.AddrBits, DataBits: m.DataBits,
+			Words: m.Words, Init: m.Init,
+			Clk: NoNet, WEn: NoNet,
+		}
+		nm.RAddr = mapNets(m.RAddr, mapNet)
+		nm.RData = make([]NetID, len(m.RData))
+		for i, d := range m.RData {
+			// Read-data nets keep their identity; a folded read-data
+			// net cannot occur (memories are never folded).
+			nm.RData[i] = mapNet(d)
+		}
+		if !m.IsROM() {
+			nm.Clk = mapNet(m.Clk)
+			nm.WEn = mapNet(m.WEn)
+			nm.WAddr = mapNets(m.WAddr, mapNet)
+			nm.WData = mapNets(m.WData, mapNet)
+		}
+		out.AddMem(nm)
+	}
+	// Primary outputs keep their names: when folding aliased an output to
+	// an internal net (or a constant), re-drive it through a named buffer
+	// so the port list of the bespoke design matches the original.
+	for _, o := range n.Outputs {
+		mapped := mapNet(o)
+		name := n.Nets[o].Name
+		if out.Nets[mapped].Name == name {
+			out.MarkOutput(mapped)
+			continue
+		}
+		if id, ok := out.NetByName(name); ok {
+			// Already materialized (duplicated output): reuse.
+			out.MarkOutput(id)
+			continue
+		}
+		port := out.AddNet(name)
+		out.AddGate(KindBuf, port, mapped)
+		out.MarkOutput(port)
+	}
+	res.GatesAfter = len(out.Gates)
+	res.Swept = res.GatesBefore - res.GatesAfter - res.Tied - res.Folded
+	if res.Swept < 0 {
+		// Constant gates introduced for tie-offs can make the arithmetic
+		// negative by at most two; clamp for reporting.
+		res.Swept = 0
+	}
+	if err := out.Freeze(); err != nil {
+		return nil, err
+	}
+	res.Netlist = out
+	return res, nil
+}
+
+func mapNets(ids []NetID, f func(NetID) NetID) []NetID {
+	out := make([]NetID, len(ids))
+	for i, id := range ids {
+		out[i] = f(id)
+	}
+	return out
+}
+
+func memInputPins(m *Mem) []NetID {
+	pins := append([]NetID(nil), m.RAddr...)
+	if !m.IsROM() {
+		pins = append(pins, m.Clk, m.WEn)
+		pins = append(pins, m.WAddr...)
+		pins = append(pins, m.WData...)
+	}
+	return pins
+}
+
+func resolve(bind []binding, id NetID) binding {
+	b := bind[id]
+	for b.kind == bindAlias {
+		nb := bind[b.alias]
+		if nb.kind == bindNet {
+			return b
+		}
+		b = nb
+	}
+	if b.kind == bindNet {
+		return binding{kind: bindNet, alias: id}
+	}
+	return b
+}
+
+// simplifyGate folds a combinational gate against its input bindings.
+// It returns either a replacement binding for the output (constant or
+// alias), or a rewritten cheaper gate, or the gate unchanged.
+func simplifyGate(g Gate, bind []binding) (Gate, binding, bool) {
+	if g.Kind.IsSequential() {
+		return g, binding{kind: bindNet}, false
+	}
+	ins := make([]binding, len(g.In))
+	allConst := true
+	for i, in := range g.In {
+		ins[i] = resolve(bind, in)
+		if ins[i].kind != bindConst {
+			allConst = false
+		}
+	}
+	if allConst {
+		vals := make([]logic.Value, len(ins))
+		for i, b := range ins {
+			vals[i] = b.val
+		}
+		v := EvalGate(g.Kind, vals)
+		if v.IsKnown() {
+			return g, binding{kind: bindConst, val: v}, false
+		}
+		return g, binding{kind: bindNet}, false
+	}
+
+	netOf := func(i int) NetID {
+		if ins[i].kind == bindAlias {
+			return ins[i].alias
+		}
+		return g.In[i]
+	}
+	alias := func(i int) (Gate, binding, bool) {
+		return g, binding{kind: bindAlias, alias: netOf(i)}, false
+	}
+	konst := func(v logic.Value) (Gate, binding, bool) {
+		return g, binding{kind: bindConst, val: v}, false
+	}
+	rewrite := func(kind GateKind, inIdx ...int) (Gate, binding, bool) {
+		ng := Gate{Kind: kind, Out: g.Out, Init: g.Init, Name: g.Name}
+		for _, i := range inIdx {
+			ng.In = append(ng.In, netOf(i))
+		}
+		return ng, binding{kind: bindNet}, true
+	}
+
+	isC := func(i int, v logic.Value) bool { return ins[i].kind == bindConst && ins[i].val == v }
+	switch g.Kind {
+	case KindBuf:
+		return alias(0)
+	case KindAnd:
+		switch {
+		case isC(0, logic.Lo) || isC(1, logic.Lo):
+			return konst(logic.Lo)
+		case isC(0, logic.Hi):
+			return alias(1)
+		case isC(1, logic.Hi):
+			return alias(0)
+		}
+	case KindOr:
+		switch {
+		case isC(0, logic.Hi) || isC(1, logic.Hi):
+			return konst(logic.Hi)
+		case isC(0, logic.Lo):
+			return alias(1)
+		case isC(1, logic.Lo):
+			return alias(0)
+		}
+	case KindNand:
+		switch {
+		case isC(0, logic.Lo) || isC(1, logic.Lo):
+			return konst(logic.Hi)
+		case isC(0, logic.Hi):
+			return rewrite(KindNot, 1)
+		case isC(1, logic.Hi):
+			return rewrite(KindNot, 0)
+		}
+	case KindNor:
+		switch {
+		case isC(0, logic.Hi) || isC(1, logic.Hi):
+			return konst(logic.Lo)
+		case isC(0, logic.Lo):
+			return rewrite(KindNot, 1)
+		case isC(1, logic.Lo):
+			return rewrite(KindNot, 0)
+		}
+	case KindXor:
+		switch {
+		case isC(0, logic.Lo):
+			return alias(1)
+		case isC(1, logic.Lo):
+			return alias(0)
+		case isC(0, logic.Hi):
+			return rewrite(KindNot, 1)
+		case isC(1, logic.Hi):
+			return rewrite(KindNot, 0)
+		}
+	case KindXnor:
+		switch {
+		case isC(0, logic.Hi):
+			return alias(1)
+		case isC(1, logic.Hi):
+			return alias(0)
+		case isC(0, logic.Lo):
+			return rewrite(KindNot, 1)
+		case isC(1, logic.Lo):
+			return rewrite(KindNot, 0)
+		}
+	case KindMux2:
+		switch {
+		case isC(MuxPinSel, logic.Lo):
+			return alias(MuxPinA)
+		case isC(MuxPinSel, logic.Hi):
+			return alias(MuxPinB)
+		case netOf(MuxPinA) == netOf(MuxPinB) && ins[MuxPinA].kind != bindConst:
+			return alias(MuxPinA)
+		case ins[MuxPinA].kind == bindConst && ins[MuxPinB].kind == bindConst &&
+			ins[MuxPinA].val == ins[MuxPinB].val && ins[MuxPinA].val.IsKnown():
+			return konst(ins[MuxPinA].val)
+		}
+	}
+	// Rewrite pins to chase aliases even when no simplification applies,
+	// so dead alias sources can be swept.
+	changed := false
+	for i := range ins {
+		if ins[i].kind == bindAlias && ins[i].alias != g.In[i] {
+			changed = true
+		}
+	}
+	if changed {
+		ng := Gate{Kind: g.Kind, Out: g.Out, Init: g.Init, Name: g.Name, In: make([]NetID, len(g.In))}
+		for i := range g.In {
+			ng.In[i] = netOf(i)
+		}
+		return ng, binding{kind: bindNet}, true
+	}
+	return g, binding{kind: bindNet}, false
+}

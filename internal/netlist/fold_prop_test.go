@@ -1,0 +1,176 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"symsim/internal/logic"
+)
+
+// randomComb builds a random combinational DAG over k inputs.
+func randomComb(r *rand.Rand, k, gates int) (*Netlist, []NetID, []NetID) {
+	n := New("randcomb")
+	var nets []NetID
+	var ins []NetID
+	for i := 0; i < k; i++ {
+		id := n.AddInput(fmt.Sprintf("in%d", i))
+		ins = append(ins, id)
+		nets = append(nets, id)
+	}
+	kinds := []GateKind{KindAnd, KindOr, KindNand, KindNor, KindXor, KindXnor, KindNot, KindBuf, KindMux2}
+	for g := 0; g < gates; g++ {
+		kind := kinds[r.Intn(len(kinds))]
+		out := n.AddNet(fmt.Sprintf("g%d", g))
+		pick := func() NetID { return nets[r.Intn(len(nets))] }
+		switch kind.NumInputs() {
+		case 1:
+			n.AddGate(kind, out, pick())
+		case 2:
+			n.AddGate(kind, out, pick(), pick())
+		case 3:
+			n.AddGate(kind, out, pick(), pick(), pick())
+		}
+		nets = append(nets, out)
+	}
+	// The last few nets become primary outputs.
+	outs := nets[len(nets)-min(4, len(nets)):]
+	for _, o := range outs {
+		n.MarkOutput(o)
+	}
+	if err := n.Freeze(); err != nil {
+		panic(err)
+	}
+	return n, ins, outs
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// evalComb computes all net values for one concrete input assignment.
+func evalComb(n *Netlist, inputs map[NetID]logic.Value) []logic.Value {
+	vals := make([]logic.Value, len(n.Nets))
+	for i := range vals {
+		vals[i] = logic.X
+	}
+	for id, v := range inputs {
+		vals[id] = v
+	}
+	order, err := n.CombOrder()
+	if err != nil {
+		panic(err)
+	}
+	for _, gi := range order {
+		g := &n.Gates[gi]
+		in := make([]logic.Value, len(g.In))
+		for i, id := range g.In {
+			in[i] = vals[id]
+		}
+		vals[g.Out] = EvalGate(g.Kind, in)
+	}
+	return vals
+}
+
+// Property: re-synthesis without tie-offs preserves the function of every
+// primary output for all concrete input assignments.
+func TestResynthesizePreservesFunctionProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		k := 3 + r.Intn(4) // 3..6 inputs: exhaustive check feasible
+		n, ins, outs := randomComb(r, k, 10+r.Intn(40))
+		res, err := Resynthesize(n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < 1<<k; v++ {
+			inA := map[NetID]logic.Value{}
+			inB := map[NetID]logic.Value{}
+			for i, id := range ins {
+				bit := logic.Bool(v>>uint(i)&1 == 1)
+				inA[id] = bit
+				inB[res.Netlist.Inputs[i]] = bit
+			}
+			valsA := evalComb(n, inA)
+			valsB := evalComb(res.Netlist, inB)
+			for oi, o := range outs {
+				got := valsB[res.Netlist.Outputs[oi]]
+				want := valsA[o]
+				if got != want {
+					t.Fatalf("trial %d input %0*b output %d: folded %v, original %v",
+						trial, k, v, oi, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Property: tying off gates that are genuinely constant (across every
+// input assignment) preserves the function — the soundness property the
+// bespoke flow relies on.
+func TestResynthesizeSoundConstantTiesProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 30; trial++ {
+		k := 3 + r.Intn(3)
+		n, ins, outs := randomComb(r, k, 10+r.Intn(40))
+
+		// Find provably constant gates by exhaustive evaluation.
+		constVal := make([]logic.Value, len(n.Gates))
+		isConst := make([]bool, len(n.Gates))
+		for gi := range n.Gates {
+			isConst[gi] = true
+		}
+		for v := 0; v < 1<<k; v++ {
+			in := map[NetID]logic.Value{}
+			for i, id := range ins {
+				in[id] = logic.Bool(v>>uint(i)&1 == 1)
+			}
+			vals := evalComb(n, in)
+			for gi := range n.Gates {
+				val := vals[n.Gates[gi].Out]
+				if v == 0 {
+					constVal[gi] = val
+				} else if constVal[gi] != val {
+					isConst[gi] = false
+				}
+			}
+		}
+		var ties []TieOff
+		for gi := range n.Gates {
+			if isConst[gi] {
+				ties = append(ties, TieOff{Gate: GateID(gi), Value: constVal[gi]})
+			}
+		}
+		res, err := Resynthesize(n, ties)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < 1<<k; v++ {
+			inA := map[NetID]logic.Value{}
+			inB := map[NetID]logic.Value{}
+			for i, id := range ins {
+				bit := logic.Bool(v>>uint(i)&1 == 1)
+				inA[id] = bit
+				inB[res.Netlist.Inputs[i]] = bit
+			}
+			valsA := evalComb(n, inA)
+			valsB := evalComb(res.Netlist, inB)
+			for oi, o := range outs {
+				got := valsB[res.Netlist.Outputs[oi]]
+				want := valsA[o]
+				// A constant-X original output may legitimately become
+				// known after tie-to-zero; known originals must match.
+				if want.IsKnown() && got != want {
+					t.Fatalf("trial %d input %0*b output %d: pruned %v, original %v (%d ties)",
+						trial, k, v, oi, got, want, len(ties))
+				}
+			}
+		}
+		if res.GatesAfter > res.GatesBefore {
+			t.Fatalf("resynthesis grew the netlist: %d -> %d", res.GatesBefore, res.GatesAfter)
+		}
+	}
+}

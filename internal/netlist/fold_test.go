@@ -1,0 +1,188 @@
+package netlist
+
+import (
+	"testing"
+
+	"symsim/internal/logic"
+)
+
+// buildFoldable: out = (a & g1) | g2 where g1 is an AND of inputs and g2 an
+// XOR of inputs; tying g1 to 1 and g2 to 0 must reduce the cone to out = a.
+func buildFoldable(t *testing.T) (*Netlist, GateID, GateID) {
+	t.Helper()
+	n := New("fold")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	g1o := n.AddNet("g1o")
+	g1 := n.AddGate(KindAnd, g1o, b, c)
+	g2o := n.AddNet("g2o")
+	g2 := n.AddGate(KindXor, g2o, b, c)
+	ando := n.AddNet("ando")
+	n.AddGate(KindAnd, ando, a, g1o)
+	out := n.AddNet("out")
+	n.AddGate(KindOr, out, ando, g2o)
+	n.MarkOutput(out)
+	if err := n.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return n, g1, g2
+}
+
+func TestResynthesizeTieAndFold(t *testing.T) {
+	n, g1, g2 := buildFoldable(t)
+	res, err := Resynthesize(n, []TieOff{
+		{Gate: g1, Value: logic.Hi},
+		{Gate: g2, Value: logic.Lo},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Netlist
+	// AND(a, 1) -> a, OR(a, 0) -> a: the whole design collapses to a wire
+	// from input a to the output. No combinational gates should survive.
+	for _, g := range out.Gates {
+		if g.Kind != KindBuf && g.Kind != KindConst0 && g.Kind != KindConst1 {
+			t.Errorf("unexpected surviving gate %s", g.Kind)
+		}
+	}
+	if res.GatesBefore != 4 {
+		t.Errorf("GatesBefore = %d", res.GatesBefore)
+	}
+	if res.Tied != 2 {
+		t.Errorf("Tied = %d", res.Tied)
+	}
+	if len(out.Inputs) != 3 || len(out.Outputs) != 1 {
+		t.Errorf("ports not preserved: %d in, %d out", len(out.Inputs), len(out.Outputs))
+	}
+}
+
+func TestResynthesizeXTieDefaultsLow(t *testing.T) {
+	n := New("xtie")
+	a := n.AddInput("a")
+	g1o := n.AddNet("g1o")
+	g1 := n.AddGate(KindBuf, g1o, a)
+	out := n.AddNet("out")
+	n.AddGate(KindOr, out, a, g1o)
+	n.MarkOutput(out)
+	if err := n.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Resynthesize(n, []TieOff{{Gate: g1, Value: logic.X}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.XTies != 1 {
+		t.Errorf("XTies = %d, want 1", res.XTies)
+	}
+	// OR(a, 0) -> alias a: output driven by input directly or via buf.
+	if res.GatesAfter > 1 {
+		t.Errorf("GatesAfter = %d, want <= 1", res.GatesAfter)
+	}
+}
+
+func TestResynthesizeSimplifications(t *testing.T) {
+	// NAND(a, 1) must rewrite to NOT(a).
+	n := New("rw")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	co := n.AddNet("co")
+	cg := n.AddGate(KindAnd, co, b, b) // will be tied to 1
+	no := n.AddNet("no")
+	n.AddGate(KindNand, no, a, co)
+	n.MarkOutput(no)
+	if err := n.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Resynthesize(n, []TieOff{{Gate: cg, Value: logic.Hi}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []GateKind
+	for _, g := range res.Netlist.Gates {
+		kinds = append(kinds, g.Kind)
+	}
+	if len(kinds) != 1 || kinds[0] != KindNot {
+		t.Errorf("gates after = %v, want [NOT]", kinds)
+	}
+}
+
+func TestResynthesizeDFFConstantFolding(t *testing.T) {
+	// A DFF whose D is tied to its reset value is a constant.
+	n := New("dffc")
+	clk := n.AddInput("clk")
+	rstn := n.AddInput("rstn")
+	a := n.AddInput("a")
+	one := n.AddNet("one")
+	n.AddGate(KindConst1, one)
+	do := n.AddNet("do")
+	dg := n.AddGate(KindAnd, do, a, a)
+	q := n.AddNet("q")
+	n.AddDFF(q, do, clk, one, rstn, logic.Lo)
+	out := n.AddNet("out")
+	n.AddGate(KindOr, out, q, a)
+	n.MarkOutput(out)
+	if err := n.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Resynthesize(n, []TieOff{{Gate: dg, Value: logic.Lo}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range res.Netlist.Gates {
+		if g.Kind == KindDFF {
+			t.Error("constant DFF not folded away")
+		}
+	}
+}
+
+func TestResynthesizeKeepsMemories(t *testing.T) {
+	n := New("mem")
+	a := n.AddInput("a")
+	d := n.AddNet("d")
+	n.AddMem(&Mem{Name: "rom", AddrBits: 1, DataBits: 1, Words: 2,
+		RAddr: []NetID{a}, RData: []NetID{d}, Clk: NoNet, WEn: NoNet})
+	out := n.AddNet("out")
+	n.AddGate(KindBuf, out, d)
+	n.MarkOutput(out)
+	if err := n.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Resynthesize(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Netlist.Mems) != 1 {
+		t.Fatalf("memories = %d, want 1", len(res.Netlist.Mems))
+	}
+}
+
+func TestResynthesizeDoubleTiePanic(t *testing.T) {
+	n, g1, _ := buildFoldable(t)
+	if _, err := Resynthesize(n, []TieOff{{Gate: g1, Value: logic.Hi}, {Gate: g1, Value: logic.Lo}}); err == nil {
+		t.Fatal("double tie accepted")
+	}
+}
+
+func TestResynthesizeMuxSimplifications(t *testing.T) {
+	n := New("mux")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	s := n.AddInput("s")
+	co := n.AddNet("co")
+	cg := n.AddGate(KindAnd, co, s, s) // tie to 0
+	mo := n.AddNet("mo")
+	n.AddGate(KindMux2, mo, co, a, b)
+	n.MarkOutput(mo)
+	if err := n.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Resynthesize(n, []TieOff{{Gate: cg, Value: logic.Lo}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MUX(0, a, b) -> a: expect at most a buffer.
+	if res.GatesAfter > 1 {
+		t.Errorf("GatesAfter = %d; gates: %v", res.GatesAfter, res.Netlist.Stats())
+	}
+}

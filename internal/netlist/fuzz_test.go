@@ -1,0 +1,65 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead: arbitrary bytes must never panic the interchange parser; valid
+// parses must re-serialize and re-parse to the same shape.
+func FuzzRead(f *testing.F) {
+	// Seed with a real netlist serialization and some near-misses.
+	n := New("seed")
+	a := n.AddInput("a")
+	o := n.AddNet("o")
+	n.AddGate(KindNot, o, a)
+	n.MarkOutput(o)
+	if err := n.Freeze(); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := n.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"name":"x","nets":[{"name":"a"}],"inputs":[0],"gates":[]}`))
+	f.Add([]byte(`{"name":"x","nets":[{"name":"a"}],"gates":[{"kind":"NOT","in":[0],"out":0}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := parsed.Write(&out); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		again, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if len(again.Gates) != len(parsed.Gates) || len(again.Nets) != len(parsed.Nets) {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}
+
+// FuzzSanitize: output must always be a valid Verilog identifier.
+func FuzzSanitize(f *testing.F) {
+	f.Add("pc[3]")
+	f.Add("")
+	f.Add("0weird$name with spaces")
+	f.Fuzz(func(t *testing.T, s string) {
+		id := sanitize(s)
+		if id == "" {
+			t.Fatal("empty identifier")
+		}
+		if id[0] >= '0' && id[0] <= '9' {
+			t.Fatalf("identifier %q starts with a digit", id)
+		}
+		if strings.ContainsAny(id, " \t\n$[]().,;") {
+			t.Fatalf("identifier %q contains invalid runes", id)
+		}
+	})
+}

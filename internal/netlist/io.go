@@ -1,0 +1,376 @@
+package netlist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"symsim/internal/logic"
+)
+
+// The interchange format: a complete, self-contained JSON description of a
+// gate-level netlist including memory geometry and ternary initial
+// contents. This is the on-disk form the tool consumes and produces (the
+// paper's flow passes gate-level netlists between synthesis and
+// co-analysis); WriteVerilog additionally emits a human-readable
+// structural Verilog view of the same design.
+
+type jsonNetlist struct {
+	Name    string     `json:"name"`
+	Nets    []jsonNet  `json:"nets"`
+	Inputs  []NetID    `json:"inputs"`
+	Outputs []NetID    `json:"outputs"`
+	Gates   []jsonGate `json:"gates"`
+	Mems    []jsonMem  `json:"mems,omitempty"`
+}
+
+type jsonNet struct {
+	Name string `json:"name"`
+}
+
+type jsonGate struct {
+	Kind string  `json:"kind"`
+	In   []NetID `json:"in,omitempty"`
+	Out  NetID   `json:"out"`
+	Init string  `json:"init,omitempty"` // DFF reset value: "0", "1" or "x"
+	Name string  `json:"label,omitempty"`
+}
+
+type jsonMem struct {
+	Name     string   `json:"name"`
+	AddrBits int      `json:"addr_bits"`
+	DataBits int      `json:"data_bits"`
+	Words    int      `json:"words"`
+	RAddr    []NetID  `json:"raddr"`
+	RData    []NetID  `json:"rdata"`
+	Clk      *NetID   `json:"clk,omitempty"`
+	WEn      *NetID   `json:"wen,omitempty"`
+	WAddr    []NetID  `json:"waddr,omitempty"`
+	WData    []NetID  `json:"wdata,omitempty"`
+	Init     []string `json:"init,omitempty"` // ternary bit strings, MSB first
+}
+
+var kindByName = func() map[string]GateKind {
+	m := make(map[string]GateKind)
+	for k := KindConst0; k <= KindDFF; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+// MarshalJSON serializes the netlist into the interchange format.
+func (n *Netlist) MarshalJSON() ([]byte, error) {
+	out := jsonNetlist{Name: n.Name, Inputs: n.Inputs, Outputs: n.Outputs}
+	for _, nt := range n.Nets {
+		out.Nets = append(out.Nets, jsonNet{Name: nt.Name})
+	}
+	for _, g := range n.Gates {
+		jg := jsonGate{Kind: g.Kind.String(), In: g.In, Out: g.Out, Name: g.Name}
+		if g.Kind == KindDFF {
+			jg.Init = g.Init.String()
+		}
+		out.Gates = append(out.Gates, jg)
+	}
+	for _, m := range n.Mems {
+		jm := jsonMem{
+			Name: m.Name, AddrBits: m.AddrBits, DataBits: m.DataBits,
+			Words: m.Words, RAddr: m.RAddr, RData: m.RData,
+		}
+		if !m.IsROM() {
+			clk, wen := m.Clk, m.WEn
+			jm.Clk, jm.WEn = &clk, &wen
+			jm.WAddr, jm.WData = m.WAddr, m.WData
+		}
+		for _, v := range m.Init {
+			jm.Init = append(jm.Init, v.String())
+		}
+		out.Mems = append(out.Mems, jm)
+	}
+	return json.MarshalIndent(out, "", " ")
+}
+
+// Write serializes the netlist as interchange JSON to w.
+func (n *Netlist) Write(w io.Writer) error {
+	data, err := n.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// Read parses an interchange-JSON netlist. The result is validated and
+// frozen. Construction-level violations in the file (duplicate names, pin
+// mismatches) surface as errors rather than panics.
+func Read(r io.Reader) (n *Netlist, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			n, err = nil, fmt.Errorf("netlist: malformed input: %v", p)
+		}
+	}()
+	var in jsonNetlist
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("netlist: parse: %w", err)
+	}
+	n = New(in.Name)
+	isInput := make(map[NetID]bool, len(in.Inputs))
+	for _, id := range in.Inputs {
+		isInput[id] = true
+	}
+	for i, jn := range in.Nets {
+		var got NetID
+		if isInput[NetID(i)] {
+			got = n.AddInput(jn.Name)
+		} else {
+			got = n.AddNet(jn.Name)
+		}
+		if got != NetID(i) {
+			return nil, fmt.Errorf("netlist: non-contiguous net ids")
+		}
+	}
+	if len(n.Inputs) != len(in.Inputs) {
+		return nil, fmt.Errorf("netlist: input list mismatch")
+	}
+	n.Inputs = in.Inputs // preserve declaration order
+	for gi, jg := range in.Gates {
+		kind, ok := kindByName[jg.Kind]
+		if !ok {
+			return nil, fmt.Errorf("netlist: gate %d: unknown kind %q", gi, jg.Kind)
+		}
+		if err := checkNetRange(jg.Out, len(in.Nets)); err != nil {
+			return nil, fmt.Errorf("netlist: gate %d: %w", gi, err)
+		}
+		for _, id := range jg.In {
+			if err := checkNetRange(id, len(in.Nets)); err != nil {
+				return nil, fmt.Errorf("netlist: gate %d: %w", gi, err)
+			}
+		}
+		id := n.AddGate(kind, jg.Out, jg.In...)
+		n.Gates[id].Name = jg.Name
+		if kind == KindDFF && jg.Init != "" {
+			v, err := logic.ValueOf(rune(jg.Init[0]))
+			if err != nil {
+				return nil, fmt.Errorf("netlist: gate %d: bad init %q", gi, jg.Init)
+			}
+			n.Gates[id].Init = v
+		}
+	}
+	for mi, jm := range in.Mems {
+		m := &Mem{
+			Name: jm.Name, AddrBits: jm.AddrBits, DataBits: jm.DataBits,
+			Words: jm.Words, RAddr: jm.RAddr, RData: jm.RData,
+			Clk: NoNet, WEn: NoNet,
+		}
+		if jm.WEn != nil {
+			if jm.Clk == nil {
+				return nil, fmt.Errorf("netlist: mem %d: write port without clock", mi)
+			}
+			m.Clk, m.WEn = *jm.Clk, *jm.WEn
+			m.WAddr, m.WData = jm.WAddr, jm.WData
+		}
+		for _, s := range jm.Init {
+			v, err := logic.VecFromString(s)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: mem %d: %w", mi, err)
+			}
+			m.Init = append(m.Init, v)
+		}
+		n.AddMem(m)
+	}
+	for _, o := range in.Outputs {
+		if err := checkNetRange(o, len(in.Nets)); err != nil {
+			return nil, fmt.Errorf("netlist: output: %w", err)
+		}
+		n.MarkOutput(o)
+	}
+	if err := n.Freeze(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func checkNetRange(id NetID, nets int) error {
+	if id < 0 || int(id) >= nets {
+		return fmt.Errorf("net id %d out of range", id)
+	}
+	return nil
+}
+
+// WriteVerilog emits a structural-Verilog view of the netlist: one
+// primitive per gate, behavioural always-blocks for flip-flops, and reg
+// arrays with initial blocks for memories. The output is for human
+// inspection and for feeding the bespoke netlist to external Verilog
+// tools; it is not read back by this package (Read consumes the JSON
+// interchange).
+func (n *Netlist) WriteVerilog(w io.Writer) error {
+	var sb strings.Builder
+	id := func(net NetID) string { return sanitize(n.Nets[net].Name) }
+
+	sb.WriteString("// Generated by symsim; structural view of " + n.Name + "\n")
+	sb.WriteString("module " + sanitize(n.Name) + " (")
+	var ports []string
+	for _, in := range n.Inputs {
+		ports = append(ports, id(in))
+	}
+	seen := map[string]bool{}
+	for _, o := range n.Outputs {
+		if !seen[id(o)] {
+			seen[id(o)] = true
+			ports = append(ports, id(o))
+		}
+	}
+	sb.WriteString(strings.Join(ports, ", "))
+	sb.WriteString(");\n")
+	for _, in := range n.Inputs {
+		sb.WriteString("  input " + id(in) + ";\n")
+	}
+	emitted := map[string]bool{}
+	for _, o := range n.Outputs {
+		if !emitted[id(o)] {
+			emitted[id(o)] = true
+			sb.WriteString("  output " + id(o) + ";\n")
+		}
+	}
+	declared := map[NetID]bool{}
+	for _, in := range n.Inputs {
+		declared[in] = true
+	}
+	for ni := range n.Nets {
+		if !declared[NetID(ni)] {
+			sb.WriteString("  wire " + id(NetID(ni)) + ";\n")
+		}
+	}
+
+	for gi, g := range n.Gates {
+		switch g.Kind {
+		case KindConst0:
+			fmt.Fprintf(&sb, "  assign %s = 1'b0;\n", id(g.Out))
+		case KindConst1:
+			fmt.Fprintf(&sb, "  assign %s = 1'b1;\n", id(g.Out))
+		case KindBuf:
+			fmt.Fprintf(&sb, "  buf g%d (%s, %s);\n", gi, id(g.Out), id(g.In[0]))
+		case KindNot:
+			fmt.Fprintf(&sb, "  not g%d (%s, %s);\n", gi, id(g.Out), id(g.In[0]))
+		case KindAnd, KindOr, KindNand, KindNor, KindXor, KindXnor:
+			fmt.Fprintf(&sb, "  %s g%d (%s, %s, %s);\n",
+				strings.ToLower(g.Kind.String()), gi, id(g.Out), id(g.In[0]), id(g.In[1]))
+		case KindMux2:
+			fmt.Fprintf(&sb, "  assign %s = %s ? %s : %s;\n",
+				id(g.Out), id(g.In[MuxPinSel]), id(g.In[MuxPinB]), id(g.In[MuxPinA]))
+		case KindDFF:
+			q, d := id(g.Out), id(g.In[DFFPinD])
+			clk, en, rstn := id(g.In[DFFPinClk]), id(g.In[DFFPinEn]), id(g.In[DFFPinRstn])
+			fmt.Fprintf(&sb, "  reg %s_q; assign %s = %s_q;\n", q, q, q)
+			fmt.Fprintf(&sb, "  always @(posedge %s or negedge %s)"+
+				" if (!%s) %s_q <= 1'b%s; else if (%s) %s_q <= %s;\n",
+				clk, rstn, rstn, q, g.Init, en, q, d)
+		}
+	}
+
+	for mi, m := range n.Mems {
+		name := fmt.Sprintf("mem%d_%s", mi, sanitize(m.Name))
+		fmt.Fprintf(&sb, "  reg [%d:0] %s [0:%d];\n", m.DataBits-1, name, m.Words-1)
+		// Asynchronous read port.
+		ra := busExpr(n, m.RAddr)
+		for b, rd := range m.RData {
+			fmt.Fprintf(&sb, "  assign %s = %s[%s][%d];\n", id(rd), name, ra, b)
+		}
+		if !m.IsROM() {
+			wa := busExpr(n, m.WAddr)
+			fmt.Fprintf(&sb, "  always @(posedge %s) if (%s) %s[%s] <= %s;\n",
+				id(m.Clk), id(m.WEn), name, wa, busExpr(n, m.WData))
+		}
+		if len(m.Init) > 0 {
+			sb.WriteString("  initial begin\n")
+			for wi, v := range m.Init {
+				fmt.Fprintf(&sb, "    %s[%d] = %d'b%s;\n", name, wi, m.DataBits, v.String())
+			}
+			sb.WriteString("  end\n")
+		}
+	}
+	sb.WriteString("endmodule\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// busExpr renders a concatenation expression for a bus (bit 0 first in our
+// representation, MSB first in Verilog).
+func busExpr(n *Netlist, bus []NetID) string {
+	parts := make([]string, len(bus))
+	for i, id := range bus {
+		parts[len(bus)-1-i] = sanitize(n.Nets[id].Name)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// sanitize maps net names to Verilog identifiers.
+func sanitize(name string) string {
+	var sb strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteRune('_')
+		}
+	}
+	s := sb.String()
+	if s == "" || s[0] >= '0' && s[0] <= '9' {
+		s = "n" + s
+	}
+	return s
+}
+
+// WriteDOT emits a Graphviz view of the netlist: gates and memories as
+// nodes, nets as edges. Intended for small designs and cone debugging;
+// a full processor renders but is unreadable.
+func (n *Netlist) WriteDOT(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("digraph " + sanitize(n.Name) + " {\n  rankdir=LR;\n")
+	for _, in := range n.Inputs {
+		fmt.Fprintf(&sb, "  %q [shape=triangle,label=%q];\n", "net"+sanitize(n.Nets[in].Name), n.Nets[in].Name)
+	}
+	for gi, g := range n.Gates {
+		shape := "box"
+		if g.Kind == KindDFF {
+			shape = "box3d"
+		}
+		fmt.Fprintf(&sb, "  g%d [shape=%s,label=\"%s\"];\n", gi, shape, g.Kind)
+	}
+	for mi, m := range n.Mems {
+		fmt.Fprintf(&sb, "  m%d [shape=cylinder,label=%q];\n", mi, m.Name)
+	}
+	// Edges: driver -> consumer, labelled with the net name.
+	driverOf := func(id NetID) string {
+		if d := n.Nets[id].Driver; d != NoGate {
+			return fmt.Sprintf("g%d", d)
+		}
+		for mi, m := range n.Mems {
+			for _, rd := range m.RData {
+				if rd == id {
+					return fmt.Sprintf("m%d", mi)
+				}
+			}
+		}
+		return "net" + sanitize(n.Nets[id].Name)
+	}
+	for gi, g := range n.Gates {
+		for _, in := range g.In {
+			fmt.Fprintf(&sb, "  %q -> g%d [label=%q];\n", driverOf(in), gi, n.Nets[in].Name)
+		}
+	}
+	for mi, m := range n.Mems {
+		for _, p := range memInputPins(m) {
+			fmt.Fprintf(&sb, "  %q -> m%d [label=%q];\n", driverOf(p), mi, n.Nets[p].Name)
+		}
+	}
+	for _, o := range n.Outputs {
+		fmt.Fprintf(&sb, "  %q -> %q;\n", driverOf(o), "out_"+sanitize(n.Nets[o].Name))
+		fmt.Fprintf(&sb, "  %q [shape=invtriangle,label=%q];\n", "out_"+sanitize(n.Nets[o].Name), n.Nets[o].Name)
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

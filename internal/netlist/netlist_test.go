@@ -1,0 +1,235 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"symsim/internal/logic"
+)
+
+// buildToy returns a small valid design: out = (a & b) ^ c registered.
+func buildToy(t *testing.T) (*Netlist, map[string]NetID) {
+	t.Helper()
+	n := New("toy")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	clk := n.AddInput("clk")
+	rstn := n.AddInput("rstn")
+	one := n.AddNet("one")
+	n.AddGate(KindConst1, one)
+	ab := n.AddNet("ab")
+	n.AddGate(KindAnd, ab, a, b)
+	x := n.AddNet("x")
+	n.AddGate(KindXor, x, ab, c)
+	q := n.AddNet("q")
+	n.AddDFF(q, x, clk, one, rstn, logic.Lo)
+	n.MarkOutput(q)
+	if err := n.Freeze(); err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	return n, map[string]NetID{"a": a, "b": b, "c": c, "ab": ab, "x": x, "q": q}
+}
+
+func TestFreezeValidDesign(t *testing.T) {
+	n, nets := buildToy(t)
+	if got := len(n.Fanout(nets["a"])); got != 1 {
+		t.Errorf("fanout(a) = %d, want 1", got)
+	}
+	st := n.Stats()
+	if st.Gates != 4 || st.Sequential != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if !strings.Contains(st.String(), "4 gates") {
+		t.Errorf("stats string = %q", st.String())
+	}
+}
+
+func TestFreezeRejectsUndriven(t *testing.T) {
+	n := New("bad")
+	a := n.AddInput("a")
+	out := n.AddNet("out")
+	dangling := n.AddNet("dangling")
+	n.AddGate(KindAnd, out, a, dangling)
+	if err := n.Freeze(); err == nil {
+		t.Fatal("Freeze accepted undriven net")
+	}
+}
+
+func TestFreezeRejectsDoubleDriver(t *testing.T) {
+	n := New("bad")
+	a := n.AddInput("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddGate allowed driving a primary input")
+		}
+	}()
+	n.AddGate(KindBuf, a, a)
+}
+
+func TestFreezeRejectsCombinationalCycle(t *testing.T) {
+	n := New("cycle")
+	a := n.AddInput("a")
+	x := n.AddNet("x")
+	y := n.AddNet("y")
+	n.AddGate(KindAnd, x, a, y)
+	n.AddGate(KindBuf, y, x)
+	if err := n.Freeze(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("Freeze = %v, want combinational cycle error", err)
+	}
+}
+
+func TestDFFBreaksCycle(t *testing.T) {
+	// A feedback loop through a DFF is legal (a counter bit).
+	n := New("tff")
+	clk := n.AddInput("clk")
+	rstn := n.AddInput("rstn")
+	one := n.AddNet("one")
+	n.AddGate(KindConst1, one)
+	q := n.AddNet("q")
+	d := n.AddNet("d")
+	n.AddGate(KindNot, d, q)
+	n.AddDFF(q, d, clk, one, rstn, logic.Lo)
+	n.MarkOutput(q)
+	if err := n.Freeze(); err != nil {
+		t.Fatalf("Freeze rejected sequential loop: %v", err)
+	}
+}
+
+func TestCombOrderRespectsDependencies(t *testing.T) {
+	n, nets := buildToy(t)
+	order, err := n.CombOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[GateID]int)
+	for i, g := range order {
+		pos[g] = i
+	}
+	andGate := n.Nets[nets["ab"]].Driver
+	xorGate := n.Nets[nets["x"]].Driver
+	if pos[andGate] >= pos[xorGate] {
+		t.Errorf("AND (pos %d) must precede XOR (pos %d)", pos[andGate], pos[xorGate])
+	}
+}
+
+func TestAddGatePinCountPanics(t *testing.T) {
+	n := New("bad")
+	a := n.AddInput("a")
+	out := n.AddNet("out")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong pin count accepted")
+		}
+	}()
+	n.AddGate(KindAnd, out, a)
+}
+
+func TestDuplicateNetNamePanics(t *testing.T) {
+	n := New("dup")
+	n.AddNet("w")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate name accepted")
+		}
+	}()
+	n.AddNet("w")
+}
+
+func TestGateKindMetadata(t *testing.T) {
+	for k := KindConst0; k <= KindDFF; k++ {
+		if k.String() == "" || strings.HasPrefix(k.String(), "GateKind") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if KindDFF.NumInputs() != 4 || !KindDFF.IsSequential() {
+		t.Error("DFF metadata wrong")
+	}
+	if KindMux2.NumInputs() != 3 || KindMux2.IsSequential() {
+		t.Error("MUX2 metadata wrong")
+	}
+	if KindConst0.NumInputs() != 0 {
+		t.Error("CONST0 metadata wrong")
+	}
+}
+
+func TestEvalGateMatrix(t *testing.T) {
+	v := func(s string) []logic.Value {
+		out := make([]logic.Value, len(s))
+		for i, r := range s {
+			val, err := logic.ValueOf(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = val
+		}
+		return out
+	}
+	cases := []struct {
+		kind GateKind
+		in   string
+		want logic.Value
+	}{
+		{KindConst0, "", logic.Lo},
+		{KindConst1, "", logic.Hi},
+		{KindBuf, "1", logic.Hi},
+		{KindBuf, "z", logic.X},
+		{KindNot, "0", logic.Hi},
+		{KindAnd, "1x", logic.X},
+		{KindAnd, "0x", logic.Lo},
+		{KindOr, "1x", logic.Hi},
+		{KindNand, "11", logic.Lo},
+		{KindNor, "00", logic.Hi},
+		{KindXor, "10", logic.Hi},
+		{KindXnor, "10", logic.Lo},
+		{KindMux2, "001", logic.Lo}, // sel=0 -> A
+		{KindMux2, "101", logic.Hi}, // sel=1 -> B
+		{KindMux2, "x11", logic.Hi}, // branches agree
+		{KindMux2, "x01", logic.X},
+	}
+	for _, c := range cases {
+		if got := EvalGate(c.kind, v(c.in)); got != c.want {
+			t.Errorf("EvalGate(%s, %q) = %v, want %v", c.kind, c.in, got, c.want)
+		}
+	}
+}
+
+func TestMemValidation(t *testing.T) {
+	n := New("m")
+	addr := []NetID{n.AddInput("a0"), n.AddInput("a1")}
+	data := []NetID{n.AddNet("d0")}
+	n.AddMem(&Mem{Name: "rom", AddrBits: 2, DataBits: 1, Words: 4,
+		RAddr: addr, RData: data, Clk: NoNet, WEn: NoNet})
+	n.MarkOutput(data[0])
+	if err := n.Freeze(); err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	if len(n.MemFanout(addr[0])) != 1 {
+		t.Error("memory fanout not recorded")
+	}
+}
+
+func TestMemRejectsGateDrivenReadData(t *testing.T) {
+	n := New("m")
+	a := n.AddInput("a")
+	d := n.AddNet("d")
+	n.AddGate(KindBuf, d, a)
+	n.AddMem(&Mem{Name: "rom", AddrBits: 1, DataBits: 1, Words: 2,
+		RAddr: []NetID{a}, RData: []NetID{d}, Clk: NoNet, WEn: NoNet})
+	if err := n.Freeze(); err == nil {
+		t.Fatal("Freeze accepted double-driven read-data net")
+	}
+}
+
+func TestMemWordCountValidation(t *testing.T) {
+	n := New("m")
+	a := n.AddInput("a")
+	d := n.AddNet("d")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized word count accepted")
+		}
+	}()
+	n.AddMem(&Mem{Name: "rom", AddrBits: 1, DataBits: 1, Words: 3,
+		RAddr: []NetID{a}, RData: []NetID{d}, Clk: NoNet, WEn: NoNet})
+}

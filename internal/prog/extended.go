@@ -1,0 +1,248 @@
+package prog
+
+import (
+	"symsim/internal/isa"
+	"symsim/internal/isa/mips"
+	"symsim/internal/isa/msp430"
+	"symsim/internal/isa/rv32"
+)
+
+// Extension workloads beyond the paper's Table 1, from the same emerging
+// ULP domains the paper cites (sensor networks, RFID, wearables):
+//
+//   - crc8: bitwise CRC-8 (poly 0x07) over four unknown input bytes — a
+//     branch on the unknown MSB every bit, the RFID/sensor checksum
+//     pattern. Fork-heavy, converges via conservative states like Div.
+//   - fir4: a 4-tap FIR filter with power-of-two coefficients over four
+//     unknown samples — shift-and-add datapath with input-independent
+//     control flow, a single simulation path like tea8.
+//
+// They are deliberately not part of Benchmarks (the paper's tables stay
+// paper-faithful); Build accepts them by name for the extension study.
+var Extended = []Benchmark{
+	{"crc8", "CRC-8 checksum (poly 0x07)"},
+	{"fir4", "4-tap FIR filter, power-of-two taps"},
+}
+
+func init() {
+	builders["crc8/"+string(ISARV32)] = crc8RV32
+	builders["crc8/"+string(ISAMips)] = crc8Mips
+	builders["crc8/"+string(ISAMsp430)] = crc8Msp
+	builders["fir4/"+string(ISARV32)] = fir4RV32
+	builders["fir4/"+string(ISAMips)] = fir4Mips
+	builders["fir4/"+string(ISAMsp430)] = fir4Msp
+}
+
+// CRC8N is the crc8 input byte count; FIRN the fir4 sample count.
+const (
+	CRC8N = 4
+	FIRN  = 4
+)
+
+// FIR taps: y[n] = 4*x[n] + 2*x[n-1] + x[n-2] + 2*x[n-3], shifts only.
+var firShifts = [4]int{2, 1, 0, 1}
+
+// Crc8Ref is the Go reference for the crc8 benchmark.
+func Crc8Ref(data []uint8) uint8 {
+	var crc uint8
+	for _, b := range data {
+		crc ^= b
+		for i := 0; i < 8; i++ {
+			if crc&0x80 != 0 {
+				crc = crc<<1 ^ 0x07
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// Fir4Ref is the Go reference for the fir4 benchmark (word-width w).
+func Fir4Ref(x []uint32, mask uint32) []uint32 {
+	out := make([]uint32, len(x))
+	for n := range x {
+		var acc uint32
+		for t, sh := range firShifts {
+			if n-t >= 0 {
+				acc += x[n-t] << sh
+			}
+		}
+		out[n] = acc & mask
+	}
+	return out
+}
+
+func crc8RV32() (*isa.Image, error) {
+	a := rv32.NewAsm()
+	for i := 0; i < CRC8N; i++ {
+		a.XWord(i)
+	}
+	// crc in T0, byte index in S0, bit counter in S1.
+	a.LI(rv32.T0, 0)
+	a.LI(rv32.S0, 0)
+	a.Label("byte")
+	a.SLLI(rv32.T1, rv32.S0, 2)
+	a.LW(rv32.T2, rv32.T1, 0)
+	a.ANDI(rv32.T2, rv32.T2, 0xFF)
+	a.XOR(rv32.T0, rv32.T0, rv32.T2)
+	a.LI(rv32.S1, 8)
+	a.Label("bit")
+	a.ANDI(rv32.A0, rv32.T0, 0x80)
+	a.BEQ(rv32.A0, rv32.X0, "noPoly")
+	a.SLLI(rv32.T0, rv32.T0, 1)
+	a.XORI(rv32.T0, rv32.T0, 0x07)
+	a.JAL(rv32.X0, "next")
+	a.Label("noPoly")
+	a.SLLI(rv32.T0, rv32.T0, 1)
+	a.Label("next")
+	a.ANDI(rv32.T0, rv32.T0, 0xFF)
+	a.ADDI(rv32.S1, rv32.S1, -1)
+	a.BNE(rv32.S1, rv32.X0, "bit")
+	a.ADDI(rv32.S0, rv32.S0, 1)
+	a.LI(rv32.A1, CRC8N)
+	a.BNE(rv32.S0, rv32.A1, "byte")
+	a.SW(rv32.T0, rv32.X0, CRC8N*4)
+	a.Halt()
+	return a.Assemble()
+}
+
+func crc8Mips() (*isa.Image, error) {
+	a := mips.NewAsm()
+	for i := 0; i < CRC8N; i++ {
+		a.XWord(i)
+	}
+	a.LI(mips.T0, 0)
+	a.LI(mips.S0, 0)
+	a.Label("byte")
+	a.SLL(mips.T1, mips.S0, 2)
+	a.LW(mips.T2, mips.T1, 0)
+	a.ANDI(mips.T2, mips.T2, 0xFF)
+	a.XOR(mips.T0, mips.T0, mips.T2)
+	a.LI(mips.S1, 8)
+	a.Label("bit")
+	a.ANDI(mips.A0, mips.T0, 0x80)
+	a.BEQ(mips.A0, mips.ZERO, "noPoly")
+	a.SLL(mips.T0, mips.T0, 1)
+	a.XORI(mips.T0, mips.T0, 0x07)
+	a.J("next")
+	a.Label("noPoly")
+	a.SLL(mips.T0, mips.T0, 1)
+	a.Label("next")
+	a.ANDI(mips.T0, mips.T0, 0xFF)
+	a.ADDIU(mips.S1, mips.S1, -1)
+	a.BNE(mips.S1, mips.ZERO, "bit")
+	a.ADDIU(mips.S0, mips.S0, 1)
+	a.LI(mips.A1, CRC8N)
+	a.BNE(mips.S0, mips.A1, "byte")
+	a.SW(mips.T0, mips.ZERO, CRC8N*4)
+	a.Halt()
+	return a.Assemble()
+}
+
+func crc8Msp() (*isa.Image, error) {
+	a := msp430.NewAsm()
+	for i := 0; i < CRC8N; i++ {
+		a.XWord(i)
+	}
+	a.DisableWatchdog()
+	a.MOVI(0, msp430.R4) // crc
+	a.MOVI(0, msp430.R5) // byte index
+	a.Label("byte")
+	a.MOV(msp430.R5, msp430.R8)
+	a.ADD(msp430.R8, msp430.R8)
+	a.MOVM(int32(msp430.RAMBase), msp430.R8, msp430.R9)
+	a.ANDI(0xFF, msp430.R9)
+	a.XOR(msp430.R9, msp430.R4)
+	a.MOVI(8, msp430.R6) // bit counter
+	a.Label("bit")
+	a.BITI(0x80, msp430.R4)
+	a.JEQ("noPoly")
+	a.ADD(msp430.R4, msp430.R4)
+	a.XORI(0x07, msp430.R4)
+	a.JMP("next")
+	a.Label("noPoly")
+	a.ADD(msp430.R4, msp430.R4)
+	a.Label("next")
+	a.ANDI(0xFF, msp430.R4)
+	a.SUBI(1, msp430.R6)
+	a.JNE("bit")
+	a.ADDI(1, msp430.R5)
+	a.CMPI(CRC8N, msp430.R5)
+	a.JNE("byte")
+	a.StoreAbs(msp430.R4, msp430.DataAddr(CRC8N))
+	a.Halt()
+	return a.Assemble()
+}
+
+func fir4RV32() (*isa.Image, error) {
+	a := rv32.NewAsm()
+	for i := 0; i < FIRN; i++ {
+		a.XWord(i)
+	}
+	// Fully unrolled: acc = sum over taps of x[n-t] << shift, stores at
+	// words FIRN..2*FIRN-1. Straight-line: one simulation path.
+	for n := 0; n < FIRN; n++ {
+		a.LI(rv32.T0, 0)
+		for t, sh := range firShifts {
+			if n-t < 0 {
+				continue
+			}
+			a.LW(rv32.T1, rv32.X0, int32((n-t)*4))
+			if sh > 0 {
+				a.SLLI(rv32.T1, rv32.T1, sh)
+			}
+			a.ADD(rv32.T0, rv32.T0, rv32.T1)
+		}
+		a.SW(rv32.T0, rv32.X0, int32((FIRN+n)*4))
+	}
+	a.Halt()
+	return a.Assemble()
+}
+
+func fir4Mips() (*isa.Image, error) {
+	a := mips.NewAsm()
+	for i := 0; i < FIRN; i++ {
+		a.XWord(i)
+	}
+	for n := 0; n < FIRN; n++ {
+		a.LI(mips.T0, 0)
+		for t, sh := range firShifts {
+			if n-t < 0 {
+				continue
+			}
+			a.LW(mips.T1, mips.ZERO, int32((n-t)*4))
+			if sh > 0 {
+				a.SLL(mips.T1, mips.T1, sh)
+			}
+			a.ADDU(mips.T0, mips.T0, mips.T1)
+		}
+		a.SW(mips.T0, mips.ZERO, int32((FIRN+n)*4))
+	}
+	a.Halt()
+	return a.Assemble()
+}
+
+func fir4Msp() (*isa.Image, error) {
+	a := msp430.NewAsm()
+	for i := 0; i < FIRN; i++ {
+		a.XWord(i)
+	}
+	a.DisableWatchdog()
+	for n := 0; n < FIRN; n++ {
+		a.MOVI(0, msp430.R4)
+		for t, sh := range firShifts {
+			if n-t < 0 {
+				continue
+			}
+			a.LoadAbs(msp430.DataAddr(n-t), msp430.R5)
+			for s := 0; s < sh; s++ {
+				a.ADD(msp430.R5, msp430.R5)
+			}
+			a.ADD(msp430.R5, msp430.R4)
+		}
+		a.StoreAbs(msp430.R4, msp430.DataAddr(FIRN+n))
+	}
+	a.Halt()
+	return a.Assemble()
+}

@@ -1,0 +1,194 @@
+package prog
+
+import (
+	"symsim/internal/isa"
+	"symsim/internal/isa/mips"
+)
+
+// The MIPS32 benchmarks use the same data-memory layout as the RV32E
+// versions (see rv32.go). All comparisons follow the MIPS idiom the paper
+// describes: SLT/SLTU materializes the compare into a register, BEQ/BNE
+// against $zero resolves the jump — so the monitored compare-result bus is
+// 16 bits wide and Xs accumulate across iterations (paper §5.0.3).
+func divMips() (*isa.Image, error) {
+	a := mips.NewAsm()
+	a.XWord(0)
+	a.XWord(1)
+	a.LW(mips.T0, mips.ZERO, 0) // dividend
+	a.ANDI(mips.T0, mips.T0, 0xFFFF)
+	a.LW(mips.T1, mips.ZERO, 4) // divisor
+	a.ANDI(mips.T1, mips.T1, 0xFFFF)
+	a.LI(mips.T2, 0)  // remainder
+	a.LI(mips.T3, 0)  // quotient
+	a.LI(mips.T4, 16) // counter
+	a.Label("loop")
+	a.SLL(mips.T2, mips.T2, 1)
+	a.SRL(mips.T5, mips.T0, 15)
+	a.ANDI(mips.T5, mips.T5, 1)
+	a.OR(mips.T2, mips.T2, mips.T5)
+	a.SLL(mips.T0, mips.T0, 1)
+	a.ANDI(mips.T0, mips.T0, 0xFFFF)
+	a.SLL(mips.T3, mips.T3, 1)
+	// if rem >= divisor: compare via SLTU, branch on the result register.
+	a.SLTU(mips.T6, mips.T2, mips.T1)
+	a.BNE(mips.T6, mips.ZERO, "skip") // rem < divisor
+	a.SUBU(mips.T2, mips.T2, mips.T1)
+	a.ORI(mips.T3, mips.T3, 1)
+	a.Label("skip")
+	a.ADDIU(mips.T4, mips.T4, -1)
+	a.BNE(mips.T4, mips.ZERO, "loop")
+	a.SW(mips.T3, mips.ZERO, 8)
+	a.SW(mips.T2, mips.ZERO, 12)
+	a.Halt()
+	return a.Assemble()
+}
+
+func inSortMips() (*isa.Image, error) {
+	a := mips.NewAsm()
+	for i := 0; i < SortN; i++ {
+		a.XWord(i)
+	}
+	a.LI(mips.S0, 1) // i
+	a.Label("outer")
+	a.SLL(mips.T0, mips.S0, 2)
+	a.LW(mips.A0, mips.T0, 0)     // key
+	a.ADDIU(mips.S1, mips.S0, -1) // j
+	a.Label("inner")
+	a.SLT(mips.T7, mips.S1, mips.ZERO)
+	a.BNE(mips.T7, mips.ZERO, "place") // j < 0
+	a.SLL(mips.T1, mips.S1, 2)
+	a.LW(mips.A1, mips.T1, 0) // a[j]
+	// exit when a[j] <= key  <=>  !(key < a[j])
+	a.SLTU(mips.T7, mips.A0, mips.A1)
+	a.BEQ(mips.T7, mips.ZERO, "place")
+	a.SW(mips.A1, mips.T1, 4)
+	a.ADDIU(mips.S1, mips.S1, -1)
+	a.J("inner")
+	a.Label("place")
+	a.SLL(mips.T1, mips.S1, 2)
+	a.SW(mips.A0, mips.T1, 4)
+	a.ADDIU(mips.S0, mips.S0, 1)
+	a.LI(mips.T2, SortN)
+	a.BNE(mips.S0, mips.T2, "outer")
+	a.Halt()
+	return a.Assemble()
+}
+
+func binSearchMips() (*isa.Image, error) {
+	a := mips.NewAsm()
+	for i := 0; i < SearchN; i++ {
+		a.XWord(i)
+	}
+	a.XWord(SearchN)
+	a.LI(mips.S0, 0)         // lo
+	a.LI(mips.S1, SearchN-1) // hi
+	a.LI(mips.S2, -1)        // result
+	a.LW(mips.A0, mips.ZERO, SearchN*4)
+	a.Label("loop")
+	a.SLT(mips.T7, mips.S1, mips.S0)
+	a.BNE(mips.T7, mips.ZERO, "done") // hi < lo
+	a.ADDU(mips.T0, mips.S0, mips.S1)
+	a.SRL(mips.T0, mips.T0, 1) // mid
+	a.SLL(mips.T1, mips.T0, 2)
+	a.LW(mips.A1, mips.T1, 0) // a[mid]
+	a.BNE(mips.A1, mips.A0, "neq")
+	a.ADDU(mips.S2, mips.T0, mips.ZERO)
+	a.J("done")
+	a.Label("neq")
+	a.SLTU(mips.T7, mips.A1, mips.A0)
+	a.BNE(mips.T7, mips.ZERO, "goRight")
+	a.ADDIU(mips.S1, mips.T0, -1)
+	a.J("loop")
+	a.Label("goRight")
+	a.ADDIU(mips.S0, mips.T0, 1)
+	a.J("loop")
+	a.Label("done")
+	a.SW(mips.S2, mips.ZERO, (SearchN+1)*4)
+	a.Halt()
+	return a.Assemble()
+}
+
+func tHoldMips() (*isa.Image, error) {
+	a := mips.NewAsm()
+	for i := 0; i < THoldN; i++ {
+		a.XWord(i)
+	}
+	// Two conditional branches per loop iteration, as on dr5.
+	a.LI(mips.S0, 0) // i
+	a.LI(mips.S1, 0) // count
+	a.LI(mips.A1, THoldLimit)
+	a.Label("loop")
+	a.SLL(mips.T0, mips.S0, 2)
+	a.LW(mips.A0, mips.T0, 0)
+	a.SLTU(mips.T7, mips.A1, mips.A0) // limit < sample
+	a.BEQ(mips.T7, mips.ZERO, "skip")
+	a.ADDIU(mips.S1, mips.S1, 1)
+	a.Label("skip")
+	a.ADDIU(mips.S0, mips.S0, 1)
+	a.LI(mips.T1, THoldN)
+	a.BNE(mips.S0, mips.T1, "loop")
+	a.SW(mips.S1, mips.ZERO, THoldN*4)
+	a.Halt()
+	return a.Assemble()
+}
+
+func multMips() (*isa.Image, error) {
+	a := mips.NewAsm()
+	a.XWord(0)
+	a.XWord(1)
+	// bm32 has a hardware multiplier: MULTU + MFLO/MFHI, no
+	// input-dependent branches, a single simulation path (paper Table 4).
+	// The full-width multiply drives X through the whole 32x32 array,
+	// which is why mult exercises more of bm32 than any other benchmark
+	// (paper Table 3: mult has bm32's lowest reduction).
+	a.LW(mips.T0, mips.ZERO, 0)
+	a.LW(mips.T1, mips.ZERO, 4)
+	a.MULTU(mips.T0, mips.T1)
+	a.MFLO(mips.T2)
+	a.SW(mips.T2, mips.ZERO, 8)
+	a.MFHI(mips.T3)
+	a.SW(mips.T3, mips.ZERO, 12)
+	a.Halt()
+	return a.Assemble()
+}
+
+func tea8Mips() (*isa.Image, error) {
+	a := mips.NewAsm()
+	a.XWord(0)
+	a.XWord(1)
+	delta := uint32(0x9E3779B9)
+	key := [4]int32{0x0123, 0x4567, 0x89AB, 0xCDEF}
+	a.LW(mips.A0, mips.ZERO, 0)
+	a.LW(mips.A1, mips.ZERO, 4)
+	a.LI(mips.S0, 0)
+	a.LI(mips.S1, TeaRounds)
+	a.LI(mips.S2, int32(delta))
+	a.Label("round")
+	a.ADDU(mips.S0, mips.S0, mips.S2)
+	a.SLL(mips.T0, mips.A1, 4)
+	a.LI(mips.T2, key[0])
+	a.ADDU(mips.T0, mips.T0, mips.T2)
+	a.ADDU(mips.T1, mips.A1, mips.S0)
+	a.XOR(mips.T0, mips.T0, mips.T1)
+	a.SRL(mips.T1, mips.A1, 5)
+	a.LI(mips.T2, key[1])
+	a.ADDU(mips.T1, mips.T1, mips.T2)
+	a.XOR(mips.T0, mips.T0, mips.T1)
+	a.ADDU(mips.A0, mips.A0, mips.T0)
+	a.SLL(mips.T0, mips.A0, 4)
+	a.LI(mips.T2, key[2])
+	a.ADDU(mips.T0, mips.T0, mips.T2)
+	a.ADDU(mips.T1, mips.A0, mips.S0)
+	a.XOR(mips.T0, mips.T0, mips.T1)
+	a.SRL(mips.T1, mips.A0, 5)
+	a.LI(mips.T2, key[3])
+	a.ADDU(mips.T1, mips.T1, mips.T2)
+	a.XOR(mips.T0, mips.T0, mips.T1)
+	a.ADDU(mips.A1, mips.A1, mips.T0)
+	a.ADDIU(mips.S1, mips.S1, -1)
+	a.BNE(mips.S1, mips.ZERO, "round")
+	a.SW(mips.A0, mips.ZERO, 8)
+	a.SW(mips.A1, mips.ZERO, 12)
+	a.Halt()
+	return a.Assemble()
+}

@@ -1,0 +1,217 @@
+package prog
+
+import (
+	"symsim/internal/isa"
+	"symsim/internal/isa/msp430"
+)
+
+// The MSP430 benchmarks use the same logical layout as the other ISAs but
+// with 16-bit data words at msp430.DataAddr(i). Every program begins with
+// the canonical watchdog-disable prologue that compiled MSP430 binaries
+// carry, and multiplication uses the memory-mapped hardware multiplier.
+// Conditional control flow resolves from the NZCV status flags — 1 bit
+// each — which is why openMSP430 converges in far fewer simulation paths
+// than the register-compare designs (paper §5.0.3).
+func divMsp() (*isa.Image, error) {
+	a := msp430.NewAsm()
+	a.XWord(0)
+	a.XWord(1)
+	a.DisableWatchdog()
+	a.LoadAbs(msp430.DataAddr(0), msp430.R4) // dividend
+	a.LoadAbs(msp430.DataAddr(1), msp430.R5) // divisor
+	a.MOVI(0, msp430.R6)                     // remainder
+	a.MOVI(0, msp430.R7)                     // quotient
+	a.MOVI(16, msp430.R8)                    // counter
+	a.Label("loop")
+	a.ADD(msp430.R4, msp430.R4)  // dividend <<= 1, C = old MSB
+	a.ADDC(msp430.R6, msp430.R6) // rem = rem<<1 | C
+	a.ADD(msp430.R7, msp430.R7)  // quotient <<= 1
+	a.CMP(msp430.R5, msp430.R6)  // rem - divisor
+	a.JNC("skip")                // borrow: rem < divisor
+	a.SUB(msp430.R5, msp430.R6)
+	a.BISI(1, msp430.R7)
+	a.Label("skip")
+	a.SUBI(1, msp430.R8)
+	a.JNE("loop")
+	a.StoreAbs(msp430.R7, msp430.DataAddr(2))
+	a.StoreAbs(msp430.R6, msp430.DataAddr(3))
+	a.Halt()
+	return a.Assemble()
+}
+
+func inSortMsp() (*isa.Image, error) {
+	a := msp430.NewAsm()
+	for i := 0; i < SortN; i++ {
+		a.XWord(i)
+	}
+	// Compiled MSP430 code indexes with the non-negative k = j+1 and
+	// masks the byte offset to the array extent before forming the store
+	// address, so store addresses keep their high bits known even under
+	// conservative state merging (an X-valued store address would
+	// conservatively strobe every peripheral write decode; see
+	// EXPERIMENTS.md for the unmasked ablation).
+	a.DisableWatchdog()
+	a.MOVI(1, msp430.R4) // i
+	a.Label("outer")
+	a.MOV(msp430.R4, msp430.R5)
+	a.ADD(msp430.R5, msp430.R5)                         // byte offset of a[i]
+	a.MOVM(int32(msp430.RAMBase), msp430.R5, msp430.R6) // key = a[i]
+	a.MOV(msp430.R4, msp430.R7)                         // k = i (elements left of the gap)
+	a.Label("inner")
+	a.CMPI(0, msp430.R7)
+	a.JEQ("place") // k == 0: gap at the front
+	a.MOV(msp430.R7, msp430.R8)
+	a.ADD(msp430.R8, msp430.R8)
+	a.ANDI(offMask, msp430.R8)                            // clamp offset: 2k in [0, 2*SortN)
+	a.MOVM(int32(msp430.RAMBase)-2, msp430.R8, msp430.R9) // a[k-1]
+	a.CMP(msp430.R9, msp430.R6)                           // key - a[k-1]
+	a.JC("place")                                         // key >= a[k-1]
+	a.MOVRM(msp430.R9, int32(msp430.RAMBase), msp430.R8)  // a[k] = a[k-1]
+	a.SUBI(1, msp430.R7)
+	a.JMP("inner")
+	a.Label("place")
+	a.MOV(msp430.R7, msp430.R8)
+	a.ADD(msp430.R8, msp430.R8)
+	a.ANDI(offMask, msp430.R8)
+	a.MOVRM(msp430.R6, int32(msp430.RAMBase), msp430.R8) // a[k] = key
+	a.ADDI(1, msp430.R4)
+	a.CMPI(SortN, msp430.R4)
+	a.JNE("outer")
+	a.Halt()
+	return a.Assemble()
+}
+
+func binSearchMsp() (*isa.Image, error) {
+	a := msp430.NewAsm()
+	for i := 0; i < SearchN; i++ {
+		a.XWord(i)
+	}
+	a.XWord(SearchN)
+	a.DisableWatchdog()
+	a.MOVI(0, msp430.R4)                           // lo
+	a.MOVI(SearchN-1, msp430.R5)                   // hi
+	a.MOVI(-1, msp430.R6)                          // result
+	a.LoadAbs(msp430.DataAddr(SearchN), msp430.R7) // key
+	a.Label("loop")
+	a.CMP(msp430.R4, msp430.R5) // hi - lo
+	a.JL("done")                // hi < lo
+	a.MOV(msp430.R4, msp430.R8)
+	a.ADD(msp430.R5, msp430.R8)
+	a.RRA(msp430.R8) // mid
+	a.MOV(msp430.R8, msp430.R9)
+	a.ADD(msp430.R9, msp430.R9)                          // byte offset
+	a.MOVM(int32(msp430.RAMBase), msp430.R9, msp430.R10) // a[mid]
+	a.CMP(msp430.R10, msp430.R7)                         // key - a[mid]
+	a.JEQ("found")
+	a.JC("goRight") // key > a[mid]
+	a.MOV(msp430.R8, msp430.R5)
+	a.SUBI(1, msp430.R5) // hi = mid-1
+	a.JMP("loop")
+	a.Label("goRight")
+	a.MOV(msp430.R8, msp430.R4)
+	a.ADDI(1, msp430.R4) // lo = mid+1
+	a.JMP("loop")
+	a.Label("found")
+	a.MOV(msp430.R8, msp430.R6)
+	a.Label("done")
+	a.StoreAbs(msp430.R6, msp430.DataAddr(SearchN+1))
+	a.Halt()
+	return a.Assemble()
+}
+
+func tHoldMsp() (*isa.Image, error) {
+	a := msp430.NewAsm()
+	for i := 0; i < THoldN; i++ {
+		a.XWord(i)
+	}
+	// Three conditional branch instructions per loop iteration (JEQ, JNC
+	// and the loop's JNE) versus two on bm32/dr5 — the cause of the
+	// paper's counter-trend tHold path count on openMSP430 (§5.0.3).
+	a.DisableWatchdog()
+	a.MOVI(0, msp430.R4) // i
+	a.MOVI(0, msp430.R5) // count
+	a.Label("loop")
+	a.MOV(msp430.R4, msp430.R8)
+	a.ADD(msp430.R8, msp430.R8)
+	a.MOVM(int32(msp430.RAMBase), msp430.R8, msp430.R9) // sample
+	a.CMPI(THoldLimit, msp430.R9)                       // sample - limit
+	a.JEQ("skip")                                       // sample == limit
+	a.JNC("skip")                                       // sample < limit
+	a.ADDI(1, msp430.R5)
+	a.Label("skip")
+	a.ADDI(1, msp430.R4)
+	a.CMPI(THoldN, msp430.R4)
+	a.JNE("loop")
+	a.StoreAbs(msp430.R5, msp430.DataAddr(THoldN))
+	a.Halt()
+	return a.Assemble()
+}
+
+func multMsp() (*isa.Image, error) {
+	a := msp430.NewAsm()
+	a.XWord(0)
+	a.XWord(1)
+	// The 16x16 hardware multiplier peripheral: write MPY and OP2, read
+	// RESLO/RESHI. Straight-line code, a single simulation path.
+	a.DisableWatchdog()
+	a.LoadAbs(msp430.DataAddr(0), msp430.R4)
+	a.StoreAbs(msp430.R4, msp430.AddrMPY)
+	a.LoadAbs(msp430.DataAddr(1), msp430.R5)
+	a.StoreAbs(msp430.R5, msp430.AddrOP2)
+	a.LoadAbs(msp430.AddrRESLO, msp430.R6)
+	a.StoreAbs(msp430.R6, msp430.DataAddr(2))
+	a.LoadAbs(msp430.AddrRESHI, msp430.R7)
+	a.StoreAbs(msp430.R7, msp430.DataAddr(3))
+	a.Halt()
+	return a.Assemble()
+}
+
+func tea8Msp() (*isa.Image, error) {
+	a := msp430.NewAsm()
+	a.XWord(0)
+	a.XWord(1)
+	// 16-bit TEA variant (the MSP430 is a 16-bit machine), fixed round
+	// count: input-independent control flow, one simulation path.
+	const delta = 0x9E37
+	key := [4]int32{0x0123, 0x4567, 0x89AB & 0xFFFF, 0xCDEF & 0xFFFF}
+	a.DisableWatchdog()
+	a.LoadAbs(msp430.DataAddr(0), msp430.R4) // v0
+	a.LoadAbs(msp430.DataAddr(1), msp430.R5) // v1
+	a.MOVI(0, msp430.R6)                     // sum
+	a.MOVI(TeaRounds, msp430.R7)             // rounds
+
+	half := func(v, other int, k0, k1 int32) {
+		// v += ((other<<4) + k0) ^ (other + sum) ^ ((other>>5) + k1)
+		a.MOV(other, msp430.R8)
+		for i := 0; i < 4; i++ {
+			a.ADD(msp430.R8, msp430.R8) // logical shift left
+		}
+		a.ADDI(k0, msp430.R8)
+		a.MOV(other, msp430.R9)
+		a.ADD(msp430.R6, msp430.R9)
+		a.XOR(msp430.R9, msp430.R8)
+		a.MOV(other, msp430.R9)
+		for i := 0; i < 5; i++ {
+			a.BITI(0, msp430.R9) // clear carry (BIT sets C = ~Z, dst&0 = 0)
+			a.RRC(msp430.R9)     // logical shift right via carry
+		}
+		a.ADDI(k1, msp430.R9)
+		a.XOR(msp430.R9, msp430.R8)
+		a.ADD(msp430.R8, v)
+	}
+
+	a.Label("round")
+	a.ADDI(delta, msp430.R6)
+	half(msp430.R4, msp430.R5, key[0], key[1])
+	half(msp430.R5, msp430.R4, key[2], key[3])
+	a.SUBI(1, msp430.R7)
+	a.JNE("round")
+	a.StoreAbs(msp430.R4, msp430.DataAddr(2))
+	a.StoreAbs(msp430.R5, msp430.DataAddr(3))
+	a.Halt()
+	return a.Assemble()
+}
+
+// offMask clamps a byte offset to the inSort array extent; SortN words of
+// 2 bytes each must fit.
+const offMask = 2*SortN - 1 | 0xE

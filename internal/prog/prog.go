@@ -1,0 +1,110 @@
+// Package prog implements the six benchmark applications of paper Table 1
+// — Div, inSort, binSearch, tHold, mult, tea8 — once per evaluation ISA
+// (MIPS32 for bm32, MSP430 for openMSP430, RV32E for dr5), eighteen
+// programs in total. The paper compiles C sources; these are hand-written
+// assembly with the same control-flow structure, which is what the
+// symbolic co-analysis results depend on:
+//
+//   - Div, inSort, binSearch, tHold branch on unknown input data and fork.
+//   - mult uses the hardware multiplier on bm32 and openMSP430 (a single
+//     simulation path) but a software shift-and-add loop on dr5, which has
+//     no multiplier (multiple paths — paper §5.0.3).
+//   - tea8's control flow is input-independent (fixed round count), so it
+//     simulates in exactly one path on every design.
+//   - tHold executes three input-dependent conditional branches per loop
+//     iteration on openMSP430 versus two on bm32/dr5, reproducing the
+//     paper's one counter-trend data point (Figure 6).
+//
+// Application inputs live in data memory and are left as X by the loader
+// (paper Listing 1); each program ends in the ISA's jump-to-self idiom
+// that the cores detect as the simulation terminating condition.
+package prog
+
+import (
+	"fmt"
+
+	"symsim/internal/isa"
+)
+
+// Benchmark identifies one application of Table 1.
+type Benchmark struct {
+	// Name as used in the paper's tables.
+	Name string
+	// Desc is the Table 1 description.
+	Desc string
+}
+
+// Benchmarks lists Table 1 in paper order.
+var Benchmarks = []Benchmark{
+	{"Div", "Unsigned integer division"},
+	{"inSort", "in-place insertion sort"},
+	{"binSearch", "Binary search"},
+	{"tHold", "Digital threshold detector"},
+	{"mult", "unsigned multiplication"},
+	{"tea8", "TEA encryption algorithm"},
+}
+
+// ISA identifies a target instruction set.
+type ISA string
+
+// The three evaluation ISAs.
+const (
+	ISAMips   ISA = "mips32"
+	ISAMsp430 ISA = "msp430"
+	ISARV32   ISA = "rv32e"
+)
+
+// Sizes shared by all benchmark instances. Small enough to keep symbolic
+// simulation fast, large enough to exercise the loops meaningfully.
+const (
+	// SortN is the element count for inSort.
+	SortN = 4
+	// SearchN is the (sorted, known) table size for binSearch.
+	SearchN = 8
+	// THoldN is the sample count for tHold.
+	THoldN = 8
+	// THoldLimit is the detector threshold.
+	THoldLimit = 100
+	// TeaRounds is the TEA round count ("tea8").
+	TeaRounds = 8
+)
+
+// Build assembles benchmark b for the given ISA.
+func Build(b string, target ISA) (*isa.Image, error) {
+	key := fmt.Sprintf("%s/%s", b, target)
+	f, ok := builders[key]
+	if !ok {
+		return nil, fmt.Errorf("prog: no benchmark %q for %s", b, target)
+	}
+	return f()
+}
+
+// MustBuild is Build that panics on error (the benchmark set is fixed).
+func MustBuild(b string, target ISA) *isa.Image {
+	img, err := Build(b, target)
+	if err != nil {
+		panic(err)
+	}
+	return img
+}
+
+var builders = map[string]func() (*isa.Image, error){
+	"Div/" + string(ISARV32):         divRV32,
+	"inSort/" + string(ISARV32):      inSortRV32,
+	"binSearch/" + string(ISARV32):   binSearchRV32,
+	"tHold/" + string(ISARV32):       tHoldRV32,
+	"mult/" + string(ISARV32):        multRV32,
+	"tea8/" + string(ISARV32):        tea8RV32,
+	"Div/" + string(ISAMips):         divMips,
+	"inSort/" + string(ISAMips):      inSortMips,
+	"binSearch/" + string(ISAMips):   binSearchMips,
+	"tHold/" + string(ISAMips):       tHoldMips,
+	"mult/" + string(ISAMips):        multMips,
+	"tea8/" + string(ISAMips):        tea8Mips,
+	"Div/" + string(ISAMsp430):       divMsp,
+	"inSort/" + string(ISAMsp430):    inSortMsp,
+	"binSearch/" + string(ISAMsp430): binSearchMsp,
+	"tHold/" + string(ISAMsp430):     tHoldMsp,
+	"mult/" + string(ISAMsp430):      multMsp,
+	"tea8/" + string(ISAMsp430):      tea8Msp,
+}

@@ -1,0 +1,214 @@
+package prog
+
+import (
+	"symsim/internal/isa"
+	"symsim/internal/isa/rv32"
+)
+
+// Data-memory word layout conventions for the RV32E benchmarks (word
+// index = byte address / 4):
+//
+//	Div:       in 0,1 (dividend, divisor)  out 2 (quotient), 3 (remainder)
+//	inSort:    in 0..SortN-1 (array, sorted in place)
+//	binSearch: in 0..SearchN-1 (array), SearchN (key)  out SearchN+1 (index)
+//	tHold:     in 0..THoldN-1 (samples)  out THoldN (count above limit)
+//	mult:      in 0,1 (operands)  out 2 (product)
+//	tea8:      in 0,1 (v0,v1)  out 2,3 (ciphertext)
+func divRV32() (*isa.Image, error) {
+	a := rv32.NewAsm()
+	a.XWord(0)
+	a.XWord(1)
+	// 16-bit restoring division: fixed 16 iterations, one input-dependent
+	// compare per iteration.
+	a.LW(rv32.A0, rv32.X0, 0) // dividend
+	a.SLLI(rv32.A0, rv32.A0, 16)
+	a.SRLI(rv32.A0, rv32.A0, 16)
+	a.LW(rv32.A1, rv32.X0, 4) // divisor
+	a.SLLI(rv32.A1, rv32.A1, 16)
+	a.SRLI(rv32.A1, rv32.A1, 16)
+	a.LI(rv32.T0, 0)  // remainder
+	a.LI(rv32.T1, 0)  // quotient
+	a.LI(rv32.T2, 16) // iteration counter
+	a.Label("loop")
+	// rem = (rem << 1) | (dividend >> 15 & 1); dividend <<= 1 (16-bit).
+	a.SLLI(rv32.T0, rv32.T0, 1)
+	a.SRLI(rv32.A2, rv32.A0, 15)
+	a.ANDI(rv32.A2, rv32.A2, 1)
+	a.OR(rv32.T0, rv32.T0, rv32.A2)
+	a.SLLI(rv32.A0, rv32.A0, 1)
+	a.SLLI(rv32.A0, rv32.A0, 16)
+	a.SRLI(rv32.A0, rv32.A0, 16)
+	a.SLLI(rv32.T1, rv32.T1, 1)
+	// if rem >= divisor: rem -= divisor; quotient |= 1.
+	a.BLTU(rv32.T0, rv32.A1, "skip")
+	a.SUB(rv32.T0, rv32.T0, rv32.A1)
+	a.ORI(rv32.T1, rv32.T1, 1)
+	a.Label("skip")
+	a.ADDI(rv32.T2, rv32.T2, -1)
+	a.BNE(rv32.T2, rv32.X0, "loop")
+	a.SW(rv32.T1, rv32.X0, 8)
+	a.SW(rv32.T0, rv32.X0, 12)
+	a.Halt()
+	return a.Assemble()
+}
+
+func inSortRV32() (*isa.Image, error) {
+	a := rv32.NewAsm()
+	for i := 0; i < SortN; i++ {
+		a.XWord(i)
+	}
+	// for i = 1..N-1 { key = a[i]; j = i-1;
+	//   while j >= 0 && a[j] > key { a[j+1] = a[j]; j-- }
+	//   a[j+1] = key }
+	a.LI(rv32.S0, 1) // i
+	a.Label("outer")
+	a.SLLI(rv32.T0, rv32.S0, 2)
+	a.LW(rv32.A0, rv32.T0, 0)    // key = a[i]
+	a.ADDI(rv32.S1, rv32.S0, -1) // j
+	a.Label("inner")
+	a.BLT(rv32.S1, rv32.X0, "place") // j < 0?
+	a.SLLI(rv32.T1, rv32.S1, 2)
+	a.LW(rv32.A1, rv32.T1, 0) // a[j]
+	// while a[j] > key, i.e. branch out when a[j] <= key: key >= a[j].
+	a.BGEU(rv32.A0, rv32.A1, "place")
+	a.SW(rv32.A1, rv32.T1, 4) // a[j+1] = a[j]
+	a.ADDI(rv32.S1, rv32.S1, -1)
+	a.JAL(rv32.X0, "inner")
+	a.Label("place")
+	a.SLLI(rv32.T1, rv32.S1, 2)
+	a.SW(rv32.A0, rv32.T1, 4) // a[j+1] = key
+	a.ADDI(rv32.S0, rv32.S0, 1)
+	a.LI(rv32.T2, SortN)
+	a.BNE(rv32.S0, rv32.T2, "outer")
+	a.Halt()
+	return a.Assemble()
+}
+
+func binSearchRV32() (*isa.Image, error) {
+	a := rv32.NewAsm()
+	for i := 0; i < SearchN; i++ {
+		a.XWord(i)
+	}
+	a.XWord(SearchN)                  // key
+	a.LI(rv32.S0, 0)                  // lo
+	a.LI(rv32.S1, SearchN-1)          // hi
+	a.LI(rv32.A2, -1)                 // result
+	a.LW(rv32.A0, rv32.X0, SearchN*4) // key
+	a.Label("loop")
+	a.BLT(rv32.S1, rv32.S0, "done") // hi < lo?
+	a.ADD(rv32.T0, rv32.S0, rv32.S1)
+	a.SRLI(rv32.T0, rv32.T0, 1) // mid
+	a.SLLI(rv32.T1, rv32.T0, 2)
+	a.LW(rv32.A1, rv32.T1, 0) // a[mid]
+	a.BNE(rv32.A1, rv32.A0, "neq")
+	a.ADD(rv32.A2, rv32.T0, rv32.X0) // found
+	a.JAL(rv32.X0, "done")
+	a.Label("neq")
+	a.BLTU(rv32.A1, rv32.A0, "goRight")
+	a.ADDI(rv32.S1, rv32.T0, -1) // hi = mid-1
+	a.JAL(rv32.X0, "loop")
+	a.Label("goRight")
+	a.ADDI(rv32.S0, rv32.T0, 1) // lo = mid+1
+	a.JAL(rv32.X0, "loop")
+	a.Label("done")
+	a.SW(rv32.A2, rv32.X0, (SearchN+1)*4)
+	a.Halt()
+	return a.Assemble()
+}
+
+func tHoldRV32() (*isa.Image, error) {
+	a := rv32.NewAsm()
+	for i := 0; i < THoldN; i++ {
+		a.XWord(i)
+	}
+	// Two conditional branches per loop iteration (one input-dependent,
+	// one loop bound) — versus three on openMSP430 (paper §5.0.3).
+	a.LI(rv32.S0, 0) // i
+	a.LI(rv32.S1, 0) // count
+	a.LI(rv32.A1, THoldLimit)
+	a.Label("loop")
+	a.SLLI(rv32.T0, rv32.S0, 2)
+	a.LW(rv32.A0, rv32.T0, 0)
+	a.BGEU(rv32.A1, rv32.A0, "skip") // sample <= limit
+	a.ADDI(rv32.S1, rv32.S1, 1)
+	a.Label("skip")
+	a.ADDI(rv32.S0, rv32.S0, 1)
+	a.LI(rv32.T1, THoldN)
+	a.BNE(rv32.S0, rv32.T1, "loop")
+	a.SW(rv32.S1, rv32.X0, THoldN*4)
+	a.Halt()
+	return a.Assemble()
+}
+
+func multRV32() (*isa.Image, error) {
+	a := rv32.NewAsm()
+	a.XWord(0)
+	a.XWord(1)
+	// dr5 has no hardware multiplier: 16-bit software shift-and-add, the
+	// "library implementation of multiplication in the form of repeated
+	// additions in a loop" of paper §5.0.3. Each iteration branches on an
+	// unknown multiplier bit.
+	a.LW(rv32.A0, rv32.X0, 0)
+	a.SLLI(rv32.A0, rv32.A0, 16)
+	a.SRLI(rv32.A0, rv32.A0, 16)
+	a.LW(rv32.A1, rv32.X0, 4)
+	a.SLLI(rv32.A1, rv32.A1, 16)
+	a.SRLI(rv32.A1, rv32.A1, 16)
+	a.LI(rv32.T0, 0) // acc
+	a.Label("loop")
+	a.ANDI(rv32.T1, rv32.A1, 1)
+	a.BEQ(rv32.T1, rv32.X0, "even")
+	a.ADD(rv32.T0, rv32.T0, rv32.A0)
+	a.Label("even")
+	a.SLLI(rv32.A0, rv32.A0, 1)
+	a.SRLI(rv32.A1, rv32.A1, 1)
+	a.BNE(rv32.A1, rv32.X0, "loop")
+	a.SW(rv32.T0, rv32.X0, 8)
+	a.Halt()
+	return a.Assemble()
+}
+
+func tea8RV32() (*isa.Image, error) {
+	a := rv32.NewAsm()
+	a.XWord(0)
+	a.XWord(1)
+	// TEA with a fixed round count: input-independent control flow, one
+	// simulation path on every design (paper Table 4).
+	delta := uint32(0x9E3779B9)
+	key := [4]int32{0x0123, 0x4567, 0x89AB, 0xCDEF}
+	a.LW(rv32.A0, rv32.X0, 0) // v0
+	a.LW(rv32.A1, rv32.X0, 4) // v1
+	a.LI(rv32.S0, 0)          // sum
+	a.LI(rv32.S1, TeaRounds)  // rounds
+	a.LI(rv32.A2, int32(delta))
+	a.Label("round")
+	a.ADD(rv32.S0, rv32.S0, rv32.A2) // sum += delta
+	// v0 += ((v1<<4)+k0) ^ (v1+sum) ^ ((v1>>5)+k1)
+	a.SLLI(rv32.T0, rv32.A1, 4)
+	a.LI(rv32.T2, key[0])
+	a.ADD(rv32.T0, rv32.T0, rv32.T2)
+	a.ADD(rv32.T1, rv32.A1, rv32.S0)
+	a.XOR(rv32.T0, rv32.T0, rv32.T1)
+	a.SRLI(rv32.T1, rv32.A1, 5)
+	a.LI(rv32.T2, key[1])
+	a.ADD(rv32.T1, rv32.T1, rv32.T2)
+	a.XOR(rv32.T0, rv32.T0, rv32.T1)
+	a.ADD(rv32.A0, rv32.A0, rv32.T0)
+	// v1 += ((v0<<4)+k2) ^ (v0+sum) ^ ((v0>>5)+k3)
+	a.SLLI(rv32.T0, rv32.A0, 4)
+	a.LI(rv32.T2, key[2])
+	a.ADD(rv32.T0, rv32.T0, rv32.T2)
+	a.ADD(rv32.T1, rv32.A0, rv32.S0)
+	a.XOR(rv32.T0, rv32.T0, rv32.T1)
+	a.SRLI(rv32.T1, rv32.A0, 5)
+	a.LI(rv32.T2, key[3])
+	a.ADD(rv32.T1, rv32.T1, rv32.T2)
+	a.XOR(rv32.T0, rv32.T0, rv32.T1)
+	a.ADD(rv32.A1, rv32.A1, rv32.T0)
+	a.ADDI(rv32.S1, rv32.S1, -1)
+	a.BNE(rv32.S1, rv32.X0, "round")
+	a.SW(rv32.A0, rv32.X0, 8)
+	a.SW(rv32.A1, rv32.X0, 12)
+	a.Halt()
+	return a.Assemble()
+}

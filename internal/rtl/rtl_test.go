@@ -1,0 +1,308 @@
+package rtl
+
+import (
+	"math/rand"
+	"testing"
+
+	"symsim/internal/logic"
+	"symsim/internal/netlist"
+	"symsim/internal/vvp"
+)
+
+// comb wraps a combinational module: set inputs, settle, read outputs.
+type comb struct {
+	t   *testing.T
+	m   *Module
+	sim *vvp.Simulator
+}
+
+// newComb freezes the module and prepares a simulator with a dummy clock.
+func newComb(t *testing.T, m *Module) *comb {
+	t.Helper()
+	if err := m.N.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	sim := vvp.New(m.N, vvp.Options{})
+	st := vvp.NewStimulus(m.Clk, 5)
+	st.At(1, m.Rstn, logic.Hi)
+	st.Finalize()
+	sim.BindStimulus(st)
+	return &comb{t: t, m: m, sim: sim}
+}
+
+// eval drives the named input buses with values and returns a bus reader.
+func (c *comb) eval(assign map[string]uint64) func(bus Bus) uint64 {
+	c.t.Helper()
+	for name, val := range assign {
+		bus := c.busByName(name)
+		for i, id := range bus {
+			c.sim.Drive(id, logic.Bool(val>>uint(i)&1 == 1))
+		}
+	}
+	if _, err := c.sim.Step(); err != nil {
+		c.t.Fatal(err)
+	}
+	return func(bus Bus) uint64 {
+		v, ok := c.sim.VecValue([]netlist.NetID(bus)).Uint64()
+		if !ok {
+			c.t.Fatalf("output not fully known: %s", c.sim.VecValue([]netlist.NetID(bus)))
+		}
+		return v
+	}
+}
+
+func (c *comb) busByName(name string) Bus {
+	c.t.Helper()
+	if id, ok := c.m.N.NetByName(name); ok {
+		return Bus{id}
+	}
+	var bus Bus
+	for i := 0; ; i++ {
+		id, ok := c.m.N.NetByName(busBit(name, 2, i))
+		if !ok {
+			break
+		}
+		bus = append(bus, id)
+	}
+	if len(bus) == 0 {
+		c.t.Fatalf("no bus %q", name)
+	}
+	return bus
+}
+
+func TestAdderExhaustive4Bit(t *testing.T) {
+	m := NewModule("add4")
+	a := m.Input("a", 4)
+	b := m.Input("b", 4)
+	sum, cout := m.Add(a, b, m.Lo())
+	m.Output("sum", sum)
+	m.Output("cout", Bus{cout})
+	c := newComb(t, m)
+	for x := uint64(0); x < 16; x++ {
+		for y := uint64(0); y < 16; y++ {
+			rd := c.eval(map[string]uint64{"a": x, "b": y})
+			if got := rd(sum); got != (x+y)&0xF {
+				t.Fatalf("%d+%d = %d, want %d", x, y, got, (x+y)&0xF)
+			}
+			if got := rd(Bus{cout}); got != (x+y)>>4 {
+				t.Fatalf("cout(%d+%d) = %d", x, y, got)
+			}
+		}
+	}
+}
+
+func TestSubAndComparators(t *testing.T) {
+	m := NewModule("cmp")
+	a := m.Input("a", 8)
+	b := m.Input("b", 8)
+	diff, noBorrow := m.Sub(a, b)
+	m.Output("diff", diff)
+	m.Output("nb", Bus{noBorrow})
+	eq := m.Eq(a, b)
+	m.Output("eq", Bus{eq})
+	ltu := m.LtU(a, b)
+	m.Output("ltu", Bus{ltu})
+	lts := m.LtS(a, b)
+	m.Output("lts", Bus{lts})
+	z := m.Zero(a)
+	m.Output("z", Bus{z})
+	c := newComb(t, m)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		x, y := uint64(r.Intn(256)), uint64(r.Intn(256))
+		rd := c.eval(map[string]uint64{"a": x, "b": y})
+		if got := rd(diff); got != (x-y)&0xFF {
+			t.Fatalf("%d-%d = %d", x, y, got)
+		}
+		if got := rd(Bus{noBorrow}) == 1; got != (x >= y) {
+			t.Fatalf("noBorrow(%d,%d) = %v", x, y, got)
+		}
+		if got := rd(Bus{eq}) == 1; got != (x == y) {
+			t.Fatalf("eq(%d,%d) = %v", x, y, got)
+		}
+		if got := rd(Bus{ltu}) == 1; got != (x < y) {
+			t.Fatalf("ltu(%d,%d) = %v", x, y, got)
+		}
+		if got := rd(Bus{lts}) == 1; got != (int8(x) < int8(y)) {
+			t.Fatalf("lts(%d,%d) = %v", x, y, got)
+		}
+		if got := rd(Bus{z}) == 1; got != (x == 0) {
+			t.Fatalf("zero(%d) = %v", x, got)
+		}
+	}
+}
+
+func TestShifters(t *testing.T) {
+	m := NewModule("sh")
+	a := m.Input("a", 16)
+	sh := m.Input("sh", 4)
+	sll := m.ShiftLeft(a, sh)
+	srl := m.ShiftRight(a, sh, false)
+	sra := m.ShiftRight(a, sh, true)
+	m.Output("sll", sll)
+	m.Output("srl", srl)
+	m.Output("sra", sra)
+	c := newComb(t, m)
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		x := uint64(r.Intn(1 << 16))
+		s := uint64(r.Intn(16))
+		rd := c.eval(map[string]uint64{"a": x, "sh": s})
+		if got := rd(sll); got != x<<s&0xFFFF {
+			t.Fatalf("%#x<<%d = %#x", x, s, got)
+		}
+		if got := rd(srl); got != x>>s {
+			t.Fatalf("%#x>>%d = %#x", x, s, got)
+		}
+		want := uint64(uint16(int16(x) >> s))
+		if got := rd(sra); got != want {
+			t.Fatalf("%#x>>>%d = %#x, want %#x", x, s, got, want)
+		}
+	}
+}
+
+func TestMultiplier(t *testing.T) {
+	m := NewModule("mul")
+	a := m.Input("a", 8)
+	b := m.Input("b", 8)
+	p := m.MulU(a, b)
+	m.Output("p", p)
+	c := newComb(t, m)
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		x, y := uint64(r.Intn(256)), uint64(r.Intn(256))
+		rd := c.eval(map[string]uint64{"a": x, "b": y})
+		if got := rd(p); got != x*y {
+			t.Fatalf("%d*%d = %d", x, y, got)
+		}
+	}
+}
+
+func TestMuxWordAndDecoder(t *testing.T) {
+	m := NewModule("mux")
+	sel := m.Input("sel", 2)
+	words := []Bus{m.Const(8, 0xAA), m.Const(8, 0xBB), m.Const(8, 0xCC), m.Const(8, 0xDD)}
+	out := m.MuxWord(sel, words)
+	m.Output("out", out)
+	dec := m.Decoder(sel)
+	m.Output("dec", dec)
+	c := newComb(t, m)
+	want := []uint64{0xAA, 0xBB, 0xCC, 0xDD}
+	for s := uint64(0); s < 4; s++ {
+		rd := c.eval(map[string]uint64{"sel": s})
+		if got := rd(out); got != want[s] {
+			t.Fatalf("mux[%d] = %#x", s, got)
+		}
+		if got := rd(dec); got != 1<<s {
+			t.Fatalf("dec[%d] = %#x", s, got)
+		}
+	}
+}
+
+func TestSignZeroExtendAndCat(t *testing.T) {
+	m := NewModule("ext")
+	a := m.Input("a", 4)
+	se := m.SignExtend(a, 8)
+	ze := m.ZeroExtend(a, 8)
+	m.Output("se", se)
+	m.Output("ze", ze)
+	c := newComb(t, m)
+	rd := c.eval(map[string]uint64{"a": 0xC})
+	if got := rd(se); got != 0xFC {
+		t.Fatalf("sext(0xC) = %#x", got)
+	}
+	if got := rd(ze); got != 0x0C {
+		t.Fatalf("zext(0xC) = %#x", got)
+	}
+	if len(Cat(Bus{1, 2}, Bus{3})) != 3 {
+		t.Fatal("Cat length")
+	}
+	if len(Repeat(5, 4)) != 4 {
+		t.Fatal("Repeat length")
+	}
+}
+
+func TestRegFileReadWrite(t *testing.T) {
+	m := NewModule("rf")
+	wen := m.Input("wen", 1)
+	waddr := m.Input("waddr", 2)
+	wdata := m.Input("wdata", 8)
+	raddr := m.Input("raddr", 2)
+	ports := m.RegFile("regs", 4, 8, wen[0], waddr, wdata, []Bus{raddr})
+	m.Output("rdata", ports[0])
+	if err := m.N.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	sim := vvp.New(m.N, vvp.Options{})
+	st := vvp.NewStimulus(m.Clk, 5)
+	st.At(1, m.Rstn, logic.Lo)
+	st.At(11, m.Rstn, logic.Hi)
+	// Write 0x5A to register 2 at the posedge after reset.
+	st.At(11, wen[0], logic.Hi)
+	st.At(11, waddr[0], logic.Lo)
+	st.At(11, waddr[1], logic.Hi)
+	for i := 0; i < 8; i++ {
+		st.At(11, wdata[i], logic.Bool(0x5A>>uint(i)&1 == 1))
+	}
+	st.At(21, wen[0], logic.Lo)
+	st.At(21, raddr[0], logic.Lo)
+	st.At(21, raddr[1], logic.Hi)
+	st.Finalize()
+	sim.BindStimulus(st)
+	for sim.Cycles() < 3 {
+		if _, err := sim.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok := sim.VecValue([]netlist.NetID(ports[0])).Uint64()
+	if !ok || got != 0x5A {
+		t.Fatalf("regfile read = %#x (%v)", got, ok)
+	}
+}
+
+func TestTreeReductions(t *testing.T) {
+	m := NewModule("tree")
+	a := m.Input("a", 5)
+	and := m.AndTree(a...)
+	or := m.OrTree(a...)
+	m.Output("and", Bus{and})
+	m.Output("or", Bus{or})
+	c := newComb(t, m)
+	for _, x := range []uint64{0, 0x1F, 0x0F, 0x10, 1} {
+		rd := c.eval(map[string]uint64{"a": x})
+		if got := rd(Bus{and}) == 1; got != (x == 0x1F) {
+			t.Fatalf("andTree(%#x) = %v", x, got)
+		}
+		if got := rd(Bus{or}) == 1; got != (x != 0) {
+			t.Fatalf("orTree(%#x) = %v", x, got)
+		}
+	}
+}
+
+func TestEqConstAndIncAndWidthPanics(t *testing.T) {
+	m := NewModule("misc")
+	a := m.Input("a", 4)
+	eq := m.EqConst(a, 0xA)
+	inc := m.Inc(a)
+	m.Output("eq", Bus{eq})
+	m.Output("inc", inc)
+	c := newComb(t, m)
+	rd := c.eval(map[string]uint64{"a": 0xA})
+	if rd(Bus{eq}) != 1 {
+		t.Fatal("EqConst(0xA) false")
+	}
+	if got := rd(inc); got != 0xB {
+		t.Fatalf("inc(0xA) = %#x", got)
+	}
+	rd = c.eval(map[string]uint64{"a": 0xF})
+	if got := rd(inc); got != 0 {
+		t.Fatalf("inc(0xF) = %#x, want wraparound 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width mismatch accepted")
+		}
+	}()
+	m2 := NewModule("bad")
+	m2.And(m2.Input("x", 2), m2.Input("y", 3))
+}

@@ -1,0 +1,91 @@
+package symeval
+
+import (
+	"fmt"
+
+	"symsim/internal/logic"
+	"symsim/internal/netlist"
+)
+
+// Sequential propagates identified symbols through a *clocked* design,
+// cycle by cycle: combinational logic evaluates in topological order, then
+// every flip-flop captures its (symbolically muxed) next value at once —
+// the gate-level information-flow tracking of [7], where taint labels
+// follow secrets through registers across time.
+//
+// Restrictions: designs with memories are rejected (taint through
+// word-addressed memories needs per-word labels, out of scope for this
+// evaluator), and asynchronous resets are treated as deasserted — initial
+// register values come from the DFF Init fields.
+type Sequential struct {
+	d    *netlist.Netlist
+	ev   *Evaluator
+	dffs []netlist.GateID
+}
+
+// NewSequential creates a cycle-stepping evaluator. It fails on designs
+// with memories.
+func NewSequential(d *netlist.Netlist) (*Sequential, error) {
+	if len(d.Mems) > 0 {
+		return nil, fmt.Errorf("symeval: sequential evaluation does not support memories (%d present)", len(d.Mems))
+	}
+	s := &Sequential{d: d, ev: New(d)}
+	for gi := range d.Gates {
+		if d.Gates[gi].Kind == netlist.KindDFF {
+			s.dffs = append(s.dffs, netlist.GateID(gi))
+			s.ev.Assign(d.Gates[gi].Out, logic.SymConst(d.Gates[gi].Init))
+		}
+	}
+	return s, nil
+}
+
+// Assign sets the symbolic value of a primary input; it holds across
+// cycles until reassigned.
+func (s *Sequential) Assign(id netlist.NetID, v logic.Sym) { s.ev.Assign(id, v) }
+
+// AssignByName is Assign keyed by net name.
+func (s *Sequential) AssignByName(name string, v logic.Sym) error {
+	return s.ev.AssignByName(name, v)
+}
+
+// Value returns the symbolic value of a net after the last Step.
+func (s *Sequential) Value(id netlist.NetID) logic.Sym { return s.ev.Value(id) }
+
+// ValueByName returns the symbolic value of a named net.
+func (s *Sequential) ValueByName(name string) (logic.Sym, error) {
+	return s.ev.ValueByName(name)
+}
+
+// TaintedNets returns the names of nets carrying any of the given colors.
+func (s *Sequential) TaintedNets(colors uint64) []string { return s.ev.TaintedNets(colors) }
+
+// Step settles the combinational logic and then clocks every flip-flop
+// once: q' = mux(en, q, d), with the enable's taint joining the result
+// (an attacker-controlled enable leaks through timing).
+func (s *Sequential) Step() error {
+	if err := s.ev.Run(); err != nil {
+		return err
+	}
+	next := make([]logic.Sym, len(s.dffs))
+	for i, gi := range s.dffs {
+		g := &s.d.Gates[gi]
+		q := s.ev.Value(g.Out)
+		d := s.ev.Value(g.In[netlist.DFFPinD])
+		en := s.ev.Value(g.In[netlist.DFFPinEn])
+		next[i] = logic.SymMux(en, q, d)
+	}
+	for i, gi := range s.dffs {
+		s.ev.Assign(s.d.Gates[gi].Out, next[i])
+	}
+	return s.ev.Run()
+}
+
+// Run executes n cycles.
+func (s *Sequential) Run(n int) error {
+	for i := 0; i < n; i++ {
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package symeval
+
+import (
+	"testing"
+
+	"symsim/internal/logic"
+	"symsim/internal/rtl"
+)
+
+// fig4 builds the reconvergent circuit of paper Figure 4.
+func fig4(t *testing.T) *rtl.Module {
+	t.Helper()
+	m := rtl.NewModule("fig4")
+	in := m.Input("in", 1)
+	out := m.XorBit(in[0], m.NotBit(in[0]))
+	m.Output("out", rtl.Bus{out})
+	if err := m.N.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFigure4IdentifiedVsAnonymous(t *testing.T) {
+	m := fig4(t)
+	outName := m.N.NetName(m.N.Outputs[0])
+
+	anon := New(m.N)
+	if err := anon.AssignByName("in", logic.SymAnon(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := anon.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := anon.ValueByName(outName); v.Value() != logic.X {
+		t.Errorf("anonymous XOR(x,~x) = %v, want x", v)
+	}
+
+	ident := New(m.N)
+	if err := ident.AssignByName("in", logic.SymInput(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ident.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ident.ValueByName(outName); v.Value() != logic.Hi {
+		t.Errorf("identified XOR(s,~s) = %v, want 1", v)
+	}
+}
+
+func TestAllGateKindsEvaluate(t *testing.T) {
+	m := rtl.NewModule("gates")
+	a := m.Input("a", 1)
+	b := m.Input("b", 1)
+	outs := rtl.Bus{
+		m.AndBit(a[0], b[0]),
+		m.OrBit(a[0], b[0]),
+		m.XorBit(a[0], b[0]),
+		m.NandBit(a[0], b[0]),
+		m.NorBit(a[0], b[0]),
+		m.XnorBit(a[0], b[0]),
+		m.NotBit(a[0]),
+		m.MuxBit(a[0], b[0], m.Hi()),
+	}
+	m.Output("outs", outs)
+	if err := m.N.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	ev := New(m.N)
+	ev.AssignByName("a", logic.SymConst(logic.Hi))
+	ev.AssignByName("b", logic.SymConst(logic.Lo))
+	if err := ev.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []logic.Value{logic.Lo, logic.Hi, logic.Hi, logic.Hi, logic.Lo, logic.Lo, logic.Lo, logic.Hi}
+	for i, o := range outs {
+		if got := ev.Value(o).Value(); got != want[i] {
+			t.Errorf("gate %d = %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+func TestTaintedNets(t *testing.T) {
+	m := rtl.NewModule("taint")
+	k := m.Input("k", 1)
+	d := m.Input("d", 1)
+	mix := m.XorBit(k[0], d[0])
+	pub := m.NotBit(d[0])
+	m.Output("mix", rtl.Bus{mix})
+	m.Output("pub", rtl.Bus{pub})
+	if err := m.N.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	ev := New(m.N)
+	ev.AssignByName("k", logic.SymInput(1, 0b01))
+	ev.AssignByName("d", logic.SymInput(2, 0b10))
+	if err := ev.Run(); err != nil {
+		t.Fatal(err)
+	}
+	secret := ev.TaintedNets(0b01)
+	if len(secret) != 2 { // the k input net and the mix output
+		t.Errorf("secret-tainted nets = %v", secret)
+	}
+	if v, _ := ev.ValueByName(m.N.NetName(pub)); v.Taint&0b01 != 0 {
+		t.Error("public cone tainted by secret")
+	}
+}
+
+func TestAssignByNameUnknownNet(t *testing.T) {
+	m := fig4(t)
+	ev := New(m.N)
+	if err := ev.AssignByName("nope", logic.SymAnon(0)); err == nil {
+		t.Error("unknown net accepted")
+	}
+	if _, err := ev.ValueByName("nope"); err == nil {
+		t.Error("unknown net read")
+	}
+}

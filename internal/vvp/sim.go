@@ -1,0 +1,710 @@
+// Package vvp implements the event-driven gate-level simulation engine that
+// symsim's co-analysis runs on. It mirrors the structure of iverilog's VVP
+// runtime that the paper extends (§3.1, Figure 2): each time step executes
+// a sequence of event regions — Active, Inactive, NBA (non-blocking
+// assign), Monitor — and this engine adds the paper's new final region,
+// Symbolic, in which control-flow signals are checked for X, the simulation
+// is halted and its state serialized, and restored states are
+// re-initialized. Executing symbolic events after every other region
+// guarantees the step's ordinary events have completed, exactly as the
+// paper argues.
+//
+// The engine is four-valued (0/1/X/Z), cycle-accurate, and design-agnostic:
+// it simulates any frozen netlist.Netlist. X propagation follows Verilog
+// semantics, which is what makes the co-analysis conservative: an X on a
+// net means some concrete input could toggle the driving gate.
+package vvp
+
+import (
+	"fmt"
+
+	"symsim/internal/logic"
+	"symsim/internal/netlist"
+)
+
+// Region identifies one of the event regions of a time step (Figure 2).
+type Region uint8
+
+// Event regions in execution order. Symbolic is the paper's addition and
+// always runs last within a time step.
+const (
+	RegionActive Region = iota
+	RegionInactive
+	RegionNBA
+	RegionMonitor
+	RegionSymbolic
+)
+
+var regionNames = [...]string{"active", "inactive", "nba", "monitor", "symbolic"}
+
+// String returns the lower-case region name.
+func (r Region) String() string {
+	if int(r) < len(regionNames) {
+		return regionNames[r]
+	}
+	return fmt.Sprintf("Region(%d)", uint8(r))
+}
+
+// Status is the outcome of advancing the simulation by one time step.
+type Status uint8
+
+const (
+	// Running: the step completed with no symbolic event.
+	Running Status = iota
+	// HaltX: a monitored control-flow signal was X at a PC-changing
+	// instruction; the simulation stopped at the end of the step and its
+	// state can be saved (paper §3 step 2).
+	HaltX
+	// Finished: the design raised its finish net (the application reached
+	// its terminating condition).
+	Finished
+)
+
+// String returns a human-readable status name.
+func (s Status) String() string {
+	switch s {
+	case Running:
+		return "running"
+	case HaltX:
+		return "halt-x"
+	case Finished:
+		return "finished"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// MemXPolicy selects the semantics of a memory write whose address contains
+// X bits (paper §3.3 discussion; see DESIGN.md substitution table).
+type MemXPolicy uint8
+
+const (
+	// MemXVerilog drops writes with unknown addresses and reads X, the
+	// behaviour of iverilog's reg arrays and therefore of the paper's
+	// tool. This is the default.
+	MemXVerilog MemXPolicy = iota
+	// MemXSound conservatively merges the written data into every word
+	// the unknown address could select.
+	MemXSound
+)
+
+// Options configure a Simulator.
+type Options struct {
+	// MemX selects X-address write semantics. Default MemXVerilog.
+	MemX MemXPolicy
+	// Trace, when non-nil, records every net value commit. Used by the
+	// baseline-equivalence validation of paper §5.0.1.
+	Trace *Trace
+	// CountActivity enables per-net toggle counters and per-cycle peak
+	// tracking (see ActivityCounts/PeakActivity), the inputs to the
+	// switching-power analyses of internal/power.
+	CountActivity bool
+	// DisableSymbolic turns off the Symbolic event region entirely,
+	// reproducing the unmodified iverilog baseline for trace-equality
+	// validation.
+	DisableSymbolic bool
+}
+
+// MonitorXSpec is the argument of the $monitor_x system task (paper §3
+// modification 1): the signals whose X-ness at a PC-changing instruction
+// must halt the simulation.
+type MonitorXSpec struct {
+	// BranchActive is high during the cycle in which a PC-changing
+	// instruction resolves its direction.
+	BranchActive netlist.NetID
+	// Cond is the resolved 1-bit branch condition. Forks force this net.
+	Cond netlist.NetID
+	// Watch lists the control-flow state bits the paper monitors: the
+	// NZCV flags for openMSP430, the compare-result register bits for
+	// bm32 and dr5. The halt fires when BranchActive is high and any
+	// Watch net is X — even when Cond itself would be determinable,
+	// matching the paper's §5.0.3 behaviour.
+	Watch []netlist.NetID
+	// Finish is the design's terminating-condition net. When it goes
+	// high the simulation finishes.
+	Finish netlist.NetID
+}
+
+type force struct {
+	val     logic.Value
+	release uint64 // absolute time at which the force expires
+}
+
+// Simulator is one gate-level simulation instance (the analogue of a vvp
+// process). It is not safe for concurrent use; parallel co-analysis runs
+// one Simulator per goroutine.
+type Simulator struct {
+	d    *netlist.Netlist
+	opts Options
+
+	val     []logic.Value // current net values
+	lastClk []logic.Value // previous clock sample per gate (DFFs only)
+
+	mem    []memState
+	forces map[netlist.NetID]force
+
+	// Levelized active region: dirty gates and memories are bucketed by
+	// topological level and processed lowest-first, keeping zero-delay
+	// settling linear in design size (a plain LIFO worklist degrades
+	// exponentially on deep reconvergent logic such as multiplier
+	// arrays).
+	buckets    [][]netlist.GateID
+	memBuckets [][]netlist.MemID
+	inQ        []bool
+	memInQ     []bool
+	dirtyLo    int32 // lowest level with dirty entries
+	dirtyN     int   // total dirty entries across buckets
+
+	nba        []nbaAssign
+	inactiveQ  []nbaAssign // #0-delayed assignments, drained before NBA
+	monitorSpc *MonitorXSpec
+
+	now        uint64
+	stim       *Stimulus
+	stimCursor int
+
+	// Activity profiling (paper Algorithm 1 toggle profile).
+	recording bool
+	toggled   []bool
+
+	// Switching-activity counters (enabled by Options.CountActivity):
+	// per-net commit counts plus per-cycle totals for peak tracking —
+	// the raw data behind the power analyses the co-analysis enables
+	// (peak power [5], power gating [6]).
+	toggleCount  []uint64
+	cycleToggles uint64
+	peakToggles  uint64
+	peakCycle    uint64
+
+	cycles uint64 // posedges of the stimulus clock executed
+}
+
+type memState struct {
+	words   []logic.Vec
+	lastClk logic.Value
+}
+
+type nbaAssign struct {
+	net netlist.NetID
+	val logic.Value
+}
+
+// New creates a simulator for the frozen design d. It panics if d is not
+// frozen (Freeze validates single drivers and acyclicity, which the engine
+// relies on for termination).
+func New(d *netlist.Netlist, opts Options) *Simulator {
+	s := &Simulator{
+		d:          d,
+		opts:       opts,
+		val:        make([]logic.Value, len(d.Nets)),
+		lastClk:    make([]logic.Value, len(d.Gates)),
+		buckets:    make([][]netlist.GateID, d.MaxLevel()+1),
+		memBuckets: make([][]netlist.MemID, d.MaxLevel()+1),
+		inQ:        make([]bool, len(d.Gates)),
+		memInQ:     make([]bool, len(d.Mems)),
+		forces:     make(map[netlist.NetID]force),
+		toggled:    make([]bool, len(d.Nets)),
+		dirtyLo:    d.MaxLevel() + 1,
+	}
+	for i := range s.val {
+		s.val[i] = logic.X
+	}
+	for i := range s.lastClk {
+		s.lastClk[i] = logic.X
+	}
+	s.mem = make([]memState, len(d.Mems))
+	for i, m := range d.Mems {
+		ms := memState{words: make([]logic.Vec, m.Words), lastClk: logic.X}
+		for w := range ms.words {
+			if w < len(m.Init) && m.Init[w].Width() == m.DataBits {
+				ms.words[w] = m.Init[w].Clone()
+			} else {
+				ms.words[w] = logic.NewVec(m.DataBits)
+			}
+		}
+		s.mem[i] = ms
+	}
+	// Time-zero initial evaluation: every gate and memory is scheduled
+	// once so constant drivers and input-independent cones settle before
+	// the first stimulus event, as a Verilog simulator's initialization
+	// pass does.
+	for gi := range d.Gates {
+		s.dirtyGate(netlist.GateID(gi))
+	}
+	for mi := range d.Mems {
+		s.dirtyMem(netlist.MemID(mi))
+	}
+	return s
+}
+
+// Design returns the netlist under simulation.
+func (s *Simulator) Design() *netlist.Netlist { return s.d }
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() uint64 { return s.now }
+
+// Cycles returns the number of clock posedges executed so far; the
+// "simulated cycles" metric of paper Table 4.
+func (s *Simulator) Cycles() uint64 { return s.cycles }
+
+// Value returns the current value of a net.
+func (s *Simulator) Value(id netlist.NetID) logic.Value { return s.val[id] }
+
+// VecValue reads a bus as a ternary vector, nets[0] being bit 0.
+func (s *Simulator) VecValue(nets []netlist.NetID) logic.Vec {
+	v := logic.NewVec(len(nets))
+	for i, n := range nets {
+		v.Set(i, s.val[n])
+	}
+	return v
+}
+
+// Drive assigns a primary input directly, outside the stimulus schedule (a
+// testbench convenience; the change propagates at the next settle).
+func (s *Simulator) Drive(id netlist.NetID, v logic.Value) {
+	s.commit(id, v, RegionActive)
+}
+
+// ScheduleZeroDelay queues a Verilog #0 assignment: it commits in the
+// Inactive region of the current time step, after the Active events have
+// drained but before non-blocking assignments (Figure 2's region order).
+func (s *Simulator) ScheduleZeroDelay(id netlist.NetID, v logic.Value) {
+	s.inactiveQ = append(s.inactiveQ, nbaAssign{net: id, val: v})
+}
+
+// MemWord returns the current contents of one memory word.
+func (s *Simulator) MemWord(id netlist.MemID, word int) logic.Vec {
+	return s.mem[id].words[word].Clone()
+}
+
+// SetMemWord overwrites one memory word (testbench initialization).
+func (s *Simulator) SetMemWord(id netlist.MemID, word int, v logic.Vec) {
+	s.mem[id].words[word] = v.Clone()
+	s.dirtyMem(id)
+}
+
+// SetMonitorX installs the $monitor_x specification (paper §3.2 step 1).
+func (s *Simulator) SetMonitorX(spec *MonitorXSpec) { s.monitorSpc = spec }
+
+// MonitorX returns the installed $monitor_x specification.
+func (s *Simulator) MonitorX() *MonitorXSpec { return s.monitorSpc }
+
+// BindStimulus attaches the testbench stimulus (clock, reset and input
+// schedule) and drives the clock to its t=0 level. It must be called
+// before Step.
+func (s *Simulator) BindStimulus(st *Stimulus) {
+	s.stim = st
+	s.stimCursor = 0
+	if st.Clock != netlist.NoNet {
+		s.commit(st.Clock, st.clockValueAt(0), RegionActive)
+	}
+}
+
+// ActivityCounts returns the per-net commit counters accumulated since
+// StartRecording (nil unless Options.CountActivity). The slice aliases
+// internal state.
+func (s *Simulator) ActivityCounts() []uint64 { return s.toggleCount }
+
+// PeakActivity returns the largest number of net toggles observed in any
+// single clock cycle since StartRecording, and the cycle it occurred in.
+func (s *Simulator) PeakActivity() (toggles, cycle uint64) {
+	return s.peakToggles, s.peakCycle
+}
+
+// StartRecording begins toggle-activity profiling from the current state:
+// every net currently X is immediately exercisable (an unknown means some
+// input could toggle it) and every subsequent value change marks its net
+// toggled. Called once the reset sequence has propagated (Algorithm 1
+// line 4–5).
+func (s *Simulator) StartRecording() {
+	s.recording = true
+	for i := range s.toggled {
+		s.toggled[i] = false
+	}
+	for i, v := range s.val {
+		if !v.IsKnown() {
+			s.toggled[i] = true
+		}
+	}
+	if s.opts.CountActivity {
+		s.toggleCount = make([]uint64, len(s.d.Nets))
+		s.cycleToggles, s.peakToggles, s.peakCycle = 0, 0, 0
+	}
+}
+
+// Toggled returns the per-net activity profile accumulated since
+// StartRecording. The returned slice aliases internal state; callers must
+// copy it if they outlive the simulator.
+func (s *Simulator) Toggled() []bool { return s.toggled }
+
+// Force overrides the value of a net until the given absolute release
+// time, the analogue of the Verilog force used when continuing down one
+// execution path of a forked branch (paper §3 step 3). The driver's value
+// reasserts itself at release.
+func (s *Simulator) Force(id netlist.NetID, v logic.Value, release uint64) {
+	s.forces[id] = force{val: v, release: release}
+	s.commit(id, v, RegionActive)
+}
+
+// Forced reports whether net id currently has a force applied.
+func (s *Simulator) Forced(id netlist.NetID) bool {
+	_, ok := s.forces[id]
+	return ok
+}
+
+func (s *Simulator) releaseExpired() {
+	for id, f := range s.forces {
+		if s.now >= f.release {
+			delete(s.forces, id)
+			// Reassert the driver.
+			if d := s.d.Nets[id].Driver; d != netlist.NoGate {
+				s.dirtyGate(d)
+			}
+			for _, m := range s.d.MemFanout(id) {
+				s.dirtyMem(m)
+			}
+		}
+	}
+}
+
+func (s *Simulator) dirtyGate(g netlist.GateID) {
+	if !s.inQ[g] {
+		s.inQ[g] = true
+		lvl := s.d.GateLevel(g)
+		s.buckets[lvl] = append(s.buckets[lvl], g)
+		if lvl < s.dirtyLo {
+			s.dirtyLo = lvl
+		}
+		s.dirtyN++
+	}
+}
+
+func (s *Simulator) dirtyMem(m netlist.MemID) {
+	if !s.memInQ[m] {
+		s.memInQ[m] = true
+		lvl := s.d.MemLevel(m)
+		s.memBuckets[lvl] = append(s.memBuckets[lvl], m)
+		if lvl < s.dirtyLo {
+			s.dirtyLo = lvl
+		}
+		s.dirtyN++
+	}
+}
+
+// commit assigns a value to a net, honouring forces, recording activity,
+// tracing, and scheduling fanout.
+func (s *Simulator) commit(id netlist.NetID, v logic.Value, region Region) {
+	if f, ok := s.forces[id]; ok {
+		// A forced net holds its forced value against driver updates
+		// until released (Verilog force/release semantics).
+		v = f.val
+	}
+	old := s.val[id]
+	if old == v {
+		return
+	}
+	s.val[id] = v
+	if s.recording {
+		s.toggled[id] = true
+		if s.toggleCount != nil {
+			s.toggleCount[id]++
+			s.cycleToggles++
+		}
+	}
+	if s.opts.Trace != nil {
+		s.opts.Trace.record(s.now, region, id, old, v)
+	}
+	for _, g := range s.d.Fanout(id) {
+		s.dirtyGate(g)
+	}
+	for _, m := range s.d.MemFanout(id) {
+		s.dirtyMem(m)
+	}
+}
+
+// evalGate processes one dirty gate in the Active region.
+func (s *Simulator) evalGate(g netlist.GateID) {
+	gt := &s.d.Gates[g]
+	if gt.Kind == netlist.KindDFF {
+		s.evalDFF(g, gt)
+		return
+	}
+	var buf [3]logic.Value
+	in := buf[:len(gt.In)]
+	for i, n := range gt.In {
+		in[i] = s.val[n]
+	}
+	s.commit(gt.Out, netlist.EvalGate(gt.Kind, in), RegionActive)
+}
+
+func (s *Simulator) evalDFF(g netlist.GateID, gt *netlist.Gate) {
+	rstn := s.val[gt.In[netlist.DFFPinRstn]]
+	clk := s.val[gt.In[netlist.DFFPinClk]]
+	switch rstn {
+	case logic.Lo:
+		// Asynchronous reset dominates.
+		s.commit(gt.Out, gt.Init, RegionActive)
+		s.lastClk[g] = clk
+		return
+	case logic.X, logic.Z:
+		// Unknown reset: output covers both the reset and held value.
+		s.commit(gt.Out, logic.MergeValue(s.val[gt.Out], gt.Init), RegionActive)
+	}
+	last := s.lastClk[g]
+	if clk != last {
+		if last == logic.Lo && clk == logic.Hi {
+			// Positive edge: sample D gated by EN. Mux merges when the
+			// enable is unknown — the conservative register update.
+			d := s.val[gt.In[netlist.DFFPinD]]
+			en := s.val[gt.In[netlist.DFFPinEn]]
+			q := logic.Mux(en, s.val[gt.Out], d)
+			s.nba = append(s.nba, nbaAssign{net: gt.Out, val: q})
+		} else if !clk.IsKnown() || !last.IsKnown() {
+			// An unknown clock sample could be an edge: conservatively
+			// merge the captured value into the output.
+			d := s.val[gt.In[netlist.DFFPinD]]
+			en := s.val[gt.In[netlist.DFFPinEn]]
+			q := logic.Mux(en, s.val[gt.Out], d)
+			s.nba = append(s.nba, nbaAssign{net: gt.Out, val: logic.MergeValue(s.val[gt.Out], q)})
+		}
+		s.lastClk[g] = clk
+	}
+}
+
+// evalMem processes one dirty memory: recompute the read port and perform
+// edge-triggered writes.
+func (s *Simulator) evalMem(id netlist.MemID) {
+	m := s.d.Mems[id]
+	ms := &s.mem[id]
+	if !m.IsROM() {
+		clk := s.val[m.Clk]
+		last := ms.lastClk
+		if clk != last {
+			if last == logic.Lo && clk == logic.Hi {
+				s.memWrite(m, ms)
+			}
+			ms.lastClk = clk
+		}
+	}
+	s.memRead(m, ms)
+}
+
+func (s *Simulator) memWrite(m *netlist.Mem, ms *memState) {
+	we := s.val[m.WEn]
+	if we == logic.Lo {
+		return
+	}
+	addr := s.VecValue(m.WAddr)
+	data := s.VecValue(m.WData)
+	conservative := !we.IsKnown() // unknown enable: word may or may not update
+	if a, ok := addr.Uint64(); ok {
+		if int(a) >= m.Words {
+			return
+		}
+		if conservative {
+			ms.words[a] = ms.words[a].Merge(data)
+		} else {
+			ms.words[a] = data
+		}
+		s.refreshReadersOf(m, ms)
+		return
+	}
+	// Unknown address.
+	switch s.opts.MemX {
+	case MemXVerilog:
+		// iverilog reg-array semantics: the write is dropped.
+		return
+	case MemXSound:
+		for w := 0; w < m.Words; w++ {
+			if addrCouldBe(addr, uint64(w)) {
+				ms.words[w] = ms.words[w].Merge(data)
+			}
+		}
+		s.refreshReadersOf(m, ms)
+	}
+}
+
+// addrCouldBe reports whether the ternary address vector could equal w.
+func addrCouldBe(addr logic.Vec, w uint64) bool {
+	for i := 0; i < addr.Width(); i++ {
+		b := addr.Get(i)
+		if b.IsKnown() && b != logic.Bool(w>>uint(i)&1 == 1) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Simulator) refreshReadersOf(m *netlist.Mem, ms *memState) {
+	s.memRead(m, ms)
+}
+
+func (s *Simulator) memRead(m *netlist.Mem, ms *memState) {
+	addr := s.VecValue(m.RAddr)
+	var word logic.Vec
+	if a, ok := addr.Uint64(); ok && int(a) < m.Words {
+		word = ms.words[a]
+	} else {
+		// Unknown or out-of-range address reads X (Verilog semantics).
+		word = logic.NewVec(m.DataBits)
+	}
+	for i, d := range m.RData {
+		s.commit(d, word.Get(i), RegionActive)
+	}
+}
+
+// settle drains the Active, Inactive and NBA regions until the time step is
+// stable. Dirty gates are evaluated in topological level order, so every
+// gate is visited a bounded number of times per wave; combinational edges
+// only ever dirty strictly higher levels, and the rare lower-level commit
+// (a flip-flop's asynchronous reset rippling back to its own input cone)
+// just rewinds the cursor. A runaway oscillation (possible only with a
+// buggy netlist that escaped validation) is cut off and reported.
+func (s *Simulator) settle() error {
+	const maxDeltas = 1 << 26
+	deltas := 0
+	for {
+		for s.dirtyN > 0 {
+			lvl := s.dirtyLo
+			s.dirtyLo = int32(len(s.buckets)) // raised back by dirty*
+			for ; lvl < int32(len(s.buckets)); lvl++ {
+				for len(s.buckets[lvl]) > 0 {
+					g := s.buckets[lvl][len(s.buckets[lvl])-1]
+					s.buckets[lvl] = s.buckets[lvl][:len(s.buckets[lvl])-1]
+					s.inQ[g] = false
+					s.dirtyN--
+					s.evalGate(g)
+					if deltas++; deltas > maxDeltas {
+						return fmt.Errorf("vvp: delta-cycle limit exceeded at t=%d (oscillating netlist?)", s.now)
+					}
+				}
+				for len(s.memBuckets[lvl]) > 0 {
+					m := s.memBuckets[lvl][len(s.memBuckets[lvl])-1]
+					s.memBuckets[lvl] = s.memBuckets[lvl][:len(s.memBuckets[lvl])-1]
+					s.memInQ[m] = false
+					s.dirtyN--
+					s.evalMem(m)
+				}
+				if s.dirtyLo <= lvl {
+					// A commit dirtied this or a lower level; rewind.
+					lvl = s.dirtyLo - 1
+					s.dirtyLo = int32(len(s.buckets))
+				}
+			}
+		}
+		if len(s.inactiveQ) > 0 {
+			batch := s.inactiveQ
+			s.inactiveQ = nil
+			for _, a := range batch {
+				s.commit(a.net, a.val, RegionInactive)
+			}
+			continue
+		}
+		if len(s.nba) > 0 {
+			batch := s.nba
+			s.nba = nil
+			for _, a := range batch {
+				s.commit(a.net, a.val, RegionNBA)
+			}
+			continue
+		}
+		return nil
+	}
+}
+
+// Step advances simulation to the next scheduled time point, runs all event
+// regions, and returns the resulting status. With no stimulus bound or no
+// events remaining it returns an error.
+func (s *Simulator) Step() (Status, error) {
+	if s.stim == nil {
+		return Running, fmt.Errorf("vvp: Step without stimulus")
+	}
+	t, ok := s.stim.nextTime(s.now, s.stimCursor)
+	if !ok {
+		return Running, fmt.Errorf("vvp: stimulus exhausted at t=%d", s.now)
+	}
+	s.now = t
+	s.releaseExpired()
+
+	// Active region: apply stimulus assignments scheduled for this time.
+	wasPosedge := s.applyStimulus()
+	if err := s.settle(); err != nil {
+		return Running, err
+	}
+	if wasPosedge {
+		s.cycles++
+		if s.toggleCount != nil {
+			if s.cycleToggles > s.peakToggles {
+				s.peakToggles = s.cycleToggles
+				s.peakCycle = s.cycles - 1
+			}
+			s.cycleToggles = 0
+		}
+	}
+
+	// Monitor region: value-change recording happens eagerly in commit;
+	// the region boundary exists so traces order records before symbolic
+	// events, as in Figure 2.
+
+	// Symbolic region (the paper's extension; always last).
+	if s.opts.DisableSymbolic || s.monitorSpc == nil {
+		return Running, nil
+	}
+	sp := s.monitorSpc
+	if sp.Finish != netlist.NoNet && s.val[sp.Finish] == logic.Hi {
+		return Finished, nil
+	}
+	if sp.BranchActive != netlist.NoNet && s.val[sp.BranchActive] == logic.Hi && !s.Forced(sp.Cond) {
+		for _, w := range sp.Watch {
+			if !s.val[w].IsKnown() {
+				return HaltX, nil
+			}
+		}
+		// The decision wire itself may be X even when every watched bit
+		// is known (e.g. a condition derived from an X flag that is not
+		// watched); halt then too, or the fork below would capture X.
+		if !s.val[sp.Cond].IsKnown() {
+			return HaltX, nil
+		}
+	}
+	return Running, nil
+}
+
+// applyStimulus commits all input assignments scheduled at the current
+// time. It reports whether this step is a clock posedge.
+func (s *Simulator) applyStimulus() bool {
+	posedge := false
+	st := s.stim
+	if st.Clock != netlist.NoNet && st.HalfPeriod > 0 && s.now > 0 && s.now%st.HalfPeriod == 0 {
+		v := st.clockValueAt(s.now)
+		if v == logic.Hi && s.val[st.Clock] != logic.Hi {
+			posedge = true
+		}
+		s.commit(st.Clock, v, RegionActive)
+	}
+	for s.stimCursor < len(st.Events) && st.Events[s.stimCursor].Time <= s.now {
+		e := st.Events[s.stimCursor]
+		if e.Time == s.now {
+			s.commit(e.Net, e.Val, RegionActive)
+		}
+		s.stimCursor++
+	}
+	return posedge
+}
+
+// Run steps the simulation until a non-Running status, the time limit, or
+// an error. maxCycles bounds the clock cycles executed by this call.
+func (s *Simulator) Run(maxCycles uint64) (Status, error) {
+	start := s.cycles
+	for {
+		st, err := s.Step()
+		if err != nil {
+			return st, err
+		}
+		if st != Running {
+			return st, nil
+		}
+		if s.cycles-start >= maxCycles {
+			return Running, fmt.Errorf("vvp: cycle limit %d reached at t=%d", maxCycles, s.now)
+		}
+	}
+}

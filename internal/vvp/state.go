@@ -1,0 +1,288 @@
+package vvp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"symsim/internal/logic"
+	"symsim/internal/netlist"
+)
+
+// StateSpec defines which design elements constitute the machine state for
+// save/restore and conservative-state management: an ordered list of DFFs,
+// the writable memories, and the nets holding the program counter (used to
+// index the CSM's state table). Build one with SpecFor.
+type StateSpec struct {
+	design *netlist.Netlist
+	// DFFs lists every D flip-flop in the design, in gate order.
+	DFFs []netlist.GateID
+	// Mems lists the memories whose contents are part of the machine
+	// state (ROMs are immutable and excluded).
+	Mems []netlist.MemID
+	// PC lists the nets carrying the program counter, bit 0 first.
+	PC []netlist.NetID
+
+	bits     int
+	memBase  []int // bit offset of each entry in Mems
+	dffIndex map[netlist.GateID]int
+}
+
+// SpecFor builds the state specification for a design: all DFFs, all
+// writable memories, and the PC located by net-name prefix pcName
+// ("pc[0]", "pc[1]", ... or a single net "pc").
+func SpecFor(d *netlist.Netlist, pcName string) (*StateSpec, error) {
+	sp := &StateSpec{design: d, dffIndex: make(map[netlist.GateID]int)}
+	for gi := range d.Gates {
+		if d.Gates[gi].Kind == netlist.KindDFF {
+			sp.dffIndex[netlist.GateID(gi)] = len(sp.DFFs)
+			sp.DFFs = append(sp.DFFs, netlist.GateID(gi))
+		}
+	}
+	sp.bits = len(sp.DFFs)
+	for mi, m := range d.Mems {
+		if m.IsROM() {
+			continue
+		}
+		sp.Mems = append(sp.Mems, netlist.MemID(mi))
+		sp.memBase = append(sp.memBase, sp.bits)
+		sp.bits += m.Words * m.DataBits
+	}
+	if pcName != "" {
+		if id, ok := d.NetByName(pcName); ok {
+			sp.PC = []netlist.NetID{id}
+		} else {
+			for i := 0; ; i++ {
+				id, ok := d.NetByName(fmt.Sprintf("%s[%d]", pcName, i))
+				if !ok {
+					break
+				}
+				sp.PC = append(sp.PC, id)
+			}
+		}
+		if len(sp.PC) == 0 {
+			return nil, fmt.Errorf("vvp: PC net %q not found in %s", pcName, d.Name)
+		}
+	}
+	return sp, nil
+}
+
+// Bits returns the total number of state bits covered by the spec.
+func (sp *StateSpec) Bits() int { return sp.bits }
+
+// BitLabel names state bit i for constraint files and debugging:
+// "dff:<netname>" for flip-flops, "mem:<name>[word].bit" for memory bits.
+func (sp *StateSpec) BitLabel(i int) string {
+	if i < len(sp.DFFs) {
+		g := sp.design.Gates[sp.DFFs[i]]
+		return "dff:" + sp.design.NetName(g.Out)
+	}
+	rem := i - len(sp.DFFs)
+	for _, mid := range sp.Mems {
+		m := sp.design.Mems[mid]
+		n := m.Words * m.DataBits
+		if rem < n {
+			return fmt.Sprintf("mem:%s[%d].%d", m.Name, rem/m.DataBits, rem%m.DataBits)
+		}
+		rem -= n
+	}
+	return fmt.Sprintf("bit:%d", i)
+}
+
+// BitByLabel is the inverse of BitLabel; it returns -1 when no state bit
+// carries the label.
+func (sp *StateSpec) BitByLabel(label string) int {
+	for i := 0; i < sp.bits; i++ {
+		if sp.BitLabel(i) == label {
+			return i
+		}
+	}
+	return -1
+}
+
+// BitOfNet returns the state-bit index of the flip-flop driving the named
+// net, or -1 when the net is not a flip-flop output. Platforms use this to
+// locate architectural state (flags, instruction register) inside saved
+// states when specializing forked children.
+func (sp *StateSpec) BitOfNet(name string) int {
+	id, ok := sp.design.NetByName(name)
+	if !ok {
+		return -1
+	}
+	d := sp.design.Nets[id].Driver
+	if d == netlist.NoGate {
+		return -1
+	}
+	idx, ok := sp.dffIndex[d]
+	if !ok {
+		return -1
+	}
+	return idx
+}
+
+// State is one saved simulation state: the ternary valuation of the
+// machine state plus the simulation time and the PC it was captured at.
+// This is what the paper's enhanced iverilog serializes when it halts and
+// what $initialize_state loads to continue a halted simulation.
+type State struct {
+	Bits logic.Vec
+	Time uint64
+	PC   uint64
+	// PCKnown is false when the program counter contained X bits at the
+	// snapshot — a fatal condition for the co-analysis (the state table
+	// is indexed by PC).
+	PCKnown bool
+}
+
+// Clone returns a deep copy of st.
+func (st State) Clone() State {
+	c := st
+	c.Bits = st.Bits.Clone()
+	return c
+}
+
+// Snapshot captures the machine state per spec (paper §3 modification 2:
+// "save the simulation state").
+func (s *Simulator) Snapshot(sp *StateSpec) State {
+	v := logic.NewVec(sp.bits)
+	for i, g := range sp.DFFs {
+		v.Set(i, s.val[s.d.Gates[g].Out])
+	}
+	for k, mid := range sp.Mems {
+		m := s.d.Mems[mid]
+		base := sp.memBase[k]
+		for w := 0; w < m.Words; w++ {
+			word := s.mem[mid].words[w]
+			for b := 0; b < m.DataBits; b++ {
+				v.Set(base+w*m.DataBits+b, word.Get(b))
+			}
+		}
+	}
+	st := State{Bits: v, Time: s.now}
+	pcv := s.VecValue(sp.PC)
+	if pc, ok := pcv.Uint64(); ok {
+		st.PC, st.PCKnown = pc, true
+	}
+	return st
+}
+
+// Restore implements the $initialize_state system task (paper §3
+// modification 3): it loads a previously saved (possibly merged) machine
+// state into the simulator and re-derives all combinational values from
+// it. The stimulus must already be bound; primary inputs are re-driven
+// with their scheduled values at the state's time. Restore overrides the
+// entire processor and simulator state, which — as the paper notes —
+// nullifies any events executed before initialization.
+func (s *Simulator) Restore(sp *StateSpec, st State) error {
+	if s.stim == nil {
+		return fmt.Errorf("vvp: Restore without stimulus")
+	}
+	s.now = st.Time
+	s.forces = make(map[netlist.NetID]force)
+	s.nba = nil
+	s.inactiveQ = nil
+
+	// Primary inputs: clock level derived from the phase at st.Time, all
+	// other inputs take their latest scheduled value (X when none).
+	for _, in := range s.d.Inputs {
+		if in == s.stim.Clock {
+			s.commit(in, s.stim.clockValueAt(s.now), RegionActive)
+			continue
+		}
+		v, _ := s.stim.inputValueAt(in, s.now)
+		s.commit(in, v, RegionActive)
+	}
+	s.stimCursor = 0
+	for s.stimCursor < len(s.stim.Events) && s.stim.Events[s.stimCursor].Time <= s.now {
+		s.stimCursor++
+	}
+
+	// Memories.
+	for k, mid := range sp.Mems {
+		m := s.d.Mems[mid]
+		base := sp.memBase[k]
+		for w := 0; w < m.Words; w++ {
+			word := logic.NewVec(m.DataBits)
+			for b := 0; b < m.DataBits; b++ {
+				word.Set(b, st.Bits.Get(base+w*m.DataBits+b))
+			}
+			s.mem[mid].words[w] = word
+		}
+		s.mem[mid].lastClk = s.val[m.Clk]
+		s.dirtyMem(mid)
+	}
+	// ROM read ports must also re-evaluate after input changes.
+	for mi := range s.d.Mems {
+		s.dirtyMem(netlist.MemID(mi))
+	}
+
+	// Flip-flops: commit Q values and sample clocks so no spurious edge
+	// fires on the first settle.
+	for i, g := range sp.DFFs {
+		gt := &s.d.Gates[g]
+		s.lastClk[g] = s.val[gt.In[netlist.DFFPinClk]]
+		s.commit(gt.Out, st.Bits.Get(i), RegionActive)
+	}
+	if err := s.settle(); err != nil {
+		return err
+	}
+	// Re-assert flip-flop outputs: combinational settling may have rippled
+	// through DFF evaluation paths, but Q values are state and must equal
+	// the snapshot exactly.
+	for i, g := range sp.DFFs {
+		gt := &s.d.Gates[g]
+		s.lastClk[g] = s.val[gt.In[netlist.DFFPinClk]]
+		s.commit(gt.Out, st.Bits.Get(i), RegionActive)
+	}
+	return s.settle()
+}
+
+// MarshalBinary serializes st (the on-disk "sim_state.log" of the paper's
+// flow).
+func (st State) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	w := func(v any) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	w(uint64(st.Time))
+	w(uint64(st.PC))
+	var known uint8
+	if st.PCKnown {
+		known = 1
+	}
+	w(known)
+	w(uint32(st.Bits.Width()))
+	for i := 0; i < st.Bits.Width(); i++ {
+		w(uint8(st.Bits.Get(i)))
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary deserializes a state written by MarshalBinary.
+func (st *State) UnmarshalBinary(data []byte) error {
+	buf := bytes.NewReader(data)
+	r := func(v any) error { return binary.Read(buf, binary.LittleEndian, v) }
+	var t, pc uint64
+	var known uint8
+	var width uint32
+	if err := r(&t); err != nil {
+		return err
+	}
+	if err := r(&pc); err != nil {
+		return err
+	}
+	if err := r(&known); err != nil {
+		return err
+	}
+	if err := r(&width); err != nil {
+		return err
+	}
+	v := logic.NewVec(int(width))
+	for i := 0; i < int(width); i++ {
+		var b uint8
+		if err := r(&b); err != nil {
+			return err
+		}
+		v.Set(i, logic.Value(b))
+	}
+	st.Time, st.PC, st.PCKnown, st.Bits = t, pc, known == 1, v
+	return nil
+}

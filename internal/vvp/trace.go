@@ -1,0 +1,58 @@
+package vvp
+
+import (
+	"fmt"
+	"strings"
+
+	"symsim/internal/logic"
+	"symsim/internal/netlist"
+)
+
+// TraceEvent is one committed value change, ordered as it executed.
+type TraceEvent struct {
+	Time   uint64
+	Region Region
+	Net    netlist.NetID
+	Old    logic.Value
+	New    logic.Value
+}
+
+// Trace records the event list of a simulation run. The paper's §5.0.1
+// validation compares the event list of the baseline iverilog against the
+// symbolically-enhanced version at randomly picked simulation points;
+// TestTraceEquivalence does the same for this engine with the Symbolic
+// region disabled vs enabled.
+type Trace struct {
+	Events []TraceEvent
+	// Limit caps recorded events (0 = unlimited).
+	Limit int
+}
+
+func (t *Trace) record(time uint64, region Region, net netlist.NetID, old, new logic.Value) {
+	if t.Limit > 0 && len(t.Events) >= t.Limit {
+		return
+	}
+	t.Events = append(t.Events, TraceEvent{Time: time, Region: region, Net: net, Old: old, New: new})
+}
+
+// Equal reports whether two traces contain the same event list.
+func (t *Trace) Equal(o *Trace) bool {
+	if len(t.Events) != len(o.Events) {
+		return false
+	}
+	for i := range t.Events {
+		if t.Events[i] != o.Events[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Dump renders the trace for debugging, resolving net names via d.
+func (t *Trace) Dump(d *netlist.Netlist) string {
+	var sb strings.Builder
+	for _, e := range t.Events {
+		fmt.Fprintf(&sb, "t=%-6d %-8s %-24s %s -> %s\n", e.Time, e.Region, d.NetName(e.Net), e.Old, e.New)
+	}
+	return sb.String()
+}

@@ -1,0 +1,129 @@
+package vvp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"symsim/internal/logic"
+	"symsim/internal/netlist"
+)
+
+// WriteVCD renders a recorded Trace as a Value Change Dump, the standard
+// waveform format Verilog simulators emit — handy for inspecting symbolic
+// runs in any waveform viewer (X values display as the usual red X).
+// Every net of the design becomes a scalar wire; nets never touched by the
+// trace dump as x at time zero and stay flat.
+func WriteVCD(w io.Writer, d *netlist.Netlist, tr *Trace, timescale string) error {
+	if timescale == "" {
+		timescale = "1ns"
+	}
+	var sb strings.Builder
+	sb.WriteString("$version symsim $end\n")
+	fmt.Fprintf(&sb, "$timescale %s $end\n", timescale)
+	fmt.Fprintf(&sb, "$scope module %s $end\n", sanitizeVCD(d.Name))
+	for ni := range d.Nets {
+		fmt.Fprintf(&sb, "$var wire 1 %s %s $end\n", vcdID(ni), sanitizeVCD(d.Nets[ni].Name))
+	}
+	sb.WriteString("$upscope $end\n$enddefinitions $end\n")
+
+	// Initial values: the value each net had before its first event (or x
+	// when it never changes).
+	initial := make([]logic.Value, len(d.Nets))
+	for i := range initial {
+		initial[i] = logic.X
+	}
+	seen := make([]bool, len(d.Nets))
+	for _, e := range tr.Events {
+		if !seen[e.Net] {
+			seen[e.Net] = true
+			initial[e.Net] = e.Old
+		}
+	}
+	sb.WriteString("$dumpvars\n")
+	for ni := range d.Nets {
+		sb.WriteString(vcdValue(initial[ni]) + vcdID(ni) + "\n")
+	}
+	sb.WriteString("$end\n")
+
+	// Events, grouped by time; within a time step only the final value of
+	// each net matters for the waveform.
+	byTime := map[uint64]map[netlist.NetID]logic.Value{}
+	var times []uint64
+	for _, e := range tr.Events {
+		m, ok := byTime[e.Time]
+		if !ok {
+			m = map[netlist.NetID]logic.Value{}
+			byTime[e.Time] = m
+			times = append(times, e.Time)
+		}
+		m[e.Net] = e.New
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	last := append([]logic.Value(nil), initial...)
+	for _, t := range times {
+		var changes []string
+		m := byTime[t]
+		ids := make([]int, 0, len(m))
+		for id := range m {
+			ids = append(ids, int(id))
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			v := m[netlist.NetID(id)]
+			if last[id] == v {
+				continue
+			}
+			last[id] = v
+			changes = append(changes, vcdValue(v)+vcdID(id))
+		}
+		if len(changes) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "#%d\n", t)
+		for _, c := range changes {
+			sb.WriteString(c + "\n")
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// vcdID generates the compact printable identifier for net i (base-94,
+// '!' through '~').
+func vcdID(i int) string {
+	const base = 94
+	s := []byte{}
+	n := i
+	for {
+		s = append(s, byte('!'+n%base))
+		n /= base
+		if n == 0 {
+			break
+		}
+	}
+	return string(s)
+}
+
+func vcdValue(v logic.Value) string {
+	switch v {
+	case logic.Lo:
+		return "0"
+	case logic.Hi:
+		return "1"
+	case logic.Z:
+		return "z"
+	}
+	return "x"
+}
+
+// sanitizeVCD maps net names to VCD identifiers (no whitespace).
+func sanitizeVCD(name string) string {
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\t' || r == '\n' {
+			return '_'
+		}
+		return r
+	}, name)
+}

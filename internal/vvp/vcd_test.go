@@ -1,0 +1,70 @@
+package vvp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"symsim/internal/logic"
+)
+
+func TestWriteVCD(t *testing.T) {
+	d, q := counterDesign(t)
+	tr := &Trace{}
+	s := New(d, Options{Trace: tr})
+	st := NewStimulus(d.Inputs[0], hp)
+	st.At(1, d.Inputs[1], logic.Lo)
+	st.At(2*hp+1, d.Inputs[1], logic.Hi)
+	st.Finalize()
+	s.BindStimulus(st)
+	for s.Cycles() < 5 {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteVCD(&buf, d, tr, "1ns"); err != nil {
+		t.Fatal(err)
+	}
+	vcd := buf.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module counter $end",
+		"$var wire 1",
+		"$enddefinitions $end",
+		"$dumpvars",
+		"#5",
+	} {
+		if !strings.Contains(vcd, want) {
+			t.Errorf("VCD missing %q", want)
+		}
+	}
+	// The counter bit q[0] must change value multiple times.
+	if strings.Count(vcd, "\n#") < 5 {
+		t.Errorf("too few time steps in VCD:\n%s", vcd[:400])
+	}
+	_ = q
+}
+
+func TestVCDIDStability(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 10000; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate VCD id %q at %d", id, i)
+		}
+		seen[id] = true
+		for _, r := range id {
+			if r < '!' || r > '~' {
+				t.Fatalf("id %q contains non-printable rune", id)
+			}
+		}
+	}
+}
+
+func TestVCDValueMapping(t *testing.T) {
+	if vcdValue(logic.Lo) != "0" || vcdValue(logic.Hi) != "1" ||
+		vcdValue(logic.X) != "x" || vcdValue(logic.Z) != "z" {
+		t.Error("value mapping wrong")
+	}
+}
