@@ -1,0 +1,32 @@
+# Tier-1 checks for the symsim repository. `make check` is the gate every
+# change must pass: formatting, vet, a full build and the race-enabled
+# test suite.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race lint
+
+check: fmt vet build race
+
+# gofmt -l prints offending files; fail when any are listed.
+fmt:
+	@out="$$(gofmt -l . 2>/dev/null | grep -v '^related/' || true)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Structural lint over the three shipped processors.
+lint:
+	$(GO) run ./cmd/symsim lint -design all

@@ -8,6 +8,13 @@
 //	symsim -design omsp430 -bench tHold
 //	symsim -design dr5 -bench mult -policy clustered -k 4
 //	symsim -design bm32 -bench Div -workers 8 -v
+//
+// The lint subcommand runs the structural static-analysis pass alone,
+// over the shipped processors and/or serialized netlist files:
+//
+//	symsim lint -design all
+//	symsim lint -json design.json
+//	symsim lint -fail-on warn -design omsp430
 package main
 
 import (
@@ -19,12 +26,20 @@ import (
 
 	"symsim/internal/core"
 	"symsim/internal/csm"
+	"symsim/internal/lint"
 	"symsim/internal/netlist"
 	"symsim/internal/report"
 	"symsim/internal/vvp"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "lint" {
+		os.Exit(lintMain(os.Args[2:]))
+	}
+	analyzeMain()
+}
+
+func analyzeMain() {
 	var (
 		design  = flag.String("design", "omsp430", "processor: bm32 | omsp430 | dr5")
 		bench   = flag.String("bench", "tHold", "benchmark: Div | inSort | binSearch | tHold | mult | tea8")
@@ -46,6 +61,11 @@ func main() {
 	}
 
 	cfg := core.Config{Workers: *workers}
+	if *verbose {
+		// The structural pre-check always runs (errors abort the
+		// analysis); -v additionally surfaces its warnings.
+		cfg.LintWarn = func(d lint.Diag) { fmt.Fprintln(os.Stderr, "symsim: lint:", d) }
+	}
 	switch *memx {
 	case "verilog":
 		cfg.MemX = vvp.MemXVerilog

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"symsim/internal/core"
+	"symsim/internal/lint"
 	"symsim/internal/logic"
 	"symsim/internal/netlist"
 	"symsim/internal/vvp"
@@ -40,12 +41,27 @@ func (r *Result) ReductionPct() float64 {
 	return 100 * float64(r.OriginalGates-r.ExercisableGates) / float64(r.OriginalGates)
 }
 
+// lintOpts configures the before/after structural comparison around
+// Resynthesize. The X-cone summary is skipped: it is a whole-design
+// fixpoint that says nothing about transformation soundness.
+var lintOpts = lint.Options{Disable: []lint.Code{lint.CodeXCone}}
+
 // Generate prunes the unexercisable gates of the analysis result and
-// re-synthesizes the design into a bespoke netlist.
+// re-synthesizes the design into a bespoke netlist. The pruned netlist is
+// then re-linted against the original: re-synthesis must not introduce
+// any new structural diagnostic. Constant-tied flip-flop and memory
+// controls (NL007/NL008) are exempt — tying controls to the constants the
+// symbolic analysis observed is exactly what pruning does.
 func Generate(res *core.Result) (*Result, error) {
+	before := lint.Run(res.Design, lintOpts)
 	rr, err := netlist.Resynthesize(res.Design, res.TieOffs())
 	if err != nil {
 		return nil, err
+	}
+	after := lint.Run(rr.Netlist, lintOpts)
+	if regress := lint.NewDiags(before, after, lint.CodeDFFControl, lint.CodeMemControl); len(regress) > 0 {
+		return nil, fmt.Errorf("bespoke: re-synthesis introduced %d new lint findings; first: %s",
+			len(regress), regress[0])
 	}
 	return &Result{
 		Original:         res.Design,

@@ -13,9 +13,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"symsim/internal/csm"
+	"symsim/internal/lint"
 	"symsim/internal/logic"
 	"symsim/internal/netlist"
 	"symsim/internal/vvp"
@@ -79,6 +81,15 @@ type Config struct {
 	// (cold-boot) path — enough for a symbolic waveform showing the Xs
 	// flowing from the application inputs to the first fork.
 	Trace *vvp.Trace
+	// LintWarn, when non-nil, receives every warning-severity finding of
+	// the structural pre-check that guards simulator construction.
+	// Error-severity findings always abort Analyze; warnings are
+	// tolerated and, with a nil LintWarn, silently dropped.
+	LintWarn func(lint.Diag)
+	// SkipLint disables the structural pre-check entirely (the netlist is
+	// then only validated by Freeze, whose first-failure errors are far
+	// less descriptive).
+	SkipLint bool
 }
 
 // PathEnd describes how one simulated path segment terminated.
@@ -195,6 +206,59 @@ func (p *Platform) resetEndTime() uint64 {
 	return (uint64(2*p.ResetCycles))*p.HalfPeriod + 1
 }
 
+// MonitorNets lists the nets the platform's $monitor_x probe observes.
+// They are live sinks even when no gate consumes them, so the lint
+// pre-check must not report their driver cones as dead.
+func (p *Platform) MonitorNets() []netlist.NetID {
+	var nets []netlist.NetID
+	for _, id := range p.Monitor.Watch {
+		if id != netlist.NoNet {
+			nets = append(nets, id)
+		}
+	}
+	for _, id := range []netlist.NetID{p.Monitor.BranchActive, p.Monitor.Cond, p.Monitor.Finish} {
+		if id != netlist.NoNet {
+			nets = append(nets, id)
+		}
+	}
+	return nets
+}
+
+// LintOptions builds the lint configuration matching the platform's
+// testbench semantics: clock and reset are concrete (only the remaining
+// primary inputs inject Xs) and the monitored control-flow nets count as
+// observed sinks.
+func (p *Platform) LintOptions() lint.Options {
+	opts := lint.Options{KeepAlive: p.MonitorNets()}
+	if len(p.Design.Inputs) >= 2 {
+		opts.XSources = p.Design.Inputs[2:]
+	}
+	return opts
+}
+
+// preCheck runs the structural lint pass that guards simulator
+// construction: error-severity findings abort the analysis with a full
+// diagnostic list; warnings go to cfg.LintWarn (nil drops them).
+func preCheck(p *Platform, cfg *Config) error {
+	lr := lint.Run(p.Design, p.LintOptions())
+	if lr.HasErrors() {
+		var sb strings.Builder
+		for _, d := range lr.Errors() {
+			fmt.Fprintf(&sb, "\n  %s", d)
+		}
+		return fmt.Errorf("core: design %q failed structural lint with %d errors:%s",
+			p.Design.Name, lr.ErrorCount(), sb.String())
+	}
+	if cfg.LintWarn != nil {
+		for _, d := range lr.Diags {
+			if d.Sev == lint.SevWarn {
+				cfg.LintWarn(d)
+			}
+		}
+	}
+	return nil
+}
+
 // Analyze runs symbolic hardware/software co-analysis of the application
 // preloaded in p against its design (paper Algorithm 1).
 func Analyze(p *Platform, cfg Config) (*Result, error) {
@@ -209,6 +273,13 @@ func Analyze(p *Platform, cfg Config) (*Result, error) {
 	}
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
+	}
+	// Structural pre-check before Freeze: lint tolerates broken designs
+	// and reports every hazard at once, where Freeze stops at the first.
+	if !cfg.SkipLint {
+		if err := preCheck(p, &cfg); err != nil {
+			return nil, err
+		}
 	}
 	if err := p.Design.Freeze(); err != nil {
 		return nil, err

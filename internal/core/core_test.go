@@ -2,12 +2,14 @@ package core_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"symsim/internal/core"
 	"symsim/internal/cpu/dr5"
 	"symsim/internal/csm"
 	"symsim/internal/isa/rv32"
+	"symsim/internal/lint"
 	"symsim/internal/logic"
 	"symsim/internal/netlist"
 	"symsim/internal/vvp"
@@ -355,5 +357,61 @@ func TestCycleBudgetExhaustionErrors(t *testing.T) {
 	}
 	if _, err := core.Analyze(p, core.Config{MaxCyclesPerPath: 8}); err == nil {
 		t.Fatal("exhausted cycle budget did not error")
+	}
+}
+
+// A structurally broken design must abort Analyze before any simulator is
+// built, with the lint pass's full diagnostics (not Freeze's terse
+// first-failure error).
+func TestAnalyzeRejectsCombLoopViaLint(t *testing.T) {
+	n := netlist.New("loopy")
+	n.AddInput("clk")
+	n.AddInput("rst_n")
+	x := n.AddNet("x")
+	y := n.AddNet("y")
+	n.AddGate(netlist.KindNot, x, y)
+	n.AddGate(netlist.KindNot, y, x)
+	n.MarkOutput(x)
+	p := &core.Platform{Name: "loopy", Design: n, HalfPeriod: 5, ResetCycles: 2}
+	p.Monitor = vvp.MonitorXSpec{BranchActive: netlist.NoNet, Cond: netlist.NoNet, Finish: netlist.NoNet}
+
+	_, err := core.Analyze(p, core.Config{})
+	if err == nil {
+		t.Fatal("comb loop passed the structural pre-check")
+	}
+	if !strings.Contains(err.Error(), "NL001") {
+		t.Fatalf("error should carry the lint code NL001: %v", err)
+	}
+
+	// SkipLint falls through to Freeze, which still rejects the design —
+	// but with its own error, not a coded diagnostic.
+	_, err = core.Analyze(p, core.Config{SkipLint: true})
+	if err == nil {
+		t.Fatal("comb loop passed Freeze")
+	}
+	if strings.Contains(err.Error(), "NL001") {
+		t.Fatalf("SkipLint error should come from Freeze, got: %v", err)
+	}
+}
+
+// The pre-check's warnings must reach Config.LintWarn without aborting the
+// analysis; a real processor has known dead-gate findings.
+func TestAnalyzeForwardsLintWarnings(t *testing.T) {
+	var warns []lint.Diag
+	res := analyze(t, core.Config{LintWarn: func(d lint.Diag) { warns = append(warns, d) }}, func(a *rv32.Asm) {
+		a.LI(rv32.T0, 1)
+		a.SW(rv32.T0, rv32.X0, 0)
+		a.Halt()
+	})
+	if res.ExercisableCount == 0 {
+		t.Fatal("analysis produced no result")
+	}
+	if len(warns) == 0 {
+		t.Fatal("no lint warnings forwarded (dr5 elaboration is known to leave dead gates)")
+	}
+	for _, d := range warns {
+		if d.Sev != lint.SevWarn {
+			t.Fatalf("non-warning severity forwarded: %s", d)
+		}
 	}
 }

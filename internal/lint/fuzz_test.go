@@ -1,0 +1,56 @@
+package lint_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"symsim/internal/lint"
+	"symsim/internal/netlist"
+)
+
+// FuzzLint: any netlist the tolerant parser accepts must lint and render
+// without panicking — the contract that lets the CLI diagnose broken
+// interchange files. When the strict parser also accepts the input, the
+// validated design must lint with zero error-severity findings (Read's
+// validation and the lint error checks agree on what "broken" means).
+func FuzzLint(f *testing.F) {
+	// Mirror the FuzzRead corpus: a real serialization plus near-misses
+	// that exercise the tolerant-parse paths.
+	n := netlist.New("seed")
+	a := n.AddInput("a")
+	o := n.AddNet("o")
+	n.AddGate(netlist.KindNot, o, a)
+	n.MarkOutput(o)
+	if err := n.Freeze(); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := n.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"name":"x","nets":[{"name":"a"}],"inputs":[0],"gates":[]}`))
+	f.Add([]byte(`{"name":"x","nets":[{"name":"a"}],"gates":[{"kind":"NOT","in":[0],"out":0}]}`))
+	f.Add([]byte(`{"name":"x","nets":[{"name":"a"},{"name":"b"}],"gates":[{"kind":"BUF","in":[1],"out":0},{"kind":"BUF","in":[0],"out":1}]}`))
+	f.Add([]byte(`{"name":"x","nets":[{"name":"a"}],"gates":[{"kind":"BUF","in":[0],"out":0},{"kind":"BUF","in":[0],"out":0}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, err := netlist.ReadRaw(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		r := lint.Run(parsed, lint.Options{})
+		if err := r.WriteText(io.Discard); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		if err := r.WriteJSON(io.Discard, parsed); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		if _, err := netlist.Read(bytes.NewReader(data)); err == nil && r.HasErrors() {
+			var sb bytes.Buffer
+			_ = r.WriteText(&sb)
+			t.Fatalf("strict Read accepted the netlist but lint found errors:\n%s", sb.String())
+		}
+	})
+}

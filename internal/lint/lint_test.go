@@ -1,0 +1,435 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"symsim/internal/lint"
+	"symsim/internal/logic"
+	"symsim/internal/netlist"
+)
+
+// run lints with default options and returns the result.
+func run(n *netlist.Netlist) *lint.Result { return lint.Run(n, lint.Options{}) }
+
+// codes collects the distinct recorded codes.
+func codes(r *lint.Result) map[lint.Code]int {
+	m := map[lint.Code]int{}
+	for _, d := range r.Diags {
+		m[d.Code]++
+	}
+	return m
+}
+
+// mustHave fails unless the result contains at least one finding with the
+// code at the severity.
+func mustHave(t *testing.T, r *lint.Result, code lint.Code, sev lint.Severity) lint.Diag {
+	t.Helper()
+	for _, d := range r.Diags {
+		if d.Code == code && d.Sev == sev {
+			return d
+		}
+	}
+	t.Fatalf("no %s %s diagnostic; got: %v", code, sev, r.Diags)
+	return lint.Diag{}
+}
+
+// clean builds a small structurally sound design: two inputs, an AND, a
+// flip-flop, and a RAM write-back loop.
+func clean(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	n := netlist.New("clean")
+	clk := n.AddInput("clk")
+	rstn := n.AddInput("rst_n")
+	a := n.AddInput("a")
+	one := n.AddNet("one")
+	n.AddGate(netlist.KindConst1, one)
+	w := n.AddNet("w")
+	n.AddGate(netlist.KindAnd, w, a, a)
+	q := n.AddNet("q")
+	n.AddDFF(q, w, clk, one, rstn, logic.Lo)
+	rd := []netlist.NetID{n.AddNet("rd0")}
+	n.AddMem(&netlist.Mem{
+		Name: "ram", AddrBits: 1, DataBits: 1, Words: 2,
+		RAddr: []netlist.NetID{a}, RData: rd,
+		Clk: clk, WEn: q, WAddr: []netlist.NetID{q}, WData: []netlist.NetID{w},
+	})
+	o := n.AddNet("o")
+	n.AddGate(netlist.KindXor, o, q, rd[0])
+	n.MarkOutput(o)
+	return n
+}
+
+func TestCleanDesignHasNoFindings(t *testing.T) {
+	r := run(clean(t))
+	if r.HasErrors() || r.WarnCount() != 0 {
+		t.Fatalf("clean design not clean: %s; %v", r.Summary(), r.Diags)
+	}
+	// Only the NL009 X-cone summary remains.
+	if c := codes(r); len(c) != 1 || c[lint.CodeXCone] != 1 {
+		t.Fatalf("unexpected findings: %v", r.Diags)
+	}
+}
+
+func TestMalformedReferences(t *testing.T) {
+	n := netlist.New("bad")
+	a := n.AddInput("a")
+	// Hand-assemble a gate referencing a net that does not exist.
+	n.Gates = append(n.Gates, netlist.Gate{Kind: netlist.KindNot, In: []netlist.NetID{99}, Out: a})
+	r := run(n)
+	mustHave(t, r, lint.CodeMalformed, lint.SevError)
+	// Shape errors suppress the graph checks entirely.
+	if c := codes(r); len(c) != 1 {
+		t.Fatalf("expected only NL000, got %v", r.Diags)
+	}
+	// Pin-count mismatches and unknown kinds are shape errors too.
+	n2 := netlist.New("bad2")
+	b := n2.AddInput("b")
+	n2.Gates = append(n2.Gates, netlist.Gate{Kind: netlist.KindAnd, In: []netlist.NetID{b}, Out: b})
+	mustHave(t, run(n2), lint.CodeMalformed, lint.SevError)
+	n3 := netlist.New("bad3")
+	c3 := n3.AddInput("c")
+	n3.Gates = append(n3.Gates, netlist.Gate{Kind: netlist.GateKind(200), Out: c3})
+	mustHave(t, run(n3), lint.CodeMalformed, lint.SevError)
+}
+
+func TestCombLoopThroughGates(t *testing.T) {
+	n := netlist.New("loop")
+	n.AddInput("clk")
+	x := n.AddNet("x")
+	y := n.AddNet("y")
+	n.AddGate(netlist.KindNot, x, y)
+	n.AddGate(netlist.KindNot, y, x)
+	n.MarkOutput(x)
+	d := mustHave(t, run(n), lint.CodeCombLoop, lint.SevError)
+	if len(d.Gates) != 2 {
+		t.Fatalf("loop should name both gates: %+v", d)
+	}
+	if !strings.Contains(d.Msg, "->") {
+		t.Fatalf("loop message should show the path: %s", d.Msg)
+	}
+}
+
+func TestCombLoopThroughMemoryReadPort(t *testing.T) {
+	// NOT(rdata) -> raddr closes a cycle through the asynchronous read
+	// port, which a gate-only check would miss.
+	n := netlist.New("memloop")
+	addr := n.AddNet("addr")
+	rd := n.AddNet("rd")
+	n.AddMem(&netlist.Mem{
+		Name: "rom", AddrBits: 1, DataBits: 1, Words: 2,
+		RAddr: []netlist.NetID{addr}, RData: []netlist.NetID{rd},
+		Clk: netlist.NoNet, WEn: netlist.NoNet,
+	})
+	n.AddGate(netlist.KindNot, addr, rd)
+	n.MarkOutput(rd)
+	d := mustHave(t, run(n), lint.CodeCombLoop, lint.SevError)
+	if len(d.Mems) != 1 || len(d.Gates) != 1 {
+		t.Fatalf("loop should name the gate and the memory: %+v", d)
+	}
+}
+
+func TestMultiDrivenNet(t *testing.T) {
+	n := netlist.New("md")
+	a := n.AddInput("a")
+	o := n.AddNet("o")
+	n.AddGate(netlist.KindBuf, o, a)
+	// The construction API refuses a second driver; hand-assemble it.
+	n.Gates = append(n.Gates, netlist.Gate{Kind: netlist.KindNot, In: []netlist.NetID{a}, Out: o})
+	n.MarkOutput(o)
+	d := mustHave(t, run(n), lint.CodeMultiDriven, lint.SevError)
+	if len(d.Nets) != 1 || d.Nets[0] != o {
+		t.Fatalf("diagnostic should locate the net: %+v", d)
+	}
+}
+
+func TestUndrivenAndUnconnected(t *testing.T) {
+	n := netlist.New("und")
+	u := n.AddNet("u") // never driven
+	o := n.AddNet("o")
+	n.AddGate(netlist.KindNot, o, u)
+	n.MarkOutput(o)
+	mustHave(t, run(n), lint.CodeUndriven, lint.SevError)
+
+	// An unconnected pin (NoNet) is the same class of fault.
+	n2 := netlist.New("nopin")
+	a := n2.AddInput("a")
+	o2 := n2.AddNet("o")
+	_ = a
+	n2.Gates = append(n2.Gates, netlist.Gate{Kind: netlist.KindNot, In: []netlist.NetID{netlist.NoNet}, Out: o2})
+	n2.MarkOutput(o2)
+	mustHave(t, run(n2), lint.CodeUndriven, lint.SevError)
+
+	// A dangling undriven net nobody reads is not a fault.
+	n3 := netlist.New("dangling")
+	a3 := n3.AddInput("a")
+	n3.AddNet("unused")
+	o3 := n3.AddNet("o")
+	n3.AddGate(netlist.KindBuf, o3, a3)
+	n3.MarkOutput(o3)
+	if r := run(n3); r.HasErrors() {
+		t.Fatalf("dangling net should not be an error: %v", r.Diags)
+	}
+}
+
+func TestDeadGate(t *testing.T) {
+	n := netlist.New("dead")
+	a := n.AddInput("a")
+	w := n.AddNet("w")
+	n.AddGate(netlist.KindNot, w, a) // consumed by nothing
+	o := n.AddNet("o")
+	n.AddGate(netlist.KindBuf, o, a)
+	n.MarkOutput(o)
+	d := mustHave(t, run(n), lint.CodeDeadGate, lint.SevWarn)
+	if len(d.Gates) != 1 || n.Gates[d.Gates[0]].Out != w {
+		t.Fatalf("dead diagnostic should locate the NOT gate: %+v", d)
+	}
+	// A gate feeding only a flip-flop is not dead (the DFF is a sink).
+	clk := n.AddInput("clk")
+	rstn := n.AddInput("rst_n")
+	q := n.AddNet("q")
+	n.AddDFF(q, w, clk, a, rstn, logic.Lo)
+	if r := run(n); r.Counts[lint.CodeDeadGate] != 0 {
+		t.Fatalf("gate feeding a DFF reported dead: %v", r.Diags)
+	}
+}
+
+func TestConstCone(t *testing.T) {
+	// NOT(u) with u undriven has no primary input or state element in
+	// its fanin; it is unreachable rather than foldable.
+	n := netlist.New("cone")
+	a := n.AddInput("a")
+	u := n.AddNet("u")
+	d := n.AddNet("d")
+	n.AddGate(netlist.KindNot, d, u)
+	o := n.AddNet("o")
+	n.AddGate(netlist.KindAnd, o, d, a)
+	n.MarkOutput(o)
+	mustHave(t, run(n), lint.CodeConstCone, lint.SevWarn)
+}
+
+func TestFoldableGate(t *testing.T) {
+	n := netlist.New("fold")
+	a := n.AddInput("a")
+	one := n.AddNet("one")
+	n.AddGate(netlist.KindConst1, one)
+	d := n.AddNet("d")
+	n.AddGate(netlist.KindNot, d, one) // NOT(1) = 0, foldable
+	o := n.AddNet("o")
+	n.AddGate(netlist.KindAnd, o, d, a)
+	n.MarkOutput(o)
+	diag := mustHave(t, run(n), lint.CodeFoldable, lint.SevInfo)
+	if !strings.Contains(diag.Msg, "0") {
+		t.Fatalf("foldable message should carry the folded value: %s", diag.Msg)
+	}
+	// Constant generators themselves are not "foldable".
+	for _, d := range run(n).Diags {
+		if d.Code == lint.CodeFoldable && len(d.Gates) == 1 && n.Gates[d.Gates[0]].Kind == netlist.KindConst1 {
+			t.Fatalf("const generator flagged foldable: %+v", d)
+		}
+	}
+	// A constant-driven gate feeding a primary output port is exempt:
+	// bespoke re-synthesis creates those tie-offs deliberately.
+	n2 := netlist.New("port")
+	n2.AddInput("clk")
+	one2 := n2.AddNet("one")
+	n2.AddGate(netlist.KindConst1, one2)
+	port := n2.AddNet("port")
+	n2.AddGate(netlist.KindBuf, port, one2)
+	n2.MarkOutput(port)
+	if r := run(n2); r.Counts[lint.CodeFoldable] != 0 || r.Counts[lint.CodeConstCone] != 0 {
+		t.Fatalf("output tie-off should be exempt: %v", r.Diags)
+	}
+}
+
+func TestDFFControlSanity(t *testing.T) {
+	n := netlist.New("ffctl")
+	clk := n.AddInput("clk")
+	rstn := n.AddInput("rst_n")
+	a := n.AddInput("a")
+	zero := n.AddNet("zero")
+	n.AddGate(netlist.KindConst0, zero)
+	one := n.AddNet("one")
+	n.AddGate(netlist.KindConst1, one)
+
+	qEn := n.AddNet("q_en")
+	n.AddDFF(qEn, a, clk, zero, rstn, logic.Lo) // enable tied low
+	qClk := n.AddNet("q_clk")
+	n.AddDFF(qClk, a, one, one, rstn, logic.Lo) // clock tied high
+	qRst := n.AddNet("q_rst")
+	n.AddDFF(qRst, a, clk, one, zero, logic.Lo) // reset held asserted
+	o := n.AddNet("o")
+	x := n.AddNet("x")
+	n.AddGate(netlist.KindXor, x, qEn, qClk)
+	n.AddGate(netlist.KindXor, o, x, qRst)
+	n.MarkOutput(o)
+
+	r := run(n)
+	if got := r.Counts[lint.CodeDFFControl]; got != 3 {
+		t.Fatalf("want 3 NL007 findings, got %d: %v", got, r.Diags)
+	}
+	mustHave(t, r, lint.CodeDFFControl, lint.SevWarn)
+}
+
+func TestMemControlSanity(t *testing.T) {
+	n := netlist.New("memctl")
+	clk := n.AddInput("clk")
+	a := n.AddInput("a")
+	zero := n.AddNet("zero")
+	n.AddGate(netlist.KindConst0, zero)
+	rd := []netlist.NetID{n.AddNet("rd")}
+	n.AddMem(&netlist.Mem{
+		Name: "ram", AddrBits: 1, DataBits: 1, Words: 2,
+		RAddr: []netlist.NetID{a}, RData: rd,
+		Clk: clk, WEn: zero, WAddr: []netlist.NetID{a}, WData: []netlist.NetID{a},
+	})
+	n.MarkOutput(rd[0])
+	d := mustHave(t, run(n), lint.CodeMemControl, lint.SevWarn)
+	if !strings.Contains(d.Msg, "write enable") {
+		t.Fatalf("unexpected NL008 message: %s", d.Msg)
+	}
+}
+
+func TestXReachabilityCone(t *testing.T) {
+	n := netlist.New("xcone")
+	clk := n.AddInput("clk")
+	rstn := n.AddInput("rst_n")
+	sym := n.AddInput("sym")
+	one := n.AddNet("one")
+	n.AddGate(netlist.KindConst1, one)
+	fromSym := n.AddNet("from_sym")
+	n.AddGate(netlist.KindNot, fromSym, sym)
+	fromConst := n.AddNet("from_const")
+	n.AddGate(netlist.KindNot, fromConst, one)
+	q := n.AddNet("q")
+	n.AddDFF(q, fromSym, clk, one, rstn, logic.Lo)
+	o := n.AddNet("o")
+	n.AddGate(netlist.KindAnd, o, q, fromConst)
+	n.MarkOutput(o)
+
+	// Model the platform: clock and reset are concrete, sym is symbolic.
+	r := lint.Run(n, lint.Options{XSources: []netlist.NetID{sym}})
+	mustHave(t, r, lint.CodeXCone, lint.SevInfo)
+	if r.XReachable == nil {
+		t.Fatal("XReachable mask missing")
+	}
+	for _, want := range []struct {
+		net netlist.NetID
+		x   bool
+	}{
+		{sym, true}, {fromSym, true}, {q, true}, {o, true},
+		{fromConst, false}, {one, false}, {clk, false},
+	} {
+		if r.XReachable[want.net] != want.x {
+			t.Errorf("net %q X-reachable = %v, want %v", n.Nets[want.net].Name, r.XReachable[want.net], want.x)
+		}
+	}
+}
+
+func TestXConeMemoryDefaultsToX(t *testing.T) {
+	// A RAM with fewer init words than capacity exposes X through its
+	// read port even with concrete addresses.
+	n := netlist.New("xmem")
+	a := n.AddInput("a")
+	rd := []netlist.NetID{n.AddNet("rd")}
+	n.AddMem(&netlist.Mem{
+		Name: "rom", AddrBits: 1, DataBits: 1, Words: 2,
+		Init:  []logic.Vec{logic.MustVec("1")}, // word 1 defaults to X
+		RAddr: []netlist.NetID{a}, RData: rd,
+		Clk: netlist.NoNet, WEn: netlist.NoNet,
+	})
+	n.MarkOutput(rd[0])
+	r := lint.Run(n, lint.Options{XSources: []netlist.NetID{}})
+	if !r.XReachable[rd[0]] {
+		t.Fatal("partially initialized memory should expose X on its read port")
+	}
+}
+
+func TestDisableAndTruncation(t *testing.T) {
+	n := netlist.New("many")
+	a := n.AddInput("a")
+	for i := 0; i < 10; i++ {
+		w := n.AddNet("")
+		n.AddGate(netlist.KindNot, w, a) // 10 dead gates
+	}
+	o := n.AddNet("o")
+	n.AddGate(netlist.KindBuf, o, a)
+	n.MarkOutput(o)
+
+	r := lint.Run(n, lint.Options{MaxPerCode: 3})
+	if got := codes(r)[lint.CodeDeadGate]; got != 3 {
+		t.Fatalf("recorded %d NL004 diags, want 3 (truncated)", got)
+	}
+	if r.Counts[lint.CodeDeadGate] != 10 {
+		t.Fatalf("counted %d NL004, want 10", r.Counts[lint.CodeDeadGate])
+	}
+	if r.WarnCount() != 10 {
+		t.Fatalf("warn count %d, want 10", r.WarnCount())
+	}
+
+	r2 := lint.Run(n, lint.Options{Disable: []lint.Code{lint.CodeDeadGate, lint.CodeXCone}})
+	if len(r2.Diags) != 0 {
+		t.Fatalf("disabled checks still reported: %v", r2.Diags)
+	}
+}
+
+func TestOutputFormats(t *testing.T) {
+	n := netlist.New("out")
+	a := n.AddInput("a")
+	w := n.AddNet("w")
+	n.AddGate(netlist.KindNot, w, a) // dead
+	o := n.AddNet("o")
+	n.AddGate(netlist.KindBuf, o, a)
+	n.MarkOutput(o)
+	r := run(n)
+
+	var text strings.Builder
+	if err := r.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"out:", "NL004 warning:", "NL009 info:"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text output missing %q:\n%s", want, text.String())
+		}
+	}
+
+	var js strings.Builder
+	if err := r.WriteJSON(&js, n); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"code": "NL004"`, `"severity": "warning"`, `"design": "out"`, `"x_reachable_nets"`} {
+		if !strings.Contains(js.String(), want) {
+			t.Errorf("JSON output missing %q:\n%s", want, js.String())
+		}
+	}
+}
+
+func TestNewDiags(t *testing.T) {
+	before := run(clean(t))
+
+	n := netlist.New("after")
+	a := n.AddInput("a")
+	w := n.AddNet("w")
+	n.AddGate(netlist.KindNot, w, a) // dead gate the "before" lacked
+	o := n.AddNet("o")
+	n.AddGate(netlist.KindBuf, o, a)
+	n.MarkOutput(o)
+	after := run(n)
+
+	nd := lint.NewDiags(before, after)
+	found := false
+	for _, d := range nd {
+		if d.Code == lint.CodeDeadGate {
+			found = true
+		}
+		if d.Code == lint.CodeXCone {
+			t.Fatalf("XCone summary (1 in both) reported as new: %v", nd)
+		}
+	}
+	if !found {
+		t.Fatalf("new dead gate not reported: %v", nd)
+	}
+	if got := lint.NewDiags(before, after, lint.CodeDeadGate); len(got) != 0 {
+		t.Fatalf("ignored code still reported: %v", got)
+	}
+}

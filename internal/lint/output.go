@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"symsim/internal/netlist"
+)
+
+// WriteText renders the result as a human-readable report: a summary
+// header followed by one line per recorded diagnostic. Truncated codes
+// (past Options.MaxPerCode) note how many findings were dropped.
+func (r *Result) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s: %s\n", r.DesignName, r.Summary()); err != nil {
+		return err
+	}
+	shown := make(map[Code]int)
+	for _, d := range r.Diags {
+		shown[d.Code]++
+		if _, err := fmt.Fprintf(w, "  %s\n", d); err != nil {
+			return err
+		}
+	}
+	for _, c := range codeOrder {
+		if total := r.Counts[c]; total > shown[c] && shown[c] > 0 {
+			if _, err := fmt.Fprintf(w, "  %s: … %d more findings not shown\n", c, total-shown[c]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// codeOrder lists the codes in report order.
+var codeOrder = []Code{
+	CodeMalformed, CodeCombLoop, CodeMultiDriven, CodeUndriven,
+	CodeDeadGate, CodeConstCone, CodeFoldable, CodeDFFControl,
+	CodeMemControl, CodeXCone,
+}
+
+// jsonDiag is the machine-readable form of one diagnostic. Element
+// references are emitted as names where the design provides them, with
+// the numeric ids alongside for tooling.
+type jsonDiag struct {
+	Code     Code     `json:"code"`
+	Severity string   `json:"severity"`
+	Message  string   `json:"message"`
+	Nets     []string `json:"nets,omitempty"`
+	Gates    []int    `json:"gates,omitempty"`
+	Mems     []string `json:"mems,omitempty"`
+}
+
+type jsonResult struct {
+	Design     string         `json:"design"`
+	Errors     int            `json:"errors"`
+	Warnings   int            `json:"warnings"`
+	Infos      int            `json:"infos"`
+	Counts     map[string]int `json:"counts,omitempty"`
+	Nets       int            `json:"nets"`
+	XReachable int            `json:"x_reachable_nets"`
+	Diags      []jsonDiag     `json:"diags"`
+}
+
+// JSON returns the machine-readable form of the result, ready for
+// json.Marshal (the CLI aggregates several results into one array). The
+// design resolves net and memory names; pass the netlist the result was
+// produced from, or nil for numeric references.
+func (r *Result) JSON(n *netlist.Netlist) any {
+	return r.jsonForm(n)
+}
+
+func (r *Result) jsonForm(n *netlist.Netlist) jsonResult {
+	out := jsonResult{
+		Design: r.DesignName, Errors: r.errs, Warnings: r.warns, Infos: r.infos,
+		Nets: r.NetCount, Counts: make(map[string]int, len(r.Counts)),
+		Diags: []jsonDiag{},
+	}
+	for c, v := range r.Counts {
+		out.Counts[string(c)] = v
+	}
+	for _, x := range r.XReachable {
+		if x {
+			out.XReachable++
+		}
+	}
+	for _, d := range r.Diags {
+		jd := jsonDiag{Code: d.Code, Severity: d.Sev.String(), Message: d.Msg}
+		for _, id := range d.Nets {
+			if n != nil && id >= 0 && int(id) < len(n.Nets) {
+				jd.Nets = append(jd.Nets, n.Nets[id].Name)
+			} else {
+				jd.Nets = append(jd.Nets, fmt.Sprintf("#%d", id))
+			}
+		}
+		for _, id := range d.Gates {
+			jd.Gates = append(jd.Gates, int(id))
+		}
+		for _, id := range d.Mems {
+			if n != nil && id >= 0 && int(id) < len(n.Mems) {
+				jd.Mems = append(jd.Mems, n.Mems[id].Name)
+			} else {
+				jd.Mems = append(jd.Mems, fmt.Sprintf("#%d", id))
+			}
+		}
+		out.Diags = append(out.Diags, jd)
+	}
+	return out
+}
+
+// WriteJSON renders the result as indented JSON. The netlist resolves
+// element names; nil is tolerated (numeric references are emitted).
+func (r *Result) WriteJSON(w io.Writer, n *netlist.Netlist) error {
+	data, err := json.MarshalIndent(r.jsonForm(n), "", " ")
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	_, err = w.Write([]byte("\n"))
+	return err
+}

@@ -1,0 +1,90 @@
+package netlist_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"symsim/internal/lint"
+	"symsim/internal/netlist"
+	"symsim/internal/report"
+)
+
+// lintCounts runs the structural oracle with the X-cone summary disabled
+// (memory init words differ across a round trip only in representation,
+// not structure, but the fixpoint is the slowest check and adds nothing
+// to a shape comparison).
+func lintCounts(n *netlist.Netlist) map[lint.Code]int {
+	r := lint.Run(n, lint.Options{Disable: []lint.Code{lint.CodeXCone}})
+	return r.Counts
+}
+
+// TestCPUExporters drives every serializer over the three evaluation
+// processors: the JSON interchange must round-trip to a structurally
+// identical design (lint as the oracle), and the Verilog and DOT views
+// must be shaped like Verilog and DOT.
+func TestCPUExporters(t *testing.T) {
+	for _, d := range report.Designs {
+		d := d
+		t.Run(string(d), func(t *testing.T) {
+			t.Parallel()
+			p, err := report.BuildPlatform(d, "tea8")
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := p.Design
+			base := lintCounts(n)
+
+			// JSON round trip: Write -> Read -> identical shape and
+			// identical lint profile.
+			var buf bytes.Buffer
+			if err := n.Write(&buf); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+			again, err := netlist.Read(&buf)
+			if err != nil {
+				t.Fatalf("Read back: %v", err)
+			}
+			if len(again.Gates) != len(n.Gates) || len(again.Nets) != len(n.Nets) || len(again.Mems) != len(n.Mems) {
+				t.Fatalf("round trip changed shape: %d/%d/%d gates/nets/mems, want %d/%d/%d",
+					len(again.Gates), len(again.Nets), len(again.Mems), len(n.Gates), len(n.Nets), len(n.Mems))
+			}
+			got := lintCounts(again)
+			for c, want := range base {
+				if got[c] != want {
+					t.Errorf("round trip changed %s count: %d, want %d", c, got[c], want)
+				}
+			}
+			for c := range got {
+				if _, ok := base[c]; !ok {
+					t.Errorf("round trip introduced %s findings", c)
+				}
+			}
+
+			// Verilog view.
+			buf.Reset()
+			if err := n.WriteVerilog(&buf); err != nil {
+				t.Fatalf("WriteVerilog: %v", err)
+			}
+			v := buf.String()
+			for _, want := range []string{"module " + n.Name, "endmodule", "input clk;", "always @(posedge clk"} {
+				if !strings.Contains(v, want) {
+					t.Errorf("verilog missing %q", want)
+				}
+			}
+
+			// DOT view: one graph, balanced braces, every gate drawn.
+			buf.Reset()
+			if err := n.WriteDOT(&buf); err != nil {
+				t.Fatalf("WriteDOT: %v", err)
+			}
+			dot := buf.String()
+			if !strings.HasPrefix(dot, "digraph ") {
+				t.Errorf("DOT output does not start a digraph: %.40q", dot)
+			}
+			if open, close := strings.Count(dot, "{"), strings.Count(dot, "}"); open != close || open == 0 {
+				t.Errorf("DOT braces unbalanced: %d open, %d close", open, close)
+			}
+		})
+	}
+}

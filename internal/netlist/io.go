@@ -100,10 +100,15 @@ func (n *Netlist) Write(w io.Writer) error {
 	return err
 }
 
-// Read parses an interchange-JSON netlist. The result is validated and
-// frozen. Construction-level violations in the file (duplicate names, pin
-// mismatches) surface as errors rather than panics.
-func Read(r io.Reader) (n *Netlist, err error) {
+// ReadRaw parses an interchange-JSON netlist without enforcing structural
+// invariants: the result is neither validated nor frozen, and may contain
+// multi-driven nets, dangling references, pin-count mismatches or
+// duplicate names. It rejects only input that cannot be represented in
+// the IR at all (unparseable JSON, unknown gate kinds, invalid ternary
+// literals). This is the entry point for the lint pass, which diagnoses
+// broken netlists instead of refusing to load them; simulation consumers
+// must use Read.
+func ReadRaw(r io.Reader) (n *Netlist, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			n, err = nil, fmt.Errorf("netlist: malformed input: %v", p)
@@ -114,47 +119,46 @@ func Read(r io.Reader) (n *Netlist, err error) {
 	if err := dec.Decode(&in); err != nil {
 		return nil, fmt.Errorf("netlist: parse: %w", err)
 	}
-	n = New(in.Name)
-	isInput := make(map[NetID]bool, len(in.Inputs))
-	for _, id := range in.Inputs {
-		isInput[id] = true
-	}
+	return fromJSON(&in)
+}
+
+// fromJSON builds the in-memory form of a decoded netlist, tolerating
+// structural violations. Net.Driver records the first gate driving each
+// net; extra drivers are observable through DriverCounts.
+func fromJSON(in *jsonNetlist) (*Netlist, error) {
+	n := New(in.Name)
 	for i, jn := range in.Nets {
-		var got NetID
-		if isInput[NetID(i)] {
-			got = n.AddInput(jn.Name)
-		} else {
-			got = n.AddNet(jn.Name)
+		name := jn.Name
+		if name == "" {
+			name = fmt.Sprintf("n%d", i)
 		}
-		if got != NetID(i) {
-			return nil, fmt.Errorf("netlist: non-contiguous net ids")
+		n.Nets = append(n.Nets, Net{Name: name, Driver: NoGate})
+		if _, dup := n.names[name]; !dup {
+			n.names[name] = NetID(i)
 		}
 	}
-	if len(n.Inputs) != len(in.Inputs) {
-		return nil, fmt.Errorf("netlist: input list mismatch")
+	n.Inputs = append([]NetID(nil), in.Inputs...)
+	for _, id := range n.Inputs {
+		if id >= 0 && int(id) < len(n.Nets) {
+			n.Nets[id].IsInput = true
+		}
 	}
-	n.Inputs = in.Inputs // preserve declaration order
 	for gi, jg := range in.Gates {
 		kind, ok := kindByName[jg.Kind]
 		if !ok {
 			return nil, fmt.Errorf("netlist: gate %d: unknown kind %q", gi, jg.Kind)
 		}
-		if err := checkNetRange(jg.Out, len(in.Nets)); err != nil {
-			return nil, fmt.Errorf("netlist: gate %d: %w", gi, err)
-		}
-		for _, id := range jg.In {
-			if err := checkNetRange(id, len(in.Nets)); err != nil {
-				return nil, fmt.Errorf("netlist: gate %d: %w", gi, err)
-			}
-		}
-		id := n.AddGate(kind, jg.Out, jg.In...)
-		n.Gates[id].Name = jg.Name
+		g := Gate{Kind: kind, In: append([]NetID(nil), jg.In...), Out: jg.Out, Name: jg.Name}
 		if kind == KindDFF && jg.Init != "" {
 			v, err := logic.ValueOf(rune(jg.Init[0]))
 			if err != nil {
 				return nil, fmt.Errorf("netlist: gate %d: bad init %q", gi, jg.Init)
 			}
-			n.Gates[id].Init = v
+			g.Init = v
+		}
+		n.Gates = append(n.Gates, g)
+		if g.Out >= 0 && int(g.Out) < len(n.Nets) && n.Nets[g.Out].Driver == NoGate {
+			n.Nets[g.Out].Driver = GateID(gi)
 		}
 	}
 	for mi, jm := range in.Mems {
@@ -177,18 +181,114 @@ func Read(r io.Reader) (n *Netlist, err error) {
 			}
 			m.Init = append(m.Init, v)
 		}
-		n.AddMem(m)
+		n.Mems = append(n.Mems, m)
 	}
-	for _, o := range in.Outputs {
-		if err := checkNetRange(o, len(in.Nets)); err != nil {
-			return nil, fmt.Errorf("netlist: output: %w", err)
+	n.Outputs = append([]NetID(nil), in.Outputs...)
+	return n, nil
+}
+
+// Read parses an interchange-JSON netlist. The result is validated and
+// frozen. Construction-level violations in the file — duplicate names,
+// pin mismatches, multi-driven nets, dangling references — surface as
+// errors rather than panics.
+func Read(r io.Reader) (n *Netlist, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			n, err = nil, fmt.Errorf("netlist: malformed input: %v", p)
 		}
-		n.MarkOutput(o)
+	}()
+	n, err = ReadRaw(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := validate(n); err != nil {
+		return nil, err
 	}
 	if err := n.Freeze(); err != nil {
 		return nil, err
 	}
 	return n, nil
+}
+
+// validate enforces on a raw netlist the structural invariants the
+// construction API (AddNet/AddGate/AddMem) guarantees by panicking, so
+// Read can surface them as errors before Freeze.
+func validate(n *Netlist) error {
+	seen := make(map[string]NetID, len(n.Nets))
+	for i, nt := range n.Nets {
+		if prev, dup := seen[nt.Name]; dup {
+			return fmt.Errorf("netlist: duplicate net name %q (nets %d and %d)", nt.Name, prev, i)
+		}
+		seen[nt.Name] = NetID(i)
+	}
+	inputSeen := make(map[NetID]bool, len(n.Inputs))
+	for _, id := range n.Inputs {
+		if err := checkNetRange(id, len(n.Nets)); err != nil {
+			return fmt.Errorf("netlist: input: %w", err)
+		}
+		if inputSeen[id] {
+			return fmt.Errorf("netlist: net %q listed as input twice", n.Nets[id].Name)
+		}
+		inputSeen[id] = true
+	}
+	for gi := range n.Gates {
+		g := &n.Gates[gi]
+		if len(g.In) != g.Kind.NumInputs() {
+			return fmt.Errorf("netlist: gate %d: %s expects %d inputs, got %d", gi, g.Kind, g.Kind.NumInputs(), len(g.In))
+		}
+		if err := checkNetRange(g.Out, len(n.Nets)); err != nil {
+			return fmt.Errorf("netlist: gate %d: %w", gi, err)
+		}
+		for _, id := range g.In {
+			if err := checkNetRange(id, len(n.Nets)); err != nil {
+				return fmt.Errorf("netlist: gate %d: %w", gi, err)
+			}
+		}
+	}
+	for mi, m := range n.Mems {
+		if len(m.RAddr) != m.AddrBits || len(m.RData) != m.DataBits {
+			return fmt.Errorf("netlist: mem %d: read port width mismatch", mi)
+		}
+		if !m.IsROM() && (len(m.WAddr) != m.AddrBits || len(m.WData) != m.DataBits) {
+			return fmt.Errorf("netlist: mem %d: write port width mismatch", mi)
+		}
+		if m.AddrBits <= 0 || m.AddrBits > 30 || m.Words <= 0 || m.Words > 1<<m.AddrBits {
+			return fmt.Errorf("netlist: mem %d: %d words out of range for %d address bits", mi, m.Words, m.AddrBits)
+		}
+		for _, p := range m.RAddr {
+			if err := checkNetRange(p, len(n.Nets)); err != nil {
+				return fmt.Errorf("netlist: mem %d: %w", mi, err)
+			}
+		}
+		for _, p := range m.RData {
+			if err := checkNetRange(p, len(n.Nets)); err != nil {
+				return fmt.Errorf("netlist: mem %d: %w", mi, err)
+			}
+		}
+		if !m.IsROM() {
+			pins := append([]NetID{m.Clk, m.WEn}, m.WAddr...)
+			pins = append(pins, m.WData...)
+			for _, p := range pins {
+				if err := checkNetRange(p, len(n.Nets)); err != nil {
+					return fmt.Errorf("netlist: mem %d: %w", mi, err)
+				}
+			}
+		}
+	}
+	for _, o := range n.Outputs {
+		if err := checkNetRange(o, len(n.Nets)); err != nil {
+			return fmt.Errorf("netlist: output: %w", err)
+		}
+	}
+	// Multi-driven nets misbehave under simulation (the last writer wins
+	// nondeterministically); reject them at read time with the same
+	// source accounting the lint pass uses.
+	for id, c := range n.DriverCounts() {
+		if c > 1 {
+			return fmt.Errorf("netlist: net %q has %d drivers; multi-driven nets are not allowed", n.Nets[id].Name, c)
+		}
+	}
+	return nil
 }
 
 func checkNetRange(id NetID, nets int) error {

@@ -192,3 +192,51 @@ func TestWriteDOT(t *testing.T) {
 		}
 	}
 }
+
+// Multi-driven nets cannot be built via the construction API, but a
+// hand-written interchange file can contain them: the strict reader must
+// reject such a file with an error naming the net, while the tolerant
+// reader accepts it for diagnosis.
+func TestReadRejectsMultiDrivenNet(t *testing.T) {
+	src := `{"name":"md","nets":[{"name":"a"},{"name":"o"}],"inputs":[0],
+		"gates":[{"kind":"BUF","in":[0],"out":1},{"kind":"NOT","in":[0],"out":1}],
+		"outputs":[1]}`
+	_, err := Read(strings.NewReader(src))
+	if err == nil {
+		t.Fatal("multi-driven net accepted by strict Read")
+	}
+	for _, want := range []string{`"o"`, "2 drivers", "multi-driven"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q should mention %q", err, want)
+		}
+	}
+
+	n, err := ReadRaw(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("tolerant ReadRaw rejected the file: %v", err)
+	}
+	if counts := n.DriverCounts(); counts[1] != 2 {
+		t.Fatalf("driver counts = %v, want net 1 to have 2", counts)
+	}
+}
+
+// ReadRaw must accept designs the strict reader rejects — that is its
+// purpose — as long as the JSON itself decodes.
+func TestReadRawToleratesBrokenDesigns(t *testing.T) {
+	cases := []string{
+		// Gate input out of range.
+		`{"name":"x","nets":[{"name":"a"}],"gates":[{"kind":"NOT","in":[5],"out":0}]}`,
+		// Duplicate net names.
+		`{"name":"x","nets":[{"name":"a"},{"name":"a"}],"gates":[]}`,
+		// Output list out of range.
+		`{"name":"x","nets":[{"name":"a"}],"outputs":[9]}`,
+	}
+	for i, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted by strict Read", i)
+		}
+		if _, err := ReadRaw(strings.NewReader(c)); err != nil {
+			t.Errorf("case %d rejected by tolerant ReadRaw: %v", i, err)
+		}
+	}
+}

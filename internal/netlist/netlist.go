@@ -495,21 +495,37 @@ func (n *Netlist) netLevel(level []int32, id NetID) int32 {
 	return 0
 }
 
-// checkDrivers verifies every net has exactly one source: a gate, a memory
-// read port, or a primary input.
-func (n *Netlist) checkDrivers() error {
+// DriverCounts returns, per net, how many sources drive it: each gate
+// output, memory read-data pin and primary-input declaration counts as
+// one. A structurally sound netlist has exactly one source per net; the
+// reader and the lint pass share this helper to diagnose violations.
+// Out-of-range references (possible in hand-assembled netlists) are
+// ignored rather than counted.
+func (n *Netlist) DriverCounts() []int {
 	src := make([]int, len(n.Nets))
+	count := func(id NetID) {
+		if id >= 0 && int(id) < len(src) {
+			src[id]++
+		}
+	}
 	for _, g := range n.Gates {
-		src[g.Out]++
+		count(g.Out)
 	}
 	for _, m := range n.Mems {
 		for _, d := range m.RData {
-			src[d]++
+			count(d)
 		}
 	}
 	for _, in := range n.Inputs {
-		src[in]++
+		count(in)
 	}
+	return src
+}
+
+// checkDrivers verifies every net has exactly one source: a gate, a memory
+// read port, or a primary input.
+func (n *Netlist) checkDrivers() error {
+	src := n.DriverCounts()
 	for id, c := range src {
 		if c == 0 {
 			return fmt.Errorf("netlist %s: net %q is undriven", n.Name, n.Nets[id].Name)

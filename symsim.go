@@ -36,6 +36,7 @@ import (
 	"symsim/internal/bespoke"
 	"symsim/internal/core"
 	"symsim/internal/csm"
+	"symsim/internal/lint"
 	"symsim/internal/logic"
 	"symsim/internal/netlist"
 	"symsim/internal/power"
@@ -310,6 +311,26 @@ func WriteVCD(w io.Writer, d *Netlist, tr *Trace, timescale string) error {
 // frozen result is ready for simulation). Netlist values expose Write
 // (JSON) and WriteVerilog for the reverse direction.
 func ReadNetlist(r io.Reader) (*Netlist, error) { return netlist.Read(r) }
+
+// --- Structural static analysis ---
+
+// LintResult is the outcome of a structural lint run: typed diagnostics
+// with stable codes (NL001…), severities and element locations.
+type LintResult = lint.Result
+
+// LintOptions tune a lint run; the zero value runs every check.
+type LintOptions = lint.Options
+
+// LintDiag is one structural finding.
+type LintDiag = lint.Diag
+
+// Lint runs structural static analysis over a netlist: combinational
+// loops, multi-driven and undriven nets, dead and constant cones,
+// flip-flop/memory control sanity and X reachability. It never panics,
+// even on netlists Freeze would reject. For a Platform's design, prefer
+// p.LintOptions() so the testbench semantics (concrete clocking,
+// monitored nets) inform the analysis.
+func Lint(n *Netlist, opts LintOptions) *LintResult { return lint.Run(n, opts) }
 
 // PowerProfile is the switching-activity measurement of one concrete run.
 type PowerProfile = power.Profile
