@@ -22,10 +22,10 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 10m ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 10m ./...
 
 # Structural lint over the three shipped processors.
 lint:

@@ -9,6 +9,15 @@
 //	symsim -design dr5 -bench mult -policy clustered -k 4
 //	symsim -design bm32 -bench Div -workers 8 -v
 //
+// Long co-analyses are governed: -deadline bounds wall-clock time (the
+// run degrades soundly instead of erroring), -checkpoint periodically
+// saves the exploration state to a file, and -resume continues from it
+// after a kill or crash. SIGINT/SIGTERM trigger the same clean shutdown
+// as an expired deadline:
+//
+//	symsim -design omsp430 -bench tHold -deadline 2m -checkpoint run.ckpt
+//	symsim -design omsp430 -bench tHold -checkpoint run.ckpt -resume
+//
 // The lint subcommand runs the structural static-analysis pass alone,
 // over the shipped processors and/or serialized netlist files:
 //
@@ -18,11 +27,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sync"
+	"syscall"
+	"time"
 
 	"symsim/internal/core"
 	"symsim/internal/csm"
@@ -52,6 +65,15 @@ func analyzeMain() {
 		verbose = flag.Bool("v", false, "print per-path details")
 		dumpDir = flag.String("dump-states", "", "write every saved halt state to this directory (sim_state.log files)")
 		vcdOut  = flag.String("vcd", "", "dump the initial symbolic path's waveform (X values visible) to this file")
+
+		deadline  = flag.Duration("deadline", 0, "wall-clock budget; on expiry the run degrades soundly instead of erroring")
+		maxCycles = flag.Uint64("max-sim-cycles", 0, "total simulated-cycle budget across all paths (0 = unlimited)")
+		maxForks  = flag.Int("max-forks", 0, "X-branch fork budget (0 = unlimited)")
+		maxCSM    = flag.Int("max-csm-states", 0, "live conservative-state budget (0 = unlimited)")
+		ckptPath  = flag.String("checkpoint", "", "periodically checkpoint the exploration state to this file (atomic writes)")
+		ckptEvery = flag.Duration("checkpoint-every", 30*time.Second, "minimum interval between periodic checkpoints")
+		resume    = flag.Bool("resume", false, "resume from the -checkpoint file instead of starting fresh")
+		progress  = flag.Duration("progress", 0, "print a progress heartbeat at this interval (0 = off)")
 	)
 	flag.Parse()
 
@@ -121,7 +143,42 @@ func analyzeMain() {
 		cfg.Trace = tr
 	}
 
-	res, err := core.Analyze(p, cfg)
+	cfg.Budget = core.Budget{
+		WallClock:    *deadline,
+		MaxCycles:    *maxCycles,
+		MaxForks:     *maxForks,
+		MaxCSMStates: *maxCSM,
+	}
+	if *ckptPath != "" {
+		cfg.Checkpoint = &core.CheckpointConfig{Path: *ckptPath, Interval: *ckptEvery}
+	}
+	if *resume {
+		if *ckptPath == "" {
+			fatal(fmt.Errorf("-resume needs -checkpoint <file>"))
+		}
+		ckpt, err := core.LoadCheckpoint(*ckptPath)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Resume = ckpt
+		fmt.Fprintf(os.Stderr, "symsim: resuming from %s (%d pending paths, %d conservative states)\n",
+			*ckptPath, len(ckpt.Pending), len(ckpt.CSM))
+	}
+	if *progress > 0 {
+		cfg.ProgressEvery = *progress
+		cfg.Progress = func(pr core.Progress) {
+			fmt.Fprintf(os.Stderr, "symsim: %8.1fs  %d done / %d pending / %d in flight  %d cycles  %d csm states\n",
+				pr.Elapsed.Seconds(), pr.PathsDone, pr.PathsPending, pr.PathsInFlight, pr.SimulatedCycles, pr.CSMStates)
+		}
+	}
+
+	// SIGINT/SIGTERM drain the run cleanly: workers stop, the pending
+	// frontier is checkpointed (when -checkpoint is set) and force-merged,
+	// and the partial — still sound — dichotomy is printed.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	res, err := core.AnalyzeContext(ctx, p, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -149,6 +206,18 @@ func analyzeMain() {
 		res.ExercisableCount, res.TotalGates, res.ReductionPct())
 	fmt.Printf("paths       %d created, %d skipped\n", res.PathsCreated, res.PathsSkipped)
 	fmt.Printf("cycles      %d simulated\n", res.SimulatedCycles)
+
+	if deg := res.Degradation; deg != nil {
+		fmt.Printf("INCOMPLETE  stopped by %s; result is sound but over-approximate\n", deg.Trip)
+		fmt.Printf("            %d pending paths (%d force-merged), %d nets conservatively marked (%d gates)\n",
+			deg.PendingPaths, deg.ForcedMerges, deg.ConeNets, deg.ConeGates)
+		for _, q := range deg.Quarantined {
+			fmt.Printf("            quarantined path %d (pc=%#x): %s\n", q.PathID, q.PC, q.Panic)
+		}
+		if *ckptPath != "" {
+			fmt.Printf("            resume with: -checkpoint %s -resume\n", *ckptPath)
+		}
+	}
 
 	if *verbose {
 		fmt.Println("\npath segments:")

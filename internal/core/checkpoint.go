@@ -1,0 +1,496 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"symsim/internal/csm"
+	"symsim/internal/logic"
+	"symsim/internal/vvp"
+)
+
+// This file implements checkpoint/resume for long co-analyses: a periodic,
+// atomic serialization of everything a run needs to continue — the CSM's
+// conservative states, the pending-path worklist (in-flight segments
+// included, so a kill mid-path loses no work), and the accumulated toggle
+// activity. Checkpoints are taken under the scheduler lock at path
+// completion, which — together with CSM observation happening under the
+// same lock — guarantees a consistent cut: a path is either still pending
+// in the checkpoint or fully absorbed into it, never half of each.
+//
+// The encoding is canonical and fully validated on decode: any byte
+// sequence that decodes successfully re-encodes to the identical bytes,
+// and malformed input yields an error, never a panic (fuzzed by
+// FuzzCheckpointRoundTrip).
+
+// checkpointMagic identifies version 1 of the checkpoint file format.
+const checkpointMagic = "SYMSIMC1"
+
+// CheckpointConfig enables periodic checkpointing of a run.
+type CheckpointConfig struct {
+	// Path is the checkpoint file. Writes are atomic: a temporary file in
+	// the same directory is renamed over Path, so a crash mid-write never
+	// corrupts the previous checkpoint.
+	Path string
+	// Interval is the minimum time between periodic writes; 0 checkpoints
+	// after every absorbed path segment (useful in tests). Independent of
+	// the interval, a final checkpoint is written when a run degrades —
+	// before pending paths are force-merged — so a resumed run continues
+	// the exact exploration frontier the degraded run abandoned.
+	Interval time.Duration
+}
+
+// PendingPath is one unexplored worklist entry inside a checkpoint.
+type PendingPath struct {
+	// State is the saved simulation state the path resumes from; a
+	// zero-width state denotes the cold-boot path.
+	State vvp.State
+	// Forced, when HasForce is set, is the branch-condition value this
+	// path explores.
+	Forced   logic.Value
+	HasForce bool
+}
+
+// Checkpoint is a consistent snapshot of a running co-analysis: enough to
+// resume exploration and reproduce, bit for bit, the dichotomy an
+// uninterrupted run would have produced.
+type Checkpoint struct {
+	// Design, Nets and StateBits identify the platform the checkpoint
+	// belongs to; resume validates all three against the live platform.
+	Design    string
+	Nets      int
+	StateBits int
+	// Policy names the CSM policy; resuming under a different policy is
+	// rejected (the stored states would be re-interpreted unsoundly).
+	Policy string
+	// CSM holds the policy's exported conservative states.
+	CSM []csm.SavedState
+	// Pending is the unexplored worklist, bottom of the stack first;
+	// segments that were in flight when the snapshot was taken are
+	// appended last so a resumed run pops them first.
+	Pending []PendingPath
+	// Toggled, ConstSeen and ConstVals are the accumulated toggle profile
+	// and untoggled-net constants, indexed by net.
+	Toggled   []bool
+	ConstSeen []bool
+	ConstVals []logic.Value
+	// Path/cycle accounting at the snapshot.
+	PathsCreated    int
+	PathsSkipped    int
+	SimulatedCycles uint64
+	NextID          int
+	Paths           []PathStat
+	// Quarantined carries crashed paths from the interrupted run so a
+	// resumed result still reports them (and stays Complete=false).
+	Quarantined []Quarantine
+}
+
+// EncodeBinary serializes c into the canonical checkpoint format.
+func (c *Checkpoint) EncodeBinary() []byte {
+	b := []byte(checkpointMagic)
+	b = appendString(b, c.Design)
+	b = appendString(b, c.Policy)
+	b = binary.LittleEndian.AppendUint32(b, uint32(c.Nets))
+	b = binary.LittleEndian.AppendUint32(b, uint32(c.StateBits))
+
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(c.CSM)))
+	for _, s := range c.CSM {
+		b = binary.LittleEndian.AppendUint64(b, s.PC)
+		b = s.Bits.AppendBinary(b)
+	}
+
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(c.Pending)))
+	for _, p := range c.Pending {
+		var flags uint8
+		forced := logic.Lo
+		if p.HasForce {
+			flags = 1
+			forced = p.Forced
+		}
+		b = append(b, flags, uint8(forced))
+		b = p.State.AppendBinary(b)
+	}
+
+	b = appendBitmap(b, c.Toggled)
+	b = appendBitmap(b, c.ConstSeen)
+	b = appendValues(b, c.ConstVals)
+
+	b = binary.LittleEndian.AppendUint64(b, uint64(c.PathsCreated))
+	b = binary.LittleEndian.AppendUint64(b, uint64(c.PathsSkipped))
+	b = binary.LittleEndian.AppendUint64(b, c.SimulatedCycles)
+	b = binary.LittleEndian.AppendUint64(b, uint64(c.NextID))
+
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(c.Paths)))
+	for _, p := range c.Paths {
+		b = binary.LittleEndian.AppendUint64(b, uint64(p.ID))
+		b = binary.LittleEndian.AppendUint64(b, p.Cycles)
+		b = binary.LittleEndian.AppendUint64(b, p.HaltPC)
+		b = append(b, uint8(p.End))
+	}
+
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(c.Quarantined)))
+	for _, q := range c.Quarantined {
+		b = binary.LittleEndian.AppendUint64(b, uint64(q.PathID))
+		b = binary.LittleEndian.AppendUint64(b, q.PC)
+		b = binary.LittleEndian.AppendUint64(b, q.Time)
+		b = appendString(b, q.Panic)
+		b = appendString(b, q.Stack)
+	}
+	return b
+}
+
+// DecodeCheckpoint parses a checkpoint file image. It validates every
+// field — truncated, oversized or non-canonical input yields an error,
+// never a panic — and a successful decode re-encodes byte-identically.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	r := &byteReader{b: data}
+	if magic := r.bytes(len(checkpointMagic)); r.err == nil && string(magic) != checkpointMagic {
+		return nil, fmt.Errorf("core: not a checkpoint file (magic %q)", magic)
+	}
+	c := &Checkpoint{}
+	c.Design = r.str()
+	c.Policy = r.str()
+	c.Nets = int(r.u32())
+	c.StateBits = int(r.u32())
+
+	nCSM := int(r.u32())
+	for i := 0; i < nCSM && r.err == nil; i++ {
+		pc := r.u64()
+		bits := r.vec()
+		if r.err == nil && bits.Width() != c.StateBits {
+			return nil, fmt.Errorf("core: checkpoint CSM state %d has %d bits, header says %d", i, bits.Width(), c.StateBits)
+		}
+		c.CSM = append(c.CSM, csm.SavedState{PC: pc, Bits: bits})
+	}
+
+	nPend := int(r.u32())
+	for i := 0; i < nPend && r.err == nil; i++ {
+		flags := r.u8()
+		forced := r.u8()
+		st := r.state()
+		if r.err != nil {
+			break
+		}
+		if flags > 1 {
+			return nil, fmt.Errorf("core: checkpoint pending path %d has flags byte %d", i, flags)
+		}
+		p := PendingPath{State: st, HasForce: flags == 1}
+		if p.HasForce {
+			if forced > uint8(logic.Hi) {
+				return nil, fmt.Errorf("core: checkpoint pending path %d forces non-binary value %d", i, forced)
+			}
+			p.Forced = logic.Value(forced)
+		} else if forced != 0 {
+			return nil, fmt.Errorf("core: checkpoint pending path %d has force value without force flag", i)
+		}
+		if st.Bits.Width() != 0 && st.Bits.Width() != c.StateBits {
+			return nil, fmt.Errorf("core: checkpoint pending path %d has %d state bits, header says %d", i, st.Bits.Width(), c.StateBits)
+		}
+		c.Pending = append(c.Pending, p)
+	}
+
+	c.Toggled = r.bitmap(c.Nets)
+	c.ConstSeen = r.bitmap(c.Nets)
+	c.ConstVals = r.values(c.Nets)
+
+	c.PathsCreated = r.count()
+	c.PathsSkipped = r.count()
+	c.SimulatedCycles = r.u64()
+	c.NextID = r.count()
+
+	nPaths := int(r.u32())
+	for i := 0; i < nPaths && r.err == nil; i++ {
+		var p PathStat
+		id := r.u64()
+		p.Cycles = r.u64()
+		p.HaltPC = r.u64()
+		end := r.u8()
+		if r.err != nil {
+			break
+		}
+		if id > 1<<31 {
+			return nil, fmt.Errorf("core: checkpoint path %d has implausible ID %d", i, id)
+		}
+		if end > uint8(EndQuarantined) {
+			return nil, fmt.Errorf("core: checkpoint path %d has unknown end %d", i, end)
+		}
+		p.ID, p.End = int(id), PathEnd(end)
+		c.Paths = append(c.Paths, p)
+	}
+
+	nQuar := int(r.u32())
+	for i := 0; i < nQuar && r.err == nil; i++ {
+		var q Quarantine
+		id := r.u64()
+		q.PC = r.u64()
+		q.Time = r.u64()
+		q.Panic = r.str()
+		q.Stack = r.str()
+		if r.err != nil {
+			break
+		}
+		if id > 1<<31 {
+			return nil, fmt.Errorf("core: checkpoint quarantine %d has implausible ID %d", i, id)
+		}
+		q.PathID = int(id)
+		c.Quarantined = append(c.Quarantined, q)
+	}
+
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.b) != r.off {
+		return nil, fmt.Errorf("core: checkpoint has %d trailing bytes", len(r.b)-r.off)
+	}
+	return c, nil
+}
+
+// LoadCheckpoint reads and decodes a checkpoint file.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	c, err := DecodeCheckpoint(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// WriteFile atomically writes c to path: the encoding lands in a
+// temporary file in the same directory which is then renamed over path.
+func (c *Checkpoint) WriteFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	data := c.EncodeBinary()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// validateFor checks that c belongs to the given platform and policy
+// before a resume re-seeds an analysis from it.
+func (c *Checkpoint) validateFor(p *Platform, policy csm.Manager) error {
+	if c.Design != p.Design.Name {
+		return &ValidationError{Field: "Config.Resume", Reason: fmt.Sprintf("checkpoint is for design %q, platform is %q", c.Design, p.Design.Name)}
+	}
+	if c.Nets != len(p.Design.Nets) {
+		return &ValidationError{Field: "Config.Resume", Reason: fmt.Sprintf("checkpoint has %d nets, design has %d", c.Nets, len(p.Design.Nets))}
+	}
+	if c.StateBits != p.Spec.Bits() {
+		return &ValidationError{Field: "Config.Resume", Reason: fmt.Sprintf("checkpoint has %d state bits, spec has %d", c.StateBits, p.Spec.Bits())}
+	}
+	if c.Policy != policy.Name() {
+		return &ValidationError{Field: "Config.Resume", Reason: fmt.Sprintf("checkpoint used policy %q, run configures %q", c.Policy, policy.Name())}
+	}
+	if len(c.Toggled) != c.Nets || len(c.ConstSeen) != c.Nets || len(c.ConstVals) != c.Nets {
+		return &ValidationError{Field: "Config.Resume", Reason: "checkpoint net-indexed arrays disagree with its net count"}
+	}
+	return nil
+}
+
+// --- framing helpers ---
+
+func appendString(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// appendBitmap packs a []bool as ceil(n/8) bytes, LSB first.
+func appendBitmap(b []byte, bits []bool) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(bits)))
+	var cur uint8
+	for i, v := range bits {
+		if v {
+			cur |= 1 << (i % 8)
+		}
+		if i%8 == 7 {
+			b = append(b, cur)
+			cur = 0
+		}
+	}
+	if len(bits)%8 != 0 {
+		b = append(b, cur)
+	}
+	return b
+}
+
+// appendValues packs a []logic.Value as 2 bits per entry, LSB first.
+func appendValues(b []byte, vals []logic.Value) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(vals)))
+	var cur uint8
+	for i, v := range vals {
+		cur |= uint8(v&3) << ((i % 4) * 2)
+		if i%4 == 3 {
+			b = append(b, cur)
+			cur = 0
+		}
+	}
+	if len(vals)%4 != 0 {
+		b = append(b, cur)
+	}
+	return b
+}
+
+// byteReader is a cursor over a checkpoint image that accumulates the
+// first error instead of panicking; every read after an error is a no-op
+// returning zero values.
+type byteReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *byteReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("core: checkpoint "+format, args...)
+	}
+}
+
+func (r *byteReader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.b)-r.off < n {
+		r.fail("truncated at offset %d (want %d bytes, have %d)", r.off, n, len(r.b)-r.off)
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *byteReader) u8() uint8 {
+	b := r.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *byteReader) u32() uint32 {
+	b := r.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *byteReader) u64() uint64 {
+	b := r.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// count reads a u64 that must fit comfortably in an int.
+func (r *byteReader) count() int {
+	v := r.u64()
+	if r.err == nil && v > 1<<31 {
+		r.fail("counter %d out of range at offset %d", v, r.off)
+		return 0
+	}
+	return int(v)
+}
+
+func (r *byteReader) str() string {
+	n := int(r.u32())
+	return string(r.bytes(n))
+}
+
+func (r *byteReader) vec() logic.Vec {
+	if r.err != nil {
+		return logic.Vec{}
+	}
+	v, rest, err := logic.DecodeVec(r.b[r.off:])
+	if err != nil {
+		r.fail("at offset %d: %v", r.off, err)
+		return logic.Vec{}
+	}
+	r.off = len(r.b) - len(rest)
+	return v
+}
+
+func (r *byteReader) state() vvp.State {
+	if r.err != nil {
+		return vvp.State{}
+	}
+	st, rest, err := vvp.DecodeState(r.b[r.off:])
+	if err != nil {
+		r.fail("at offset %d: %v", r.off, err)
+		return vvp.State{}
+	}
+	r.off = len(r.b) - len(rest)
+	return st
+}
+
+// bitmap reads a []bool whose length must equal want; padding bits in the
+// final byte must be zero (canonical form).
+func (r *byteReader) bitmap(want int) []bool {
+	n := int(r.u32())
+	if r.err != nil {
+		return nil
+	}
+	if n != want {
+		r.fail("bitmap length %d, want %d", n, want)
+		return nil
+	}
+	body := r.bytes((n + 7) / 8)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = body[i/8]>>(i%8)&1 == 1
+	}
+	if n%8 != 0 && body[len(body)-1]>>(n%8) != 0 {
+		r.fail("bitmap has padding bits set")
+		return nil
+	}
+	return out
+}
+
+// values reads a []logic.Value whose length must equal want; padding
+// entries in the final byte must be zero.
+func (r *byteReader) values(want int) []logic.Value {
+	n := int(r.u32())
+	if r.err != nil {
+		return nil
+	}
+	if n != want {
+		r.fail("value array length %d, want %d", n, want)
+		return nil
+	}
+	body := r.bytes((n + 3) / 4)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]logic.Value, n)
+	for i := range out {
+		out[i] = logic.Value(body[i/4] >> ((i % 4) * 2) & 3)
+	}
+	if n%4 != 0 && body[len(body)-1]>>((n%4)*2) != 0 {
+		r.fail("value array has padding bits set")
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"symsim/internal/core"
+	"symsim/internal/csm"
+	"symsim/internal/logic"
+	"symsim/internal/vvp"
+)
+
+// sampleCheckpoint builds a small checkpoint exercising every section of
+// the format: CSM states, pending paths (cold-boot and forced), bitmaps
+// with non-byte-aligned widths, path stats and quarantine records.
+func sampleCheckpoint() *core.Checkpoint {
+	bits := logic.NewVec(5)
+	bits.Set(0, logic.Hi)
+	bits.Set(2, logic.X)
+	bits.Set(4, logic.Lo)
+	return &core.Checkpoint{
+		Design:    "sample",
+		Nets:      11,
+		StateBits: 5,
+		Policy:    "merge-all",
+		CSM:       []csm.SavedState{{PC: 0x42, Bits: bits.Clone()}},
+		Pending: []core.PendingPath{
+			{State: vvp.State{}}, // cold boot
+			{State: vvp.State{Bits: bits.Clone(), Time: 99, PC: 0x44, PCKnown: true}, Forced: logic.Hi, HasForce: true},
+		},
+		Toggled:         []bool{true, false, true, false, false, false, true, false, false, false, true},
+		ConstSeen:       []bool{false, true, false, true, true, true, false, true, true, true, false},
+		ConstVals:       []logic.Value{0, logic.Hi, 0, logic.Lo, logic.X, logic.Hi, 0, logic.Lo, logic.Lo, logic.Hi, 0},
+		PathsCreated:    3,
+		PathsSkipped:    1,
+		SimulatedCycles: 1234,
+		NextID:          2,
+		Paths: []core.PathStat{
+			{ID: 0, Cycles: 700, HaltPC: 0x42, End: core.EndForked},
+			{ID: 1, Cycles: 534, HaltPC: 0, End: core.EndQuarantined},
+		},
+		Quarantined: []core.Quarantine{
+			{PathID: 1, PC: 0x44, Time: 99, Panic: "boom", Stack: "goroutine 7 [running]:\n..."},
+		},
+	}
+}
+
+func TestCheckpointCodecRoundTrip(t *testing.T) {
+	c := sampleCheckpoint()
+	enc := c.EncodeBinary()
+	dec, err := core.DecodeCheckpoint(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := dec.EncodeBinary()
+	if !bytes.Equal(enc, re) {
+		t.Fatal("decode-then-encode is not byte-identical")
+	}
+	if dec.Design != c.Design || dec.NextID != c.NextID || len(dec.Pending) != len(c.Pending) {
+		t.Fatalf("decoded checkpoint lost fields: %+v", dec)
+	}
+	if !dec.Pending[1].HasForce || dec.Pending[1].Forced != logic.Hi {
+		t.Error("forced pending path lost its force")
+	}
+	if dec.Pending[0].State.Bits.Width() != 0 {
+		t.Error("cold-boot pending path gained state bits")
+	}
+}
+
+func TestDecodeCheckpointRejectsMalformed(t *testing.T) {
+	enc := sampleCheckpoint().EncodeBinary()
+	if _, err := core.DecodeCheckpoint(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := core.DecodeCheckpoint([]byte("NOTACKPT")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	for _, cut := range []int{9, len(enc) / 2, len(enc) - 1} {
+		if _, err := core.DecodeCheckpoint(enc[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := core.DecodeCheckpoint(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+// FuzzCheckpointRoundTrip: DecodeCheckpoint must never panic, and any
+// input it accepts must re-encode to the identical bytes (the encoding is
+// canonical).
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	f.Add(sampleCheckpoint().EncodeBinary())
+	f.Add((&core.Checkpoint{Design: "d", Policy: "p"}).EncodeBinary())
+	f.Add([]byte("SYMSIMC1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := core.DecodeCheckpoint(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(c.EncodeBinary(), data) {
+			t.Fatalf("accepted input does not re-encode byte-identically")
+		}
+	})
+}

@@ -8,13 +8,25 @@
 // never-exercisable gates that downstream application-specific
 // optimizations (bespoke processors, power gating, peak-power analysis,
 // security guarantees) consume.
+//
+// Long runs are governed: Analyze honours context cancellation and
+// wall-clock/cycle/state/fork budgets with graceful degradation (the
+// result stays sound but over-approximate, see Degradation), contains
+// panicking path workers instead of crashing (see Quarantine), and can
+// periodically checkpoint its full exploration state for later resume
+// (see CheckpointConfig and Config.Resume).
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"symsim/internal/csm"
 	"symsim/internal/lint"
@@ -64,14 +76,34 @@ type Config struct {
 	// Workers is the number of parallel path workers (paper §3.3: "Since
 	// each branch of the simulation can be run by a separate process,
 	// launching these processes in parallel can drastically improve
-	// simulation time"). 0 or 1 runs the deterministic sequential order.
+	// simulation time"). 0 or 1 runs the deterministic sequential order;
+	// negative values are rejected by validation.
 	Workers int
-	// MaxCyclesPerPath bounds one path segment; 0 means 1<<20.
+	// MaxCyclesPerPath bounds one path segment; 0 means 1<<20. Exceeding
+	// it is a hard error (a runaway path is a platform bug, not a budget).
 	MaxCyclesPerPath uint64
-	// MaxPaths bounds total created paths; 0 means 1<<20.
+	// MaxPaths bounds total created paths; 0 means 1<<20. Exhausting it
+	// is a hard error ("no silent caps"); use Budget.MaxForks for the
+	// gracefully-degrading bound.
 	MaxPaths int
 	// MemX selects memory X-address semantics (default Verilog).
 	MemX vvp.MemXPolicy
+	// Budget bounds the run with graceful degradation: on exhaustion the
+	// result is still sound, just over-approximate (Complete=false).
+	Budget Budget
+	// Checkpoint, when non-nil, enables periodic atomic checkpointing of
+	// the full exploration state to Checkpoint.Path.
+	Checkpoint *CheckpointConfig
+	// Resume, when non-nil, seeds the run from a previously written
+	// checkpoint instead of the cold-boot path. The checkpoint must match
+	// the platform (design name, net count, state bits) and the policy.
+	Resume *Checkpoint
+	// Progress, when non-nil, receives heartbeat snapshots from a
+	// dedicated goroutine every ProgressEvery plus one final snapshot
+	// when exploration stops. Must be safe for concurrent use.
+	Progress func(Progress)
+	// ProgressEvery is the heartbeat interval; 0 means 1s.
+	ProgressEvery time.Duration
 	// OnHalt, when non-nil, receives every saved halt state before the
 	// CSM classifies it — the hook behind on-disk state dumps (the
 	// "sim_state.log" files of the paper's flow). Called from path
@@ -102,6 +134,11 @@ const (
 	EndSubsumed
 	// EndFinished: the application reached its terminating condition.
 	EndFinished
+	// EndInterrupted: the segment was stopped mid-simulation by a budget
+	// trip or cancellation; its entry went back to the pending worklist.
+	EndInterrupted
+	// EndQuarantined: the segment's worker panicked and was contained.
+	EndQuarantined
 )
 
 // String returns a short name for the path end.
@@ -113,6 +150,10 @@ func (e PathEnd) String() string {
 		return "subsumed"
 	case EndFinished:
 		return "finished"
+	case EndInterrupted:
+		return "interrupted"
+	case EndQuarantined:
+		return "quarantined"
 	}
 	return fmt.Sprintf("PathEnd(%d)", uint8(e))
 }
@@ -129,6 +170,14 @@ type PathStat struct {
 // path/cycle accounting of paper Table 4.
 type Result struct {
 	Design *netlist.Netlist
+
+	// Complete reports whether the exploration ran to exhaustion. When
+	// false, a budget tripped, the context was canceled or a path was
+	// quarantined, and Degradation describes how the dichotomy was kept
+	// sound (over-approximate, never unsoundly pruned).
+	Complete bool
+	// Degradation is nil on a complete run.
+	Degradation *Degradation
 
 	// ToggledNets marks every net that toggled or carried X in some path.
 	ToggledNets []bool
@@ -147,7 +196,8 @@ type Result struct {
 	PathsCreated, PathsSkipped int
 	// SimulatedCycles sums clock cycles over all simulated paths.
 	SimulatedCycles uint64
-	// Paths lists the per-segment statistics in completion order.
+	// Paths lists the per-segment statistics sorted by path ID, so
+	// reports are reproducible under Workers > 1.
 	Paths []PathStat
 	// Policy names the CSM policy used.
 	Policy string
@@ -175,11 +225,13 @@ type entry struct {
 
 // pathOutcome carries what one simulated segment produced.
 type pathOutcome struct {
-	stat    PathStat
-	halt    vvp.State
-	toggled []bool
-	endVals []logic.Value
-	err     error
+	stat        PathStat
+	halt        vvp.State
+	toggled     []bool
+	endVals     []logic.Value
+	err         error
+	interrupted bool
+	quarantine  *Quarantine
 }
 
 // Stimulus builds the testbench stimulus for p: clock, reset sequence and
@@ -260,8 +312,20 @@ func preCheck(p *Platform, cfg *Config) error {
 }
 
 // Analyze runs symbolic hardware/software co-analysis of the application
-// preloaded in p against its design (paper Algorithm 1).
+// preloaded in p against its design (paper Algorithm 1) under a
+// background context.
 func Analyze(p *Platform, cfg Config) (*Result, error) {
+	return AnalyzeContext(context.Background(), p, cfg)
+}
+
+// AnalyzeContext is Analyze under a caller-supplied context. Cancellation
+// (or an expired deadline) stops the exploration cleanly — workers drain,
+// no goroutines leak — and returns a partial but sound Result with
+// Complete=false rather than an error.
+func AnalyzeContext(ctx context.Context, p *Platform, cfg Config) (*Result, error) {
+	if err := validate(p, &cfg); err != nil {
+		return nil, err
+	}
 	if cfg.Policy == nil {
 		cfg.Policy = csm.NewMergeAll()
 	}
@@ -285,7 +349,7 @@ func Analyze(p *Platform, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	a := &analysis{p: p, cfg: cfg}
+	a := &analysis{p: p, cfg: cfg, inflight: make(map[int]entry)}
 	a.res = &Result{
 		Design:      p.Design,
 		ToggledNets: make([]bool, len(p.Design.Nets)),
@@ -295,22 +359,20 @@ func Analyze(p *Platform, cfg Config) (*Result, error) {
 	}
 	a.constSeen = make([]bool, len(p.Design.Nets))
 
-	// Initial path: cold boot through reset (no saved state).
-	a.stack = []entry{{}}
-	a.res.PathsCreated = 1
+	if cfg.Resume != nil {
+		if err := a.loadResume(cfg.Resume); err != nil {
+			return nil, err
+		}
+	} else {
+		// Initial path: cold boot through reset (no saved state).
+		a.stack = []entry{{}}
+		a.res.PathsCreated = 1
+	}
 
-	if err := a.run(); err != nil {
+	if err := a.run(ctx); err != nil {
 		return nil, err
 	}
-
-	a.res.ExercisableGates = make([]bool, len(p.Design.Gates))
-	for gi := range p.Design.Gates {
-		if a.res.ToggledNets[p.Design.Gates[gi].Out] {
-			a.res.ExercisableGates[gi] = true
-			a.res.ExercisableCount++
-		}
-	}
-	a.res.CSMStates = cfg.Policy.States()
+	a.finish()
 	return a.res, nil
 }
 
@@ -319,21 +381,90 @@ type analysis struct {
 	cfg Config
 	res *Result
 
+	start time.Time
+
+	// stop requests draining: workers finish (or interrupt) their current
+	// segment and exit; the pending frontier is then handled by finish().
+	stop atomic.Bool
+	// liveCycles tracks simulated cycles including partial in-flight
+	// segments, for the cycle budget and progress heartbeats.
+	liveCycles atomic.Uint64
+
 	mu        sync.Mutex
 	cond      *sync.Cond
 	stack     []entry
+	inflight  map[int]entry
 	active    int
 	fatal     error
 	constSeen []bool
 	nextID    int
+	// anchored reports that at least one absorbed segment carried a full
+	// net valuation (possibly partial-progress), so untoggled-net
+	// constants are grounded in a real observation.
+	anchored bool
+
+	trip        Trip
+	quarantined []Quarantine
+	forks       int
+	lastCkpt    time.Time
+	ckptBusy    bool
+	ckptErr     error
 }
 
-// run executes the worklist until exhaustion (Algorithm 1 line 11). With
-// one worker the order is the deterministic LIFO of the paper's
-// pseudo-code; with more workers paths run concurrently against the shared
-// CSM.
-func (a *analysis) run() error {
+// run executes the worklist until exhaustion (Algorithm 1 line 11) or
+// until governance stops it. With one worker the order is the
+// deterministic LIFO of the paper's pseudo-code; with more workers paths
+// run concurrently against the shared CSM.
+func (a *analysis) run(ctx context.Context) error {
 	a.cond = sync.NewCond(&a.mu)
+	a.start = time.Now()
+	a.lastCkpt = a.start
+
+	done := make(chan struct{})
+	var aux sync.WaitGroup
+
+	// Governance watcher: translates context cancellation and the
+	// wall-clock budget into a drain request.
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		var wallC <-chan time.Time
+		if a.cfg.Budget.WallClock > 0 {
+			t := time.NewTimer(a.cfg.Budget.WallClock)
+			defer t.Stop()
+			wallC = t.C
+		}
+		select {
+		case <-ctx.Done():
+			a.tripStop(TripCanceled)
+		case <-wallC:
+			a.tripStop(TripWallClock)
+		case <-done:
+		}
+	}()
+
+	// Heartbeat.
+	if a.cfg.Progress != nil {
+		every := a.cfg.ProgressEvery
+		if every <= 0 {
+			every = time.Second
+		}
+		aux.Add(1)
+		go func() {
+			defer aux.Done()
+			tick := time.NewTicker(every)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					a.cfg.Progress(a.progress())
+				}
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < a.cfg.Workers; w++ {
 		wg.Add(1)
@@ -343,7 +474,40 @@ func (a *analysis) run() error {
 		}()
 	}
 	wg.Wait()
-	return a.fatal
+	close(done)
+	aux.Wait()
+	if a.cfg.Progress != nil {
+		a.cfg.Progress(a.progress())
+	}
+	if a.fatal != nil {
+		return a.fatal
+	}
+	return a.ckptErr
+}
+
+// tripStop records the first trip cause and requests draining.
+func (a *analysis) tripStop(t Trip) {
+	a.mu.Lock()
+	if a.trip == TripNone {
+		a.trip = t
+	}
+	a.mu.Unlock()
+	a.stop.Store(true)
+	a.cond.Broadcast()
+}
+
+// progress assembles one heartbeat snapshot.
+func (a *analysis) progress() Progress {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Progress{
+		Elapsed:         time.Since(a.start),
+		PathsDone:       len(a.res.Paths),
+		PathsPending:    len(a.stack),
+		PathsInFlight:   a.active,
+		SimulatedCycles: a.liveCycles.Load(),
+		CSMStates:       a.cfg.Policy.States(),
+	}
 }
 
 func (a *analysis) worker() {
@@ -354,10 +518,10 @@ func (a *analysis) worker() {
 	var cached *vvp.Simulator
 	for {
 		a.mu.Lock()
-		for len(a.stack) == 0 && a.active > 0 && a.fatal == nil {
+		for len(a.stack) == 0 && a.active > 0 && a.fatal == nil && !a.stop.Load() {
 			a.cond.Wait()
 		}
-		if len(a.stack) == 0 || a.fatal != nil {
+		if len(a.stack) == 0 || a.fatal != nil || a.stop.Load() {
 			a.mu.Unlock()
 			a.cond.Broadcast()
 			return
@@ -367,50 +531,100 @@ func (a *analysis) worker() {
 		a.active++
 		id := a.nextID
 		a.nextID++
+		a.inflight[id] = e
 		a.mu.Unlock()
 
 		out := a.simulatePath(id, e, &cached)
 
 		a.mu.Lock()
 		a.active--
-		if out.err != nil {
+		delete(a.inflight, id)
+		switch {
+		case out.quarantine != nil:
+			// Crash containment: record the contained path and keep
+			// going. The simulator may have died mid-settle; discard it.
+			cached = nil
+			a.quarantined = append(a.quarantined, *out.quarantine)
+			a.res.Paths = append(a.res.Paths, out.stat)
+		case out.err != nil:
 			if a.fatal == nil {
 				a.fatal = out.err
 			}
 			a.mu.Unlock()
 			a.cond.Broadcast()
 			return
-		}
-		a.absorb(out)
-		if out.stat.End == EndForked {
-			if a.res.PathsCreated+2 <= a.cfg.MaxPaths {
-				taken, notTaken := out.halt.Clone(), out.halt.Clone()
-				if a.p.Specialize != nil {
-					taken = a.p.Specialize(taken, true)
-					notTaken = a.p.Specialize(notTaken, false)
-				}
-				a.stack = append(a.stack,
-					entry{state: taken, forced: logic.Hi, hasForce: true},
-					entry{state: notTaken, forced: logic.Lo, hasForce: true},
-				)
-				a.res.PathsCreated += 2
-			} else if a.fatal == nil {
-				a.fatal = fmt.Errorf("core: path budget %d exhausted", a.cfg.MaxPaths)
+		case out.interrupted:
+			// Partial segment: its observations are sound (they did
+			// happen) and its entry goes back to the frontier for the
+			// degradation drain or a future resume.
+			a.absorb(out)
+			a.stack = append(a.stack, e)
+		default:
+			a.absorb(out)
+			if out.stat.End == EndForked {
+				a.classify(&out)
 			}
 		}
 		a.mu.Unlock()
 		a.cond.Broadcast()
+		a.maybeCheckpoint(false)
 	}
+}
+
+// classify presents a halted state to the CSM and forks its children
+// (Algorithm 1 lines 20–27). Called with a.mu held, which keeps the
+// (CSM, worklist, result) triple a consistent cut for checkpoints: a
+// halt is either still pending or fully absorbed — never observed by the
+// CSM with its children missing from the worklist.
+func (a *analysis) classify(out *pathOutcome) {
+	d := a.cfg.Policy.Observe(out.halt)
+	if d.Subsumed {
+		out.stat.End = EndSubsumed
+		a.res.Paths[len(a.res.Paths)-1].End = EndSubsumed
+		a.res.PathsSkipped++
+		return
+	}
+	if a.res.PathsCreated+2 > a.cfg.MaxPaths {
+		if a.fatal == nil {
+			a.fatal = fmt.Errorf("core: path budget %d exhausted", a.cfg.MaxPaths)
+		}
+		return
+	}
+	taken, notTaken := d.Explore.Clone(), d.Explore.Clone()
+	if a.p.Specialize != nil {
+		taken = a.p.Specialize(taken, true)
+		notTaken = a.p.Specialize(notTaken, false)
+	}
+	a.stack = append(a.stack,
+		entry{state: taken, forced: logic.Hi, hasForce: true},
+		entry{state: notTaken, forced: logic.Lo, hasForce: true},
+	)
+	a.res.PathsCreated += 2
+	a.forks++
+	if a.cfg.Budget.MaxForks > 0 && a.forks >= a.cfg.Budget.MaxForks {
+		a.tripStopLocked(TripForks)
+	}
+	if a.cfg.Budget.MaxCSMStates > 0 && a.cfg.Policy.States() > a.cfg.Budget.MaxCSMStates {
+		a.tripStopLocked(TripCSMStates)
+	}
+}
+
+// tripStopLocked is tripStop for callers already holding a.mu.
+func (a *analysis) tripStopLocked(t Trip) {
+	if a.trip == TripNone {
+		a.trip = t
+	}
+	a.stop.Store(true)
 }
 
 // absorb merges one path's toggle profile and untoggled-net constants into
 // the global result (Algorithm 1 lines 29–39). Caller holds a.mu.
 func (a *analysis) absorb(out pathOutcome) {
 	a.res.SimulatedCycles += out.stat.Cycles
-	if out.stat.End == EndSubsumed {
-		a.res.PathsSkipped++
-	}
 	a.res.Paths = append(a.res.Paths, out.stat)
+	if out.endVals != nil {
+		a.anchored = true
+	}
 	for n, t := range out.toggled {
 		if t {
 			a.res.ToggledNets[n] = true
@@ -430,10 +644,27 @@ func (a *analysis) absorb(out pathOutcome) {
 }
 
 // simulatePath runs one worklist entry to its halt/finish (Algorithm 1
-// lines 12–19) and classifies the outcome against the CSM (lines 20–27).
-// cached holds the worker's reusable simulator.
-func (a *analysis) simulatePath(id int, e entry, cached **vvp.Simulator) pathOutcome {
-	out := pathOutcome{stat: PathStat{ID: id}}
+// lines 12–19). A panic anywhere inside the segment — the simulation
+// engine, a Specialize hook, an OnHalt callback — is contained into a
+// Quarantine outcome instead of taking the whole analysis down. cached
+// holds the worker's reusable simulator.
+func (a *analysis) simulatePath(id int, e entry, cached **vvp.Simulator) (out pathOutcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			*cached = nil
+			out = pathOutcome{
+				stat: PathStat{ID: id, HaltPC: e.state.PC, End: EndQuarantined},
+				quarantine: &Quarantine{
+					PathID: id,
+					PC:     e.state.PC,
+					Time:   e.state.Time,
+					Panic:  fmt.Sprint(r),
+					Stack:  string(debug.Stack()),
+				},
+			}
+		}
+	}()
+	out.stat = PathStat{ID: id}
 	var sim *vvp.Simulator
 	if e.state.Bits.Width() != 0 && *cached != nil {
 		sim = *cached
@@ -454,6 +685,14 @@ func (a *analysis) simulatePath(id int, e entry, cached **vvp.Simulator) pathOut
 		// advanced past the image's initial values).
 		resetEnd := a.p.resetEndTime()
 		for sim.Now() <= resetEnd {
+			if a.stop.Load() {
+				// Interrupted before recording started: nothing to
+				// absorb, the cold-boot entry just returns to the
+				// frontier.
+				out.interrupted = true
+				out.stat.End = EndInterrupted
+				return out
+			}
 			if _, err := sim.Step(); err != nil {
 				out.err = err
 				return out
@@ -477,7 +716,7 @@ func (a *analysis) simulatePath(id int, e entry, cached **vvp.Simulator) pathOut
 	}
 
 	startCycles := sim.Cycles()
-	status, err := sim.Run(a.cfg.MaxCyclesPerPath)
+	status, interrupted, err := a.runSegment(sim)
 	out.stat.Cycles = sim.Cycles() - startCycles
 	if err != nil {
 		out.err = fmt.Errorf("core: path %d: %w", id, err)
@@ -489,6 +728,12 @@ func (a *analysis) simulatePath(id int, e entry, cached **vvp.Simulator) pathOut
 	out.endVals = make([]logic.Value, len(a.p.Design.Nets))
 	for n := range out.endVals {
 		out.endVals[n] = sim.Value(netlist.NetID(n))
+	}
+
+	if interrupted {
+		out.interrupted = true
+		out.stat.End = EndInterrupted
+		return out
 	}
 
 	switch status {
@@ -505,17 +750,236 @@ func (a *analysis) simulatePath(id int, e entry, cached **vvp.Simulator) pathOut
 		if a.cfg.OnHalt != nil {
 			a.cfg.OnHalt(id, st)
 		}
-		d := a.cfg.Policy.Observe(st)
-		if d.Subsumed {
-			out.stat.End = EndSubsumed
-			return out
-		}
+		// The CSM classifies the halt under the scheduler lock (see
+		// classify); EndForked here is provisional.
 		out.stat.End = EndForked
-		out.halt = d.Explore
+		out.halt = st
 		return out
 	}
 	out.err = fmt.Errorf("core: path %d ended in unexpected status %v", id, status)
 	return out
+}
+
+// runSegment advances sim until the segment halts, finishes, errors or is
+// interrupted by a drain request. It feeds the live cycle counter and
+// trips the cycle budget mid-segment, so a single long path cannot
+// overshoot Budget.MaxCycles unchecked.
+func (a *analysis) runSegment(sim *vvp.Simulator) (vvp.Status, bool, error) {
+	start := sim.Cycles()
+	flushed := start
+	flush := func() {
+		if c := sim.Cycles(); c > flushed {
+			total := a.liveCycles.Add(c - flushed)
+			flushed = c
+			if a.cfg.Budget.MaxCycles > 0 && total > a.cfg.Budget.MaxCycles {
+				a.tripStop(TripCycles)
+			}
+		}
+	}
+	for n := 0; ; n++ {
+		if a.stop.Load() {
+			flush()
+			return vvp.Running, true, nil
+		}
+		st, err := sim.Step()
+		if err != nil {
+			flush()
+			return st, false, err
+		}
+		if st != vvp.Running {
+			flush()
+			return st, false, nil
+		}
+		if sim.Cycles()-start >= a.cfg.MaxCyclesPerPath {
+			flush()
+			return vvp.Running, false, fmt.Errorf("vvp: cycle limit %d reached at t=%d", a.cfg.MaxCyclesPerPath, sim.Now())
+		}
+		if n&127 == 0 {
+			flush()
+		}
+	}
+}
+
+// finish turns the raw exploration outcome into the final Result: the
+// degradation drain for incomplete runs, the exercisable-gate dichotomy,
+// and deterministic ordering of the per-path statistics.
+func (a *analysis) finish() {
+	pending := len(a.stack)
+	if pending > 0 || len(a.quarantined) > 0 {
+		a.res.Complete = false
+		deg := &Degradation{Trip: a.trip, PendingPaths: pending, Quarantined: a.quarantined}
+
+		// Write the final checkpoint before force-merging, so a resumed
+		// run continues the exact frontier this run abandoned rather
+		// than the over-approximated superstates.
+		if a.cfg.Checkpoint != nil {
+			if err := a.snapshot().WriteFile(a.cfg.Checkpoint.Path); err != nil && a.ckptErr == nil {
+				a.ckptErr = err
+			}
+		}
+
+		// Drain the frontier: merge every pending state into the CSM
+		// conservative superstate for its PC, so the stored states keep
+		// covering the unexplored behaviours.
+		for _, e := range a.stack {
+			if e.state.Bits.Width() > 0 && e.state.PCKnown {
+				a.cfg.Policy.Observe(e.state)
+				deg.ForcedMerges++
+			}
+		}
+
+		// Soundness: everything the unexplored paths could have toggled
+		// must be reported exercisable. With at least one anchoring
+		// observation the dynamic cone is the right over-approximation
+		// (nets outside it are constant-driven and settle to the same
+		// values in every execution); with none there is no observation
+		// to anchor tie-off constants and the whole design must be
+		// assumed exercisable.
+		observed := append([]bool(nil), a.res.ToggledNets...)
+		if !a.anchored {
+			for n := range a.res.ToggledNets {
+				if !a.res.ToggledNets[n] {
+					a.res.ToggledNets[n] = true
+					deg.ConeNets++
+				}
+			}
+		} else {
+			cone := dynamicCone(a.p.Design)
+			for n, in := range cone {
+				if in && !a.res.ToggledNets[n] {
+					a.res.ToggledNets[n] = true
+					deg.ConeNets++
+				}
+			}
+		}
+		// ConeGates: gates whose exercisable verdict exists only through
+		// the conservative marking, not an observed toggle.
+		for gi := range a.p.Design.Gates {
+			out := a.p.Design.Gates[gi].Out
+			if a.res.ToggledNets[out] && !observed[out] {
+				deg.ConeGates++
+			}
+		}
+		a.res.Degradation = deg
+	} else {
+		a.res.Complete = true
+	}
+
+	sort.Slice(a.res.Paths, func(i, j int) bool { return a.res.Paths[i].ID < a.res.Paths[j].ID })
+
+	a.res.ExercisableGates = make([]bool, len(a.p.Design.Gates))
+	for gi := range a.p.Design.Gates {
+		if a.res.ToggledNets[a.p.Design.Gates[gi].Out] {
+			a.res.ExercisableGates[gi] = true
+			a.res.ExercisableCount++
+		}
+	}
+	a.res.CSMStates = a.cfg.Policy.States()
+}
+
+// maybeCheckpoint writes a periodic checkpoint when one is due. The
+// snapshot is taken under the scheduler lock (a consistent cut); the file
+// write happens outside it so workers keep simulating, with ckptBusy
+// serializing concurrent writers.
+func (a *analysis) maybeCheckpoint(final bool) {
+	c := a.cfg.Checkpoint
+	if c == nil {
+		return
+	}
+	a.mu.Lock()
+	if a.ckptBusy || (!final && c.Interval > 0 && time.Since(a.lastCkpt) < c.Interval) {
+		a.mu.Unlock()
+		return
+	}
+	a.ckptBusy = true
+	snap := a.snapshotLocked()
+	a.mu.Unlock()
+
+	err := snap.WriteFile(c.Path)
+
+	a.mu.Lock()
+	a.ckptBusy = false
+	a.lastCkpt = time.Now()
+	if err != nil && a.ckptErr == nil {
+		// A run that cannot write its checkpoint has lost its crash
+		// insurance; fail fast instead of discovering it at resume time.
+		a.ckptErr = err
+		a.stop.Store(true)
+	}
+	a.mu.Unlock()
+	a.cond.Broadcast()
+}
+
+// snapshot takes a.mu and builds a consistent checkpoint.
+func (a *analysis) snapshot() *Checkpoint {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.snapshotLocked()
+}
+
+// snapshotLocked builds a checkpoint from the current cut. Caller holds
+// a.mu. In-flight segments are appended after the stack so a resumed run
+// pops them first, mirroring the order the live run would have continued.
+func (a *analysis) snapshotLocked() *Checkpoint {
+	c := &Checkpoint{
+		Design:          a.p.Design.Name,
+		Nets:            len(a.p.Design.Nets),
+		StateBits:       a.p.Spec.Bits(),
+		Policy:          a.cfg.Policy.Name(),
+		CSM:             a.cfg.Policy.Export(),
+		Toggled:         append([]bool(nil), a.res.ToggledNets...),
+		ConstSeen:       append([]bool(nil), a.constSeen...),
+		ConstVals:       append([]logic.Value(nil), a.res.ConstNets...),
+		PathsCreated:    a.res.PathsCreated,
+		PathsSkipped:    a.res.PathsSkipped,
+		SimulatedCycles: a.res.SimulatedCycles,
+		NextID:          a.nextID,
+		Paths:           append([]PathStat(nil), a.res.Paths...),
+		Quarantined:     append([]Quarantine(nil), a.quarantined...),
+	}
+	for _, e := range a.stack {
+		c.Pending = append(c.Pending, PendingPath{State: e.state.Clone(), Forced: e.forced, HasForce: e.hasForce})
+	}
+	ids := make([]int, 0, len(a.inflight))
+	for id := range a.inflight {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		e := a.inflight[id]
+		c.Pending = append(c.Pending, PendingPath{State: e.state.Clone(), Forced: e.forced, HasForce: e.hasForce})
+	}
+	return c
+}
+
+// loadResume seeds the analysis from a checkpoint.
+func (a *analysis) loadResume(c *Checkpoint) error {
+	if err := c.validateFor(a.p, a.cfg.Policy); err != nil {
+		return err
+	}
+	if err := a.cfg.Policy.Import(c.CSM); err != nil {
+		return err
+	}
+	copy(a.res.ToggledNets, c.Toggled)
+	copy(a.constSeen, c.ConstSeen)
+	copy(a.res.ConstNets, c.ConstVals)
+	for n := range c.Toggled {
+		if c.Toggled[n] || c.ConstSeen[n] {
+			a.anchored = true
+			break
+		}
+	}
+	a.res.PathsCreated = c.PathsCreated
+	a.res.PathsSkipped = c.PathsSkipped
+	a.res.SimulatedCycles = c.SimulatedCycles
+	a.liveCycles.Store(c.SimulatedCycles)
+	a.nextID = c.NextID
+	a.res.Paths = append(a.res.Paths, c.Paths...)
+	a.quarantined = append(a.quarantined, c.Quarantined...)
+	for _, p := range c.Pending {
+		a.stack = append(a.stack, entry{state: p.State.Clone(), forced: p.Forced, hasForce: p.HasForce})
+	}
+	return nil
 }
 
 // TieOffs derives the bespoke tie-off list from a result: one constant per

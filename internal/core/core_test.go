@@ -372,10 +372,14 @@ func TestAnalyzeRejectsCombLoopViaLint(t *testing.T) {
 	n.AddGate(netlist.KindNot, x, y)
 	n.AddGate(netlist.KindNot, y, x)
 	n.MarkOutput(x)
-	p := &core.Platform{Name: "loopy", Design: n, HalfPeriod: 5, ResetCycles: 2}
+	spec, err := vvp.SpecFor(n, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &core.Platform{Name: "loopy", Design: n, Spec: spec, HalfPeriod: 5, ResetCycles: 2}
 	p.Monitor = vvp.MonitorXSpec{BranchActive: netlist.NoNet, Cond: netlist.NoNet, Finish: netlist.NoNet}
 
-	_, err := core.Analyze(p, core.Config{})
+	_, err = core.Analyze(p, core.Config{})
 	if err == nil {
 		t.Fatal("comb loop passed the structural pre-check")
 	}

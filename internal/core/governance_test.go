@@ -1,0 +1,382 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"symsim/internal/core"
+	"symsim/internal/cpu/dr5"
+	"symsim/internal/csm"
+	"symsim/internal/isa/rv32"
+	"symsim/internal/netlist"
+	"symsim/internal/vvp"
+)
+
+// buildLoop assembles the X-bounded counter loop (the canonical
+// multi-path program: one fork per loop iteration until the CSM merges)
+// and returns a fresh dr5 platform for it. mask bounds the trip count.
+func buildLoop(t *testing.T, mask int) *core.Platform {
+	t.Helper()
+	a := rv32.NewAsm()
+	a.XWord(0)
+	a.LW(rv32.T0, rv32.X0, 0)
+	a.ANDI(rv32.T0, rv32.T0, int32(mask))
+	a.LI(rv32.T1, 0)
+	a.Label("loop")
+	a.ADDI(rv32.T1, rv32.T1, 1)
+	a.ADDI(rv32.T0, rv32.T0, -1)
+	a.BNE(rv32.T0, rv32.X0, "loop")
+	a.SW(rv32.T1, rv32.X0, 4)
+	a.Halt()
+	img, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := dr5.Build(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// tieOffsEqual compares two tie-off lists elementwise.
+func tieOffsEqual(a, b []netlist.TieOff) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Misconfigured runs must fail up front with a typed ValidationError
+// naming the offending field, not a silent default or a worker panic.
+func TestValidateRejectsBadConfig(t *testing.T) {
+	good := buildLoop(t, 0x3)
+	cases := []struct {
+		name  string
+		p     *core.Platform
+		cfg   core.Config
+		field string
+	}{
+		{"nil platform", nil, core.Config{}, "Platform"},
+		{"nil design", &core.Platform{Spec: good.Spec, HalfPeriod: 5}, core.Config{}, "Platform.Design"},
+		{"nil spec", &core.Platform{Design: good.Design, HalfPeriod: 5}, core.Config{}, "Platform.Spec"},
+		{"zero half-period", &core.Platform{Design: good.Design, Spec: good.Spec}, core.Config{}, "Platform.HalfPeriod"},
+		{"negative workers", good, core.Config{Workers: -1}, "Config.Workers"},
+		{"negative max paths", good, core.Config{MaxPaths: -2}, "Config.MaxPaths"},
+		{"negative wall clock", good, core.Config{Budget: core.Budget{WallClock: -time.Second}}, "Config.Budget.WallClock"},
+		{"negative fork budget", good, core.Config{Budget: core.Budget{MaxForks: -1}}, "Config.Budget.MaxForks"},
+		{"empty checkpoint path", good, core.Config{Checkpoint: &core.CheckpointConfig{}}, "Config.Checkpoint.Path"},
+		{"negative checkpoint interval", good, core.Config{Checkpoint: &core.CheckpointConfig{Path: "x", Interval: -1}}, "Config.Checkpoint.Interval"},
+		{"negative progress interval", good, core.Config{ProgressEvery: -1}, "Config.ProgressEvery"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := core.Analyze(tc.p, tc.cfg)
+			var verr *core.ValidationError
+			if !errors.As(err, &verr) {
+				t.Fatalf("want ValidationError, got %v", err)
+			}
+			if verr.Field != tc.field {
+				t.Errorf("field = %q, want %q", verr.Field, tc.field)
+			}
+		})
+	}
+}
+
+// Per-path statistics must come back in path-ID order regardless of the
+// nondeterministic completion order of parallel workers.
+func TestPathsSortedByIDUnderParallelWorkers(t *testing.T) {
+	p := buildLoop(t, 0xF)
+	res, err := core.Analyze(p, core.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("run did not complete")
+	}
+	for i := 1; i < len(res.Paths); i++ {
+		if res.Paths[i-1].ID >= res.Paths[i].ID {
+			t.Fatalf("paths not sorted by ID: %d then %d at index %d",
+				res.Paths[i-1].ID, res.Paths[i].ID, i)
+		}
+	}
+	if len(res.Paths) < 3 {
+		t.Fatalf("expected a multi-path run, got %d paths", len(res.Paths))
+	}
+}
+
+// A canceled context must stop the run cleanly: no error, a sound
+// Complete=false result blaming the cancellation, every goroutine joined,
+// and a final progress heartbeat delivered.
+func TestCancellationReturnsPartialResultWithoutLeaks(t *testing.T) {
+	p := buildLoop(t, 0xFF)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: the run must stop almost immediately
+
+	before := runtime.NumGoroutine()
+	var beats atomic.Int64
+	start := time.Now()
+	res, err := core.AnalyzeContext(ctx, p, core.Config{
+		Workers:       4,
+		Progress:      func(core.Progress) { beats.Add(1) },
+		ProgressEvery: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v to honour", elapsed)
+	}
+	if res.Complete {
+		t.Fatal("canceled run reported Complete")
+	}
+	if res.Degradation == nil || res.Degradation.Trip != core.TripCanceled {
+		t.Fatalf("degradation = %+v, want TripCanceled", res.Degradation)
+	}
+	if beats.Load() == 0 {
+		t.Error("no progress heartbeat delivered")
+	}
+	// The degraded dichotomy stays sound: with no (or partial)
+	// exploration, unexplored behaviour must be over-approximated, never
+	// reported as proven-unexercisable gates it didn't prove.
+	full, err := core.Analyze(buildLoop(t, 0xFF), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gi := range res.ExercisableGates {
+		if !res.ExercisableGates[gi] && full.ExercisableGates[gi] {
+			t.Fatalf("gate %d proven unexercisable by a canceled run but exercisable in the full run", gi)
+		}
+	}
+
+	// All worker/watcher/heartbeat goroutines must have joined.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutines leaked: %d before, %d after\n%s", before, n, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// A tripped fork budget must degrade gracefully: no error, Complete=false,
+// pending paths force-merged, and a never-exercisable set that is a subset
+// of the full run's (degradation only over-approximates).
+func TestForkBudgetDegradesSoundly(t *testing.T) {
+	full, err := core.Analyze(buildLoop(t, 0xF), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Complete {
+		t.Fatal("unbudgeted run did not complete")
+	}
+
+	res, err := core.Analyze(buildLoop(t, 0xF), core.Config{Budget: core.Budget{MaxForks: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatal("budgeted run reported Complete")
+	}
+	deg := res.Degradation
+	if deg == nil || deg.Trip != core.TripForks {
+		t.Fatalf("degradation = %+v, want TripForks", deg)
+	}
+	if deg.PendingPaths == 0 || deg.ForcedMerges == 0 {
+		t.Errorf("degradation did not drain: %+v", deg)
+	}
+	if deg.ConeNets == 0 {
+		t.Error("degradation marked no cone nets")
+	}
+	for gi := range res.ExercisableGates {
+		if !res.ExercisableGates[gi] && full.ExercisableGates[gi] {
+			t.Fatalf("gate %d pruned by the degraded run but exercisable in the full run", gi)
+		}
+	}
+	if res.ExercisableCount < full.ExercisableCount {
+		t.Errorf("degraded run claims fewer exercisable gates (%d) than the full run (%d)",
+			res.ExercisableCount, full.ExercisableCount)
+	}
+}
+
+// The cycle budget must interrupt even a single long-running path segment
+// mid-simulation.
+func TestCycleBudgetInterruptsMidSegment(t *testing.T) {
+	res, err := core.Analyze(buildLoop(t, 0xFF), core.Config{Budget: core.Budget{MaxCycles: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatal("cycle-budgeted run reported Complete")
+	}
+	if res.Degradation.Trip != core.TripCycles {
+		t.Fatalf("trip = %v, want cycle-budget", res.Degradation.Trip)
+	}
+}
+
+// The wall-clock budget is a Budget trip, distinct from cancellation. The
+// exact (no-merge) policy turns the 255-iteration X loop into a path
+// enumeration far outlasting the one-millisecond budget.
+func TestWallClockBudgetTrips(t *testing.T) {
+	res, err := core.Analyze(buildLoop(t, 0xFF), core.Config{
+		Policy: csm.NewExact(0),
+		Budget: core.Budget{WallClock: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatal("wall-clock-budgeted run reported Complete")
+	}
+	if res.Degradation.Trip != core.TripWallClock {
+		t.Fatalf("trip = %v, want wall-clock", res.Degradation.Trip)
+	}
+}
+
+// A panicking path worker must be contained, not crash the analysis: the
+// panic value and stack are preserved in a Quarantine record and the rest
+// of the run proceeds.
+func TestPanicIsQuarantined(t *testing.T) {
+	p := buildLoop(t, 0x3)
+	var panicked atomic.Bool
+	res, err := core.Analyze(p, core.Config{
+		OnHalt: func(id int, st vvp.State) {
+			if id == 0 && !panicked.Swap(true) {
+				panic("injected fault in halt hook")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatal("run with a quarantined path reported Complete")
+	}
+	deg := res.Degradation
+	if deg == nil || len(deg.Quarantined) != 1 {
+		t.Fatalf("degradation = %+v, want exactly one quarantined path", deg)
+	}
+	q := deg.Quarantined[0]
+	if q.PathID != 0 || !strings.Contains(q.Panic, "injected fault") || !strings.Contains(q.Stack, "goroutine") {
+		t.Errorf("quarantine record incomplete: %+v", q)
+	}
+	if deg.Trip != core.TripNone {
+		t.Errorf("trip = %v, want none (quarantine only)", deg.Trip)
+	}
+	// The quarantined segment shows up in the per-path stats too.
+	found := false
+	for _, ps := range res.Paths {
+		if ps.End == core.EndQuarantined {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no EndQuarantined path stat recorded")
+	}
+}
+
+// Kill-and-resume on dr5: a run killed by a fork budget writes its final
+// checkpoint before force-merging; resuming from it must reproduce the
+// uninterrupted run's tie-off list exactly.
+func TestKillAndResumeReproducesTieOffs(t *testing.T) {
+	full, err := core.Analyze(buildLoop(t, 0xF), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ck := t.TempDir() + "/run.ckpt"
+	killed, err := core.Analyze(buildLoop(t, 0xF), core.Config{
+		Budget:     core.Budget{MaxForks: 2},
+		Checkpoint: &core.CheckpointConfig{Path: ck},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if killed.Complete {
+		t.Fatal("budgeted run reported Complete")
+	}
+
+	ckpt, err := core.LoadCheckpoint(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ckpt.Pending) == 0 {
+		t.Fatal("final checkpoint has no pending frontier")
+	}
+	resumed, err := core.Analyze(buildLoop(t, 0xF), core.Config{Resume: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Complete {
+		t.Fatalf("resumed run did not complete: %+v", resumed.Degradation)
+	}
+
+	if resumed.ExercisableCount != full.ExercisableCount {
+		t.Errorf("resumed exercisable = %d, uninterrupted = %d",
+			resumed.ExercisableCount, full.ExercisableCount)
+	}
+	if !tieOffsEqual(resumed.TieOffs(), full.TieOffs()) {
+		t.Error("resumed tie-off list differs from the uninterrupted run's")
+	}
+}
+
+// Resuming against the wrong platform or policy must be rejected by
+// checkpoint validation, not produce a silently unsound run.
+func TestResumeValidation(t *testing.T) {
+	ck := t.TempDir() + "/run.ckpt"
+	if _, err := core.Analyze(buildLoop(t, 0x3), core.Config{
+		Budget:     core.Budget{MaxForks: 1},
+		Checkpoint: &core.CheckpointConfig{Path: ck},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := core.LoadCheckpoint(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wrong := *ckpt
+	wrong.Design = "someone-else"
+	if _, err := core.Analyze(buildLoop(t, 0x3), core.Config{Resume: &wrong}); err == nil {
+		t.Error("resume accepted a checkpoint for a different design")
+	}
+	wrong = *ckpt
+	wrong.Policy = "exact"
+	if _, err := core.Analyze(buildLoop(t, 0x3), core.Config{Resume: &wrong}); err == nil {
+		t.Error("resume accepted a checkpoint from a different CSM policy")
+	}
+}
+
+// Periodic checkpoints must decode to the exact state they encoded
+// (pointer-free deep equality through the binary format).
+func TestPeriodicCheckpointRoundTripsThroughDisk(t *testing.T) {
+	ck := t.TempDir() + "/run.ckpt"
+	if _, err := core.Analyze(buildLoop(t, 0x7), core.Config{
+		Checkpoint: &core.CheckpointConfig{Path: ck}, // Interval 0: every path
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := core.LoadCheckpoint(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := core.DecodeCheckpoint(ckpt.EncodeBinary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ckpt, re) {
+		t.Error("checkpoint does not survive an encode/decode round trip")
+	}
+}

@@ -1,0 +1,113 @@
+package omsp430
+
+import (
+	"testing"
+
+	"symsim/internal/core"
+	"symsim/internal/isa/msp430"
+	"symsim/internal/netlist"
+)
+
+// branchy assembles an openMSP430 program with two input-dependent
+// branches in sequence, so the co-analysis forks more than once and a
+// fork budget of one leaves a genuine unexplored frontier behind.
+func branchy(t *testing.T) *core.Platform {
+	t.Helper()
+	a := msp430.NewAsm()
+	a.XWord(0)
+	a.XWord(1)
+	a.DisableWatchdog()
+	a.LoadAbs(msp430.DataAddr(0), msp430.R4)
+	a.CMPI(5, msp430.R4)
+	a.JNE("first")
+	a.MOVI(11, msp430.R6)
+	a.Label("first")
+	a.LoadAbs(msp430.DataAddr(1), msp430.R5)
+	a.CMPI(3, msp430.R5)
+	a.JNE("second")
+	a.MOVI(22, msp430.R7)
+	a.Label("second")
+	a.StoreAbs(msp430.R6, msp430.DataAddr(2))
+	a.StoreAbs(msp430.R7, msp430.DataAddr(3))
+	a.Halt()
+	p, err := Build(a.MustAssemble())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func sameTieOffs(a, b []netlist.TieOff) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestKillAndResumeOpenMSP430 is the end-to-end resume-soundness check on
+// the paper's real core: a run killed by its fork budget writes a final
+// checkpoint of the unexplored frontier; resuming from that checkpoint
+// must produce exactly the tie-off list of an uninterrupted analysis.
+func TestKillAndResumeOpenMSP430(t *testing.T) {
+	full, err := core.Analyze(branchy(t), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Complete {
+		t.Fatal("uninterrupted run did not complete")
+	}
+	if full.PathsCreated < 5 {
+		t.Fatalf("program forked only %d paths; the kill leaves no frontier", full.PathsCreated)
+	}
+
+	ck := t.TempDir() + "/omsp.ckpt"
+	killed, err := core.Analyze(branchy(t), core.Config{
+		Budget:     core.Budget{MaxForks: 1},
+		Checkpoint: &core.CheckpointConfig{Path: ck},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if killed.Complete {
+		t.Fatal("fork-budgeted run reported Complete")
+	}
+	if killed.Degradation.Trip != core.TripForks {
+		t.Fatalf("trip = %v, want fork-budget", killed.Degradation.Trip)
+	}
+
+	ckpt, err := core.LoadCheckpoint(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ckpt.Pending) == 0 {
+		t.Fatal("checkpoint preserved no pending frontier")
+	}
+	resumed, err := core.Analyze(branchy(t), core.Config{Resume: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Complete {
+		t.Fatalf("resumed run did not complete: %+v", resumed.Degradation)
+	}
+
+	if resumed.ExercisableCount != full.ExercisableCount {
+		t.Errorf("resumed exercisable gates = %d, uninterrupted = %d",
+			resumed.ExercisableCount, full.ExercisableCount)
+	}
+	if !sameTieOffs(resumed.TieOffs(), full.TieOffs()) {
+		t.Error("resumed tie-off list differs from the uninterrupted run's")
+	}
+
+	// The killed run's own (degraded) dichotomy must still be sound: it
+	// may over-approximate but never prune a gate the full run exercises.
+	for gi := range killed.ExercisableGates {
+		if !killed.ExercisableGates[gi] && full.ExercisableGates[gi] {
+			t.Fatalf("gate %d pruned by the killed run but exercisable in the full run", gi)
+		}
+	}
+}

@@ -16,6 +16,7 @@ package csm
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"symsim/internal/logic"
@@ -33,6 +34,15 @@ type Decision struct {
 	Explore vvp.State
 }
 
+// SavedState is one exported conservative state: the PC it is indexed by
+// plus its ternary machine-state valuation. Slices of SavedState are the
+// checkpoint currency of run governance — a Manager drains into them when
+// a run is checkpointed and reseeds from them on resume.
+type SavedState struct {
+	PC   uint64
+	Bits logic.Vec
+}
+
 // Manager is the interface of a conservative state repository. Observe is
 // safe for concurrent use; parallel path workers share one Manager.
 type Manager interface {
@@ -43,6 +53,37 @@ type Manager interface {
 	Name() string
 	// States returns the number of conservative states currently stored.
 	States() int
+	// Export snapshots every stored conservative state in a deterministic
+	// order (ascending PC, insertion order within a PC), so checkpoint
+	// encodings are reproducible.
+	Export() []SavedState
+	// Import seeds the manager with previously exported states, merging
+	// them with anything already stored under the policy's own rules. All
+	// imported states must share one bit width.
+	Import(states []SavedState) error
+}
+
+// checkWidths rejects an import batch whose states disagree on width —
+// such a batch cannot have come from one Export and would poison later
+// Subset/Merge calls.
+func checkWidths(states []SavedState) error {
+	for i := 1; i < len(states); i++ {
+		if states[i].Bits.Width() != states[0].Bits.Width() {
+			return fmt.Errorf("csm: import width mismatch: state %d has %d bits, state 0 has %d",
+				i, states[i].Bits.Width(), states[0].Bits.Width())
+		}
+	}
+	return nil
+}
+
+// sortedPCs returns the keys of a per-PC table in ascending order.
+func sortedPCs[V any](table map[uint64]V) []uint64 {
+	pcs := make([]uint64, 0, len(table))
+	for pc := range table {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	return pcs
 }
 
 // --- MergeAll: the prior-work policy [4] ---
@@ -67,6 +108,32 @@ func (m *mergeAll) States() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.table)
+}
+
+func (m *mergeAll) Export() []SavedState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []SavedState
+	for _, pc := range sortedPCs(m.table) {
+		out = append(out, SavedState{PC: pc, Bits: m.table[pc].Clone()})
+	}
+	return out
+}
+
+func (m *mergeAll) Import(states []SavedState) error {
+	if err := checkWidths(states); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range states {
+		if c, ok := m.table[s.PC]; ok {
+			m.table[s.PC] = c.Merge(s.Bits)
+		} else {
+			m.table[s.PC] = s.Bits.Clone()
+		}
+	}
+	return nil
 }
 
 func (m *mergeAll) Observe(st vvp.State) Decision {
@@ -112,6 +179,31 @@ func (e *exact) States() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.n
+}
+
+func (e *exact) Export() []SavedState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []SavedState
+	for _, pc := range sortedPCs(e.table) {
+		for _, v := range e.table[pc] {
+			out = append(out, SavedState{PC: pc, Bits: v.Clone()})
+		}
+	}
+	return out
+}
+
+func (e *exact) Import(states []SavedState) error {
+	if err := checkWidths(states); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, s := range states {
+		e.table[s.PC] = append(e.table[s.PC], s.Bits.Clone())
+		e.n++
+	}
+	return nil
 }
 
 func (e *exact) Observe(st vvp.State) Decision {
@@ -167,6 +259,37 @@ func (c *clustered) States() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.n
+}
+
+func (c *clustered) Export() []SavedState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []SavedState
+	for _, pc := range sortedPCs(c.table) {
+		for _, v := range c.table[pc] {
+			out = append(out, SavedState{PC: pc, Bits: v.Clone()})
+		}
+	}
+	return out
+}
+
+func (c *clustered) Import(states []SavedState) error {
+	if err := checkWidths(states); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range states {
+		// Respect the per-PC budget on import: overflow merges into the
+		// first cluster rather than growing past k.
+		if len(c.table[s.PC]) < c.k {
+			c.table[s.PC] = append(c.table[s.PC], s.Bits.Clone())
+			c.n++
+		} else {
+			c.table[s.PC][0] = c.table[s.PC][0].Merge(s.Bits)
+		}
+	}
+	return nil
 }
 
 func (c *clustered) Observe(st vvp.State) Decision {
@@ -230,6 +353,10 @@ func NewConstrained(bits int, cons []Constraint) Manager {
 
 func (c *constrained) Name() string { return "constrained" }
 func (c *constrained) States() int  { return c.inner.States() }
+
+func (c *constrained) Export() []SavedState { return c.inner.Export() }
+
+func (c *constrained) Import(states []SavedState) error { return c.inner.Import(states) }
 
 func (c *constrained) Observe(st vvp.State) Decision {
 	d := c.inner.Observe(st)

@@ -1,0 +1,62 @@
+package logic
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file implements the canonical binary encoding of Vec used by the
+// run-governance checkpoint format: a little-endian u32 width followed by
+// ceil(width/64) packed "known" words and the same number of "val" words.
+// The encoding is canonical — bits above the width and val bits of unknown
+// positions are always zero — so decoding a valid encoding and re-encoding
+// it reproduces the input byte-for-byte, which is what makes checkpoint
+// files safely round-trippable (and fuzzable for it).
+
+// AppendBinary appends the canonical binary encoding of v to b and returns
+// the extended slice.
+func (v Vec) AppendBinary(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(v.width))
+	for w := range v.known {
+		b = binary.LittleEndian.AppendUint64(b, v.known[w]&lastWordMask(w, v.width))
+	}
+	for w := range v.val {
+		m := lastWordMask(w, v.width)
+		b = binary.LittleEndian.AppendUint64(b, v.val[w]&v.known[w]&m)
+	}
+	return b
+}
+
+// EncodedLen returns the number of bytes AppendBinary emits for v.
+func (v Vec) EncodedLen() int {
+	return 4 + 16*len(v.known)
+}
+
+// DecodeVec decodes one vector encoded by AppendBinary from the front of
+// data, returning the vector and the unconsumed remainder. It never
+// panics: truncated, oversized or non-canonical input (stray bits above
+// the width, val bits at unknown positions) yields an error.
+func DecodeVec(data []byte) (Vec, []byte, error) {
+	if len(data) < 4 {
+		return Vec{}, nil, fmt.Errorf("logic: vec header truncated (%d bytes)", len(data))
+	}
+	width := binary.LittleEndian.Uint32(data)
+	data = data[4:]
+	n := (int(width) + 63) / 64
+	if len(data) < 16*n {
+		return Vec{}, nil, fmt.Errorf("logic: vec body truncated: width %d needs %d bytes, have %d", width, 16*n, len(data))
+	}
+	v := NewVec(int(width))
+	for w := 0; w < n; w++ {
+		v.known[w] = binary.LittleEndian.Uint64(data[8*w:])
+		v.val[w] = binary.LittleEndian.Uint64(data[8*(n+w):])
+		m := lastWordMask(w, v.width)
+		if v.known[w]&^m != 0 || v.val[w]&^m != 0 {
+			return Vec{}, nil, fmt.Errorf("logic: vec word %d has bits above width %d", w, width)
+		}
+		if v.val[w]&^v.known[w] != 0 {
+			return Vec{}, nil, fmt.Errorf("logic: vec word %d has val bits at unknown positions", w)
+		}
+	}
+	return v, data[16*n:], nil
+}

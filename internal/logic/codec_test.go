@@ -1,0 +1,74 @@
+package logic
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestVecCodecRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "0", "1", "x", "01x", "xxxxxxxx",
+		"1010x01x10zx0011", "x1"} {
+		v := MustVec(s)
+		enc := v.AppendBinary(nil)
+		if len(enc) != v.EncodedLen() {
+			t.Errorf("%q: encoded %d bytes, EncodedLen says %d", s, len(enc), v.EncodedLen())
+		}
+		dec, rest, err := DecodeVec(enc)
+		if err != nil {
+			t.Fatalf("%q: decode: %v", s, err)
+		}
+		if len(rest) != 0 {
+			t.Errorf("%q: %d unconsumed bytes", s, len(rest))
+		}
+		if !dec.Equal(v) {
+			t.Errorf("%q: round-trip mismatch: got %s", s, dec)
+		}
+		if re := dec.AppendBinary(nil); !bytes.Equal(re, enc) {
+			t.Errorf("%q: re-encode not byte-identical", s)
+		}
+	}
+}
+
+func TestVecCodecWideRoundTrip(t *testing.T) {
+	v := NewVec(200)
+	for i := 0; i < 200; i += 3 {
+		v.Set(i, Hi)
+	}
+	for i := 1; i < 200; i += 7 {
+		v.Set(i, Lo)
+	}
+	enc := v.AppendBinary(nil)
+	dec, rest, err := DecodeVec(enc)
+	if err != nil || len(rest) != 0 || !dec.Equal(v) {
+		t.Fatalf("wide round-trip failed: err=%v rest=%d", err, len(rest))
+	}
+}
+
+func TestVecCodecRejectsMalformed(t *testing.T) {
+	v := MustVec("1x0")
+	enc := v.AppendBinary(nil)
+
+	// Truncations at every prefix length must error, never panic.
+	for i := 0; i < len(enc); i++ {
+		if _, _, err := DecodeVec(enc[:i]); err == nil {
+			t.Errorf("truncation at %d accepted", i)
+		}
+	}
+	// A stray bit above the width is non-canonical.
+	bad := append([]byte(nil), enc...)
+	bad[4] |= 0x08 // known bit 3 of a 3-bit vector
+	if _, _, err := DecodeVec(bad); err == nil {
+		t.Error("stray known bit above width accepted")
+	}
+	// A val bit at an unknown position is non-canonical.
+	bad = append([]byte(nil), enc...)
+	bad[12] |= 0x02 // val bit 1, but bit 1 is X
+	if _, _, err := DecodeVec(bad); err == nil {
+		t.Error("val bit at unknown position accepted")
+	}
+	// A huge width with no body must error without allocating the body.
+	huge := []byte{0xff, 0xff, 0xff, 0x7f}
+	if _, _, err := DecodeVec(huge); err == nil {
+		t.Error("huge truncated width accepted")
+	}
+}

@@ -256,33 +256,77 @@ func (st State) MarshalBinary() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// UnmarshalBinary deserializes a state written by MarshalBinary.
+// UnmarshalBinary deserializes a state written by MarshalBinary. It is
+// strict: truncated input, trailing bytes, an out-of-range value byte or a
+// non-boolean PCKnown byte are rejected rather than silently tolerated, so
+// a state file can never decode to something MarshalBinary would not have
+// produced.
 func (st *State) UnmarshalBinary(data []byte) error {
-	buf := bytes.NewReader(data)
-	r := func(v any) error { return binary.Read(buf, binary.LittleEndian, v) }
-	var t, pc uint64
-	var known uint8
-	var width uint32
-	if err := r(&t); err != nil {
-		return err
+	const header = 8 + 8 + 1 + 4
+	if len(data) < header {
+		return fmt.Errorf("vvp: state truncated: %d bytes", len(data))
 	}
-	if err := r(&pc); err != nil {
-		return err
+	t := binary.LittleEndian.Uint64(data)
+	pc := binary.LittleEndian.Uint64(data[8:])
+	known := data[16]
+	if known > 1 {
+		return fmt.Errorf("vvp: state PCKnown byte %d not 0/1", known)
 	}
-	if err := r(&known); err != nil {
-		return err
-	}
-	if err := r(&width); err != nil {
-		return err
+	width := binary.LittleEndian.Uint32(data[17:])
+	body := data[header:]
+	if len(body) != int(width) {
+		return fmt.Errorf("vvp: state body is %d bytes, width says %d", len(body), width)
 	}
 	v := logic.NewVec(int(width))
-	for i := 0; i < int(width); i++ {
-		var b uint8
-		if err := r(&b); err != nil {
-			return err
+	for i, b := range body {
+		// Snapshot never records Z (Get folds it to X), so only 0/1/x
+		// bytes are canonical.
+		if b > uint8(logic.X) {
+			return fmt.Errorf("vvp: state bit %d has invalid value byte %d", i, b)
 		}
 		v.Set(i, logic.Value(b))
 	}
 	st.Time, st.PC, st.PCKnown, st.Bits = t, pc, known == 1, v
 	return nil
+}
+
+// AppendBinary appends the compact canonical encoding of st to b: the
+// fixed header followed by the packed-bitplane Vec encoding. This is the
+// form run-governance checkpoints embed; it is ~8x smaller than the
+// byte-per-bit MarshalBinary state files and round-trips byte-identically
+// through DecodeState.
+func (st State) AppendBinary(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint64(b, st.Time)
+	b = binary.LittleEndian.AppendUint64(b, st.PC)
+	if st.PCKnown {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return st.Bits.AppendBinary(b)
+}
+
+// DecodeState decodes one state encoded by AppendBinary from the front of
+// data, returning the state and the unconsumed remainder. It never panics
+// on malformed input.
+func DecodeState(data []byte) (State, []byte, error) {
+	if len(data) < 17 {
+		return State{}, nil, fmt.Errorf("vvp: state header truncated: %d bytes", len(data))
+	}
+	var st State
+	st.Time = binary.LittleEndian.Uint64(data)
+	st.PC = binary.LittleEndian.Uint64(data[8:])
+	switch data[16] {
+	case 0:
+	case 1:
+		st.PCKnown = true
+	default:
+		return State{}, nil, fmt.Errorf("vvp: state PCKnown byte %d not 0/1", data[16])
+	}
+	bits, rest, err := logic.DecodeVec(data[17:])
+	if err != nil {
+		return State{}, nil, err
+	}
+	st.Bits = bits
+	return st, rest, nil
 }

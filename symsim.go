@@ -31,6 +31,7 @@
 package symsim
 
 import (
+	"context"
 	"io"
 
 	"symsim/internal/bespoke"
@@ -92,6 +93,57 @@ type Result = core.Result
 // Analyze performs symbolic hardware/software co-analysis (paper
 // Algorithm 1).
 func Analyze(p *Platform, cfg Config) (*Result, error) { return core.Analyze(p, cfg) }
+
+// AnalyzeContext is Analyze under a caller-supplied context: cancellation
+// or an expired deadline stops the exploration cleanly and returns a
+// partial but sound Result with Complete=false.
+func AnalyzeContext(ctx context.Context, p *Platform, cfg Config) (*Result, error) {
+	return core.AnalyzeContext(ctx, p, cfg)
+}
+
+// --- Run governance: budgets, degradation, checkpoint/resume ---
+
+// Budget bounds a run (wall clock, simulated cycles, CSM states, forks)
+// with graceful, sound degradation on exhaustion.
+type Budget = core.Budget
+
+// Trip identifies what ended an exploration early.
+type Trip = core.Trip
+
+// Trip causes.
+const (
+	TripNone      = core.TripNone
+	TripCanceled  = core.TripCanceled
+	TripWallClock = core.TripWallClock
+	TripCycles    = core.TripCycles
+	TripCSMStates = core.TripCSMStates
+	TripForks     = core.TripForks
+)
+
+// Degradation reports how an incomplete run was kept sound.
+type Degradation = core.Degradation
+
+// Quarantine records a path worker that panicked and was contained.
+type Quarantine = core.Quarantine
+
+// Progress is one heartbeat snapshot of a running analysis.
+type Progress = core.Progress
+
+// ValidationError reports an invalid Platform or Config field.
+type ValidationError = core.ValidationError
+
+// CheckpointConfig enables periodic atomic checkpointing of a run.
+type CheckpointConfig = core.CheckpointConfig
+
+// Checkpoint is a consistent snapshot of a running co-analysis, usable as
+// Config.Resume to continue an interrupted run.
+type Checkpoint = core.Checkpoint
+
+// SavedState is one exported conservative state inside a checkpoint.
+type SavedState = csm.SavedState
+
+// LoadCheckpoint reads and validates a checkpoint file.
+func LoadCheckpoint(path string) (*Checkpoint, error) { return core.LoadCheckpoint(path) }
 
 // --- Conservative state management (paper §3.3) ---
 
