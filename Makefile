@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint
+.PHONY: check fmt vet build test race lint bench
 
 check: fmt vet build race
 
@@ -30,3 +30,17 @@ race:
 # Structural lint over the three shipped processors.
 lint:
 	$(GO) run ./cmd/symsim lint -design all
+
+# Performance trajectory: the Table-3/4 evaluation benchmarks plus the
+# engine comparison and the steady-state allocation check, recorded as
+# BENCH_kernel.json (ns/cycle, allocs/cycle per CPU x benchmark) so
+# future changes have numbers to diff against. BENCHTIME trades accuracy
+# for wall time; CI uses 1x.
+BENCHTIME ?= 2x
+BENCH_PAT ?= BenchmarkTable3GateCounts|BenchmarkTable4Paths|BenchmarkEngineComparison|BenchmarkSettleSteadyState
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem -benchtime $(BENCHTIME) -timeout 30m . \
+		| tee bench_output.txt
+	$(GO) run ./cmd/benchjson -o BENCH_kernel.json bench_output.txt
+	@rm -f bench_output.txt
+	@echo "wrote BENCH_kernel.json"

@@ -33,6 +33,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 	"syscall"
 	"time"
@@ -62,6 +64,7 @@ func analyzeMain() {
 		consF   = flag.String("constraints", "", "constraint file for the constrained policy")
 		workers = flag.Int("workers", 1, "parallel path workers")
 		memx    = flag.String("memx", "verilog", "X-address write semantics: verilog | sound")
+		engine  = flag.String("engine", "kernel", "simulation engine: kernel (compiled) | interp (reference interpreter)")
 		verbose = flag.Bool("v", false, "print per-path details")
 		dumpDir = flag.String("dump-states", "", "write every saved halt state to this directory (sim_state.log files)")
 		vcdOut  = flag.String("vcd", "", "dump the initial symbolic path's waveform (X values visible) to this file")
@@ -74,8 +77,42 @@ func analyzeMain() {
 		ckptEvery = flag.Duration("checkpoint-every", 30*time.Second, "minimum interval between periodic checkpoints")
 		resume    = flag.Bool("resume", false, "resume from the -checkpoint file instead of starting fresh")
 		progress  = flag.Duration("progress", 0, "print a progress heartbeat at this interval (0 = off)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the analysis to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	p, err := report.BuildPlatform(report.Design(*design), *bench)
 	if err != nil {
@@ -95,6 +132,14 @@ func analyzeMain() {
 		cfg.MemX = vvp.MemXSound
 	default:
 		fatal(fmt.Errorf("unknown -memx %q", *memx))
+	}
+	switch *engine {
+	case "kernel":
+		cfg.Engine = vvp.EngineKernel
+	case "interp":
+		cfg.Engine = vvp.EngineInterp
+	default:
+		fatal(fmt.Errorf("unknown -engine %q", *engine))
 	}
 	switch *policy {
 	case "merge-all":

@@ -1,0 +1,58 @@
+package symsim_test
+
+import (
+	"testing"
+
+	"symsim"
+)
+
+// TestEngineEquivalenceEndToEnd is the whole-stack differential check: a
+// full co-analysis of openMSP430 running tHold must produce the identical
+// dichotomy under the compiled kernel and the reference interpreter —
+// same exercisable set, same tie-offs, same paths, same simulated cycles,
+// same conservative-state count. The unit-level suite in internal/vvp
+// certifies the engines commit-for-commit; this certifies nothing above
+// them (forking, CSM, toggle absorption) observes a difference either.
+func TestEngineEquivalenceEndToEnd(t *testing.T) {
+	p, err := symsim.BuildPlatform(symsim.OMSP430, "tHold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(e symsim.SimEngine) *symsim.Result {
+		res, err := symsim.Analyze(p, symsim.Config{Engine: e})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ri := run(symsim.EngineInterp)
+	rk := run(symsim.EngineKernel)
+
+	if ri.PathsCreated != rk.PathsCreated || ri.PathsSkipped != rk.PathsSkipped {
+		t.Errorf("paths diverged: interp %d/%d kernel %d/%d",
+			ri.PathsCreated, ri.PathsSkipped, rk.PathsCreated, rk.PathsSkipped)
+	}
+	if ri.SimulatedCycles != rk.SimulatedCycles {
+		t.Errorf("cycles diverged: %d vs %d", ri.SimulatedCycles, rk.SimulatedCycles)
+	}
+	if ri.CSMStates != rk.CSMStates {
+		t.Errorf("CSM states diverged: %d vs %d", ri.CSMStates, rk.CSMStates)
+	}
+	if ri.ExercisableCount != rk.ExercisableCount {
+		t.Errorf("exercisable count diverged: %d vs %d", ri.ExercisableCount, rk.ExercisableCount)
+	}
+	for gi := range ri.ExercisableGates {
+		if ri.ExercisableGates[gi] != rk.ExercisableGates[gi] {
+			t.Fatalf("gate %d exercisability diverged", gi)
+		}
+	}
+	ti, tk := ri.TieOffs(), rk.TieOffs()
+	if len(ti) != len(tk) {
+		t.Fatalf("tie-off counts diverged: %d vs %d", len(ti), len(tk))
+	}
+	for i := range ti {
+		if ti[i] != tk[i] {
+			t.Fatalf("tie-off %d diverged: %+v vs %+v", i, ti[i], tk[i])
+		}
+	}
+}

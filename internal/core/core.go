@@ -65,6 +65,18 @@ type Platform struct {
 	// registers (bm32, dr5) cannot refine their state this way and leave
 	// it nil.
 	Specialize func(st vvp.State, taken bool) vvp.State
+
+	lintOnce sync.Once
+	lintRes  *lint.Result
+}
+
+// Lint returns the structural lint result for the platform's design,
+// running the pass on first use and caching it: the design is frozen, so
+// the result can never change across the many Analyze calls (engine
+// comparisons, forked explorations, resumed runs) a platform serves.
+func (p *Platform) Lint() *lint.Result {
+	p.lintOnce.Do(func() { p.lintRes = lint.Run(p.Design, p.LintOptions()) })
+	return p.lintRes
 }
 
 // Config tunes one co-analysis run. The zero value selects the paper's
@@ -88,6 +100,11 @@ type Config struct {
 	MaxPaths int
 	// MemX selects memory X-address semantics (default Verilog).
 	MemX vvp.MemXPolicy
+	// Engine selects the simulation machinery every path worker runs on:
+	// the compiled kernel (default) or the reference interpreter. Results
+	// are identical either way; the interpreter exists as the
+	// differential-testing oracle and for perf comparison.
+	Engine vvp.Engine
 	// Budget bounds the run with graceful degradation: on exhaustion the
 	// result is still sound, just over-approximate (Complete=false).
 	Budget Budget
@@ -292,7 +309,7 @@ func (p *Platform) LintOptions() lint.Options {
 // construction: error-severity findings abort the analysis with a full
 // diagnostic list; warnings go to cfg.LintWarn (nil drops them).
 func preCheck(p *Platform, cfg *Config) error {
-	lr := lint.Run(p.Design, p.LintOptions())
+	lr := p.Lint()
 	if lr.HasErrors() {
 		var sb strings.Builder
 		for _, d := range lr.Errors() {
@@ -419,6 +436,13 @@ func (a *analysis) run(ctx context.Context) error {
 	a.cond = sync.NewCond(&a.mu)
 	a.start = time.Now()
 	a.lastCkpt = a.start
+
+	// An already-canceled context must trip before any work is admitted;
+	// leaving it to the watcher goroutine races against workers fast
+	// enough to finish the whole run first.
+	if ctx.Err() != nil {
+		a.tripStop(TripCanceled)
+	}
 
 	done := make(chan struct{})
 	var aux sync.WaitGroup
@@ -669,7 +693,7 @@ func (a *analysis) simulatePath(id int, e entry, cached **vvp.Simulator) (out pa
 	if e.state.Bits.Width() != 0 && *cached != nil {
 		sim = *cached
 	} else {
-		opts := vvp.Options{MemX: a.cfg.MemX}
+		opts := vvp.Options{MemX: a.cfg.MemX, Engine: a.cfg.Engine}
 		if e.state.Bits.Width() == 0 {
 			opts.Trace = a.cfg.Trace
 		}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"symsim/internal/netlist"
+	"symsim/internal/vvp"
 )
 
 // This file holds the run-governance layer: budgets, graceful degradation,
@@ -185,6 +186,9 @@ func validate(p *Platform, cfg *Config) error {
 	}
 	if cfg.ProgressEvery < 0 {
 		return &ValidationError{Field: "Config.ProgressEvery", Reason: "negative duration"}
+	}
+	if cfg.Engine != vvp.EngineKernel && cfg.Engine != vvp.EngineInterp {
+		return &ValidationError{Field: "Config.Engine", Reason: fmt.Sprintf("unknown engine %d", cfg.Engine)}
 	}
 	return nil
 }

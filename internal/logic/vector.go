@@ -222,6 +222,76 @@ func (v Vec) Merge(o Vec) Vec {
 	return out
 }
 
+// CopyFrom overwrites v with the contents of o in place, without
+// allocating. It panics when widths differ. The simulation engine's memory
+// write path uses it to keep steady-state stepping allocation-free.
+func (v *Vec) CopyFrom(o Vec) {
+	if v.width != o.width {
+		panic(fmt.Sprintf("logic: CopyFrom width mismatch %d vs %d", v.width, o.width))
+	}
+	copy(v.known, o.known)
+	copy(v.val, o.val)
+}
+
+// MergeInPlace folds o into v without allocating: v becomes Merge(v, o),
+// the least conservative vector covering both. It panics when widths
+// differ.
+func (v *Vec) MergeInPlace(o Vec) {
+	if v.width != o.width {
+		panic(fmt.Sprintf("logic: MergeInPlace width mismatch %d vs %d", v.width, o.width))
+	}
+	for i := range v.known {
+		agree := v.known[i] & o.known[i] &^ (v.val[i] ^ o.val[i])
+		v.known[i] = agree
+		v.val[i] &= agree
+	}
+}
+
+// CopyBitsFrom overwrites n bits of v starting at dstOff with the n bits
+// of src starting at srcOff, without allocating. Both planes are moved in
+// word-sized chunks, so restoring a few thousand memory bits costs a few
+// dozen word operations instead of per-bit Get/Set pairs. Out-of-range
+// spans panic.
+func (v *Vec) CopyBitsFrom(dstOff int, src Vec, srcOff, n int) {
+	if n < 0 || dstOff < 0 || srcOff < 0 || dstOff+n > v.width || srcOff+n > src.width {
+		panic(fmt.Sprintf("logic: CopyBitsFrom [%d,%d)<-[%d,%d) out of range (dst %d, src %d bits)",
+			dstOff, dstOff+n, srcOff, srcOff+n, v.width, src.width))
+	}
+	for n > 0 {
+		dw, db := dstOff/64, uint(dstOff%64)
+		c := 64 - int(db)
+		if c > n {
+			c = n
+		}
+		mask := chunkMask(c)
+		k := extractBits(src.known, srcOff, c)
+		x := extractBits(src.val, srcOff, c)
+		v.known[dw] = v.known[dw]&^(mask<<db) | k<<db
+		v.val[dw] = v.val[dw]&^(mask<<db) | x<<db
+		dstOff += c
+		srcOff += c
+		n -= c
+	}
+}
+
+// chunkMask returns a mask of the low c bits, 1 <= c <= 64.
+func chunkMask(c int) uint64 {
+	if c == 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(c) - 1
+}
+
+// extractBits reads c <= 64 bits starting at bit off from a packed plane.
+func extractBits(words []uint64, off, c int) uint64 {
+	w, b := off/64, uint(off%64)
+	u := words[w] >> b
+	if int(b)+c > 64 {
+		u |= words[w+1] << (64 - b)
+	}
+	return u & chunkMask(c)
+}
+
 // ConstrainTo intersects v with the constraint vector c in place: wherever c
 // holds a known bit, v adopts it. Constraint files (paper §3.3, [15]) use
 // this to trim over-approximation from merged conservative states.

@@ -256,3 +256,78 @@ func TestVecGetOutOfRangePanics(t *testing.T) {
 	}()
 	MustVec("01").Get(2)
 }
+
+// TestVecInPlaceOps checks the allocation-free CopyFrom/MergeInPlace
+// against their allocating counterparts on random vectors.
+func TestVecInPlaceOps(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	randVec := func(w int) Vec {
+		v := NewVec(w)
+		for i := 0; i < w; i++ {
+			v.Set(i, []Value{Lo, Hi, X}[r.Intn(3)])
+		}
+		return v
+	}
+	for trial := 0; trial < 200; trial++ {
+		w := 1 + r.Intn(130)
+		a, b := randVec(w), randVec(w)
+		want := a.Merge(b)
+		got := a.Clone()
+		got.MergeInPlace(b)
+		if !got.Equal(want) {
+			t.Fatalf("MergeInPlace(%s, %s) = %s, want %s", a, b, got, want)
+		}
+		cp := randVec(w)
+		cp.CopyFrom(a)
+		if !cp.Equal(a) {
+			t.Fatalf("CopyFrom: %s != %s", cp, a)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MergeInPlace width mismatch did not panic")
+		}
+	}()
+	a := MustVec("01")
+	a.MergeInPlace(MustVec("011"))
+}
+
+// TestVecCopyBitsFrom cross-checks the word-chunk bitplane copy against a
+// per-bit Get/Set reference on random vectors, widths and (misaligned)
+// offsets, and verifies the out-of-range panic.
+func TestVecCopyBitsFrom(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	randVec := func(w int) Vec {
+		v := NewVec(w)
+		for i := 0; i < w; i++ {
+			v.Set(i, []Value{Lo, Hi, X}[r.Intn(3)])
+		}
+		return v
+	}
+	for trial := 0; trial < 500; trial++ {
+		dw := 1 + r.Intn(200)
+		sw := 1 + r.Intn(200)
+		dst, src := randVec(dw), randVec(sw)
+		n := r.Intn(min(dw, sw) + 1)
+		dOff := r.Intn(dw - n + 1)
+		sOff := r.Intn(sw - n + 1)
+
+		want := dst.Clone()
+		for i := 0; i < n; i++ {
+			want.Set(dOff+i, src.Get(sOff+i))
+		}
+		got := dst.Clone()
+		got.CopyBitsFrom(dOff, src, sOff, n)
+		if !got.Equal(want) {
+			t.Fatalf("CopyBitsFrom(%d, src, %d, %d) on %s <- %s:\n got %s\nwant %s",
+				dOff, sOff, n, dst, src, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range CopyBitsFrom did not panic")
+		}
+	}()
+	v := NewVec(8)
+	v.CopyBitsFrom(4, NewVec(8), 0, 5)
+}

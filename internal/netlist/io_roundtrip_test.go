@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"symsim/internal/core"
 	"symsim/internal/cpu/cputest"
 	"symsim/internal/cpu/dr5"
 	"symsim/internal/isa/rv32"
@@ -51,9 +52,18 @@ func TestProcessorRoundTripExecutes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2 := *p
-	p2.Design = rt
-	p2.Spec = spec
+	// Field-wise rather than a struct copy: Platform carries a lint
+	// cache (sync.Once) and must not be copied by value.
+	p2 := core.Platform{
+		Name:        p.Name,
+		Design:      rt,
+		Spec:        spec,
+		Monitor:     p.Monitor,
+		HalfPeriod:  p.HalfPeriod,
+		ResetCycles: p.ResetCycles,
+		Inputs:      p.Inputs,
+		Specialize:  p.Specialize,
+	}
 	sim, err := cputest.Run(&p2, 100000)
 	if err != nil {
 		t.Fatal(err)

@@ -11,6 +11,7 @@ package netlist
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"symsim/internal/logic"
 )
@@ -190,6 +191,11 @@ type Netlist struct {
 	maxLevel  int32
 	frozen    bool
 
+	// prog is the compiled structure-of-arrays form built lazily by
+	// Program() after Freeze; every simulator of this netlist shares it.
+	prog     *Program
+	progOnce sync.Once
+
 	names map[string]NetID
 }
 
@@ -339,6 +345,10 @@ func (n *Netlist) Freeze() error {
 		return err
 	}
 	n.frozen = true
+	// Compile the structure-of-arrays Program eagerly: flattening is
+	// elaboration work (linear, one-time, shared by every simulator of the
+	// design), not something the first analysis should pay for.
+	n.Program()
 	return nil
 }
 

@@ -57,15 +57,25 @@ func BuildPlatform(d Design, benchmark string) (*core.Platform, error) {
 	if err != nil {
 		return nil, err
 	}
+	var p *core.Platform
 	switch d {
 	case BM32:
-		return bm32.Build(img)
+		p, err = bm32.Build(img)
 	case OMSP430:
-		return omsp430.Build(img)
+		p, err = omsp430.Build(img)
 	case DR5:
-		return dr5.Build(img)
+		p, err = dr5.Build(img)
+	default:
+		return nil, fmt.Errorf("report: unknown design %q", d)
 	}
-	return nil, fmt.Errorf("report: unknown design %q", d)
+	if err != nil {
+		return nil, err
+	}
+	// Run the structural lint now: it validates the elaborated design, is
+	// cached on the platform, and every subsequent Analyze reads the
+	// cached result instead of re-linting an immutable netlist.
+	p.Lint()
+	return p, nil
 }
 
 // Cell is one benchmark x design measurement.

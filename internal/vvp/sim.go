@@ -16,7 +16,11 @@
 package vvp
 
 import (
+	"cmp"
 	"fmt"
+	"math/bits"
+	"slices"
+	"sort"
 
 	"symsim/internal/logic"
 	"symsim/internal/netlist"
@@ -73,6 +77,37 @@ func (s Status) String() string {
 	return fmt.Sprintf("Status(%d)", uint8(s))
 }
 
+// Engine selects the evaluation machinery a Simulator runs on. Both
+// engines implement identical semantics — same commit traces, toggle
+// profiles and halt cycles on any design — and differ only in speed; the
+// differential suite (FuzzKernelVsInterpreter, the cross-engine analysis
+// test) enforces the equivalence.
+type Engine uint8
+
+const (
+	// EngineKernel is the compiled kernel (the default): the frozen
+	// netlist is flattened into structure-of-arrays tables (see
+	// netlist.Program), gates evaluate through a branch-free four-valued
+	// lookup table, and mostly-dirty topological levels are swept linearly
+	// instead of scheduled gate-by-gate.
+	EngineKernel Engine = iota
+	// EngineInterp is the scalar reference interpreter: per-gate dispatch
+	// through netlist.EvalGate and slice-of-slices fanout walks. It is the
+	// oracle the kernel is differentially tested against.
+	EngineInterp
+)
+
+// String returns the engine name used by CLI flags.
+func (e Engine) String() string {
+	switch e {
+	case EngineKernel:
+		return "kernel"
+	case EngineInterp:
+		return "interp"
+	}
+	return fmt.Sprintf("Engine(%d)", uint8(e))
+}
+
 // MemXPolicy selects the semantics of a memory write whose address contains
 // X bits (paper §3.3 discussion; see DESIGN.md substitution table).
 type MemXPolicy uint8
@@ -89,6 +124,9 @@ const (
 
 // Options configure a Simulator.
 type Options struct {
+	// Engine selects the evaluation machinery. The zero value is the
+	// compiled kernel; EngineInterp selects the reference interpreter.
+	Engine Engine
 	// MemX selects X-address write semantics. Default MemXVerilog.
 	MemX MemXPolicy
 	// Trace, when non-nil, records every net value commit. Used by the
@@ -125,6 +163,7 @@ type MonitorXSpec struct {
 }
 
 type force struct {
+	net     netlist.NetID
 	val     logic.Value
 	release uint64 // absolute time at which the force expires
 }
@@ -136,23 +175,66 @@ type Simulator struct {
 	d    *netlist.Netlist
 	opts Options
 
+	// prog is the compiled structure-of-arrays form of the design; non-nil
+	// exactly when the engine is EngineKernel. Both engines share every
+	// piece of mutable state below, so snapshots, restores and forces work
+	// identically under either; only the active-region drain, gate
+	// evaluation and fanout walk differ.
+	prog *netlist.Program
+
 	val     []logic.Value // current net values
 	lastClk []logic.Value // previous clock sample per gate (DFFs only)
 
-	mem    []memState
-	forces map[netlist.NetID]force
+	mem []memState
+	// forces holds the active Verilog forces sorted by net. Almost every
+	// commit runs with no force active, so the hot path is a single length
+	// check; with forces present a binary search replaces the old map
+	// lookup.
+	forces []force
 
-	// Levelized active region: dirty gates and memories are bucketed by
+	// Levelized active region: dirty gates and memories are tracked per
 	// topological level and processed lowest-first, keeping zero-delay
 	// settling linear in design size (a plain LIFO worklist degrades
 	// exponentially on deep reconvergent logic such as multiplier
-	// arrays).
-	buckets    [][]netlist.GateID
+	// arrays). Within a level both engines drain in sorted rounds: the
+	// gates dirty at round start evaluate in ascending ID order, gates
+	// dirtied during the round defer to the next one. The fixed order is
+	// what makes kernel and interpreter traces bit-identical.
+	//
+	// The interpreter keeps explicit per-level buckets plus an in-queue
+	// flag per gate; the kernel replaces both with dirtyW, a flat bitmap
+	// over its level-major gate numbering — each level is a contiguous bit
+	// range, so claiming a round and walking it in sorted order are word
+	// operations (see kernelLevel). Memories are few; both engines bucket
+	// them.
+	buckets    [][]netlist.GateID // interpreter only
+	inQ        []bool             // interpreter only
+	dirtyW     []uint64           // kernel only: dirty bitmap, kernel gate IDs
+	lvlW       []uint64           // kernel only: bit l set when level l has dirty work
 	memBuckets [][]netlist.MemID
-	inQ        []bool
 	memInQ     []bool
 	dirtyLo    int32 // lowest level with dirty entries
-	dirtyN     int   // total dirty entries across buckets
+	dirtyN     int   // total dirty gates + memories
+	levels     int32 // MaxLevel+1; dirtyLo sentinel when nothing is dirty
+
+	sweeps uint64 // level bitmap rounds executed (kernel statistics)
+
+	// glv/mlv cache the topological levels as flat slices (shared with the
+	// netlist or Program; built once in New) so the dirty-marking hot path
+	// indexes instead of calling accessors. Under the kernel engine glv is
+	// indexed by kernel gate IDs, matching everything else the kernel
+	// touches per gate.
+	glv []int32
+	mlv []int32
+
+	// Scratch buffers recycled across settle rounds (steady-state stepping
+	// allocates nothing).
+	scratchG     []netlist.GateID
+	scratchM     []netlist.MemID
+	scratchW     []uint64 // kernel only: claimed bitmap words of one round
+	nbaBack      []nbaAssign
+	inactiveBack []nbaAssign
+	deltas       int
 
 	nba        []nbaAssign
 	inactiveQ  []nbaAssign // #0-delayed assignments, drained before NBA
@@ -181,6 +263,14 @@ type Simulator struct {
 type memState struct {
 	words   []logic.Vec
 	lastClk logic.Value
+
+	// Scratch vectors for the read/write ports, sized once at construction
+	// so steady-state memory evaluation never allocates. xword stays all-X
+	// for the lifetime of the simulator and backs unknown-address reads.
+	raddr logic.Vec
+	waddr logic.Vec
+	wdata logic.Vec
+	xword logic.Vec
 }
 
 type nbaAssign struct {
@@ -197,13 +287,30 @@ func New(d *netlist.Netlist, opts Options) *Simulator {
 		opts:       opts,
 		val:        make([]logic.Value, len(d.Nets)),
 		lastClk:    make([]logic.Value, len(d.Gates)),
-		buckets:    make([][]netlist.GateID, d.MaxLevel()+1),
 		memBuckets: make([][]netlist.MemID, d.MaxLevel()+1),
-		inQ:        make([]bool, len(d.Gates)),
 		memInQ:     make([]bool, len(d.Mems)),
-		forces:     make(map[netlist.NetID]force),
 		toggled:    make([]bool, len(d.Nets)),
 		dirtyLo:    d.MaxLevel() + 1,
+		levels:     d.MaxLevel() + 1,
+	}
+	if opts.Engine == EngineKernel {
+		s.prog = d.Program()
+		s.glv, s.mlv = s.prog.GateLevel, s.prog.MemLevel
+		nw := (len(d.Gates) + 63) / 64
+		s.dirtyW = make([]uint64, nw)
+		s.scratchW = make([]uint64, 0, nw+1)
+		s.lvlW = make([]uint64, (int(s.levels)+63)/64)
+	} else {
+		s.buckets = make([][]netlist.GateID, d.MaxLevel()+1)
+		s.inQ = make([]bool, len(d.Gates))
+		s.glv = make([]int32, len(d.Gates))
+		for gi := range s.glv {
+			s.glv[gi] = d.GateLevel(netlist.GateID(gi))
+		}
+		s.mlv = make([]int32, len(d.Mems))
+		for mi := range s.mlv {
+			s.mlv[mi] = d.MemLevel(netlist.MemID(mi))
+		}
 	}
 	for i := range s.val {
 		s.val[i] = logic.X
@@ -213,7 +320,14 @@ func New(d *netlist.Netlist, opts Options) *Simulator {
 	}
 	s.mem = make([]memState, len(d.Mems))
 	for i, m := range d.Mems {
-		ms := memState{words: make([]logic.Vec, m.Words), lastClk: logic.X}
+		ms := memState{
+			words:   make([]logic.Vec, m.Words),
+			lastClk: logic.X,
+			raddr:   logic.NewVec(len(m.RAddr)),
+			waddr:   logic.NewVec(len(m.WAddr)),
+			wdata:   logic.NewVec(m.DataBits),
+			xword:   logic.NewVec(m.DataBits),
+		}
 		for w := range ms.words {
 			if w < len(m.Init) && m.Init[w].Width() == m.DataBits {
 				ms.words[w] = m.Init[w].Clone()
@@ -227,8 +341,14 @@ func New(d *netlist.Netlist, opts Options) *Simulator {
 	// once so constant drivers and input-independent cones settle before
 	// the first stimulus event, as a Verilog simulator's initialization
 	// pass does.
-	for gi := range d.Gates {
-		s.dirtyGate(netlist.GateID(gi))
+	if s.prog != nil {
+		for gi := range d.Gates {
+			s.dirtyGateK(netlist.GateID(gi))
+		}
+	} else {
+		for gi := range d.Gates {
+			s.dirtyGate(netlist.GateID(gi))
+		}
 	}
 	for mi := range d.Mems {
 		s.dirtyMem(netlist.MemID(mi))
@@ -276,9 +396,10 @@ func (s *Simulator) MemWord(id netlist.MemID, word int) logic.Vec {
 	return s.mem[id].words[word].Clone()
 }
 
-// SetMemWord overwrites one memory word (testbench initialization).
+// SetMemWord overwrites one memory word (testbench initialization). It
+// panics when v's width differs from the memory's data width.
 func (s *Simulator) SetMemWord(id netlist.MemID, word int, v logic.Vec) {
-	s.mem[id].words[word] = v.Clone()
+	s.mem[id].words[word].CopyFrom(v)
 	s.dirtyMem(id)
 }
 
@@ -336,41 +457,80 @@ func (s *Simulator) StartRecording() {
 // copy it if they outlive the simulator.
 func (s *Simulator) Toggled() []bool { return s.toggled }
 
+// forceIdx returns the position of net id in the sorted forces slice, or
+// the insertion point when no force on id exists.
+func (s *Simulator) forceIdx(id netlist.NetID) int {
+	return sort.Search(len(s.forces), func(i int) bool { return s.forces[i].net >= id })
+}
+
 // Force overrides the value of a net until the given absolute release
 // time, the analogue of the Verilog force used when continuing down one
 // execution path of a forked branch (paper §3 step 3). The driver's value
 // reasserts itself at release.
 func (s *Simulator) Force(id netlist.NetID, v logic.Value, release uint64) {
-	s.forces[id] = force{val: v, release: release}
+	f := force{net: id, val: v, release: release}
+	i := s.forceIdx(id)
+	if i < len(s.forces) && s.forces[i].net == id {
+		s.forces[i] = f
+	} else {
+		s.forces = append(s.forces, force{})
+		copy(s.forces[i+1:], s.forces[i:])
+		s.forces[i] = f
+	}
 	s.commit(id, v, RegionActive)
 }
 
 // Forced reports whether net id currently has a force applied.
 func (s *Simulator) Forced(id netlist.NetID) bool {
-	_, ok := s.forces[id]
-	return ok
+	i := s.forceIdx(id)
+	return i < len(s.forces) && s.forces[i].net == id
 }
 
 func (s *Simulator) releaseExpired() {
-	for id, f := range s.forces {
-		if s.now >= f.release {
-			delete(s.forces, id)
-			// Reassert the driver.
-			if d := s.d.Nets[id].Driver; d != netlist.NoGate {
+	if len(s.forces) == 0 {
+		return
+	}
+	kept := s.forces[:0]
+	for _, f := range s.forces {
+		if s.now < f.release {
+			kept = append(kept, f)
+			continue
+		}
+		// Reassert the driver.
+		if d := s.d.Nets[f.net].Driver; d != netlist.NoGate {
+			if s.prog != nil {
+				s.dirtyGateK(s.prog.Renum[d])
+			} else {
 				s.dirtyGate(d)
 			}
-			for _, m := range s.d.MemFanout(id) {
-				s.dirtyMem(m)
-			}
+		}
+		for _, m := range s.d.MemFanout(f.net) {
+			s.dirtyMem(m)
 		}
 	}
+	s.forces = kept
 }
 
 func (s *Simulator) dirtyGate(g netlist.GateID) {
 	if !s.inQ[g] {
 		s.inQ[g] = true
-		lvl := s.d.GateLevel(g)
+		lvl := s.glv[g]
 		s.buckets[lvl] = append(s.buckets[lvl], g)
+		if lvl < s.dirtyLo {
+			s.dirtyLo = lvl
+		}
+		s.dirtyN++
+	}
+}
+
+// dirtyGateK is the kernel's dirty marking: one bit in the level-major
+// bitmap. g is a kernel gate ID.
+func (s *Simulator) dirtyGateK(g netlist.GateID) {
+	wi, m := uint32(g)>>6, uint64(1)<<(uint32(g)&63)
+	if s.dirtyW[wi]&m == 0 {
+		s.dirtyW[wi] |= m
+		lvl := s.glv[g]
+		s.lvlW[uint32(lvl)>>6] |= uint64(1) << (uint32(lvl) & 63)
 		if lvl < s.dirtyLo {
 			s.dirtyLo = lvl
 		}
@@ -381,8 +541,11 @@ func (s *Simulator) dirtyGate(g netlist.GateID) {
 func (s *Simulator) dirtyMem(m netlist.MemID) {
 	if !s.memInQ[m] {
 		s.memInQ[m] = true
-		lvl := s.d.MemLevel(m)
+		lvl := s.mlv[m]
 		s.memBuckets[lvl] = append(s.memBuckets[lvl], m)
+		if s.lvlW != nil {
+			s.lvlW[uint32(lvl)>>6] |= uint64(1) << (uint32(lvl) & 63)
+		}
 		if lvl < s.dirtyLo {
 			s.dirtyLo = lvl
 		}
@@ -393,10 +556,14 @@ func (s *Simulator) dirtyMem(m netlist.MemID) {
 // commit assigns a value to a net, honouring forces, recording activity,
 // tracing, and scheduling fanout.
 func (s *Simulator) commit(id netlist.NetID, v logic.Value, region Region) {
-	if f, ok := s.forces[id]; ok {
+	if len(s.forces) != 0 {
 		// A forced net holds its forced value against driver updates
 		// until released (Verilog force/release semantics).
-		v = f.val
+		if i, ok := slices.BinarySearchFunc(s.forces, id, func(f force, id netlist.NetID) int {
+			return cmp.Compare(f.net, id)
+		}); ok {
+			v = s.forces[i].val
+		}
 	}
 	old := s.val[id]
 	if old == v {
@@ -412,6 +579,29 @@ func (s *Simulator) commit(id netlist.NetID, v logic.Value, region Region) {
 	}
 	if s.opts.Trace != nil {
 		s.opts.Trace.record(s.now, region, id, old, v)
+	}
+	if p := s.prog; p != nil {
+		// dirtyGateK with the hot loads hoisted out of the fanout loop.
+		dirtyW, glv, lvlW := s.dirtyW, s.glv, s.lvlW
+		lo, n := s.dirtyLo, 0
+		for _, g := range p.GateFan(id) {
+			wi, m := uint32(g)>>6, uint64(1)<<(uint32(g)&63)
+			if dirtyW[wi]&m == 0 {
+				dirtyW[wi] |= m
+				lvl := glv[g]
+				lvlW[uint32(lvl)>>6] |= uint64(1) << (uint32(lvl) & 63)
+				if lvl < lo {
+					lo = lvl
+				}
+				n++
+			}
+		}
+		s.dirtyLo = lo
+		s.dirtyN += n
+		for _, m := range p.MemFanOf(id) {
+			s.dirtyMem(m)
+		}
+		return
 	}
 	for _, g := range s.d.Fanout(id) {
 		s.dirtyGate(g)
@@ -437,34 +627,39 @@ func (s *Simulator) evalGate(g netlist.GateID) {
 }
 
 func (s *Simulator) evalDFF(g netlist.GateID, gt *netlist.Gate) {
-	rstn := s.val[gt.In[netlist.DFFPinRstn]]
-	clk := s.val[gt.In[netlist.DFFPinClk]]
+	s.stepDFF(g, gt.Out,
+		s.val[gt.In[netlist.DFFPinD]],
+		s.val[gt.In[netlist.DFFPinClk]],
+		s.val[gt.In[netlist.DFFPinEn]],
+		s.val[gt.In[netlist.DFFPinRstn]],
+		gt.Init)
+}
+
+// stepDFF is the flip-flop update shared by both engines, parameterized on
+// the sampled pin values so the kernel can feed it from packed descriptors.
+func (s *Simulator) stepDFF(g netlist.GateID, out netlist.NetID, d, clk, en, rstn, init logic.Value) {
 	switch rstn {
 	case logic.Lo:
 		// Asynchronous reset dominates.
-		s.commit(gt.Out, gt.Init, RegionActive)
+		s.commit(out, init, RegionActive)
 		s.lastClk[g] = clk
 		return
 	case logic.X, logic.Z:
 		// Unknown reset: output covers both the reset and held value.
-		s.commit(gt.Out, logic.MergeValue(s.val[gt.Out], gt.Init), RegionActive)
+		s.commit(out, logic.MergeValue(s.val[out], init), RegionActive)
 	}
 	last := s.lastClk[g]
 	if clk != last {
 		if last == logic.Lo && clk == logic.Hi {
 			// Positive edge: sample D gated by EN. Mux merges when the
 			// enable is unknown — the conservative register update.
-			d := s.val[gt.In[netlist.DFFPinD]]
-			en := s.val[gt.In[netlist.DFFPinEn]]
-			q := logic.Mux(en, s.val[gt.Out], d)
-			s.nba = append(s.nba, nbaAssign{net: gt.Out, val: q})
+			q := logic.Mux(en, s.val[out], d)
+			s.nba = append(s.nba, nbaAssign{net: out, val: q})
 		} else if !clk.IsKnown() || !last.IsKnown() {
 			// An unknown clock sample could be an edge: conservatively
 			// merge the captured value into the output.
-			d := s.val[gt.In[netlist.DFFPinD]]
-			en := s.val[gt.In[netlist.DFFPinEn]]
-			q := logic.Mux(en, s.val[gt.Out], d)
-			s.nba = append(s.nba, nbaAssign{net: gt.Out, val: logic.MergeValue(s.val[gt.Out], q)})
+			q := logic.Mux(en, s.val[out], d)
+			s.nba = append(s.nba, nbaAssign{net: out, val: logic.MergeValue(s.val[out], q)})
 		}
 		s.lastClk[g] = clk
 	}
@@ -488,24 +683,32 @@ func (s *Simulator) evalMem(id netlist.MemID) {
 	s.memRead(m, ms)
 }
 
+// readVec samples a bus into the pre-sized scratch vector dst without
+// allocating; nets[0] is bit 0, as in VecValue.
+func (s *Simulator) readVec(dst *logic.Vec, nets []netlist.NetID) {
+	for i, n := range nets {
+		dst.Set(i, s.val[n])
+	}
+}
+
 func (s *Simulator) memWrite(m *netlist.Mem, ms *memState) {
 	we := s.val[m.WEn]
 	if we == logic.Lo {
 		return
 	}
-	addr := s.VecValue(m.WAddr)
-	data := s.VecValue(m.WData)
+	s.readVec(&ms.waddr, m.WAddr)
+	s.readVec(&ms.wdata, m.WData)
 	conservative := !we.IsKnown() // unknown enable: word may or may not update
-	if a, ok := addr.Uint64(); ok {
+	if a, ok := ms.waddr.Uint64(); ok {
 		if int(a) >= m.Words {
 			return
 		}
 		if conservative {
-			ms.words[a] = ms.words[a].Merge(data)
+			ms.words[a].MergeInPlace(ms.wdata)
 		} else {
-			ms.words[a] = data
+			ms.words[a].CopyFrom(ms.wdata)
 		}
-		s.refreshReadersOf(m, ms)
+		s.memRead(m, ms)
 		return
 	}
 	// Unknown address.
@@ -515,11 +718,11 @@ func (s *Simulator) memWrite(m *netlist.Mem, ms *memState) {
 		return
 	case MemXSound:
 		for w := 0; w < m.Words; w++ {
-			if addrCouldBe(addr, uint64(w)) {
-				ms.words[w] = ms.words[w].Merge(data)
+			if addrCouldBe(ms.waddr, uint64(w)) {
+				ms.words[w].MergeInPlace(ms.wdata)
 			}
 		}
-		s.refreshReadersOf(m, ms)
+		s.memRead(m, ms)
 	}
 }
 
@@ -534,22 +737,30 @@ func addrCouldBe(addr logic.Vec, w uint64) bool {
 	return true
 }
 
-func (s *Simulator) refreshReadersOf(m *netlist.Mem, ms *memState) {
-	s.memRead(m, ms)
-}
-
 func (s *Simulator) memRead(m *netlist.Mem, ms *memState) {
-	addr := s.VecValue(m.RAddr)
-	var word logic.Vec
-	if a, ok := addr.Uint64(); ok && int(a) < m.Words {
-		word = ms.words[a]
-	} else {
-		// Unknown or out-of-range address reads X (Verilog semantics).
-		word = logic.NewVec(m.DataBits)
+	s.readVec(&ms.raddr, m.RAddr)
+	// Unknown or out-of-range address reads X (Verilog semantics); xword
+	// is the simulator's never-written all-X word.
+	word := &ms.xword
+	if a, ok := ms.raddr.Uint64(); ok && int(a) < m.Words {
+		word = &ms.words[a]
 	}
 	for i, d := range m.RData {
 		s.commit(d, word.Get(i), RegionActive)
 	}
+}
+
+// maxDeltas bounds the gate evaluations of one settle; a runaway
+// oscillation (possible only with a buggy netlist that escaped validation)
+// is cut off and reported rather than hanging the analysis.
+const maxDeltas = 1 << 26
+
+func (s *Simulator) countDeltas(n int) error {
+	s.deltas += n
+	if s.deltas > maxDeltas {
+		return fmt.Errorf("vvp: delta-cycle limit exceeded at t=%d (oscillating netlist?)", s.now)
+	}
+	return nil
 }
 
 // settle drains the Active, Inactive and NBA regions until the time step is
@@ -557,43 +768,18 @@ func (s *Simulator) memRead(m *netlist.Mem, ms *memState) {
 // gate is visited a bounded number of times per wave; combinational edges
 // only ever dirty strictly higher levels, and the rare lower-level commit
 // (a flip-flop's asynchronous reset rippling back to its own input cone)
-// just rewinds the cursor. A runaway oscillation (possible only with a
-// buggy netlist that escaped validation) is cut off and reported.
+// just rewinds the cursor. The Inactive and NBA queues drain through
+// double-buffered backing arrays so steady-state stepping never allocates.
 func (s *Simulator) settle() error {
-	const maxDeltas = 1 << 26
-	deltas := 0
+	s.deltas = 0
 	for {
-		for s.dirtyN > 0 {
-			lvl := s.dirtyLo
-			s.dirtyLo = int32(len(s.buckets)) // raised back by dirty*
-			for ; lvl < int32(len(s.buckets)); lvl++ {
-				for len(s.buckets[lvl]) > 0 {
-					g := s.buckets[lvl][len(s.buckets[lvl])-1]
-					s.buckets[lvl] = s.buckets[lvl][:len(s.buckets[lvl])-1]
-					s.inQ[g] = false
-					s.dirtyN--
-					s.evalGate(g)
-					if deltas++; deltas > maxDeltas {
-						return fmt.Errorf("vvp: delta-cycle limit exceeded at t=%d (oscillating netlist?)", s.now)
-					}
-				}
-				for len(s.memBuckets[lvl]) > 0 {
-					m := s.memBuckets[lvl][len(s.memBuckets[lvl])-1]
-					s.memBuckets[lvl] = s.memBuckets[lvl][:len(s.memBuckets[lvl])-1]
-					s.memInQ[m] = false
-					s.dirtyN--
-					s.evalMem(m)
-				}
-				if s.dirtyLo <= lvl {
-					// A commit dirtied this or a lower level; rewind.
-					lvl = s.dirtyLo - 1
-					s.dirtyLo = int32(len(s.buckets))
-				}
-			}
+		if err := s.drainActive(); err != nil {
+			return err
 		}
 		if len(s.inactiveQ) > 0 {
 			batch := s.inactiveQ
-			s.inactiveQ = nil
+			s.inactiveQ = s.inactiveBack[:0]
+			s.inactiveBack = batch
 			for _, a := range batch {
 				s.commit(a.net, a.val, RegionInactive)
 			}
@@ -601,13 +787,120 @@ func (s *Simulator) settle() error {
 		}
 		if len(s.nba) > 0 {
 			batch := s.nba
-			s.nba = nil
+			s.nba = s.nbaBack[:0]
+			s.nbaBack = batch
 			for _, a := range batch {
 				s.commit(a.net, a.val, RegionNBA)
 			}
 			continue
 		}
 		return nil
+	}
+}
+
+// drainActive empties the levelized dirty buckets. Each level drains in
+// sorted rounds — see interpLevel/kernelLevel — and a commit that dirties
+// the current or a lower level rewinds the cursor. Both engines follow the
+// same order, which the differential suite relies on.
+func (s *Simulator) drainActive() error {
+	if s.prog != nil {
+		// Kernel: lvlW knows exactly which levels hold work, so the drain
+		// jumps from dirty level to dirty level instead of walking every
+		// level of the design per wave.
+		var lvl int32
+		for s.dirtyN > 0 {
+			lvl = s.nextDirtyLevel(lvl)
+			if lvl >= s.levels {
+				lvl = 0 // all remaining work is a rewind below the cursor
+				continue
+			}
+			s.lvlW[uint32(lvl)>>6] &^= uint64(1) << (uint32(lvl) & 63)
+			s.dirtyLo = s.levels // lowered back by dirty*
+			if err := s.kernelLevel(lvl); err != nil {
+				return err
+			}
+			if s.dirtyLo <= lvl {
+				// A commit dirtied this or a lower level; rewind.
+				lvl = s.dirtyLo
+			} else {
+				lvl++
+			}
+		}
+		return nil
+	}
+	for s.dirtyN > 0 {
+		lvl := s.dirtyLo
+		s.dirtyLo = s.levels // raised back by dirty*
+		for ; lvl < s.levels; lvl++ {
+			if err := s.interpLevel(lvl); err != nil {
+				return err
+			}
+			if s.dirtyLo <= lvl {
+				// A commit dirtied this or a lower level; rewind.
+				lvl = s.dirtyLo - 1
+				s.dirtyLo = s.levels
+			}
+		}
+	}
+	return nil
+}
+
+// nextDirtyLevel returns the lowest level >= from whose lvlW bit is set,
+// or s.levels when none is.
+func (s *Simulator) nextDirtyLevel(from int32) int32 {
+	wi := uint32(from) >> 6
+	if int(wi) >= len(s.lvlW) {
+		return s.levels
+	}
+	w := s.lvlW[wi] &^ (uint64(1)<<(uint32(from)&63) - 1)
+	for w == 0 {
+		wi++
+		if int(wi) >= len(s.lvlW) {
+			return s.levels
+		}
+		w = s.lvlW[wi]
+	}
+	return int32(wi<<6) + int32(bits.TrailingZeros64(w))
+}
+
+// interpLevel runs one sorted round of level lvl on the interpreter: the
+// gates (then memories) dirty at round start evaluate in ascending ID
+// order; anything dirtied during the round lands in the emptied bucket and
+// is picked up by the rewind as the next round.
+func (s *Simulator) interpLevel(lvl int32) error {
+	if b := s.buckets[lvl]; len(b) > 0 {
+		s.scratchG = append(s.scratchG[:0], b...)
+		s.buckets[lvl] = b[:0]
+		if !slices.IsSorted(s.scratchG) {
+			slices.Sort(s.scratchG)
+		}
+		for _, g := range s.scratchG {
+			s.inQ[g] = false
+			s.dirtyN--
+			s.evalGate(g)
+		}
+		if err := s.countDeltas(len(s.scratchG)); err != nil {
+			return err
+		}
+	}
+	s.drainLevelMems(lvl)
+	return nil
+}
+
+// drainLevelMems runs one sorted memory round of level lvl (shared by both
+// engines: a design's few memories never warrant a sweep).
+func (s *Simulator) drainLevelMems(lvl int32) {
+	if b := s.memBuckets[lvl]; len(b) > 0 {
+		s.scratchM = append(s.scratchM[:0], b...)
+		s.memBuckets[lvl] = b[:0]
+		if !slices.IsSorted(s.scratchM) {
+			slices.Sort(s.scratchM)
+		}
+		for _, m := range s.scratchM {
+			s.memInQ[m] = false
+			s.dirtyN--
+			s.evalMem(m)
+		}
 	}
 }
 
@@ -682,10 +975,15 @@ func (s *Simulator) applyStimulus() bool {
 		s.commit(st.Clock, v, RegionActive)
 	}
 	for s.stimCursor < len(st.Events) && st.Events[s.stimCursor].Time <= s.now {
+		// Events at the current time fire normally. Events whose time has
+		// already passed — a simulation joining a schedule late, e.g. a
+		// restored state re-binding a stimulus mid-run — commit too, in
+		// schedule order, so the inputs take their latest scheduled
+		// values instead of silently staying X (late-join semantics; the
+		// last assignment to a net wins, matching what an on-time run
+		// would have left on the wire).
 		e := st.Events[s.stimCursor]
-		if e.Time == s.now {
-			s.commit(e.Net, e.Val, RegionActive)
-		}
+		s.commit(e.Net, e.Val, RegionActive)
 		s.stimCursor++
 	}
 	return posedge

@@ -152,10 +152,7 @@ func (s *Simulator) Snapshot(sp *StateSpec) State {
 		m := s.d.Mems[mid]
 		base := sp.memBase[k]
 		for w := 0; w < m.Words; w++ {
-			word := s.mem[mid].words[w]
-			for b := 0; b < m.DataBits; b++ {
-				v.Set(base+w*m.DataBits+b, word.Get(b))
-			}
+			v.CopyBitsFrom(base+w*m.DataBits, s.mem[mid].words[w], 0, m.DataBits)
 		}
 	}
 	st := State{Bits: v, Time: s.now}
@@ -178,9 +175,9 @@ func (s *Simulator) Restore(sp *StateSpec, st State) error {
 		return fmt.Errorf("vvp: Restore without stimulus")
 	}
 	s.now = st.Time
-	s.forces = make(map[netlist.NetID]force)
-	s.nba = nil
-	s.inactiveQ = nil
+	s.forces = s.forces[:0]
+	s.nba = s.nba[:0]
+	s.inactiveQ = s.inactiveQ[:0]
 
 	// Primary inputs: clock level derived from the phase at st.Time, all
 	// other inputs take their latest scheduled value (X when none).
@@ -202,11 +199,7 @@ func (s *Simulator) Restore(sp *StateSpec, st State) error {
 		m := s.d.Mems[mid]
 		base := sp.memBase[k]
 		for w := 0; w < m.Words; w++ {
-			word := logic.NewVec(m.DataBits)
-			for b := 0; b < m.DataBits; b++ {
-				word.Set(b, st.Bits.Get(base+w*m.DataBits+b))
-			}
-			s.mem[mid].words[w] = word
+			s.mem[mid].words[w].CopyBitsFrom(0, st.Bits, base+w*m.DataBits, m.DataBits)
 		}
 		s.mem[mid].lastClk = s.val[m.Clk]
 		s.dirtyMem(mid)
@@ -220,7 +213,7 @@ func (s *Simulator) Restore(sp *StateSpec, st State) error {
 	// fires on the first settle.
 	for i, g := range sp.DFFs {
 		gt := &s.d.Gates[g]
-		s.lastClk[g] = s.val[gt.In[netlist.DFFPinClk]]
+		s.lastClk[s.gidx(g)] = s.val[gt.In[netlist.DFFPinClk]]
 		s.commit(gt.Out, st.Bits.Get(i), RegionActive)
 	}
 	if err := s.settle(); err != nil {
@@ -231,10 +224,20 @@ func (s *Simulator) Restore(sp *StateSpec, st State) error {
 	// the snapshot exactly.
 	for i, g := range sp.DFFs {
 		gt := &s.d.Gates[g]
-		s.lastClk[g] = s.val[gt.In[netlist.DFFPinClk]]
+		s.lastClk[s.gidx(g)] = s.val[gt.In[netlist.DFFPinClk]]
 		s.commit(gt.Out, st.Bits.Get(i), RegionActive)
 	}
 	return s.settle()
+}
+
+// gidx maps a netlist gate ID to the index of the per-gate simulator
+// state arrays (lastClk), which follow the Program's level-major
+// numbering under the kernel engine.
+func (s *Simulator) gidx(g netlist.GateID) netlist.GateID {
+	if s.prog != nil {
+		return s.prog.Renum[g]
+	}
+	return g
 }
 
 // MarshalBinary serializes st (the on-disk "sim_state.log" of the paper's

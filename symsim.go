@@ -251,6 +251,20 @@ const (
 	Finished = vvp.Finished
 )
 
+// SimEngine selects the simulation machinery: the compiled kernel
+// (default) or the reference interpreter. Both produce identical results.
+type SimEngine = vvp.Engine
+
+// Simulation engines.
+const (
+	// EngineKernel is the compiled kernel: flattened netlist tables,
+	// branch-free four-valued evaluation, adaptive level sweeps.
+	EngineKernel = vvp.EngineKernel
+	// EngineInterp is the reference interpreter the kernel is
+	// differentially tested against.
+	EngineInterp = vvp.EngineInterp
+)
+
 // MemXPolicy selects the semantics of memory writes with unknown
 // addresses.
 type MemXPolicy = vvp.MemXPolicy
