@@ -96,8 +96,19 @@ func lintMain(args []string) int {
 	for _, t := range targets {
 		t.opts.MaxPerCode = *maxDiags
 		r := lint.Run(t.n, t.opts)
+		// The canonical content hash identifies the design independent of
+		// net/gate names and declaration order — the same digest keys the
+		// symsimd result cache, so lint output and cached analyses can be
+		// correlated.
+		hash := t.n.Hash()
 		if *jsonOut {
-			jsonResults = append(jsonResults, r.JSON(t.n))
+			jsonResults = append(jsonResults, struct {
+				Hash   string `json:"designHash"`
+				Result any    `json:"lint"`
+			}{hash.String(), r.JSON(t.n)})
+		} else if _, err := fmt.Fprintf(os.Stdout, "design hash %s\n", hash); err != nil {
+			fmt.Fprintln(os.Stderr, "symsim lint:", err)
+			return 2
 		} else if err := r.WriteText(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "symsim lint:", err)
 			return 2

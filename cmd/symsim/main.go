@@ -24,6 +24,13 @@
 //	symsim lint -design all
 //	symsim lint -json design.json
 //	symsim lint -fail-on warn -design omsp430
+//
+// The submit/status/result/cancel/jobs subcommands are the client of the
+// symsimd analysis daemon (see cmd/symsimd): analyses become queued jobs
+// with streamed progress and content-addressed result caching:
+//
+//	symsim submit -server http://localhost:8466 -design dr5 -bench tea8 -follow
+//	symsim jobs -server http://localhost:8466
 package main
 
 import (
@@ -39,8 +46,8 @@ import (
 	"syscall"
 	"time"
 
+	"symsim/internal/cliflags"
 	"symsim/internal/core"
-	"symsim/internal/csm"
 	"symsim/internal/lint"
 	"symsim/internal/netlist"
 	"symsim/internal/report"
@@ -48,8 +55,13 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "lint" {
-		os.Exit(lintMain(os.Args[2:]))
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "lint":
+			os.Exit(lintMain(os.Args[2:]))
+		case "submit", "status", "result", "cancel", "jobs":
+			os.Exit(clientMain(os.Args[1], os.Args[2:]))
+		}
 	}
 	analyzeMain()
 }
@@ -58,21 +70,15 @@ func analyzeMain() {
 	var (
 		design  = flag.String("design", "omsp430", "processor: bm32 | omsp430 | dr5")
 		bench   = flag.String("bench", "tHold", "benchmark: Div | inSort | binSearch | tHold | mult | tea8")
-		policy  = flag.String("policy", "merge-all", "conservative state policy: merge-all | clustered | exact | constrained")
-		k       = flag.Int("k", 4, "states per PC for the clustered policy")
-		maxSt   = flag.Int("max-states", 4096, "state budget for the exact policy")
-		consF   = flag.String("constraints", "", "constraint file for the constrained policy")
-		workers = flag.Int("workers", 1, "parallel path workers")
-		memx    = flag.String("memx", "verilog", "X-address write semantics: verilog | sound")
-		engine  = flag.String("engine", "kernel", "simulation engine: kernel (compiled) | interp (reference interpreter)")
 		verbose = flag.Bool("v", false, "print per-path details")
 		dumpDir = flag.String("dump-states", "", "write every saved halt state to this directory (sim_state.log files)")
 		vcdOut  = flag.String("vcd", "", "dump the initial symbolic path's waveform (X values visible) to this file")
 
-		deadline  = flag.Duration("deadline", 0, "wall-clock budget; on expiry the run degrades soundly instead of erroring")
-		maxCycles = flag.Uint64("max-sim-cycles", 0, "total simulated-cycle budget across all paths (0 = unlimited)")
-		maxForks  = flag.Int("max-forks", 0, "X-branch fork budget (0 = unlimited)")
-		maxCSM    = flag.Int("max-csm-states", 0, "live conservative-state budget (0 = unlimited)")
+		// The analysis-tuning flags (policy, engine, memx, workers and the
+		// budget family) are shared with cmd/symsimd via cliflags, so the
+		// one-shot CLI and the daemon cannot drift.
+		tuning = cliflags.Register(flag.CommandLine)
+
 		ckptPath  = flag.String("checkpoint", "", "periodically checkpoint the exploration state to this file (atomic writes)")
 		ckptEvery = flag.Duration("checkpoint-every", 30*time.Second, "minimum interval between periodic checkpoints")
 		resume    = flag.Bool("resume", false, "resume from the -checkpoint file instead of starting fresh")
@@ -119,48 +125,14 @@ func analyzeMain() {
 		fatal(err)
 	}
 
-	cfg := core.Config{Workers: *workers}
+	cfg, err := tuning.Config(p.Spec)
+	if err != nil {
+		fatal(err)
+	}
 	if *verbose {
 		// The structural pre-check always runs (errors abort the
 		// analysis); -v additionally surfaces its warnings.
 		cfg.LintWarn = func(d lint.Diag) { fmt.Fprintln(os.Stderr, "symsim: lint:", d) }
-	}
-	switch *memx {
-	case "verilog":
-		cfg.MemX = vvp.MemXVerilog
-	case "sound":
-		cfg.MemX = vvp.MemXSound
-	default:
-		fatal(fmt.Errorf("unknown -memx %q", *memx))
-	}
-	switch *engine {
-	case "kernel":
-		cfg.Engine = vvp.EngineKernel
-	case "interp":
-		cfg.Engine = vvp.EngineInterp
-	default:
-		fatal(fmt.Errorf("unknown -engine %q", *engine))
-	}
-	switch *policy {
-	case "merge-all":
-		cfg.Policy = csm.NewMergeAll()
-	case "clustered":
-		cfg.Policy = csm.NewClustered(*k)
-	case "exact":
-		cfg.Policy = csm.NewExact(*maxSt)
-	case "constrained":
-		f, err := os.Open(*consF)
-		if err != nil {
-			fatal(fmt.Errorf("constrained policy needs -constraints: %w", err))
-		}
-		cons, err := csm.ParseConstraints(f, p.Spec)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-		cfg.Policy = csm.NewConstrained(p.Spec.Bits(), cons)
-	default:
-		fatal(fmt.Errorf("unknown -policy %q", *policy))
 	}
 
 	if *dumpDir != "" {
@@ -188,12 +160,6 @@ func analyzeMain() {
 		cfg.Trace = tr
 	}
 
-	cfg.Budget = core.Budget{
-		WallClock:    *deadline,
-		MaxCycles:    *maxCycles,
-		MaxForks:     *maxForks,
-		MaxCSMStates: *maxCSM,
-	}
 	if *ckptPath != "" {
 		cfg.Checkpoint = &core.CheckpointConfig{Path: *ckptPath, Interval: *ckptEvery}
 	}

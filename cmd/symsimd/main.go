@@ -1,0 +1,93 @@
+// Command symsimd runs symsim as a long-lived analysis daemon: submitted
+// jobs are queued (priority FIFO, bounded with backpressure), executed by
+// a worker pool of symbolic co-analyses, checkpointed on shutdown and
+// resumed on restart, with complete results kept in a content-addressed
+// cache keyed by the canonical netlist hash — identical submissions return
+// instantly.
+//
+// Usage:
+//
+//	symsimd -listen localhost:8466 -data /var/lib/symsimd
+//	symsimd -jobs 4 -queue 128 -policy clustered -k 4   # server-side defaults
+//
+// The analysis-tuning flags (policy, engine, memx, workers, budgets) set
+// the daemon-side defaults applied to submissions that leave those fields
+// empty; they are the same flag vocabulary as cmd/symsim (see
+// internal/cliflags). SIGINT/SIGTERM drain gracefully: the HTTP listener
+// stops, running jobs are canceled and checkpointed, and the queue is
+// preserved on disk for the next start.
+//
+// The HTTP API is documented on service.Handler; cmd/symsim's
+// submit/status/result/cancel/jobs subcommands are its client.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"symsim/internal/cliflags"
+	"symsim/internal/service"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "localhost:8466", "HTTP listen address")
+		dataDir   = flag.String("data", "symsimd-data", "durable state directory (jobs, results, cache, checkpoints)")
+		jobs      = flag.Int("jobs", 2, "concurrent analysis jobs (each job additionally uses its own -workers path workers)")
+		queueCap  = flag.Int("queue", 64, "pending-job queue capacity; submissions beyond it get HTTP 429")
+		ckptEvery = flag.Duration("checkpoint-every", 15*time.Second, "periodic checkpoint interval for running jobs")
+		progress  = flag.Duration("progress-every", 250*time.Millisecond, "progress heartbeat interval streamed to subscribers")
+		defaults  = cliflags.Register(flag.CommandLine)
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "symsimd: ", log.LstdFlags)
+	svc, err := service.New(service.Config{
+		DataDir:         *dataDir,
+		Workers:         *jobs,
+		QueueCap:        *queueCap,
+		CheckpointEvery: *ckptEvery,
+		ProgressEvery:   *progress,
+		Defaults:        defaults,
+		Logf:            func(format string, args ...any) { logger.Printf(format, args...) },
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	server := &http.Server{Addr: *listen, Handler: service.Handler(svc)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.ListenAndServe() }()
+	logger.Printf("listening on %s (data %s, %d job workers, queue %d)", *listen, *dataDir, *jobs, *queueCap)
+
+	select {
+	case <-ctx.Done():
+		logger.Printf("shutdown signal: draining")
+	case err := <-errCh:
+		logger.Printf("listener failed: %v", err)
+		svc.Drain()
+		os.Exit(1)
+	}
+
+	// Stop accepting HTTP first, then drain: running analyses are
+	// canceled, write their final checkpoints and re-queue; the next start
+	// resumes them.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	svc.Drain()
+	logger.Printf("drained, bye")
+}

@@ -1,0 +1,122 @@
+package cliflags_test
+
+import (
+	"flag"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"symsim/internal/cliflags"
+	"symsim/internal/core"
+	"symsim/internal/csm"
+	"symsim/internal/vvp"
+)
+
+// sharedFlagNames is the contract between cmd/symsim and cmd/symsimd:
+// both register exactly this analysis flag vocabulary through Register,
+// so a flag added or renamed in only one place fails here.
+var sharedFlagNames = []string{
+	"constraints", "deadline", "engine", "k", "max-csm-states",
+	"max-forks", "max-sim-cycles", "max-states", "memx", "policy",
+	"workers",
+}
+
+func registered(fs *flag.FlagSet) []string {
+	var names []string
+	fs.VisitAll(func(f *flag.Flag) { names = append(names, f.Name) })
+	sort.Strings(names)
+	return names
+}
+
+// TestBothCommandsParseTheSameFlagSet registers the shared flags the way
+// cmd/symsim and cmd/symsimd each do and checks (a) the two flag sets are
+// identical and match the documented vocabulary, and (b) parsing the same
+// arguments yields the same Analysis either way.
+func TestBothCommandsParseTheSameFlagSet(t *testing.T) {
+	cli := flag.NewFlagSet("symsim", flag.ContinueOnError)
+	daemon := flag.NewFlagSet("symsimd", flag.ContinueOnError)
+	aCLI := cliflags.Register(cli)
+	aDaemon := cliflags.Register(daemon)
+
+	if got := registered(cli); !reflect.DeepEqual(got, sharedFlagNames) {
+		t.Errorf("cmd/symsim flag set drifted:\n got %v\nwant %v", got, sharedFlagNames)
+	}
+	if got, want := registered(daemon), registered(cli); !reflect.DeepEqual(got, want) {
+		t.Errorf("daemon flag set differs from CLI flag set: %v vs %v", got, want)
+	}
+
+	args := []string{
+		"-policy", "clustered", "-k", "7", "-workers", "3",
+		"-engine", "interp", "-memx", "sound",
+		"-deadline", "90s", "-max-sim-cycles", "123456",
+		"-max-forks", "9", "-max-csm-states", "11",
+	}
+	if err := cli.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(aCLI, aDaemon) {
+		t.Errorf("same args parsed differently:\n cli    %+v\n daemon %+v", aCLI, aDaemon)
+	}
+	if aCLI.Deadline != 90*time.Second || aCLI.K != 7 {
+		t.Errorf("parsed values wrong: %+v", aCLI)
+	}
+}
+
+func TestConfigInterpretsFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	a := cliflags.Register(fs)
+	if err := fs.Parse([]string{"-policy", "exact", "-max-states", "32", "-engine", "interp", "-memx", "sound", "-workers", "2", "-max-forks", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := a.Config(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Policy.Name() != "exact" {
+		t.Errorf("policy = %q", cfg.Policy.Name())
+	}
+	if cfg.Engine != vvp.EngineInterp || cfg.MemX != vvp.MemXSound || cfg.Workers != 2 {
+		t.Errorf("config = %+v", cfg)
+	}
+	if want := (core.Budget{MaxForks: 5}); cfg.Budget != want {
+		t.Errorf("budget = %+v", cfg.Budget)
+	}
+}
+
+func TestConfigRejectsBadValues(t *testing.T) {
+	for _, args := range [][]string{
+		{"-memx", "bogus"},
+		{"-engine", "bogus"},
+		{"-policy", "bogus"},
+		{"-policy", "constrained"}, // no spec/constraint file
+	} {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		a := cliflags.Register(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.Config(nil); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestNewPolicyMatchesCSMNames(t *testing.T) {
+	for _, tc := range []struct{ policy, name string }{
+		{"merge-all", csm.NewMergeAll().Name()},
+		{"clustered", csm.NewClustered(4).Name()},
+		{"exact", csm.NewExact(16).Name()},
+	} {
+		m, err := cliflags.NewPolicy(tc.policy, 4, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Name() != tc.name {
+			t.Errorf("NewPolicy(%q).Name() = %q, want %q", tc.policy, m.Name(), tc.name)
+		}
+	}
+}

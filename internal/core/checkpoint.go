@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -28,6 +29,17 @@ import (
 
 // checkpointMagic identifies version 1 of the checkpoint file format.
 const checkpointMagic = "SYMSIMC1"
+
+// ErrCheckpointCorrupt tags every checkpoint decode failure — wrong magic,
+// truncation, non-canonical or out-of-range content — so callers can
+// distinguish a damaged checkpoint file from I/O errors with errors.Is and
+// decide to restart fresh instead of aborting.
+var ErrCheckpointCorrupt = errors.New("core: corrupt checkpoint")
+
+// corruptf builds a decode error wrapping ErrCheckpointCorrupt.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCheckpointCorrupt, fmt.Sprintf(format, args...))
+}
 
 // CheckpointConfig enables periodic checkpointing of a run.
 type CheckpointConfig struct {
@@ -148,7 +160,7 @@ func (c *Checkpoint) EncodeBinary() []byte {
 func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 	r := &byteReader{b: data}
 	if magic := r.bytes(len(checkpointMagic)); r.err == nil && string(magic) != checkpointMagic {
-		return nil, fmt.Errorf("core: not a checkpoint file (magic %q)", magic)
+		return nil, corruptf("not a checkpoint file (magic %q)", magic)
 	}
 	c := &Checkpoint{}
 	c.Design = r.str()
@@ -161,7 +173,7 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 		pc := r.u64()
 		bits := r.vec()
 		if r.err == nil && bits.Width() != c.StateBits {
-			return nil, fmt.Errorf("core: checkpoint CSM state %d has %d bits, header says %d", i, bits.Width(), c.StateBits)
+			return nil, corruptf("CSM state %d has %d bits, header says %d", i, bits.Width(), c.StateBits)
 		}
 		c.CSM = append(c.CSM, csm.SavedState{PC: pc, Bits: bits})
 	}
@@ -175,19 +187,19 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 			break
 		}
 		if flags > 1 {
-			return nil, fmt.Errorf("core: checkpoint pending path %d has flags byte %d", i, flags)
+			return nil, corruptf("pending path %d has flags byte %d", i, flags)
 		}
 		p := PendingPath{State: st, HasForce: flags == 1}
 		if p.HasForce {
 			if forced > uint8(logic.Hi) {
-				return nil, fmt.Errorf("core: checkpoint pending path %d forces non-binary value %d", i, forced)
+				return nil, corruptf("pending path %d forces non-binary value %d", i, forced)
 			}
 			p.Forced = logic.Value(forced)
 		} else if forced != 0 {
-			return nil, fmt.Errorf("core: checkpoint pending path %d has force value without force flag", i)
+			return nil, corruptf("pending path %d has force value without force flag", i)
 		}
 		if st.Bits.Width() != 0 && st.Bits.Width() != c.StateBits {
-			return nil, fmt.Errorf("core: checkpoint pending path %d has %d state bits, header says %d", i, st.Bits.Width(), c.StateBits)
+			return nil, corruptf("pending path %d has %d state bits, header says %d", i, st.Bits.Width(), c.StateBits)
 		}
 		c.Pending = append(c.Pending, p)
 	}
@@ -212,10 +224,10 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 			break
 		}
 		if id > 1<<31 {
-			return nil, fmt.Errorf("core: checkpoint path %d has implausible ID %d", i, id)
+			return nil, corruptf("path %d has implausible ID %d", i, id)
 		}
 		if end > uint8(EndQuarantined) {
-			return nil, fmt.Errorf("core: checkpoint path %d has unknown end %d", i, end)
+			return nil, corruptf("path %d has unknown end %d", i, end)
 		}
 		p.ID, p.End = int(id), PathEnd(end)
 		c.Paths = append(c.Paths, p)
@@ -233,7 +245,7 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 			break
 		}
 		if id > 1<<31 {
-			return nil, fmt.Errorf("core: checkpoint quarantine %d has implausible ID %d", i, id)
+			return nil, corruptf("quarantine %d has implausible ID %d", i, id)
 		}
 		q.PathID = int(id)
 		c.Quarantined = append(c.Quarantined, q)
@@ -243,7 +255,7 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 		return nil, r.err
 	}
 	if len(r.b) != r.off {
-		return nil, fmt.Errorf("core: checkpoint has %d trailing bytes", len(r.b)-r.off)
+		return nil, corruptf("%d trailing bytes", len(r.b)-r.off)
 	}
 	return c, nil
 }
@@ -361,7 +373,7 @@ type byteReader struct {
 
 func (r *byteReader) fail(format string, args ...any) {
 	if r.err == nil {
-		r.err = fmt.Errorf("core: checkpoint "+format, args...)
+		r.err = corruptf(format, args...)
 	}
 }
 

@@ -2,6 +2,10 @@ package core_test
 
 import (
 	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"symsim/internal/core"
@@ -85,17 +89,115 @@ func TestDecodeCheckpointRejectsMalformed(t *testing.T) {
 	}
 }
 
+// LoadCheckpoint on a damaged file must return a typed error wrapping
+// ErrCheckpointCorrupt naming the file — and never panic — so the caller
+// can tell a corrupt checkpoint from an I/O failure and restart fresh.
+func TestLoadCheckpointErrorPaths(t *testing.T) {
+	dir := t.TempDir()
+	good := sampleCheckpoint().EncodeBinary()
+	write := func(t *testing.T, data []byte) string {
+		t.Helper()
+		path := filepath.Join(dir, strings.ReplaceAll(t.Name(), "/", "_")+".ckpt")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	t.Run("missing file", func(t *testing.T) {
+		_, err := core.LoadCheckpoint(filepath.Join(dir, "nope.ckpt"))
+		if err == nil || errors.Is(err, core.ErrCheckpointCorrupt) {
+			t.Errorf("missing file: err = %v, want I/O error, not corruption", err)
+		}
+	})
+
+	cases := map[string][]byte{
+		"empty":            {},
+		"wrong magic":      append([]byte("SYMSIMZ9"), good[8:]...),
+		"magic only":       []byte("SYMSIMC1"),
+		"truncated header": good[:10],
+		"truncated body":   good[:len(good)/2],
+		"truncated tail":   good[:len(good)-1],
+		"trailing junk":    append(append([]byte(nil), good...), 0xAA),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			path := write(t, data)
+			c, err := core.LoadCheckpoint(path)
+			if c != nil {
+				t.Fatal("corrupt checkpoint returned a value")
+			}
+			if !errors.Is(err, core.ErrCheckpointCorrupt) {
+				t.Fatalf("err = %v, want ErrCheckpointCorrupt", err)
+			}
+			if !strings.Contains(err.Error(), path) {
+				t.Errorf("error %q does not name the file", err)
+			}
+		})
+	}
+
+	t.Run("valid file loads", func(t *testing.T) {
+		path := write(t, good)
+		c, err := core.LoadCheckpoint(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(c.EncodeBinary(), good) {
+			t.Error("loaded checkpoint does not re-encode identically")
+		}
+	})
+}
+
+// Every single-bit flip of a valid checkpoint must either decode to
+// something that re-encodes canonically or fail with a typed
+// ErrCheckpointCorrupt — never panic, never decode inconsistently.
+func TestDecodeCheckpointBitFlips(t *testing.T) {
+	good := sampleCheckpoint().EncodeBinary()
+	for i := range good {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), good...)
+			mut[i] ^= 1 << bit
+			c, err := core.DecodeCheckpoint(mut)
+			if err != nil {
+				if !errors.Is(err, core.ErrCheckpointCorrupt) {
+					t.Fatalf("flip byte %d bit %d: error %v does not wrap ErrCheckpointCorrupt", i, bit, err)
+				}
+				continue
+			}
+			if !bytes.Equal(c.EncodeBinary(), mut) {
+				t.Fatalf("flip byte %d bit %d: accepted input does not re-encode canonically", i, bit)
+			}
+		}
+	}
+}
+
 // FuzzCheckpointRoundTrip: DecodeCheckpoint must never panic, and any
 // input it accepts must re-encode to the identical bytes (the encoding is
 // canonical).
 func FuzzCheckpointRoundTrip(f *testing.F) {
-	f.Add(sampleCheckpoint().EncodeBinary())
+	good := sampleCheckpoint().EncodeBinary()
+	f.Add(good)
 	f.Add((&core.Checkpoint{Design: "d", Policy: "p"}).EncodeBinary())
 	f.Add([]byte("SYMSIMC1"))
 	f.Add([]byte{})
+	// Error-path seeds: truncations, a wrong magic and targeted bit flips
+	// (length prefix, flags byte, padding region) steer the fuzzer at the
+	// validation branches.
+	f.Add(good[:len(good)-1])
+	f.Add(good[:len(good)/2])
+	f.Add(good[:9])
+	f.Add(append([]byte("SYMSIMZ9"), good[8:]...))
+	for _, i := range []int{8, 12, len(good) / 3, len(good) - 2} {
+		mut := append([]byte(nil), good...)
+		mut[i] ^= 0x40
+		f.Add(mut)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c, err := core.DecodeCheckpoint(data)
 		if err != nil {
+			if !errors.Is(err, core.ErrCheckpointCorrupt) {
+				t.Fatalf("decode error %v does not wrap ErrCheckpointCorrupt", err)
+			}
 			return
 		}
 		if !bytes.Equal(c.EncodeBinary(), data) {

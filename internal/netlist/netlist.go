@@ -196,6 +196,11 @@ type Netlist struct {
 	prog     *Program
 	progOnce sync.Once
 
+	// hashOnce/hashVal cache the canonical content digest (Hash) once the
+	// design is frozen and can no longer change.
+	hashOnce sync.Once
+	hashVal  Digest
+
 	names map[string]NetID
 }
 

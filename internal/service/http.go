@@ -1,0 +1,176 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Handler wraps a Service in its HTTP API (stdlib net/http, JSON bodies):
+//
+//	GET  /healthz               liveness probe
+//	GET  /metrics               Metrics snapshot
+//	POST /jobs                  submit a JobSpec  -> 201 JobView
+//	GET  /jobs                  list jobs
+//	GET  /jobs/{id}             one job's view
+//	GET  /jobs/{id}/result      stored ResultSummary (409 until done)
+//	GET  /jobs/{id}/events      SSE stream of progress + state events
+//	POST /jobs/{id}/cancel      cancel a queued or running job
+//
+// Error mapping: invalid spec -> 400, unknown job -> 404, not-done result
+// or cancel-after-finish -> 409, full queue -> 429, draining -> 503.
+func Handler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+	})
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+			return
+		}
+		view, err := s.Submit(spec)
+		if err != nil {
+			writeErr(w, submitStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, view)
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Jobs())
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		view, err := s.Job(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+	})
+	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		data, err := s.Result(r.PathValue("id"))
+		switch {
+		case errors.Is(err, ErrUnknownJob):
+			writeErr(w, http.StatusNotFound, err)
+		case errors.Is(err, ErrNotDone):
+			writeErr(w, http.StatusConflict, err)
+		case err != nil:
+			writeErr(w, http.StatusInternalServerError, err)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(data)
+		}
+	})
+	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		err := s.Cancel(r.PathValue("id"))
+		switch {
+		case errors.Is(err, ErrUnknownJob):
+			writeErr(w, http.StatusNotFound, err)
+		case errors.Is(err, ErrJobFinished):
+			writeErr(w, http.StatusConflict, err)
+		case err != nil:
+			writeErr(w, http.StatusInternalServerError, err)
+		default:
+			writeJSON(w, http.StatusOK, map[string]string{"status": "canceling"})
+		}
+	})
+	mux.HandleFunc("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		serveEvents(s, w, r)
+	})
+	return mux
+}
+
+func submitStatus(err error) int {
+	var bad *BadSpecError
+	switch {
+	case errors.As(err, &bad):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueClosed):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// serveEvents streams a job's events as server-sent events. The stream
+// starts with the job's current state (so late subscribers see where it
+// stands), then forwards hub events, and closes once the job reaches a
+// terminal state or the client disconnects.
+func serveEvents(s *Service, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	view, err := s.Job(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	// Subscribe before reading the initial state so no transition between
+	// the snapshot and the stream can be lost.
+	ch, cancel, err := s.Subscribe(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(ev Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	view, _ = s.Job(id) // re-read under the subscription
+	if !send(Event{Type: "state", Job: id, State: view.State}) {
+		return
+	}
+	if terminal(view.State) {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-ch:
+			if !send(ev) {
+				return
+			}
+			if ev.Type == "state" && terminal(ev.State) {
+				return
+			}
+		}
+	}
+}
+
+func terminal(st State) bool {
+	return st == StateDone || st == StateFailed || st == StateCanceled
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,115 @@
+package service
+
+import (
+	"container/heap"
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by Push when the queue is at capacity; the HTTP
+// layer maps it to 429 so submitters get backpressure instead of unbounded
+// daemon memory growth.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrQueueClosed is returned by Push after Close.
+var ErrQueueClosed = errors.New("service: job queue closed")
+
+// queueItem orders jobs by priority (higher first), then submission
+// sequence (FIFO within a priority level).
+type queueItem struct {
+	id       string
+	priority int
+	seq      uint64
+}
+
+type queueHeap []queueItem
+
+func (h queueHeap) Len() int { return len(h) }
+func (h queueHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h queueHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *queueHeap) Push(x any)   { *h = append(*h, x.(queueItem)) }
+func (h *queueHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// jobQueue is a bounded priority FIFO. Pop blocks until an item is
+// available or the queue is closed; Close wakes every blocked Pop and makes
+// the queue drain-empty immediately (items still queued stay persisted in
+// the job store and are re-enqueued on restart, so dropping them here is
+// safe).
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	heap   queueHeap
+	cap    int
+	seq    uint64
+	closed bool
+}
+
+func newJobQueue(capacity int) *jobQueue {
+	q := &jobQueue{cap: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues a job ID. recovered pushes (restart re-enqueue) bypass the
+// capacity check: a job the daemon already accepted must not be rejected
+// by its own restart.
+func (q *jobQueue) Push(id string, priority int, recovered bool) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if !recovered && len(q.heap) >= q.cap {
+		return ErrQueueFull
+	}
+	q.seq++
+	heap.Push(&q.heap, queueItem{id: id, priority: priority, seq: q.seq})
+	q.cond.Signal()
+	return nil
+}
+
+// Pop blocks for the next job ID; ok=false means the queue was closed.
+func (q *jobQueue) Pop() (id string, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.heap) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return "", false
+	}
+	return heap.Pop(&q.heap).(queueItem).id, true
+}
+
+// Remove deletes a queued job (cancellation before it started).
+func (q *jobQueue) Remove(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i := range q.heap {
+		if q.heap[i].id == id {
+			heap.Remove(&q.heap, i)
+			return true
+		}
+	}
+	return false
+}
+
+func (q *jobQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.heap)
+}
+
+// Close stops the queue: every blocked Pop returns ok=false, further
+// pushes fail, and remaining items are abandoned to the durable store.
+func (q *jobQueue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}

@@ -1,0 +1,77 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestQueuePriorityThenFIFO(t *testing.T) {
+	q := newJobQueue(10)
+	for _, it := range []struct {
+		id  string
+		pri int
+	}{
+		{"low1", 0}, {"high1", 5}, {"low2", 0}, {"high2", 5}, {"mid", 3},
+	} {
+		if err := q.Push(it.id, it.pri, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"high1", "high2", "mid", "low1", "low2"}
+	for _, w := range want {
+		id, ok := q.Pop()
+		if !ok || id != w {
+			t.Fatalf("Pop = %q,%v, want %q", id, ok, w)
+		}
+	}
+}
+
+func TestQueueBackpressureAndRemove(t *testing.T) {
+	q := newJobQueue(2)
+	if err := q.Push("a", 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push("b", 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push("c", 0, false); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("Push over capacity = %v, want ErrQueueFull", err)
+	}
+	// Recovered pushes bypass the cap: restart must never reject jobs the
+	// daemon already accepted.
+	if err := q.Push("recovered", 0, true); err != nil {
+		t.Errorf("recovered push rejected: %v", err)
+	}
+	if !q.Remove("b") {
+		t.Error("Remove(b) failed")
+	}
+	if q.Remove("b") {
+		t.Error("Remove(b) twice succeeded")
+	}
+	if got := q.Len(); got != 2 {
+		t.Errorf("Len = %d, want 2", got)
+	}
+}
+
+func TestQueueCloseWakesBlockedPop(t *testing.T) {
+	q := newJobQueue(2)
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.Pop()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("Pop returned ok=true after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Pop still blocked after Close")
+	}
+	if err := q.Push("x", 0, false); !errors.Is(err, ErrQueueClosed) {
+		t.Errorf("Push after Close = %v, want ErrQueueClosed", err)
+	}
+}

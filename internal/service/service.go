@@ -1,0 +1,690 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"symsim/internal/cliflags"
+	"symsim/internal/core"
+	"symsim/internal/report"
+)
+
+// Config configures a Service.
+type Config struct {
+	// DataDir is the root of the durable store (jobs, results, cache,
+	// checkpoints). Required.
+	DataDir string
+	// Workers is the job worker pool size (concurrent analyses); each job
+	// additionally uses its own spec.Workers path workers. Default 2.
+	Workers int
+	// QueueCap bounds the pending-job queue; submissions beyond it get
+	// ErrQueueFull (HTTP 429). Default 64.
+	QueueCap int
+	// CheckpointEvery is the periodic checkpoint interval for running
+	// jobs. The final checkpoint on drain/degradation is written
+	// regardless. Default 15s.
+	CheckpointEvery time.Duration
+	// ProgressEvery is the heartbeat interval streamed to subscribers.
+	// Default 250ms.
+	ProgressEvery time.Duration
+	// Defaults fills zero-valued tuning fields of submitted specs
+	// (typically the daemon's parsed cliflags). Nil means the built-in
+	// fallbacks (merge-all, kernel engine, verilog MemX, 1 path worker).
+	Defaults *cliflags.Analysis
+	// BuildPlatform resolves a design/bench pair to a platform. Nil means
+	// the shipped evaluation platforms (report.BuildPlatform). Tests
+	// inject small synthetic platforms here.
+	BuildPlatform func(design, bench string) (*core.Platform, error)
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+
+	// tuneConfig, when non-nil, is applied to each job's core.Config just
+	// before the analysis starts — a test seam for installing hooks
+	// (e.g. an OnHalt that blocks mid-run to make drain deterministic).
+	tuneConfig func(jobID string, cc *core.Config)
+}
+
+// job is the in-memory view of one job: its persisted record plus the
+// cancel handle of its running analysis.
+type job struct {
+	rec             *jobRecord
+	cancel          context.CancelFunc
+	cancelRequested bool
+}
+
+// Service is the analysis daemon core: a bounded priority queue feeding a
+// worker pool of core.AnalyzeContext runs, a durable job store, a
+// content-addressed result cache and an event hub for progress streaming.
+// It is transport-agnostic; Handler wraps it in HTTP.
+type Service struct {
+	cfg   Config
+	store *store
+	queue *jobQueue
+	hub   *hub
+
+	mu   sync.Mutex
+	jobs map[string]*job
+
+	draining bool
+	wg       sync.WaitGroup
+
+	m metricsState
+}
+
+// metricsState is the mutable counter set behind Metrics (guarded by
+// Service.mu).
+type metricsState struct {
+	accepted    uint64
+	cacheHits   uint64
+	cacheMisses uint64
+	degraded    uint64
+	resumed     uint64
+	requeued    uint64
+	failed      uint64
+	engines     map[string]*engineStat
+}
+
+type engineStat struct {
+	cycles  uint64
+	seconds float64
+}
+
+// ErrUnknownJob is returned for operations on a job ID the service has
+// never seen.
+var ErrUnknownJob = errors.New("service: unknown job")
+
+// ErrJobFinished is returned by Cancel on a job that already reached a
+// terminal state.
+var ErrJobFinished = errors.New("service: job already finished")
+
+// ErrNotDone is returned by Result for a job without a stored result yet.
+var ErrNotDone = errors.New("service: job has no result yet")
+
+// ErrDraining is returned by Submit once a drain has begun.
+var ErrDraining = errors.New("service: draining, not accepting jobs")
+
+// New opens (or creates) the durable store under cfg.DataDir, recovers
+// jobs interrupted by a crash or drain — running records return to the
+// queue, resumable ones will continue from their checkpoint — and starts
+// the worker pool.
+func New(cfg Config) (*Service, error) {
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("service: Config.DataDir is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 15 * time.Second
+	}
+	if cfg.ProgressEvery <= 0 {
+		cfg.ProgressEvery = 250 * time.Millisecond
+	}
+	if cfg.BuildPlatform == nil {
+		cfg.BuildPlatform = func(design, bench string) (*core.Platform, error) {
+			return report.BuildPlatform(report.Design(design), bench)
+		}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+
+	st, err := openStore(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:   cfg,
+		store: st,
+		queue: newJobQueue(cfg.QueueCap),
+		hub:   newHub(),
+		jobs:  make(map[string]*job),
+	}
+	s.m.engines = make(map[string]*engineStat)
+
+	recs, errs := st.loadJobs()
+	for _, e := range errs {
+		cfg.Logf("service: skipping unreadable job record: %v", e)
+	}
+	for _, rec := range recs {
+		// Crash/drain recovery: a record stuck in "running" was
+		// interrupted without a clean finish. It goes back to the queue;
+		// if its checkpoint survived, the analysis resumes from it
+		// instead of restarting.
+		if rec.State == StateRunning {
+			rec.State = StateQueued
+			rec.Started = 0
+			rec.Resumable = st.hasCheckpoint(rec.ID)
+			if err := st.saveJob(rec); err != nil {
+				return nil, err
+			}
+		}
+		s.jobs[rec.ID] = &job{rec: rec}
+		if rec.State == StateQueued {
+			// Recovered pushes bypass the capacity check: the daemon
+			// must not reject jobs it already accepted.
+			if err := s.queue.Push(rec.ID, rec.Spec.Priority, true); err != nil {
+				return nil, err
+			}
+			cfg.Logf("service: recovered job %s (resumable=%v)", rec.ID, rec.Resumable)
+		}
+	}
+
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		id, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
+		s.runJob(id)
+	}
+}
+
+// Submit normalizes and accepts a job. If an identical analysis (by
+// content-addressed cache key) already completed, the job is satisfied
+// instantly from the cache without queueing. A full queue returns
+// ErrQueueFull; an invalid spec a *BadSpecError.
+func (s *Service) Submit(spec JobSpec) (JobView, error) {
+	var def JobSpec
+	if s.cfg.Defaults != nil {
+		def = specDefaults(s.cfg.Defaults)
+	}
+	spec, err := normalize(spec, def)
+	if err != nil {
+		return JobView{}, err
+	}
+	p, err := s.cfg.BuildPlatform(spec.Design, spec.Bench)
+	if err != nil {
+		return JobView{}, &BadSpecError{Reason: err.Error()}
+	}
+	hash := p.Design.Hash()
+	key := cacheKey(hash, spec)
+
+	rec := &jobRecord{
+		ID:         newJobID(),
+		Spec:       spec,
+		State:      StateQueued,
+		Submitted:  time.Now().UnixNano(),
+		CacheKey:   key,
+		DesignHash: hash.String(),
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return JobView{}, ErrDraining
+	}
+	s.m.accepted++
+
+	if data, ok := s.store.readCache(key); ok {
+		// Content-addressed hit: the exact analysis already ran to
+		// completion. Serve the stored result without spending a cycle.
+		s.m.cacheHits++
+		now := time.Now().UnixNano()
+		rec.State = StateDone
+		rec.Cached = true
+		rec.Started, rec.Finished = now, now
+		if err := s.store.writeResult(rec.ID, data); err != nil {
+			return JobView{}, err
+		}
+		if err := s.store.saveJob(rec); err != nil {
+			return JobView{}, err
+		}
+		s.jobs[rec.ID] = &job{rec: rec}
+		s.hub.Publish(Event{Type: "state", Job: rec.ID, State: StateDone})
+		return viewOf(rec), nil
+	}
+	s.m.cacheMisses++
+
+	if err := s.store.saveJob(rec); err != nil {
+		return JobView{}, err
+	}
+	s.jobs[rec.ID] = &job{rec: rec}
+	if err := s.queue.Push(rec.ID, spec.Priority, false); err != nil {
+		delete(s.jobs, rec.ID)
+		// Best effort: the record file is orphaned on error; restart
+		// would re-queue it, which is acceptable for a rejected submit.
+		if rmErr := s.removeJobFile(rec.ID); rmErr != nil {
+			s.cfg.Logf("service: removing rejected job record: %v", rmErr)
+		}
+		return JobView{}, err
+	}
+	s.hub.Publish(Event{Type: "state", Job: rec.ID, State: StateQueued})
+	return viewOf(rec), nil
+}
+
+func (s *Service) removeJobFile(id string) error {
+	return removeFile(s.store.jobPath(id))
+}
+
+// runJob executes one queued job to a terminal state (or back to the
+// queue on drain). Runs on a worker goroutine.
+func (s *Service) runJob(id string) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	if j == nil || j.rec.State != StateQueued {
+		s.mu.Unlock()
+		return
+	}
+	if j.cancelRequested {
+		j.rec.State = StateCanceled
+		j.rec.Finished = time.Now().UnixNano()
+		s.persistLocked(j)
+		s.hub.Publish(Event{Type: "state", Job: id, State: StateCanceled})
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j.cancel = cancel
+	j.rec.State = StateRunning
+	j.rec.Started = time.Now().UnixNano()
+	resumable := j.rec.Resumable
+	spec := j.rec.Spec
+	s.persistLocked(j)
+	s.hub.Publish(Event{Type: "state", Job: id, State: StateRunning})
+	s.mu.Unlock()
+	defer cancel()
+
+	res, err := s.analyze(ctx, id, spec, resumable)
+	s.finishJob(id, res, err)
+}
+
+// analyze maps a job spec onto a core run: platform, policy, budgets,
+// periodic checkpoints to the job's checkpoint file, resume from a
+// surviving checkpoint, and progress heartbeats published to the hub.
+func (s *Service) analyze(ctx context.Context, id string, spec JobSpec, resumable bool) (*core.Result, error) {
+	p, err := s.cfg.BuildPlatform(spec.Design, spec.Bench)
+	if err != nil {
+		return nil, err
+	}
+	cc := core.Config{
+		Workers: spec.Workers,
+		Budget: core.Budget{
+			WallClock:    time.Duration(spec.DeadlineMS) * time.Millisecond,
+			MaxCycles:    spec.MaxCycles,
+			MaxForks:     spec.MaxForks,
+			MaxCSMStates: spec.MaxCSMStates,
+		},
+		Checkpoint:    &core.CheckpointConfig{Path: s.store.checkpointPath(id), Interval: s.cfg.CheckpointEvery},
+		ProgressEvery: s.cfg.ProgressEvery,
+	}
+	if cc.Policy, err = cliflags.NewPolicy(spec.Policy, spec.K, spec.MaxStates); err != nil {
+		return nil, err
+	}
+	if cc.Engine, err = cliflags.ParseEngine(spec.Engine); err != nil {
+		return nil, err
+	}
+	if cc.MemX, err = cliflags.ParseMemX(spec.MemX); err != nil {
+		return nil, err
+	}
+	cc.Progress = func(pr core.Progress) {
+		prCopy := pr
+		s.hub.Publish(Event{Type: "progress", Job: id, Progress: &prCopy})
+	}
+	if resumable {
+		ckpt, err := core.LoadCheckpoint(s.store.checkpointPath(id))
+		if err != nil {
+			// A corrupt or missing checkpoint degrades to a fresh run;
+			// the analysis result is identical, only slower.
+			s.cfg.Logf("service: job %s: checkpoint unusable, restarting: %v", id, err)
+		} else {
+			cc.Resume = ckpt
+			s.mu.Lock()
+			s.m.resumed++
+			s.mu.Unlock()
+			s.cfg.Logf("service: job %s: resuming from checkpoint (%d pending paths)", id, len(ckpt.Pending))
+		}
+	}
+	if s.cfg.tuneConfig != nil {
+		s.cfg.tuneConfig(id, &cc)
+	}
+	return core.AnalyzeContext(ctx, p, cc)
+}
+
+// finishJob settles a finished analysis into its terminal state — or back
+// into the queue when a drain interrupted it.
+func (s *Service) finishJob(id string, res *core.Result, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+
+	switch {
+	case err != nil:
+		j.rec.State = StateFailed
+		j.rec.Error = err.Error()
+		j.rec.Finished = now
+		s.m.failed++
+		s.store.removeCheckpoint(id)
+
+	case j.cancelRequested && !res.Complete:
+		j.rec.State = StateCanceled
+		j.rec.Finished = now
+		s.store.removeCheckpoint(id)
+
+	case res.Complete:
+		j.rec.State = StateDone
+		j.rec.Finished = now
+		data, merr := json.Marshal(summarize(j.rec.Spec, res))
+		if merr != nil {
+			j.rec.State = StateFailed
+			j.rec.Error = merr.Error()
+			break
+		}
+		if werr := s.store.writeResult(id, data); werr != nil {
+			j.rec.State = StateFailed
+			j.rec.Error = werr.Error()
+			break
+		}
+		// Only complete results enter the content cache: a degraded
+		// dichotomy is sound but over-approximate, and caching it would
+		// freeze the degradation into every future identical submission.
+		if werr := s.store.writeCache(j.rec.CacheKey, data); werr != nil {
+			s.cfg.Logf("service: job %s: caching result: %v", id, werr)
+		}
+		s.store.removeCheckpoint(id)
+		s.noteEngineLocked(j.rec, res)
+
+	case s.draining:
+		// Drain interruption: the final checkpoint was written by the
+		// core before it force-merged, so the job re-queues resumable
+		// and the restarted daemon continues where this one stopped.
+		j.rec.State = StateQueued
+		j.rec.Started = 0
+		j.rec.Resumable = s.store.hasCheckpoint(id)
+		s.m.requeued++
+
+	default:
+		// Budget-degraded completion: terminal, result served, never
+		// cached.
+		j.rec.State = StateDone
+		j.rec.Finished = now
+		s.m.degraded++
+		data, merr := json.Marshal(summarize(j.rec.Spec, res))
+		if merr == nil {
+			merr = s.store.writeResult(id, data)
+		}
+		if merr != nil {
+			j.rec.State = StateFailed
+			j.rec.Error = merr.Error()
+		}
+		s.store.removeCheckpoint(id)
+		s.noteEngineLocked(j.rec, res)
+	}
+
+	j.cancel = nil
+	s.persistLocked(j)
+	s.hub.Publish(Event{Type: "state", Job: id, State: j.rec.State})
+}
+
+// noteEngineLocked accrues per-engine throughput counters (mu held).
+func (s *Service) noteEngineLocked(rec *jobRecord, res *core.Result) {
+	st := s.m.engines[rec.Spec.Engine]
+	if st == nil {
+		st = &engineStat{}
+		s.m.engines[rec.Spec.Engine] = st
+	}
+	st.cycles += res.SimulatedCycles
+	if rec.Finished > rec.Started && rec.Started > 0 {
+		st.seconds += time.Duration(rec.Finished - rec.Started).Seconds()
+	}
+}
+
+func (s *Service) persistLocked(j *job) {
+	if err := s.store.saveJob(j.rec); err != nil {
+		s.cfg.Logf("service: persisting job %s: %v", j.rec.ID, err)
+	}
+}
+
+// Cancel stops a job: a queued job is withdrawn, a running one has its
+// analysis context canceled (the core drains soundly and the job settles
+// as canceled).
+func (s *Service) Cancel(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return ErrUnknownJob
+	}
+	switch j.rec.State {
+	case StateQueued:
+		j.cancelRequested = true
+		if s.queue.Remove(id) {
+			j.rec.State = StateCanceled
+			j.rec.Finished = time.Now().UnixNano()
+			s.persistLocked(j)
+			s.hub.Publish(Event{Type: "state", Job: id, State: StateCanceled})
+		}
+		// If Remove missed, a worker has already popped the ID and will
+		// observe cancelRequested in runJob.
+		return nil
+	case StateRunning:
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return nil
+	default:
+		return ErrJobFinished
+	}
+}
+
+// Job returns the current view of one job.
+func (s *Service) Job(id string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return JobView{}, ErrUnknownJob
+	}
+	return viewOf(j.rec), nil
+}
+
+// Jobs lists every known job in submission order.
+func (s *Service) Jobs() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	views := make([]JobView, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		views = append(views, viewOf(j.rec))
+	}
+	sortViews(views)
+	return views
+}
+
+// Result returns the stored result JSON for a done job.
+func (s *Service) Result(id string) ([]byte, error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return nil, ErrUnknownJob
+	}
+	if j.rec.State != StateDone {
+		return nil, ErrNotDone
+	}
+	return s.store.readResult(id)
+}
+
+// Subscribe streams a job's events (progress heartbeats and state
+// transitions); call the returned cancel when done.
+func (s *Service) Subscribe(id string) (<-chan Event, func(), error) {
+	s.mu.Lock()
+	known := s.jobs[id] != nil
+	s.mu.Unlock()
+	if !known {
+		return nil, nil, ErrUnknownJob
+	}
+	ch, cancel := s.hub.Subscribe(id)
+	return ch, cancel, nil
+}
+
+// beginDrain makes the shutdown decision visible everywhere at once:
+// submissions are refused, blocked workers wake and exit, and every
+// running analysis is canceled — the core writes its final checkpoint
+// before returning, so finishJob re-queues those jobs resumable.
+func (s *Service) beginDrain() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	for _, j := range s.jobs {
+		if j.rec.State == StateRunning && j.cancel != nil {
+			j.cancel()
+		}
+	}
+	s.mu.Unlock()
+	s.queue.Close()
+}
+
+// waitIdle blocks until every worker has exited.
+func (s *Service) waitIdle() { s.wg.Wait() }
+
+// Drain gracefully shuts the service down: no new jobs, running analyses
+// checkpoint and re-queue, workers exit. Safe to call more than once.
+func (s *Service) Drain() {
+	s.beginDrain()
+	s.waitIdle()
+}
+
+// Close is Drain (the store needs no explicit close).
+func (s *Service) Close() { s.Drain() }
+
+// JobView is the externally visible state of a job.
+type JobView struct {
+	ID        string  `json:"id"`
+	State     State   `json:"state"`
+	Spec      JobSpec `json:"spec"`
+	Submitted int64   `json:"submittedUnixNs"`
+	Started   int64   `json:"startedUnixNs,omitempty"`
+	Finished  int64   `json:"finishedUnixNs,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	// Cached marks a submission satisfied from the result cache.
+	Cached bool `json:"cached,omitempty"`
+	// Resumable marks a queued job that will continue from a checkpoint.
+	Resumable  bool   `json:"resumable,omitempty"`
+	DesignHash string `json:"designHash,omitempty"`
+	CacheKey   string `json:"cacheKey,omitempty"`
+}
+
+func viewOf(r *jobRecord) JobView {
+	return JobView{
+		ID:         r.ID,
+		State:      r.State,
+		Spec:       r.Spec,
+		Submitted:  r.Submitted,
+		Started:    r.Started,
+		Finished:   r.Finished,
+		Error:      r.Error,
+		Cached:     r.Cached,
+		Resumable:  r.Resumable,
+		DesignHash: r.DesignHash,
+		CacheKey:   r.CacheKey,
+	}
+}
+
+func sortViews(views []JobView) {
+	for i := 1; i < len(views); i++ {
+		for k := i; k > 0 && less(views[k], views[k-1]); k-- {
+			views[k], views[k-1] = views[k-1], views[k]
+		}
+	}
+}
+
+func less(a, b JobView) bool {
+	if a.Submitted != b.Submitted {
+		return a.Submitted < b.Submitted
+	}
+	return a.ID < b.ID
+}
+
+// Metrics is a snapshot of the service's observable counters.
+type Metrics struct {
+	QueueDepth   int                      `json:"queueDepth"`
+	Running      int                      `json:"running"`
+	JobsByState  map[State]int            `json:"jobsByState"`
+	Accepted     uint64                   `json:"accepted"`
+	CacheHits    uint64                   `json:"cacheHits"`
+	CacheMisses  uint64                   `json:"cacheMisses"`
+	CacheHitRate float64                  `json:"cacheHitRate"`
+	Degraded     uint64                   `json:"degraded"`
+	Resumed      uint64                   `json:"resumed"`
+	Requeued     uint64                   `json:"requeued"`
+	Failed       uint64                   `json:"failed"`
+	Engines      map[string]EngineMetrics `json:"engines"`
+}
+
+// EngineMetrics is accumulated per-engine throughput.
+type EngineMetrics struct {
+	SimulatedCycles uint64  `json:"simulatedCycles"`
+	BusySeconds     float64 `json:"busySeconds"`
+	CyclesPerSec    float64 `json:"cyclesPerSec"`
+}
+
+// MetricsSnapshot assembles the current metrics.
+func (s *Service) MetricsSnapshot() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := Metrics{
+		QueueDepth:  s.queue.Len(),
+		JobsByState: make(map[State]int),
+		Accepted:    s.m.accepted,
+		CacheHits:   s.m.cacheHits,
+		CacheMisses: s.m.cacheMisses,
+		Degraded:    s.m.degraded,
+		Resumed:     s.m.resumed,
+		Requeued:    s.m.requeued,
+		Failed:      s.m.failed,
+		Engines:     make(map[string]EngineMetrics),
+	}
+	for _, j := range s.jobs {
+		m.JobsByState[j.rec.State]++
+		if j.rec.State == StateRunning {
+			m.Running++
+		}
+	}
+	if lookups := m.CacheHits + m.CacheMisses; lookups > 0 {
+		m.CacheHitRate = float64(m.CacheHits) / float64(lookups)
+	}
+	for name, st := range s.m.engines {
+		em := EngineMetrics{SimulatedCycles: st.cycles, BusySeconds: st.seconds}
+		if st.seconds > 0 {
+			em.CyclesPerSec = float64(st.cycles) / st.seconds
+		}
+		m.Engines[name] = em
+	}
+	return m
+}
+
+// newJobID returns a random 96-bit hex job identifier.
+func newJobID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; if it somehow
+		// does, a time-derived ID preserves liveness.
+		return fmt.Sprintf("t%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}

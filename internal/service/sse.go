@@ -1,0 +1,65 @@
+package service
+
+import (
+	"sync"
+
+	"symsim/internal/core"
+)
+
+// Event is one entry on a job's progress stream, serialized as an SSE
+// `data:` payload by the HTTP layer.
+type Event struct {
+	// Type is "progress" for heartbeat events and "state" for lifecycle
+	// transitions (running, done, failed, canceled, queued).
+	Type string `json:"type"`
+	Job  string `json:"job"`
+	// State accompanies "state" events.
+	State State `json:"state,omitempty"`
+	// Progress accompanies "progress" events.
+	Progress *core.Progress `json:"progress,omitempty"`
+}
+
+// hub fans job events out to stream subscribers. Subscriber channels are
+// buffered and lossy: a slow SSE client drops heartbeats rather than
+// stalling the analysis worker that publishes them.
+type hub struct {
+	mu   sync.Mutex
+	subs map[string]map[chan Event]struct{}
+}
+
+func newHub() *hub { return &hub{subs: make(map[string]map[chan Event]struct{})} }
+
+// Subscribe returns a channel of events for job id and a cancel func that
+// must be called exactly once when the subscriber is done.
+func (h *hub) Subscribe(id string) (<-chan Event, func()) {
+	ch := make(chan Event, 32)
+	h.mu.Lock()
+	if h.subs[id] == nil {
+		h.subs[id] = make(map[chan Event]struct{})
+	}
+	h.subs[id][ch] = struct{}{}
+	h.mu.Unlock()
+	return ch, func() {
+		h.mu.Lock()
+		if set := h.subs[id]; set != nil {
+			delete(set, ch)
+			if len(set) == 0 {
+				delete(h.subs, id)
+			}
+		}
+		h.mu.Unlock()
+	}
+}
+
+// Publish delivers ev to every subscriber of its job, dropping the event
+// for subscribers whose buffer is full.
+func (h *hub) Publish(ev Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for ch := range h.subs[ev.Job] {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package service
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file is the durable job store: every accepted job is persisted as
+// one record file under <data>/jobs, written atomically (temp file +
+// rename) with the same canonical-codec discipline as the SYMSIMC1
+// checkpoint format — a fixed magic, fully validated decode that never
+// panics on malformed input, and byte-identical re-encoding of anything it
+// accepts (fuzzed by FuzzJobRecordRoundTrip). The daemon therefore
+// survives a crash without losing accepted jobs: on restart the store is
+// scanned, interrupted jobs return to the queue, and jobs with a
+// checkpoint resume from it.
+
+// State is a job's lifecycle state.
+type State string
+
+// Job lifecycle states. A drained or crashed job goes back to StateQueued
+// (with Resumable set when a checkpoint exists) rather than getting a
+// distinct state: queued-with-history is exactly what it is.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// stateCodes maps states to their on-disk encoding. Append only.
+var stateCodes = []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled}
+
+// jobRecord is the persisted form of one job.
+type jobRecord struct {
+	ID   string
+	Spec JobSpec
+	// State is the lifecycle state at the last persist.
+	State State
+	// Submitted/Started/Finished are unix nanoseconds (0 = not yet).
+	Submitted int64
+	Started   int64
+	Finished  int64
+	// Error holds the failure cause for StateFailed.
+	Error string
+	// CacheKey is the content address of the job's (future) result;
+	// DesignHash the canonical netlist digest it was derived from.
+	CacheKey   string
+	DesignHash string
+	// Cached marks a job satisfied instantly from the result cache.
+	Cached bool
+	// Resumable marks a queued job with a usable checkpoint on disk.
+	Resumable bool
+}
+
+// jobMagic identifies version 1 of the job record format.
+const jobMagic = "SYMSIMJ1"
+
+// ErrJobRecordCorrupt tags every job record decode failure, so callers can
+// distinguish corruption from I/O errors with errors.Is.
+var ErrJobRecordCorrupt = errors.New("service: corrupt job record")
+
+func (r *jobRecord) encode() []byte {
+	b := []byte(jobMagic)
+	for _, s := range []string{r.ID, r.Spec.Design, r.Spec.Bench, r.Spec.Policy, r.Spec.Engine, r.Spec.MemX} {
+		b = appendStr(b, s)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(r.Spec.K))
+	b = binary.LittleEndian.AppendUint32(b, uint32(r.Spec.MaxStates))
+	b = binary.LittleEndian.AppendUint32(b, uint32(r.Spec.Workers))
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(r.Spec.Priority)))
+	b = binary.LittleEndian.AppendUint64(b, uint64(r.Spec.DeadlineMS))
+	b = binary.LittleEndian.AppendUint64(b, r.Spec.MaxCycles)
+	b = binary.LittleEndian.AppendUint32(b, uint32(r.Spec.MaxForks))
+	b = binary.LittleEndian.AppendUint32(b, uint32(r.Spec.MaxCSMStates))
+
+	var code uint8
+	for i, s := range stateCodes {
+		if s == r.State {
+			code = uint8(i)
+		}
+	}
+	b = append(b, code)
+	b = binary.LittleEndian.AppendUint64(b, uint64(r.Submitted))
+	b = binary.LittleEndian.AppendUint64(b, uint64(r.Started))
+	b = binary.LittleEndian.AppendUint64(b, uint64(r.Finished))
+	b = appendStr(b, r.Error)
+	b = appendStr(b, r.CacheKey)
+	b = appendStr(b, r.DesignHash)
+	var flags uint8
+	if r.Cached {
+		flags |= 1
+	}
+	if r.Resumable {
+		flags |= 2
+	}
+	b = append(b, flags)
+	return b
+}
+
+// decodeJobRecord parses a job record image; malformed input yields an
+// error wrapping ErrJobRecordCorrupt, never a panic, and any accepted
+// input re-encodes byte-identically.
+func decodeJobRecord(data []byte) (*jobRecord, error) {
+	r := &recReader{b: data}
+	if magic := r.take(len(jobMagic)); r.err == nil && string(magic) != jobMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrJobRecordCorrupt, magic)
+	}
+	rec := &jobRecord{}
+	rec.ID = r.str()
+	rec.Spec.Design = r.str()
+	rec.Spec.Bench = r.str()
+	rec.Spec.Policy = r.str()
+	rec.Spec.Engine = r.str()
+	rec.Spec.MemX = r.str()
+	rec.Spec.K = int(r.u32())
+	rec.Spec.MaxStates = int(r.u32())
+	rec.Spec.Workers = int(r.u32())
+	rec.Spec.Priority = int(int32(r.u32()))
+	rec.Spec.DeadlineMS = r.i64()
+	rec.Spec.MaxCycles = r.u64()
+	rec.Spec.MaxForks = int(r.u32())
+	rec.Spec.MaxCSMStates = int(r.u32())
+	code := r.u8()
+	rec.Submitted = r.i64()
+	rec.Started = r.i64()
+	rec.Finished = r.i64()
+	rec.Error = r.str()
+	rec.CacheKey = r.str()
+	rec.DesignHash = r.str()
+	flags := r.u8()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.b) != r.off {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrJobRecordCorrupt, len(r.b)-r.off)
+	}
+	if int(code) >= len(stateCodes) {
+		return nil, fmt.Errorf("%w: unknown state code %d", ErrJobRecordCorrupt, code)
+	}
+	rec.State = stateCodes[code]
+	if flags > 3 {
+		return nil, fmt.Errorf("%w: unknown flag bits %#x", ErrJobRecordCorrupt, flags)
+	}
+	rec.Cached = flags&1 != 0
+	rec.Resumable = flags&2 != 0
+	return rec, nil
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// recReader is an error-accumulating cursor over a record image.
+type recReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *recReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.b)-r.off < n {
+		r.err = fmt.Errorf("%w: truncated at offset %d (want %d bytes, have %d)",
+			ErrJobRecordCorrupt, r.off, n, len(r.b)-r.off)
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *recReader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *recReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *recReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *recReader) i64() int64 { return int64(r.u64()) }
+
+func (r *recReader) str() string {
+	n := int(r.u32())
+	return string(r.take(n))
+}
+
+// store lays the service's durable state out under one root directory:
+//
+//	jobs/<id>.job      canonical job records (SYMSIMJ1)
+//	results/<id>.json  per-job result summaries
+//	cache/<key>.json   content-addressed complete results
+//	ckpt/<id>.ckpt     per-job exploration checkpoints (SYMSIMC1)
+type store struct{ root string }
+
+func openStore(root string) (*store, error) {
+	for _, d := range []string{root, filepath.Join(root, "jobs"), filepath.Join(root, "results"),
+		filepath.Join(root, "cache"), filepath.Join(root, "ckpt")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &store{root: root}, nil
+}
+
+func (s *store) jobPath(id string) string        { return filepath.Join(s.root, "jobs", id+".job") }
+func (s *store) resultPath(id string) string     { return filepath.Join(s.root, "results", id+".json") }
+func (s *store) cachePath(key string) string     { return filepath.Join(s.root, "cache", key+".json") }
+func (s *store) checkpointPath(id string) string { return filepath.Join(s.root, "ckpt", id+".ckpt") }
+
+func (s *store) saveJob(r *jobRecord) error { return atomicWrite(s.jobPath(r.ID), r.encode()) }
+
+// loadJobs scans the job directory. Records that fail to decode are
+// reported in errs but do not abort the scan: one corrupt file must not
+// take the whole daemon down. Records are returned in submission order.
+func (s *store) loadJobs() (recs []*jobRecord, errs []error) {
+	entries, err := os.ReadDir(filepath.Join(s.root, "jobs"))
+	if err != nil {
+		return nil, []error{err}
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".job") {
+			continue
+		}
+		path := filepath.Join(s.root, "jobs", e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		rec, err := decodeJobRecord(data)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", path, err))
+			continue
+		}
+		if rec.ID+".job" != e.Name() {
+			errs = append(errs, fmt.Errorf("%s: %w: record ID %q does not match file name", path, ErrJobRecordCorrupt, rec.ID))
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Submitted != recs[j].Submitted {
+			return recs[i].Submitted < recs[j].Submitted
+		}
+		return recs[i].ID < recs[j].ID
+	})
+	return recs, errs
+}
+
+func (s *store) writeResult(id string, data []byte) error {
+	return atomicWrite(s.resultPath(id), data)
+}
+
+func (s *store) readResult(id string) ([]byte, error) { return os.ReadFile(s.resultPath(id)) }
+
+func (s *store) writeCache(key string, data []byte) error {
+	return atomicWrite(s.cachePath(key), data)
+}
+
+// readCache returns the cached result blob for key, or ok=false on a miss.
+func (s *store) readCache(key string) (data []byte, ok bool) {
+	data, err := os.ReadFile(s.cachePath(key))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+func (s *store) removeCheckpoint(id string) { os.Remove(s.checkpointPath(id)) }
+
+func (s *store) hasCheckpoint(id string) bool {
+	_, err := os.Stat(s.checkpointPath(id))
+	return err == nil
+}
+
+func removeFile(path string) error { return os.Remove(path) }
+
+// atomicWrite lands data in a temp file in the target's directory and
+// renames it over path, so a crash mid-write never corrupts a record.
+func atomicWrite(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

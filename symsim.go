@@ -145,6 +145,12 @@ type SavedState = csm.SavedState
 // LoadCheckpoint reads and validates a checkpoint file.
 func LoadCheckpoint(path string) (*Checkpoint, error) { return core.LoadCheckpoint(path) }
 
+// ErrCheckpointCorrupt is wrapped by every error a damaged checkpoint
+// produces (truncation, bit rot, wrong magic, trailing bytes), so callers
+// can distinguish corruption — restart fresh — from I/O failures with
+// errors.Is.
+var ErrCheckpointCorrupt = core.ErrCheckpointCorrupt
+
 // --- Conservative state management (paper §3.3) ---
 
 // Policy decides how conservative states are formed from the states
@@ -361,6 +367,18 @@ const (
 
 // NetID identifies a net within one netlist.
 type NetID = netlist.NetID
+
+// Digest is the canonical content hash of a netlist, returned by
+// (*Netlist).Hash: rename-stable, declaration-order independent, and
+// sensitive to any logic, parameter or memory-initialization change (the
+// program image lives in ROM init, so it is covered). It is the identity
+// under which symsimd caches analysis results and `symsim lint` reports
+// designs.
+type Digest = netlist.Digest
+
+// TieOff is one never-exercisable gate with the constant its output
+// settles to, as reported by Result.TieOffs.
+type TieOff = netlist.TieOff
 
 // --- Waveforms, interchange, and power analysis ---
 
