@@ -34,13 +34,20 @@ lint:
 # Performance trajectory: the Table-3/4 evaluation benchmarks plus the
 # engine comparison and the steady-state allocation check, recorded as
 # BENCH_kernel.json (ns/cycle, allocs/cycle per CPU x benchmark) so
-# future changes have numbers to diff against. BENCHTIME trades accuracy
-# for wall time; CI uses 1x.
+# future changes have numbers to diff against. BENCH_obs.json records the
+# observability overhead comparison (tracing off vs on) the same way.
+# BENCHTIME trades accuracy for wall time; CI uses 1x.
 BENCHTIME ?= 2x
 BENCH_PAT ?= BenchmarkTable3GateCounts|BenchmarkTable4Paths|BenchmarkEngineComparison|BenchmarkSettleSteadyState
+BENCH_OBS_PAT ?= BenchmarkObsOverhead
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem -benchtime $(BENCHTIME) -timeout 30m . \
 		| tee bench_output.txt
 	$(GO) run ./cmd/benchjson -o BENCH_kernel.json bench_output.txt
 	@rm -f bench_output.txt
 	@echo "wrote BENCH_kernel.json"
+	$(GO) test -run '^$$' -bench '$(BENCH_OBS_PAT)' -benchmem -benchtime $(BENCHTIME) -timeout 30m . \
+		| tee bench_obs_output.txt
+	$(GO) run ./cmd/benchjson -o BENCH_obs.json bench_obs_output.txt
+	@rm -f bench_obs_output.txt
+	@echo "wrote BENCH_obs.json"

@@ -13,10 +13,12 @@ package symsim_test
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"testing"
 
 	"symsim"
+	"symsim/internal/obs"
 )
 
 // analyzeOnce runs one co-analysis cell and reports the paper's metrics.
@@ -352,6 +354,30 @@ func BenchmarkSettleSteadyState(b *testing.B) {
 				if _, err := sim.Step(); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkObsOverhead measures the cost of the observability layer on a
+// fork-heavy co-analysis: "off" is the default path (metrics only, the
+// always-on configuration every run pays), "trace" additionally streams
+// the JSONL span/decision log. The acceptance criterion for the tentpole
+// is that "off" stays within noise of the pre-observability baseline; the
+// off-vs-trace delta in BENCH_obs.json is the advertised cost of -trace.
+func BenchmarkObsOverhead(b *testing.B) {
+	for _, mode := range []string{"off", "trace"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// Fresh registry per iteration: steady-state per-PC label
+				// sets stay bounded and both modes do identical registry
+				// work, isolating the tracer cost.
+				cfg := symsim.Config{Metrics: obs.NewRegistry()}
+				if mode == "trace" {
+					cfg.Tracer = obs.NewTracer(io.Discard)
+				}
+				analyzeOnce(b, symsim.DR5, "mult", cfg)
 			}
 		})
 	}

@@ -18,6 +18,16 @@
 //	symsim -design omsp430 -bench tHold -deadline 2m -checkpoint run.ckpt
 //	symsim -design omsp430 -bench tHold -checkpoint run.ckpt -resume
 //
+// Every run publishes exploration metrics; -trace additionally records a
+// JSONL trace of the exploration (per-path spans plus the CSM decision
+// log) that the explain subcommand renders as a fork tree with per-PC
+// merge hot spots. The stats subcommand is a normal run that ends with
+// the full metrics registry in Prometheus text form:
+//
+//	symsim -design dr5 -bench mult -trace run.trace
+//	symsim explain run.trace
+//	symsim stats -design dr5 -bench mult
+//
 // The lint subcommand runs the structural static-analysis pass alone,
 // over the shipped processors and/or serialized netlist files:
 //
@@ -50,6 +60,7 @@ import (
 	"symsim/internal/core"
 	"symsim/internal/lint"
 	"symsim/internal/netlist"
+	"symsim/internal/obs"
 	"symsim/internal/report"
 	"symsim/internal/vvp"
 )
@@ -59,35 +70,46 @@ func main() {
 		switch os.Args[1] {
 		case "lint":
 			os.Exit(lintMain(os.Args[2:]))
+		case "explain":
+			os.Exit(explainMain(os.Args[2:]))
+		case "stats":
+			analyzeMain(os.Args[2:], true)
+			return
 		case "submit", "status", "result", "cancel", "jobs":
 			os.Exit(clientMain(os.Args[1], os.Args[2:]))
 		}
 	}
-	analyzeMain()
+	analyzeMain(os.Args[1:], false)
 }
 
-func analyzeMain() {
+// analyzeMain is both the default command and the stats subcommand;
+// printStats appends the run's metrics registry in Prometheus text form.
+func analyzeMain(args []string, printStats bool) {
+	fs := flag.NewFlagSet("symsim", flag.ExitOnError)
 	var (
-		design  = flag.String("design", "omsp430", "processor: bm32 | omsp430 | dr5")
-		bench   = flag.String("bench", "tHold", "benchmark: Div | inSort | binSearch | tHold | mult | tea8")
-		verbose = flag.Bool("v", false, "print per-path details")
-		dumpDir = flag.String("dump-states", "", "write every saved halt state to this directory (sim_state.log files)")
-		vcdOut  = flag.String("vcd", "", "dump the initial symbolic path's waveform (X values visible) to this file")
+		design  = fs.String("design", "omsp430", "processor: bm32 | omsp430 | dr5")
+		bench   = fs.String("bench", "tHold", "benchmark: Div | inSort | binSearch | tHold | mult | tea8")
+		verbose = fs.Bool("v", false, "print per-path details")
+		dumpDir = fs.String("dump-states", "", "write every saved halt state to this directory (sim_state.log files)")
+		vcdOut  = fs.String("vcd", "", "dump the initial symbolic path's waveform (X values visible) to this file")
 
 		// The analysis-tuning flags (policy, engine, memx, workers and the
 		// budget family) are shared with cmd/symsimd via cliflags, so the
 		// one-shot CLI and the daemon cannot drift.
-		tuning = cliflags.Register(flag.CommandLine)
+		tuning = cliflags.Register(fs)
 
-		ckptPath  = flag.String("checkpoint", "", "periodically checkpoint the exploration state to this file (atomic writes)")
-		ckptEvery = flag.Duration("checkpoint-every", 30*time.Second, "minimum interval between periodic checkpoints")
-		resume    = flag.Bool("resume", false, "resume from the -checkpoint file instead of starting fresh")
-		progress  = flag.Duration("progress", 0, "print a progress heartbeat at this interval (0 = off)")
+		ckptPath  = fs.String("checkpoint", "", "periodically checkpoint the exploration state to this file (atomic writes)")
+		ckptEvery = fs.Duration("checkpoint-every", 30*time.Second, "minimum interval between periodic checkpoints")
+		resume    = fs.Bool("resume", false, "resume from the -checkpoint file instead of starting fresh")
+		progress  = fs.Duration("progress", 0, "print a progress heartbeat at this interval (0 = off)")
+		traceOut  = fs.String("trace", "", "write a JSONL exploration trace (spans + CSM decision log) to this file; render with `symsim explain`")
 
-		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the analysis to this file")
-		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the analysis to this file")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -183,6 +205,23 @@ func analyzeMain() {
 		}
 	}
 
+	// stats gets its own registry so the exposition below holds exactly
+	// this run, not whatever else the process may have counted.
+	var reg *obs.Registry
+	if printStats {
+		reg = obs.NewRegistry()
+		cfg.Metrics = reg
+	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		traceFile = f
+		cfg.Tracer = obs.NewTracer(f)
+	}
+
 	// SIGINT/SIGTERM drain the run cleanly: workers stop, the pending
 	// frontier is checkpointed (when -checkpoint is set) and force-merged,
 	// and the partial — still sound — dichotomy is printed.
@@ -192,6 +231,17 @@ func analyzeMain() {
 	res, err := core.AnalyzeContext(ctx, p, cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if traceFile != nil {
+		// The analysis flushed the tracer; surface any retained write
+		// error before declaring the trace usable.
+		if err := cfg.Tracer.Err(); err != nil {
+			fatal(fmt.Errorf("writing trace %s: %w", *traceOut, err))
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace       %s (render with: symsim explain %s)\n", *traceOut, *traceOut)
 	}
 	if tr != nil {
 		f, err := os.Create(*vcdOut)
@@ -250,7 +300,46 @@ func analyzeMain() {
 			n++
 		}
 	}
+	if printStats {
+		fmt.Println()
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
 	_ = netlist.NoNet
+}
+
+// explainMain renders a -trace JSONL file as a fork tree with per-PC
+// merge hot spots.
+func explainMain(args []string) int {
+	fs := flag.NewFlagSet("symsim explain", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: symsim explain <trace-file>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "symsim:", err)
+		return 1
+	}
+	defer f.Close()
+	log, err := obs.ReadTrace(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "symsim: reading trace %s: %v\n", fs.Arg(0), err)
+		return 1
+	}
+	if err := obs.Explain(os.Stdout, log); err != nil {
+		fmt.Fprintln(os.Stderr, "symsim:", err)
+		return 1
+	}
+	return 0
 }
 
 func fatal(err error) {

@@ -17,6 +17,13 @@
 // stops, running jobs are canceled and checkpointed, and the queue is
 // preserved on disk for the next start.
 //
+// GET /metrics on the main listener serves Prometheus text exposition
+// (the JSON snapshot moved to /metrics.json); -debug starts a second,
+// normally loopback-only listener with the net/http/pprof handlers:
+//
+//	symsimd -debug localhost:8467
+//	go tool pprof http://localhost:8467/debug/pprof/profile
+//
 // The HTTP API is documented on service.Handler; cmd/symsim's
 // submit/status/result/cancel/jobs subcommands are its client.
 package main
@@ -27,6 +34,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,6 +52,8 @@ func main() {
 		queueCap  = flag.Int("queue", 64, "pending-job queue capacity; submissions beyond it get HTTP 429")
 		ckptEvery = flag.Duration("checkpoint-every", 15*time.Second, "periodic checkpoint interval for running jobs")
 		progress  = flag.Duration("progress-every", 250*time.Millisecond, "progress heartbeat interval streamed to subscribers")
+		keepAlive = flag.Duration("sse-keepalive", 15*time.Second, "SSE comment-line keep-alive interval (defeats proxy idle timeouts)")
+		debug     = flag.String("debug", "", "debug listen address for net/http/pprof (e.g. localhost:8467; empty = off)")
 		defaults  = cliflags.Register(flag.CommandLine)
 	)
 	flag.Parse()
@@ -55,6 +65,7 @@ func main() {
 		QueueCap:        *queueCap,
 		CheckpointEvery: *ckptEvery,
 		ProgressEvery:   *progress,
+		SSEKeepAlive:    *keepAlive,
 		Defaults:        defaults,
 		Logf:            func(format string, args ...any) { logger.Printf(format, args...) },
 	})
@@ -63,6 +74,27 @@ func main() {
 	}
 
 	server := &http.Server{Addr: *listen, Handler: service.Handler(svc)}
+
+	if *debug != "" {
+		// pprof lives on its own listener (normally loopback-only) so
+		// profiling is never exposed on the job-submission address. The
+		// handlers are registered explicitly: the daemon's API mux must
+		// not depend on http.DefaultServeMux side effects.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbg := &http.Server{Addr: *debug, Handler: dmux}
+		go func() {
+			logger.Printf("pprof debug listener on %s", *debug)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("debug listener failed: %v", err)
+			}
+		}()
+		defer dbg.Close()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

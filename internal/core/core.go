@@ -32,6 +32,7 @@ import (
 	"symsim/internal/lint"
 	"symsim/internal/logic"
 	"symsim/internal/netlist"
+	"symsim/internal/obs"
 	"symsim/internal/vvp"
 )
 
@@ -41,6 +42,10 @@ import (
 type Platform struct {
 	// Name identifies the design for reports (e.g. "bm32").
 	Name string
+	// Bench identifies the loaded benchmark program for reports and
+	// traces (e.g. "mult"). Optional; empty when the caller builds the
+	// platform by hand.
+	Bench string
 	// Design is the frozen gate-level netlist with the application binary
 	// preloaded in its program ROM and input-dependent memory regions
 	// initialized to X.
@@ -139,6 +144,16 @@ type Config struct {
 	// then only validated by Freeze, whose first-failure errors are far
 	// less descriptive).
 	SkipLint bool
+	// Metrics selects the registry the run publishes exploration metrics
+	// into (paths by end, per-PC fork/merge/skip counters, segment
+	// histograms, engine effort); nil selects obs.Default. Publication is
+	// per path segment and per CSM decision, never per cycle.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, receives the structured exploration trace:
+	// one span per path segment plus the CSM decision log, as rendered by
+	// `symsim explain`. Nil disables tracing at the cost of one pointer
+	// test per segment.
+	Tracer *obs.Tracer
 }
 
 // PathEnd describes how one simulated path segment terminated.
@@ -220,6 +235,10 @@ type Result struct {
 	Policy string
 	// CSMStates is the number of conservative states retained.
 	CSMStates int
+	// BusyTime sums wall-clock simulation time across all path segments —
+	// the run's CPU-time attribution (segments run in parallel, so BusyTime
+	// exceeds elapsed time at Workers > 1).
+	BusyTime time.Duration
 }
 
 // ReductionPct returns the percentage of gates proven unexercisable —
@@ -238,6 +257,11 @@ type entry struct {
 	state    vvp.State
 	forced   logic.Value
 	hasForce bool
+	// parent is the path ID of the segment whose fork created this entry,
+	// -1 for the cold-boot path and for entries restored from a checkpoint
+	// (the checkpoint format does not persist ancestry). In-memory only:
+	// it feeds the trace's fork tree.
+	parent int
 }
 
 // pathOutcome carries what one simulated segment produced.
@@ -249,6 +273,10 @@ type pathOutcome struct {
 	err         error
 	interrupted bool
 	quarantine  *Quarantine
+	// evals/sweeps are the engine-effort deltas this segment added to its
+	// worker's simulator, published as counters once the segment ends.
+	evals  uint64
+	sweeps uint64
 }
 
 // Stimulus builds the testbench stimulus for p: clock, reset sequence and
@@ -366,7 +394,16 @@ func AnalyzeContext(ctx context.Context, p *Platform, cfg Config) (*Result, erro
 		return nil, err
 	}
 
-	a := &analysis{p: p, cfg: cfg, inflight: make(map[int]entry)}
+	a := &analysis{p: p, cfg: cfg, inflight: make(map[int]entry), decisionPath: -1}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default
+	}
+	a.m = newCoreMetrics(reg)
+	// Instrument the policy so every Observe feeds the per-PC counters and
+	// the decision log. The wrapper delegates Name/Export/Import, so
+	// checkpoint policy validation still sees the inner policy.
+	a.cfg.Policy = csm.Instrument(a.cfg.Policy, a.onDecision)
 	a.res = &Result{
 		Design:      p.Design,
 		ToggledNets: make([]bool, len(p.Design.Nets)),
@@ -382,10 +419,19 @@ func AnalyzeContext(ctx context.Context, p *Platform, cfg Config) (*Result, erro
 		}
 	} else {
 		// Initial path: cold boot through reset (no saved state).
-		a.stack = []entry{{}}
+		a.stack = []entry{{parent: -1}}
 		a.res.PathsCreated = 1
 	}
 
+	a.m.runs.Inc()
+	cfg.Tracer.Emit(obs.Meta{
+		T:       obs.RecMeta,
+		Design:  p.Design.Name,
+		Bench:   p.Bench,
+		Policy:  a.cfg.Policy.Name(),
+		Engine:  cfg.Engine.String(),
+		Workers: cfg.Workers,
+	})
 	if err := a.run(ctx); err != nil {
 		return nil, err
 	}
@@ -426,6 +472,15 @@ type analysis struct {
 	lastCkpt    time.Time
 	ckptBusy    bool
 	ckptErr     error
+
+	// m caches the run's metric handles; never nil after AnalyzeContext.
+	m *coreMetrics
+	// decisionPath is the path ID the next CSM Observe classifies (-1 for
+	// the degradation drain). Written and read under a.mu — Observe only
+	// runs from classify (lock held) and the single-threaded finish drain.
+	decisionPath int
+	// busy accumulates per-segment wall time (Result.BusyTime).
+	busy time.Duration
 }
 
 // run executes the worklist until exhaustion (Algorithm 1 line 11) or
@@ -514,10 +569,22 @@ func (a *analysis) tripStop(t Trip) {
 	a.mu.Lock()
 	if a.trip == TripNone {
 		a.trip = t
+		a.recordTrip(t)
 	}
 	a.mu.Unlock()
 	a.stop.Store(true)
 	a.cond.Broadcast()
+}
+
+// recordTrip publishes the first trip to the metrics and trace. Caller
+// holds a.mu.
+func (a *analysis) recordTrip(t Trip) {
+	a.m.trips.With(t.String()).Inc()
+	a.cfg.Tracer.Emit(obs.TripRec{
+		T:         obs.RecTrip,
+		Trip:      t.String(),
+		ElapsedMS: time.Since(a.start).Milliseconds(),
+	})
 }
 
 // progress assembles one heartbeat snapshot.
@@ -558,11 +625,14 @@ func (a *analysis) worker() {
 		a.inflight[id] = e
 		a.mu.Unlock()
 
+		segStart := time.Now()
 		out := a.simulatePath(id, e, &cached)
+		wall := time.Since(segStart)
 
 		a.mu.Lock()
 		a.active--
 		delete(a.inflight, id)
+		a.busy += wall
 		switch {
 		case out.quarantine != nil:
 			// Crash containment: record the contained path and keep
@@ -589,10 +659,52 @@ func (a *analysis) worker() {
 				a.classify(&out)
 			}
 		}
+		pending, inflight := len(a.stack), a.active
 		a.mu.Unlock()
 		a.cond.Broadcast()
+
+		// Segment-granularity publication, outside the scheduler lock:
+		// classify may have rewritten the provisional EndForked to
+		// EndSubsumed, so the span and counters read the settled verdict.
+		a.m.paths.With(out.stat.End.String()).Inc()
+		a.m.segCycles.Observe(float64(out.stat.Cycles))
+		a.m.segWall.Observe(wall.Seconds())
+		a.m.cycles.Add(out.stat.Cycles)
+		a.m.evals.Add(out.evals)
+		a.m.sweeps.Add(out.sweeps)
+		a.m.pending.Set(int64(pending))
+		a.m.inflight.Set(int64(inflight))
+		if out.stat.End == EndForked {
+			a.m.forkedByPC.With(pcLabel(out.stat.HaltPC)).Inc()
+		}
+		if out.quarantine != nil {
+			a.m.quarantines.Inc()
+		}
+		a.cfg.Tracer.Emit(obs.Span{
+			T:       obs.RecSpan,
+			ID:      id,
+			Parent:  e.parent,
+			StartPC: e.state.PC,
+			HaltPC:  out.stat.HaltPC,
+			Forced:  forcedLabel(e),
+			End:     out.stat.End.String(),
+			Cycles:  out.stat.Cycles,
+			WallUS:  wall.Microseconds(),
+		})
 		a.maybeCheckpoint(false)
 	}
+}
+
+// forcedLabel renders the branch interpretation an entry follows for the
+// trace ("1"/"0"; empty for the cold-boot path).
+func forcedLabel(e entry) string {
+	if !e.hasForce {
+		return ""
+	}
+	if e.forced == logic.Hi {
+		return "1"
+	}
+	return "0"
 }
 
 // classify presents a halted state to the CSM and forks its children
@@ -601,6 +713,7 @@ func (a *analysis) worker() {
 // halt is either still pending or fully absorbed — never observed by the
 // CSM with its children missing from the worklist.
 func (a *analysis) classify(out *pathOutcome) {
+	a.decisionPath = out.stat.ID
 	d := a.cfg.Policy.Observe(out.halt)
 	if d.Subsumed {
 		out.stat.End = EndSubsumed
@@ -620,8 +733,8 @@ func (a *analysis) classify(out *pathOutcome) {
 		notTaken = a.p.Specialize(notTaken, false)
 	}
 	a.stack = append(a.stack,
-		entry{state: taken, forced: logic.Hi, hasForce: true},
-		entry{state: notTaken, forced: logic.Lo, hasForce: true},
+		entry{state: taken, forced: logic.Hi, hasForce: true, parent: out.stat.ID},
+		entry{state: notTaken, forced: logic.Lo, hasForce: true, parent: out.stat.ID},
 	)
 	a.res.PathsCreated += 2
 	a.forks++
@@ -637,6 +750,7 @@ func (a *analysis) classify(out *pathOutcome) {
 func (a *analysis) tripStopLocked(t Trip) {
 	if a.trip == TripNone {
 		a.trip = t
+		a.recordTrip(t)
 	}
 	a.stop.Store(true)
 }
@@ -740,8 +854,11 @@ func (a *analysis) simulatePath(id int, e entry, cached **vvp.Simulator) (out pa
 	}
 
 	startCycles := sim.Cycles()
+	startEvals, startSweeps := sim.Evals(), sim.Sweeps()
 	status, interrupted, err := a.runSegment(sim)
 	out.stat.Cycles = sim.Cycles() - startCycles
+	out.evals = sim.Evals() - startEvals
+	out.sweeps = sim.Sweeps() - startSweeps
 	if err != nil {
 		out.err = fmt.Errorf("core: path %d: %w", id, err)
 		return out
@@ -844,7 +961,9 @@ func (a *analysis) finish() {
 
 		// Drain the frontier: merge every pending state into the CSM
 		// conservative superstate for its PC, so the stored states keep
-		// covering the unexplored behaviours.
+		// covering the unexplored behaviours. The drain's decisions are
+		// logged against path -1 (no segment simulated them).
+		a.decisionPath = -1
 		for _, e := range a.stack {
 			if e.state.Bits.Width() > 0 && e.state.PCKnown {
 				a.cfg.Policy.Observe(e.state)
@@ -899,6 +1018,29 @@ func (a *analysis) finish() {
 		}
 	}
 	a.res.CSMStates = a.cfg.Policy.States()
+	a.res.BusyTime = a.busy
+
+	if a.res.Complete {
+		a.m.runsComplete.Inc()
+	}
+	a.m.csmStates.Set(int64(a.res.CSMStates))
+	a.m.pending.Set(0)
+	a.m.inflight.Set(0)
+	a.cfg.Tracer.Emit(obs.Done{
+		T:            obs.RecDone,
+		Complete:     a.res.Complete,
+		PathsCreated: a.res.PathsCreated,
+		PathsSkipped: a.res.PathsSkipped,
+		Cycles:       a.res.SimulatedCycles,
+		Exercisable:  a.res.ExercisableCount,
+		TotalGates:   a.res.TotalGates,
+		CSMStates:    a.res.CSMStates,
+		ElapsedMS:    time.Since(a.start).Milliseconds(),
+	})
+	// Flush so the trace is complete on disk before Analyze returns; a
+	// write error stays retained in the tracer (obs.Tracer.Err) for the
+	// caller that owns the file handle.
+	_ = a.cfg.Tracer.Flush()
 }
 
 // maybeCheckpoint writes a periodic checkpoint when one is due. The
@@ -1001,7 +1143,9 @@ func (a *analysis) loadResume(c *Checkpoint) error {
 	a.res.Paths = append(a.res.Paths, c.Paths...)
 	a.quarantined = append(a.quarantined, c.Quarantined...)
 	for _, p := range c.Pending {
-		a.stack = append(a.stack, entry{state: p.State.Clone(), forced: p.Forced, hasForce: p.HasForce})
+		// Checkpoints do not persist fork ancestry; restored entries are
+		// trace-tree roots.
+		a.stack = append(a.stack, entry{state: p.State.Clone(), forced: p.Forced, hasForce: p.HasForce, parent: -1})
 	}
 	return nil
 }

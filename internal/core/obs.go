@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"symsim/internal/csm"
+	"symsim/internal/obs"
+)
+
+// coreMetrics caches the metric handles one analysis publishes into, so
+// the scheduler pays map lookups once per run, not once per event. All
+// publication happens at segment granularity (a path halt, a CSM verdict,
+// a budget trip) — never inside the per-cycle simulation loop; the
+// engines accumulate plain integers and the deltas land here when a
+// segment is absorbed.
+type coreMetrics struct {
+	runs         *obs.Counter
+	runsComplete *obs.Counter
+	paths        *obs.CounterVec // by end: forked/subsumed/finished/...
+	forkedByPC   *obs.CounterVec
+	mergedByPC   *obs.CounterVec
+	skippedByPC  *obs.CounterVec
+	newByPC      *obs.CounterVec
+	decisions    *obs.CounterVec // by verdict
+	xGained      *obs.Counter
+	csmStates    *obs.Gauge
+	segCycles    *obs.Histogram
+	segWall      *obs.Histogram
+	cycles       *obs.Counter
+	evals        *obs.Counter
+	sweeps       *obs.Counter
+	pending      *obs.Gauge
+	inflight     *obs.Gauge
+	trips        *obs.CounterVec // by trip cause
+	quarantines  *obs.Counter
+}
+
+func newCoreMetrics(reg *obs.Registry) *coreMetrics {
+	return &coreMetrics{
+		runs:         reg.Counter("symsim_runs_total", "Co-analysis runs started."),
+		runsComplete: reg.Counter("symsim_runs_complete_total", "Co-analysis runs that explored to exhaustion."),
+		paths: reg.CounterVec("symsim_paths_total",
+			"Simulated path segments by how they ended.", "end"),
+		forkedByPC: reg.CounterVec("symsim_paths_forked_by_pc_total",
+			"Forks by the PC of the X branch that caused them.", "pc"),
+		mergedByPC: reg.CounterVec("symsim_csm_merged_by_pc_total",
+			"CSM merges into an existing conservative state, by PC.", "pc"),
+		skippedByPC: reg.CounterVec("symsim_csm_skipped_by_pc_total",
+			"Paths subsumed (skipped) by a stored conservative state, by PC.", "pc"),
+		newByPC: reg.CounterVec("symsim_csm_new_by_pc_total",
+			"Halt states stored as new conservative states, by PC.", "pc"),
+		decisions: reg.CounterVec("symsim_csm_decisions_total",
+			"CSM Observe verdicts.", "verdict"),
+		xGained: reg.Counter("symsim_csm_x_gained_bits_total",
+			"Known bits turned X by CSM merges (over-approximation cost)."),
+		csmStates: reg.Gauge("symsim_csm_states",
+			"Conservative states currently stored."),
+		segCycles: reg.Histogram("symsim_segment_cycles",
+			"Simulated clock cycles per path segment.", obs.ExpBuckets(16, 4, 10)),
+		segWall: reg.Histogram("symsim_segment_wall_seconds",
+			"Wall-clock simulation time per path segment.", obs.ExpBuckets(0.001, 4, 10)),
+		cycles: reg.Counter("symsim_cycles_total",
+			"Simulated clock cycles across all paths."),
+		evals: reg.Counter("symsim_vvp_gate_evals_total",
+			"Gate evaluations executed by the simulation engines."),
+		sweeps: reg.Counter("symsim_vvp_kernel_sweeps_total",
+			"Level bitmap rounds executed by the compiled kernel."),
+		pending: reg.Gauge("symsim_paths_pending",
+			"Unprocessed worklist entries."),
+		inflight: reg.Gauge("symsim_paths_inflight",
+			"Path segments currently simulating."),
+		trips: reg.CounterVec("symsim_budget_trips_total",
+			"Governance stops by cause.", "trip"),
+		quarantines: reg.Counter("symsim_quarantines_total",
+			"Path workers contained after a panic."),
+	}
+}
+
+// pcLabel renders a PC the way every per-PC metric and the explain
+// renderer do.
+func pcLabel(pc uint64) string { return fmt.Sprintf("0x%x", pc) }
+
+// onDecision is the csm.Instrument hook: it feeds the per-PC merge/skip
+// counters and, when tracing, the decision log. Observe calls are
+// serialized by the scheduler lock (classify and the degradation drain),
+// so reading a.decisionPath here is race-free.
+func (a *analysis) onDecision(ev csm.DecisionEvent) {
+	pc := pcLabel(ev.PC)
+	switch ev.Verdict {
+	case csm.VerdictSubsumed:
+		a.m.skippedByPC.With(pc).Inc()
+	case csm.VerdictMerged:
+		a.m.mergedByPC.With(pc).Inc()
+		if ev.XGained > 0 {
+			a.m.xGained.Add(uint64(ev.XGained))
+		}
+	case csm.VerdictNew:
+		a.m.newByPC.With(pc).Inc()
+	}
+	a.m.decisions.With(ev.Verdict).Inc()
+	a.m.csmStates.Set(int64(ev.States))
+	a.cfg.Tracer.Emit(obs.Decision{
+		T:       obs.RecDecision,
+		Path:    a.decisionPath,
+		PC:      ev.PC,
+		Verdict: ev.Verdict,
+		XGained: ev.XGained,
+		States:  ev.States,
+	})
+}

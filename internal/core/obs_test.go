@@ -1,0 +1,132 @@
+package core_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"symsim/internal/core"
+	"symsim/internal/obs"
+)
+
+// A traced run must populate the metrics registry from every layer
+// (core paths, csm decisions, vvp effort) and write a parseable trace
+// whose fork tree and decision log are consistent with the Result.
+func TestAnalyzeObservability(t *testing.T) {
+	p := buildLoop(t, 0x3)
+	reg := obs.NewRegistry()
+	var traceBuf bytes.Buffer
+	tr := obs.NewTracer(&traceBuf)
+
+	res, err := core.Analyze(p, core.Config{Metrics: reg, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("loop analysis must complete")
+	}
+	if res.BusyTime <= 0 {
+		t.Errorf("BusyTime = %v, want > 0", res.BusyTime)
+	}
+
+	var expo bytes.Buffer
+	if err := reg.WritePrometheus(&expo); err != nil {
+		t.Fatal(err)
+	}
+	out := expo.String()
+	for _, want := range []string{
+		"symsim_runs_total 1",
+		"symsim_runs_complete_total 1",
+		`symsim_paths_total{end="forked"}`,
+		"symsim_cycles_total",
+		"symsim_vvp_gate_evals_total",
+		"symsim_csm_decisions_total",
+		"symsim_segment_cycles_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Engine effort must actually have been published, not just declared.
+	if strings.Contains(out, "symsim_vvp_gate_evals_total 0\n") {
+		t.Error("gate evals counter never moved")
+	}
+	if cycles := reg.Counter("symsim_cycles_total", ""); cycles.Value() != res.SimulatedCycles {
+		t.Errorf("cycles counter = %d, result = %d", cycles.Value(), res.SimulatedCycles)
+	}
+
+	log, err := obs.ReadTrace(bytes.NewReader(traceBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Meta == nil || log.Meta.Design == "" || log.Meta.Policy != "merge-all" {
+		t.Fatalf("meta = %+v", log.Meta)
+	}
+	if len(log.Spans) != len(res.Paths) {
+		t.Fatalf("spans = %d, paths = %d", len(log.Spans), len(res.Paths))
+	}
+	if log.Done == nil || log.Done.PathsCreated != res.PathsCreated || !log.Done.Complete {
+		t.Fatalf("done = %+v", log.Done)
+	}
+	// Fork-tree consistency: every non-root parent is a forked span, and
+	// the subsumed span count matches PathsSkipped.
+	byID := make(map[int]obs.Span)
+	for _, s := range log.Spans {
+		byID[s.ID] = s
+	}
+	subsumed := 0
+	for _, s := range log.Spans {
+		if s.End == "subsumed" {
+			subsumed++
+		}
+		if s.Parent < 0 {
+			continue
+		}
+		par, ok := byID[s.Parent]
+		if !ok {
+			t.Fatalf("span %d has unknown parent %d", s.ID, s.Parent)
+		}
+		if par.End != "forked" {
+			t.Errorf("span %d parent %d ended %q, want forked", s.ID, s.Parent, par.End)
+		}
+		if s.Forced == "" {
+			t.Errorf("forked child %d has no forced label", s.ID)
+		}
+	}
+	if subsumed != res.PathsSkipped {
+		t.Errorf("subsumed spans = %d, PathsSkipped = %d", subsumed, res.PathsSkipped)
+	}
+	// Decision log: one decision per classified halt; subsumed verdicts
+	// match the skip count.
+	subVerdicts := 0
+	for _, d := range log.Decisions {
+		if d.Verdict == "subsumed" {
+			subVerdicts++
+		}
+	}
+	if subVerdicts != res.PathsSkipped {
+		t.Errorf("subsumed decisions = %d, PathsSkipped = %d", subVerdicts, res.PathsSkipped)
+	}
+
+	// The whole trace must render.
+	var render bytes.Buffer
+	if err := obs.Explain(&render, log); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(render.String(), "fork tree") || !strings.Contains(render.String(), "outcome: complete") {
+		t.Fatalf("explain render incomplete:\n%s", render.String())
+	}
+}
+
+// With no Tracer and no explicit registry, Analyze publishes into
+// obs.Default and must not crash — the always-on path.
+func TestAnalyzeDefaultRegistry(t *testing.T) {
+	p := buildLoop(t, 0x1)
+	before := obs.Default.Counter("symsim_runs_total", "").Value()
+	if _, err := core.Analyze(p, core.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.Default.Counter("symsim_runs_total", "").Value(); got != before+1 {
+		t.Errorf("runs counter = %d, want %d", got, before+1)
+	}
+}

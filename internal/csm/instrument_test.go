@@ -1,0 +1,104 @@
+package csm
+
+import (
+	"testing"
+)
+
+// collectEvents wraps a policy and runs the canonical observe sequence
+// new → subsumed → merged against it, returning the recorded events.
+func collectEvents(t *testing.T, mgr Manager) []DecisionEvent {
+	t.Helper()
+	var evs []DecisionEvent
+	im := Instrument(mgr, func(ev DecisionEvent) { evs = append(evs, ev) })
+	if im.Name() != mgr.Name() {
+		t.Fatalf("Name() = %q, want delegation to %q", im.Name(), mgr.Name())
+	}
+	im.Observe(st(0x10, "0101")) // first arrival: new
+	im.Observe(st(0x10, "0101")) // identical: subsumed
+	im.Observe(st(0x10, "0111")) // differs in one bit
+	return evs
+}
+
+func TestInstrumentVerdictsMergeAll(t *testing.T) {
+	evs := collectEvents(t, NewMergeAll())
+	want := []string{VerdictNew, VerdictSubsumed, VerdictMerged}
+	if len(evs) != len(want) {
+		t.Fatalf("events = %+v", evs)
+	}
+	for i, w := range want {
+		if evs[i].Verdict != w {
+			t.Errorf("event %d verdict = %q, want %q", i, evs[i].Verdict, w)
+		}
+		if evs[i].PC != 0x10 {
+			t.Errorf("event %d pc = %#x", i, evs[i].PC)
+		}
+	}
+	// "0101" merge "0111" = "01x1": one known bit became X.
+	if evs[2].XGained != 1 {
+		t.Errorf("merged xGained = %d, want 1", evs[2].XGained)
+	}
+	if evs[0].States != 1 || evs[2].States != 1 {
+		t.Errorf("states = %d,%d, want 1,1", evs[0].States, evs[2].States)
+	}
+}
+
+func TestInstrumentVerdictsExact(t *testing.T) {
+	evs := collectEvents(t, NewExact(0))
+	// Exact never merges: the differing state is stored as new.
+	want := []string{VerdictNew, VerdictSubsumed, VerdictNew}
+	for i, w := range want {
+		if evs[i].Verdict != w {
+			t.Errorf("event %d verdict = %q, want %q", i, evs[i].Verdict, w)
+		}
+	}
+	if evs[2].States != 2 {
+		t.Errorf("states after second new = %d, want 2", evs[2].States)
+	}
+}
+
+func TestInstrumentVerdictsClustered(t *testing.T) {
+	evs := collectEvents(t, NewClustered(1))
+	// k=1 degenerates to merge-all.
+	want := []string{VerdictNew, VerdictSubsumed, VerdictMerged}
+	for i, w := range want {
+		if evs[i].Verdict != w {
+			t.Errorf("event %d verdict = %q, want %q", i, evs[i].Verdict, w)
+		}
+	}
+	if evs[2].XGained != 1 {
+		t.Errorf("merged xGained = %d, want 1", evs[2].XGained)
+	}
+}
+
+func TestInstrumentVerdictsConstrained(t *testing.T) {
+	evs := collectEvents(t, NewConstrained(4, nil))
+	want := []string{VerdictNew, VerdictSubsumed, VerdictMerged}
+	for i, w := range want {
+		if evs[i].Verdict != w {
+			t.Errorf("event %d verdict = %q, want %q", i, evs[i].Verdict, w)
+		}
+	}
+}
+
+func TestInstrumentNilHook(t *testing.T) {
+	m := NewMergeAll()
+	if Instrument(m, nil) != m {
+		t.Fatal("nil hook must return the manager unchanged")
+	}
+}
+
+func TestInstrumentDelegatesExportImport(t *testing.T) {
+	im := Instrument(NewMergeAll(), func(DecisionEvent) {})
+	im.Observe(st(0x10, "0101"))
+	exp := im.Export()
+	if len(exp) != 1 {
+		t.Fatalf("export = %+v", exp)
+	}
+	other := Instrument(NewMergeAll(), func(DecisionEvent) {})
+	if err := other.Import(exp); err != nil {
+		t.Fatal(err)
+	}
+	if other.States() != 1 {
+		t.Fatalf("states after import = %d", other.States())
+	}
+}

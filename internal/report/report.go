@@ -71,6 +71,7 @@ func BuildPlatform(d Design, benchmark string) (*core.Platform, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.Bench = benchmark
 	// Run the structural lint now: it validates the elaborated design, is
 	// cached on the platform, and every subsequent Analyze reads the
 	// cached result instead of re-linting an immutable netlist.

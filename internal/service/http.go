@@ -4,13 +4,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"time"
 )
 
 // Handler wraps a Service in its HTTP API (stdlib net/http, JSON bodies):
 //
 //	GET  /healthz               liveness probe
-//	GET  /metrics               Metrics snapshot
+//	GET  /metrics               Prometheus text exposition
+//	GET  /metrics.json          Metrics snapshot (JSON)
 //	POST /jobs                  submit a JobSpec  -> 201 JobView
 //	GET  /jobs                  list jobs
 //	GET  /jobs/{id}             one job's view
@@ -23,60 +26,70 @@ import (
 func Handler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.Registry().WritePrometheus(w); err != nil {
+			s.cfg.Logf("service: writing /metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		s.writeJSON(w, http.StatusOK, s.MetricsSnapshot())
 	})
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
 		var spec JobSpec
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
 			return
 		}
 		view, err := s.Submit(spec)
 		if err != nil {
-			writeErr(w, submitStatus(err), err)
+			s.writeErr(w, submitStatus(err), err)
 			return
 		}
-		writeJSON(w, http.StatusCreated, view)
+		s.writeJSON(w, http.StatusCreated, view)
 	})
 	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Jobs())
+		s.writeJSON(w, http.StatusOK, s.Jobs())
 	})
 	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		view, err := s.Job(r.PathValue("id"))
 		if err != nil {
-			writeErr(w, http.StatusNotFound, err)
+			s.writeErr(w, http.StatusNotFound, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, view)
+		s.writeJSON(w, http.StatusOK, view)
 	})
 	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
 		data, err := s.Result(r.PathValue("id"))
 		switch {
 		case errors.Is(err, ErrUnknownJob):
-			writeErr(w, http.StatusNotFound, err)
+			s.writeErr(w, http.StatusNotFound, err)
 		case errors.Is(err, ErrNotDone):
-			writeErr(w, http.StatusConflict, err)
+			s.writeErr(w, http.StatusConflict, err)
 		case err != nil:
-			writeErr(w, http.StatusInternalServerError, err)
+			s.writeErr(w, http.StatusInternalServerError, err)
 		default:
 			w.Header().Set("Content-Type", "application/json")
-			w.Write(data)
+			if _, werr := w.Write(data); werr != nil {
+				// The client is gone or the connection broke: the response
+				// is truncated and only this log line will say so.
+				s.cfg.Logf("service: writing result %s: %v", r.PathValue("id"), werr)
+			}
 		}
 	})
 	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
 		err := s.Cancel(r.PathValue("id"))
 		switch {
 		case errors.Is(err, ErrUnknownJob):
-			writeErr(w, http.StatusNotFound, err)
+			s.writeErr(w, http.StatusNotFound, err)
 		case errors.Is(err, ErrJobFinished):
-			writeErr(w, http.StatusConflict, err)
+			s.writeErr(w, http.StatusConflict, err)
 		case err != nil:
-			writeErr(w, http.StatusInternalServerError, err)
+			s.writeErr(w, http.StatusInternalServerError, err)
 		default:
-			writeJSON(w, http.StatusOK, map[string]string{"status": "canceling"})
+			s.writeJSON(w, http.StatusOK, map[string]string{"status": "canceling"})
 		}
 	})
 	mux.HandleFunc("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
@@ -101,24 +114,26 @@ func submitStatus(err error) int {
 // serveEvents streams a job's events as server-sent events. The stream
 // starts with the job's current state (so late subscribers see where it
 // stands), then forwards hub events, and closes once the job reaches a
-// terminal state or the client disconnects.
+// terminal state or the client disconnects. Between events it emits SSE
+// comment lines every Config.SSEKeepAlive so proxy idle timeouts don't
+// sever streams of long-quiet jobs (e.g. queued behind a full pool).
 func serveEvents(s *Service, w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	view, err := s.Job(id)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		s.writeErr(w, http.StatusNotFound, err)
 		return
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeErr(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		s.writeErr(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
 		return
 	}
 	// Subscribe before reading the initial state so no transition between
 	// the snapshot and the stream can be lost.
 	ch, cancel, err := s.Subscribe(id)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		s.writeErr(w, http.StatusNotFound, err)
 		return
 	}
 	defer cancel()
@@ -146,10 +161,17 @@ func serveEvents(s *Service, w http.ResponseWriter, r *http.Request) {
 	if terminal(view.State) {
 		return
 	}
+	keepAlive := time.NewTicker(s.cfg.SSEKeepAlive)
+	defer keepAlive.Stop()
 	for {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-keepAlive.C:
+			if _, err := io.WriteString(w, ": ping\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
 		case ev := <-ch:
 			if !send(ev) {
 				return
@@ -165,12 +187,17 @@ func terminal(st State) bool {
 	return st == StateDone || st == StateFailed || st == StateCanceled
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON encodes v as the response body. An encode error this late is
+// unreportable to the client (the status line is already gone), so it
+// lands in the daemon log instead of vanishing.
+func (s *Service) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.cfg.Logf("service: writing JSON response: %v", err)
+	}
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+func (s *Service) writeErr(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
 }

@@ -54,6 +54,57 @@ func TestQueueBackpressureAndRemove(t *testing.T) {
 	}
 }
 
+// Close with items still queued: the queue goes drain-empty — Pop
+// refuses even though items remain (they stay persisted in the job store
+// and re-enqueue on restart, so abandoning them here is safe).
+func TestQueueCloseWithQueuedItems(t *testing.T) {
+	q := newJobQueue(4)
+	for _, id := range []string{"a", "b", "c"} {
+		if err := q.Push(id, 0, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	if id, ok := q.Pop(); ok {
+		t.Errorf("Pop after Close returned %q, want drain-empty refusal", id)
+	}
+	if got := q.Len(); got != 3 {
+		t.Errorf("Len after Close = %d, want 3 (items abandoned, not lost)", got)
+	}
+	if err := q.Push("d", 0, true); !errors.Is(err, ErrQueueClosed) {
+		t.Errorf("recovered Push after Close = %v, want ErrQueueClosed", err)
+	}
+}
+
+// Remove of the current heap minimum (the next item Pop would return)
+// must preserve the priority/FIFO order of everything behind it.
+func TestQueueRemoveMinItem(t *testing.T) {
+	q := newJobQueue(10)
+	for _, it := range []struct {
+		id  string
+		pri int
+	}{
+		{"head", 9}, {"mid1", 5}, {"mid2", 5}, {"tail", 0},
+	} {
+		if err := q.Push(it.id, it.pri, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "head" sits at the heap root; removing it exercises heap.Remove(0).
+	if !q.Remove("head") {
+		t.Fatal("Remove(head) failed")
+	}
+	for _, want := range []string{"mid1", "mid2", "tail"} {
+		id, ok := q.Pop()
+		if !ok || id != want {
+			t.Fatalf("Pop = %q,%v, want %q", id, ok, want)
+		}
+	}
+	if got := q.Len(); got != 0 {
+		t.Errorf("Len = %d, want 0", got)
+	}
+}
+
 func TestQueueCloseWakesBlockedPop(t *testing.T) {
 	q := newJobQueue(2)
 	done := make(chan bool, 1)

@@ -12,6 +12,7 @@ import (
 
 	"symsim/internal/cliflags"
 	"symsim/internal/core"
+	"symsim/internal/obs"
 	"symsim/internal/report"
 )
 
@@ -43,6 +44,14 @@ type Config struct {
 	BuildPlatform func(design, bench string) (*core.Platform, error)
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+	// SSEKeepAlive is the interval at which event streams emit SSE
+	// comment lines (": ping") so proxy/LB idle timeouts don't sever
+	// streams of long-quiet jobs. Default 15s.
+	SSEKeepAlive time.Duration
+	// Metrics is the observability registry the service (and every job's
+	// core analysis) publishes into, served at /metrics in Prometheus
+	// text format. Nil selects obs.Default.
+	Metrics *obs.Registry
 
 	// tuneConfig, when non-nil, is applied to each job's core.Config just
 	// before the analysis starts — a test seam for installing hooks
@@ -56,6 +65,11 @@ type job struct {
 	rec             *jobRecord
 	cancel          context.CancelFunc
 	cancelRequested bool
+	// cpuSeconds accumulates the analysis' BusyTime (summed path-segment
+	// wall time — the job's CPU attribution) across run segments.
+	// In-memory only: the SYMSIMJ1 record format is strict and
+	// intentionally unchanged, so the figure resets on daemon restart.
+	cpuSeconds float64
 }
 
 // Service is the analysis daemon core: a bounded priority queue feeding a
@@ -67,6 +81,8 @@ type Service struct {
 	store *store
 	queue *jobQueue
 	hub   *hub
+	reg   *obs.Registry
+	om    *svcObs
 
 	mu   sync.Mutex
 	jobs map[string]*job
@@ -75,6 +91,34 @@ type Service struct {
 	wg       sync.WaitGroup
 
 	m metricsState
+}
+
+// svcObs caches the service's Prometheus-exposed counters; they mirror
+// the JSON Metrics snapshot and are incremented at the same sites.
+type svcObs struct {
+	accepted    *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	degraded    *obs.Counter
+	resumed     *obs.Counter
+	requeued    *obs.Counter
+	failed      *obs.Counter
+	done        *obs.Counter
+	canceled    *obs.Counter
+}
+
+func newSvcObs(reg *obs.Registry) *svcObs {
+	return &svcObs{
+		accepted:    reg.Counter("symsim_service_jobs_accepted_total", "Jobs accepted by Submit."),
+		cacheHits:   reg.Counter("symsim_service_cache_hits_total", "Submissions satisfied from the result cache."),
+		cacheMisses: reg.Counter("symsim_service_cache_misses_total", "Submissions that had to run."),
+		degraded:    reg.Counter("symsim_service_jobs_degraded_total", "Jobs finished with a budget-degraded result."),
+		resumed:     reg.Counter("symsim_service_jobs_resumed_total", "Jobs resumed from a checkpoint."),
+		requeued:    reg.Counter("symsim_service_jobs_requeued_total", "Jobs re-queued by a drain."),
+		failed:      reg.Counter("symsim_service_jobs_failed_total", "Jobs finished in error."),
+		done:        reg.Counter("symsim_service_jobs_done_total", "Jobs finished successfully."),
+		canceled:    reg.Counter("symsim_service_jobs_canceled_total", "Jobs canceled before completing."),
+	}
 }
 
 // metricsState is the mutable counter set behind Metrics (guarded by
@@ -137,6 +181,12 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.SSEKeepAlive <= 0 {
+		cfg.SSEKeepAlive = 15 * time.Second
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.Default
+	}
 
 	st, err := openStore(cfg.DataDir)
 	if err != nil {
@@ -147,8 +197,24 @@ func New(cfg Config) (*Service, error) {
 		store: st,
 		queue: newJobQueue(cfg.QueueCap),
 		hub:   newHub(),
+		reg:   cfg.Metrics,
 		jobs:  make(map[string]*job),
 	}
+	s.om = newSvcObs(s.reg)
+	s.reg.GaugeFunc("symsim_service_queue_depth", "Pending jobs in the queue.",
+		func() float64 { return float64(s.queue.Len()) })
+	s.reg.GaugeFunc("symsim_service_jobs_running", "Jobs currently analyzing.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			n := 0
+			for _, j := range s.jobs {
+				if j.rec.State == StateRunning {
+					n++
+				}
+			}
+			return float64(n)
+		})
 	s.m.engines = make(map[string]*engineStat)
 
 	recs, errs := st.loadJobs()
@@ -232,11 +298,13 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 		return JobView{}, ErrDraining
 	}
 	s.m.accepted++
+	s.om.accepted.Inc()
 
 	if data, ok := s.store.readCache(key); ok {
 		// Content-addressed hit: the exact analysis already ran to
 		// completion. Serve the stored result without spending a cycle.
 		s.m.cacheHits++
+		s.om.cacheHits.Inc()
 		now := time.Now().UnixNano()
 		rec.State = StateDone
 		rec.Cached = true
@@ -249,9 +317,10 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 		}
 		s.jobs[rec.ID] = &job{rec: rec}
 		s.hub.Publish(Event{Type: "state", Job: rec.ID, State: StateDone})
-		return viewOf(rec), nil
+		return viewOf(s.jobs[rec.ID]), nil
 	}
 	s.m.cacheMisses++
+	s.om.cacheMisses.Inc()
 
 	if err := s.store.saveJob(rec); err != nil {
 		return JobView{}, err
@@ -267,7 +336,7 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 		return JobView{}, err
 	}
 	s.hub.Publish(Event{Type: "state", Job: rec.ID, State: StateQueued})
-	return viewOf(rec), nil
+	return viewOf(s.jobs[rec.ID]), nil
 }
 
 func (s *Service) removeJobFile(id string) error {
@@ -324,6 +393,7 @@ func (s *Service) analyze(ctx context.Context, id string, spec JobSpec, resumabl
 		},
 		Checkpoint:    &core.CheckpointConfig{Path: s.store.checkpointPath(id), Interval: s.cfg.CheckpointEvery},
 		ProgressEvery: s.cfg.ProgressEvery,
+		Metrics:       s.reg,
 	}
 	if cc.Policy, err = cliflags.NewPolicy(spec.Policy, spec.K, spec.MaxStates); err != nil {
 		return nil, err
@@ -349,6 +419,7 @@ func (s *Service) analyze(ctx context.Context, id string, spec JobSpec, resumabl
 			s.mu.Lock()
 			s.m.resumed++
 			s.mu.Unlock()
+			s.om.resumed.Inc()
 			s.cfg.Logf("service: job %s: resuming from checkpoint (%d pending paths)", id, len(ckpt.Pending))
 		}
 	}
@@ -368,6 +439,11 @@ func (s *Service) finishJob(id string, res *core.Result, err error) {
 		return
 	}
 	now := time.Now().UnixNano()
+	if res != nil {
+		// Accumulate across segments: a drained-and-resumed job keeps the
+		// CPU it already spent.
+		j.cpuSeconds += res.BusyTime.Seconds()
+	}
 
 	switch {
 	case err != nil:
@@ -375,11 +451,13 @@ func (s *Service) finishJob(id string, res *core.Result, err error) {
 		j.rec.Error = err.Error()
 		j.rec.Finished = now
 		s.m.failed++
+		s.om.failed.Inc()
 		s.store.removeCheckpoint(id)
 
 	case j.cancelRequested && !res.Complete:
 		j.rec.State = StateCanceled
 		j.rec.Finished = now
+		s.om.canceled.Inc()
 		s.store.removeCheckpoint(id)
 
 	case res.Complete:
@@ -404,6 +482,7 @@ func (s *Service) finishJob(id string, res *core.Result, err error) {
 		}
 		s.store.removeCheckpoint(id)
 		s.noteEngineLocked(j.rec, res)
+		s.om.done.Inc()
 
 	case s.draining:
 		// Drain interruption: the final checkpoint was written by the
@@ -413,6 +492,7 @@ func (s *Service) finishJob(id string, res *core.Result, err error) {
 		j.rec.Started = 0
 		j.rec.Resumable = s.store.hasCheckpoint(id)
 		s.m.requeued++
+		s.om.requeued.Inc()
 
 	default:
 		// Budget-degraded completion: terminal, result served, never
@@ -420,6 +500,7 @@ func (s *Service) finishJob(id string, res *core.Result, err error) {
 		j.rec.State = StateDone
 		j.rec.Finished = now
 		s.m.degraded++
+		s.om.degraded.Inc()
 		data, merr := json.Marshal(summarize(j.rec.Spec, res))
 		if merr == nil {
 			merr = s.store.writeResult(id, data)
@@ -497,7 +578,7 @@ func (s *Service) Job(id string) (JobView, error) {
 	if j == nil {
 		return JobView{}, ErrUnknownJob
 	}
-	return viewOf(j.rec), nil
+	return viewOf(j), nil
 }
 
 // Jobs lists every known job in submission order.
@@ -506,7 +587,7 @@ func (s *Service) Jobs() []JobView {
 	defer s.mu.Unlock()
 	views := make([]JobView, 0, len(s.jobs))
 	for _, j := range s.jobs {
-		views = append(views, viewOf(j.rec))
+		views = append(views, viewOf(j))
 	}
 	sortViews(views)
 	return views
@@ -587,9 +668,15 @@ type JobView struct {
 	Resumable  bool   `json:"resumable,omitempty"`
 	DesignHash string `json:"designHash,omitempty"`
 	CacheKey   string `json:"cacheKey,omitempty"`
+	// CPUSeconds is the analysis CPU-time attribution: wall time summed
+	// over the job's path segments (core.Result.BusyTime), accumulated
+	// across drain/resume segments. In-memory only — it resets to zero on
+	// daemon restart (the durable record format is unchanged).
+	CPUSeconds float64 `json:"cpuSeconds,omitempty"`
 }
 
-func viewOf(r *jobRecord) JobView {
+func viewOf(j *job) JobView {
+	r := j.rec
 	return JobView{
 		ID:         r.ID,
 		State:      r.State,
@@ -602,6 +689,7 @@ func viewOf(r *jobRecord) JobView {
 		Resumable:  r.Resumable,
 		DesignHash: r.DesignHash,
 		CacheKey:   r.CacheKey,
+		CPUSeconds: j.cpuSeconds,
 	}
 }
 
@@ -642,6 +730,10 @@ type EngineMetrics struct {
 	BusySeconds     float64 `json:"busySeconds"`
 	CyclesPerSec    float64 `json:"cyclesPerSec"`
 }
+
+// Registry returns the observability registry the service publishes
+// into, for the Prometheus /metrics endpoint and the debug listener.
+func (s *Service) Registry() *obs.Registry { return s.reg }
 
 // MetricsSnapshot assembles the current metrics.
 func (s *Service) MetricsSnapshot() Metrics {

@@ -17,6 +17,7 @@ import (
 	"symsim/internal/core"
 	"symsim/internal/cpu/dr5"
 	"symsim/internal/isa/rv32"
+	"symsim/internal/obs"
 	"symsim/internal/vvp"
 )
 
@@ -89,7 +90,10 @@ func TestServiceEndToEndHTTP(t *testing.T) {
 		Workers:       1,
 		ProgressEvery: time.Millisecond,
 		BuildPlatform: loopPlatform(t, 0x7),
-		tuneConfig:    func(string, *core.Config) { <-gate },
+		// Own registry: the Prometheus assertions below count this
+		// service's jobs only, not everything else in the test binary.
+		Metrics:    obs.NewRegistry(),
+		tuneConfig: func(string, *core.Config) { <-gate },
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -221,8 +225,8 @@ func TestServiceEndToEndHTTP(t *testing.T) {
 		t.Errorf("cache hit rate = %v", after.CacheHitRate)
 	}
 
-	// Metrics endpoint serves the same snapshot.
-	mresp, err := http.Get(ts.URL + "/metrics")
+	// JSON metrics endpoint serves the same snapshot.
+	mresp, err := http.Get(ts.URL + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,6 +237,50 @@ func TestServiceEndToEndHTTP(t *testing.T) {
 	mresp.Body.Close()
 	if m.Accepted != 2 || m.CacheHits != 1 {
 		t.Errorf("metrics = %+v", m)
+	}
+
+	// /metrics serves Prometheus text exposition fed by every layer.
+	presp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := presp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("prometheus content type = %q", ct)
+	}
+	var pbuf bytes.Buffer
+	if _, err := pbuf.ReadFrom(presp.Body); err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	expo := pbuf.String()
+	for _, want := range []string{
+		"# TYPE symsim_service_jobs_accepted_total counter",
+		"symsim_service_jobs_accepted_total 2",
+		"symsim_service_cache_hits_total 1",
+		"symsim_service_jobs_done_total 1",
+		"symsim_service_queue_depth 0",
+		"symsim_runs_complete_total 1",
+		"symsim_csm_decisions_total",
+		"symsim_vvp_gate_evals_total",
+	} {
+		if !strings.Contains(expo, want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+
+	// CPU attribution: the executed job reports busy time, the cache hit
+	// reports none of its own.
+	jresp, err := http.Get(ts.URL + "/jobs/" + view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jv JobView
+	if err := json.NewDecoder(jresp.Body).Decode(&jv); err != nil {
+		t.Fatal(err)
+	}
+	jresp.Body.Close()
+	if jv.CPUSeconds <= 0 {
+		t.Errorf("executed job CPUSeconds = %v, want > 0", jv.CPUSeconds)
 	}
 
 	// Unknown-job and not-done error mapping.

@@ -20,8 +20,11 @@ type Event struct {
 }
 
 // hub fans job events out to stream subscribers. Subscriber channels are
-// buffered and lossy: a slow SSE client drops heartbeats rather than
-// stalling the analysis worker that publishes them.
+// buffered; heartbeats are lossy — a slow SSE client drops them rather
+// than stalling the analysis worker that publishes them — but lifecycle
+// "state" events are never dropped: a full buffer sheds its oldest
+// heartbeat to make room, so a slow subscriber still observes the
+// terminal transition that ends its stream.
 type hub struct {
 	mu   sync.Mutex
 	subs map[string]map[chan Event]struct{}
@@ -51,15 +54,59 @@ func (h *hub) Subscribe(id string) (<-chan Event, func()) {
 	}
 }
 
-// Publish delivers ev to every subscriber of its job, dropping the event
-// for subscribers whose buffer is full.
+// Publish delivers ev to every subscriber of its job. "progress"
+// heartbeats are dropped for subscribers whose buffer is full; "state"
+// lifecycle events always land (see requeueWithState).
 func (h *hub) Publish(ev Event) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for ch := range h.subs[ev.Job] {
 		select {
 		case ch <- ev:
+			continue
 		default:
 		}
+		if ev.Type == "state" {
+			requeueWithState(ch, ev)
+		}
 	}
+}
+
+// requeueWithState makes room for an undroppable lifecycle event in a
+// full subscriber buffer: drain the channel, shed the oldest heartbeat
+// (or, if the buffer somehow holds only state events, the oldest state —
+// it is superseded by the transitions still queued behind it), re-queue
+// the rest in order and append ev.
+//
+// This is only safe because Publish under h.mu is the sole sender on a
+// subscriber channel: nothing can inject an event between the drain and
+// the re-queue, and the concurrent receiver can only make more room, so
+// the re-queue sends below can never block.
+func requeueWithState(ch chan Event, ev Event) {
+	buf := make([]Event, 0, cap(ch))
+drain:
+	for {
+		select {
+		case e := <-ch:
+			buf = append(buf, e)
+		default:
+			break drain
+		}
+	}
+	shed := false
+	kept := buf[:0]
+	for _, e := range buf {
+		if !shed && e.Type == "progress" {
+			shed = true
+			continue
+		}
+		kept = append(kept, e)
+	}
+	if !shed && len(kept) == cap(ch) {
+		kept = kept[1:]
+	}
+	for _, e := range kept {
+		ch <- e
+	}
+	ch <- ev
 }

@@ -1,0 +1,246 @@
+package service
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"symsim/internal/core"
+)
+
+func progressEv(job string, n int) Event {
+	return Event{Type: "progress", Job: job, Progress: &core.Progress{PathsDone: n}}
+}
+
+// The headline regression: a subscriber that never drains its buffer must
+// still receive the terminal "state" event. On the old hub, Publish
+// silently dropped it along with the heartbeats and the stream looped
+// forever waiting for a transition that was already gone.
+func TestPublishNeverDropsStateForSlowSubscriber(t *testing.T) {
+	h := newHub()
+	ch, cancel := h.Subscribe("j")
+	defer cancel()
+
+	// A slow client: fill the entire buffer with heartbeats before the
+	// lifecycle event lands.
+	for i := 0; cap(ch) > len(ch); i++ {
+		h.Publish(progressEv("j", i))
+	}
+	h.Publish(Event{Type: "state", Job: "j", State: StateDone})
+
+	var got []Event
+	for len(ch) > 0 {
+		got = append(got, <-ch)
+	}
+	last := got[len(got)-1]
+	if last.Type != "state" || last.State != StateDone {
+		t.Fatalf("terminal state event lost; buffer ended with %+v", last)
+	}
+	// Exactly one heartbeat was shed to make room, and order held.
+	if len(got) != cap(ch) {
+		t.Errorf("drained %d events, want %d", len(got), cap(ch))
+	}
+	if got[0].Progress == nil || got[0].Progress.PathsDone != 1 {
+		t.Errorf("oldest surviving heartbeat = %+v, want the second published", got[0])
+	}
+	for i := 1; i < len(got)-1; i++ {
+		if got[i].Progress.PathsDone != got[i-1].Progress.PathsDone+1 {
+			t.Fatalf("heartbeat order broken at %d: %+v after %+v", i, got[i], got[i-1])
+		}
+	}
+}
+
+// Heartbeats stay lossy: a full buffer drops them without disturbing what
+// is already queued.
+func TestPublishDropsProgressWhenFull(t *testing.T) {
+	h := newHub()
+	ch, cancel := h.Subscribe("j")
+	defer cancel()
+
+	for i := 0; cap(ch) > len(ch); i++ {
+		h.Publish(progressEv("j", i))
+	}
+	h.Publish(progressEv("j", 999))
+	if len(ch) != cap(ch) {
+		t.Fatalf("buffer length %d after overflow publish, want %d", len(ch), cap(ch))
+	}
+	first := <-ch
+	if first.Progress == nil || first.Progress.PathsDone != 0 {
+		t.Errorf("oldest heartbeat = %+v, want the first published", first)
+	}
+}
+
+// A buffer already full of lifecycle events (no heartbeat to shed) drops
+// its oldest state — it is superseded by the transitions queued behind it
+// — and the new terminal event still lands last.
+func TestRequeueWithStateAllStateBuffer(t *testing.T) {
+	h := newHub()
+	ch, cancel := h.Subscribe("j")
+	defer cancel()
+
+	for cap(ch) > len(ch) {
+		h.Publish(Event{Type: "state", Job: "j", State: StateRunning})
+	}
+	h.Publish(Event{Type: "state", Job: "j", State: StateDone})
+
+	var last Event
+	n := 0
+	for len(ch) > 0 {
+		last = <-ch
+		n++
+	}
+	if n != cap(ch) {
+		t.Errorf("drained %d events, want %d", n, cap(ch))
+	}
+	if last.State != StateDone {
+		t.Errorf("last event state = %s, want done", last.State)
+	}
+}
+
+// Concurrent receive during Publish must not trip the race detector or
+// lose a state event (run under -race in CI).
+func TestPublishConcurrentWithReceive(t *testing.T) {
+	h := newHub()
+	ch, cancel := h.Subscribe("j")
+	defer cancel()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	gotState := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		for ev := range ch {
+			if ev.Type == "state" && terminal(ev.State) {
+				close(gotState)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 10_000; i++ {
+		h.Publish(progressEv("j", i))
+	}
+	h.Publish(Event{Type: "state", Job: "j", State: StateDone})
+	select {
+	case <-gotState:
+	case <-time.After(10 * time.Second):
+		t.Fatal("terminal state never observed by concurrent receiver")
+	}
+	wg.Wait()
+}
+
+// End-to-end variant of the headline bug: an SSE client that doesn't read
+// while the job floods heartbeats must still see the stream terminate.
+func TestSSEStreamTerminatesForSlowClient(t *testing.T) {
+	gate := make(chan struct{})
+	svc, err := New(Config{
+		DataDir:       t.TempDir(),
+		Workers:       1,
+		ProgressEvery: 100 * time.Microsecond,
+		BuildPlatform: loopPlatform(t, 0x7),
+		tuneConfig:    func(string, *core.Config) { <-gate },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(Handler(svc))
+	defer ts.Close()
+
+	view, err := svc.Submit(JobSpec{Design: "dr5", Bench: "loop", Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/jobs/" + view.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Let the analysis run and outpace us: we are subscribed but not
+	// reading, so our hub buffer overflows many times over.
+	close(gate)
+	waitState(t, svc, view.ID, StateDone)
+	time.Sleep(20 * time.Millisecond) // overflow after the terminal publish too
+
+	done := make(chan string, 1)
+	go func() {
+		final := ""
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.Contains(line, `"state":"done"`) {
+				final = "done"
+			}
+		}
+		done <- final
+	}()
+	select {
+	case final := <-done:
+		if final != "done" {
+			t.Fatal("stream closed without a terminal state event")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("stream never terminated for slow client")
+	}
+}
+
+// With a short keep-alive the stream carries ": ping" comment lines while
+// the job is quiet, so proxies with idle timeouts keep it open.
+func TestSSEKeepAliveComments(t *testing.T) {
+	gate := make(chan struct{})
+	svc, err := New(Config{
+		DataDir:       t.TempDir(),
+		Workers:       1,
+		ProgressEvery: time.Hour, // no heartbeats: only pings break the silence
+		SSEKeepAlive:  5 * time.Millisecond,
+		BuildPlatform: loopPlatform(t, 0x3),
+		tuneConfig:    func(string, *core.Config) { <-gate },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(Handler(svc))
+	defer ts.Close()
+
+	view, err := svc.Submit(JobSpec{Design: "dr5", Bench: "loop", Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/jobs/" + view.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	pings := 0
+	sawDone := false
+	released := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, ": ping") {
+			pings++
+			if pings >= 3 && !released {
+				released = true
+				close(gate) // held the job long enough; let it finish
+			}
+		}
+		if strings.Contains(line, `"state":"done"`) {
+			sawDone = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if pings < 3 {
+		t.Errorf("saw %d keep-alive comments, want >= 3", pings)
+	}
+	if !sawDone {
+		t.Error("stream ended without terminal state")
+	}
+}

@@ -218,6 +218,7 @@ type Simulator struct {
 	levels     int32 // MaxLevel+1; dirtyLo sentinel when nothing is dirty
 
 	sweeps uint64 // level bitmap rounds executed (kernel statistics)
+	evals  uint64 // cumulative gate evaluations across the simulator's life
 
 	// glv/mlv cache the topological levels as flat slices (shared with the
 	// netlist or Program; built once in New) so the dirty-marking hot path
@@ -365,6 +366,12 @@ func (s *Simulator) Now() uint64 { return s.now }
 // Cycles returns the number of clock posedges executed so far; the
 // "simulated cycles" metric of paper Table 4.
 func (s *Simulator) Cycles() uint64 { return s.cycles }
+
+// Evals returns the cumulative gate evaluations executed over the
+// simulator's lifetime — the engine-effort counter behind the
+// symsim_vvp_gate_evals_total metric. It is a plain accumulator bumped
+// once per settle round, so reading it costs nothing on the hot path.
+func (s *Simulator) Evals() uint64 { return s.evals }
 
 // Value returns the current value of a net.
 func (s *Simulator) Value(id netlist.NetID) logic.Value { return s.val[id] }
@@ -757,6 +764,7 @@ const maxDeltas = 1 << 26
 
 func (s *Simulator) countDeltas(n int) error {
 	s.deltas += n
+	s.evals += uint64(n)
 	if s.deltas > maxDeltas {
 		return fmt.Errorf("vvp: delta-cycle limit exceeded at t=%d (oscillating netlist?)", s.now)
 	}
