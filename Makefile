@@ -1,12 +1,12 @@
 # Tier-1 checks for the symsim repository. `make check` is the gate every
-# change must pass: formatting, vet, a full build and the race-enabled
-# test suite.
+# change must pass: a full build, go vet plus the self-hosted symsimvet
+# suite, formatting, and the race-enabled test suite.
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint bench
+.PHONY: check fmt vet symsimvet build test race lint bench
 
-check: fmt vet build race
+check: build vet symsimvet fmt race
 
 # gofmt -l prints offending files; fail when any are listed.
 fmt:
@@ -15,8 +15,12 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-vet:
+vet: symsimvet
 	$(GO) vet ./...
+
+# The self-hosted static-analysis suite (SA000-SA006, see DESIGN.md §11).
+symsimvet:
+	$(GO) run ./cmd/symsimvet ./...
 
 build:
 	$(GO) build ./...

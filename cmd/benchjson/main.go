@@ -137,7 +137,10 @@ func main() {
 	}
 	enc = append(enc, '\n')
 	if *out == "" {
-		os.Stdout.Write(enc)
+		if _, err := os.Stdout.Write(enc); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {

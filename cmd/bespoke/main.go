@@ -138,7 +138,7 @@ func writeFile(path string, gen func(w io.Writer) error) error {
 		return err
 	}
 	if err := gen(f); err != nil {
-		f.Close()
+		_ = f.Close() // the generator's error takes precedence
 		return err
 	}
 	return f.Close()

@@ -212,8 +212,9 @@ func getJSON(url string, sink func([]byte) error) error {
 func prettyPrint(data []byte) error {
 	var buf bytes.Buffer
 	if err := json.Indent(&buf, data, "", "  "); err != nil {
-		os.Stdout.Write(data)
-		return nil
+		// Not JSON (or malformed): pass the payload through untouched.
+		_, werr := os.Stdout.Write(data)
+		return werr
 	}
 	buf.WriteByte('\n')
 	_, err := buf.WriteTo(os.Stdout)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 
+	"symsim/internal/diag"
 	"symsim/internal/lint"
 	"symsim/internal/netlist"
 	"symsim/internal/report"
@@ -36,16 +37,11 @@ func lintMain(args []string) int {
 		return 2
 	}
 
-	var threshold func(*lint.Result) bool
-	switch *failOn {
-	case "error":
-		threshold = func(r *lint.Result) bool { return r.ErrorCount() > 0 }
-	case "warn":
-		threshold = func(r *lint.Result) bool { return r.ErrorCount() > 0 || r.WarnCount() > 0 }
-	case "info":
-		threshold = func(r *lint.Result) bool { return r.ErrorCount()+r.WarnCount()+r.InfoCount() > 0 }
-	default:
-		fmt.Fprintf(os.Stderr, "symsim lint: unknown -fail-on %q\n", *failOn)
+	// The threshold semantics are shared with symsimvet via internal/diag
+	// so the two gates cannot drift.
+	minSev, err := diag.ParseFailOn(*failOn)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "symsim lint: %v\n", err)
 		return 2
 	}
 
@@ -80,7 +76,7 @@ func lintMain(args []string) int {
 		// ReadRaw, not Read: the point of linting a file is diagnosing
 		// broken designs Read would reject outright.
 		n, err := netlist.ReadRaw(f)
-		f.Close()
+		_ = f.Close() // opened read-only; Close cannot lose data
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "symsim lint: %s: %v\n", path, err)
 			return 2
@@ -113,7 +109,7 @@ func lintMain(args []string) int {
 			fmt.Fprintln(os.Stderr, "symsim lint:", err)
 			return 2
 		}
-		if threshold(r) {
+		if r.Fails(minSev) {
 			exit = 1
 		}
 	}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeModule lays a throwaway Go module on disk for -C.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module fixture\n\ngo 1.22\n"
+	for name, body := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	fn()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+func TestRunCleanModule(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"p/p.go": "package p\n\nfunc Add(a, b int) int { return a + b }\n",
+	})
+	var code int
+	capture(t, func() { code = run([]string{"-C", dir, "./..."}) })
+	if code != 0 {
+		t.Fatalf("clean module: exit %d, want 0", code)
+	}
+}
+
+func TestRunFindingFailsAndRendersJSON(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"p/p.go": `package p
+
+type f struct{}
+
+func (f) Close() error { return nil }
+
+func drop(x f) {
+	x.Close()
+}
+`,
+	})
+	var code int
+	out := capture(t, func() { code = run([]string{"-C", dir, "-json", "./..."}) })
+	if code != 1 {
+		t.Fatalf("seeded SA006 violation: exit %d, want 1", code)
+	}
+	var rep struct {
+		Diags []struct {
+			Code string `json:"code"`
+		} `json:"diags"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("output is not the diag JSON schema: %v\n%s", err, out)
+	}
+	if len(rep.Diags) != 1 || rep.Diags[0].Code != "SA006" {
+		t.Fatalf("want exactly one SA006 diag, got %+v", rep.Diags)
+	}
+}
+
+func TestRunRejectsUnknownFlagsAndPatterns(t *testing.T) {
+	if run([]string{"./cmd/symsimvet"}) != 2 {
+		t.Error("package pattern other than ./... should be rejected with exit 2")
+	}
+	if run([]string{"-fail-on", "fatal"}) != 2 {
+		t.Error("unknown -fail-on level should exit 2")
+	}
+	if run([]string{"-codes", "SA999"}) != 2 {
+		t.Error("unknown code should exit 2")
+	}
+}

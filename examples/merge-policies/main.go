@@ -43,7 +43,9 @@ func main() {
 			r.name, res.PathsCreated, res.PathsSkipped, res.SimulatedCycles,
 			res.CSMStates, res.ExercisableCount, res.ReductionPct())
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\nFewer, more conservative states converge fastest; keeping more states")
 	fmt.Println("per PC costs paths and cycles but can prove more gates unexercisable")
 	fmt.Println("(paper Figure 3).")

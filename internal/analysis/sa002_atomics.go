@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// SA002: the atomic-access discipline of internal/obs and the service.
+// Two families of findings:
+//
+//  1. Mixed access: a struct field passed to sync/atomic at one site
+//     (atomic.LoadUint64(&s.n), atomic.AddUint64(&s.n, 1), …) must be
+//     accessed through sync/atomic at *every* site. A single plain read
+//     is a data race the -race job only catches when a test happens to
+//     interleave it.
+//  2. Copies: a value whose type (transitively) contains a sync lock
+//     type or a sync/atomic typed value must never be copied — by
+//     assignment, by-value parameter or receiver, or range clause.
+//     (go vet's copylocks covers a subset of this; the gate self-hosts
+//     it so the invariant holds even where vet is not run.)
+
+// runAtomics drives both checks over every package.
+func runAtomics(p *Pass) {
+	atomicFields := map[*types.Var]bool{}
+	// atomicUses are the selector nodes that legitimately take the
+	// field's address for a sync/atomic call.
+	atomicUses := map[*ast.SelectorExpr]bool{}
+
+	// Pass 1: find fields used with sync/atomic functions.
+	for _, pkg := range p.Prog.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				c := calleeOf(pkg, call)
+				if c.fn == nil || c.fn.Pkg() == nil || c.fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op.String() != "&" {
+						continue
+					}
+					sel, ok := unparen(un.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if v := fieldOf(pkg, sel); v != nil {
+						atomicFields[v] = true
+						atomicUses[sel] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: every other access to those fields must be atomic.
+	if len(atomicFields) > 0 {
+		var findings []struct {
+			pkg *Package
+			sel *ast.SelectorExpr
+			v   *types.Var
+		}
+		for _, pkg := range p.Prog.Packages {
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok || atomicUses[sel] {
+						return true
+					}
+					if v := fieldOf(pkg, sel); v != nil && atomicFields[v] {
+						findings = append(findings, struct {
+							pkg *Package
+							sel *ast.SelectorExpr
+							v   *types.Var
+						}{pkg, sel, v})
+					}
+					return true
+				})
+			}
+		}
+		sort.Slice(findings, func(i, j int) bool { return findings[i].sel.Pos() < findings[j].sel.Pos() })
+		for _, fd := range findings {
+			p.Reportf(fd.sel.Pos(), "field %s is accessed with sync/atomic elsewhere; this plain access races", fd.v.Name())
+		}
+	}
+
+	// Copy discipline.
+	for _, pkg := range p.Prog.Packages {
+		checkCopies(p, pkg)
+	}
+}
+
+// fieldOf resolves a selector to the struct field it denotes, or nil.
+func fieldOf(pkg *Package, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// containsLock reports whether t (transitively, by value) contains a
+// sync lock or a typed atomic. The second result names the guilty type
+// for the diagnostic.
+func containsLock(t types.Type) (bool, string) {
+	seen := map[types.Type]bool{}
+	var walk func(types.Type) (bool, string)
+	walk = func(t types.Type) (bool, string) {
+		if seen[t] {
+			return false, ""
+		}
+		seen[t] = true
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil {
+				switch obj.Pkg().Path() {
+				case "sync":
+					switch obj.Name() {
+					case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+						return true, "sync." + obj.Name()
+					}
+				case "sync/atomic":
+					// Every exported sync/atomic type is a no-copy value.
+					if strings.ToUpper(obj.Name()[:1]) == obj.Name()[:1] {
+						return true, "atomic." + obj.Name()
+					}
+				}
+			}
+			return walk(named.Underlying())
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if ok, name := walk(u.Field(i).Type()); ok {
+					return ok, name
+				}
+			}
+		case *types.Array:
+			return walk(u.Elem())
+		}
+		return false, ""
+	}
+	return walk(t)
+}
+
+// checkCopies flags by-value copies of lock-containing types in one
+// package: parameters, results, receivers, assignments from existing
+// values, and range clauses. Composite-literal construction and
+// pointer/interface indirection are fine.
+func checkCopies(p *Pass, pkg *Package) {
+	typeOf := func(e ast.Expr) types.Type {
+		if tv, ok := pkg.Info.Types[e]; ok {
+			return tv.Type
+		}
+		return nil
+	}
+	// copiesValue: expressions that copy an existing value (as opposed
+	// to constructing a fresh one).
+	copiesValue := func(e ast.Expr) bool {
+		switch unparen(e).(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+			return true
+		}
+		return false
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				check := func(fl *ast.FieldList, what string) {
+					if fl == nil {
+						return
+					}
+					for _, fld := range fl.List {
+						t := typeOf(fld.Type)
+						if t == nil {
+							continue
+						}
+						if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+							continue
+						}
+						if ok, name := containsLock(t); ok {
+							p.Reportf(fld.Type.Pos(), "%s of %s passes %s by value", what, n.Name.Name, name)
+						}
+					}
+				}
+				check(n.Recv, "receiver")
+				if n.Type.Params != nil {
+					check(n.Type.Params, "parameter")
+				}
+				if n.Type.Results != nil {
+					check(n.Type.Results, "result")
+				}
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					if !copiesValue(rhs) {
+						continue
+					}
+					t := typeOf(rhs)
+					if t == nil {
+						continue
+					}
+					if ok, name := containsLock(t); ok {
+						p.Reportf(n.Lhs[i].Pos(), "assignment copies %s (via %s)", name, t)
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					return true
+				}
+				t := typeOf(n.Value)
+				if t == nil {
+					return true
+				}
+				if ok, name := containsLock(t); ok {
+					p.Reportf(n.Value.Pos(), "range clause copies %s per element", name)
+				}
+			case *ast.CallExpr:
+				c := calleeOf(pkg, n)
+				if c.conversion || c.builtin != "" {
+					return true
+				}
+				for _, arg := range n.Args {
+					if !copiesValue(arg) {
+						continue
+					}
+					t := typeOf(arg)
+					if t == nil {
+						continue
+					}
+					if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+						continue
+					}
+					if ok, name := containsLock(t); ok {
+						p.Reportf(arg.Pos(), "call argument copies %s", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,312 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// SA003: the PR 5 lock-scope contract — metric publication (any call
+// into internal/obs) and //symsim:slow functions must not run while a
+// mutex is held. The scheduler, SSE hub and job store serialize their
+// hot sections behind sync.Mutex/RWMutex; publishing from inside those
+// sections couples metric cardinality to lock hold time and deadlocks
+// the moment a metric callback takes the same lock.
+//
+// The analysis is per-function and syntactic in control flow: Lock()/
+// RLock() on a mutex-typed expression starts a held region, Unlock()/
+// RUnlock() ends it, defer Unlock() holds to function end. Branches are
+// walked in source order with the surrounding held set (a conservative
+// approximation: the idiomatic lock/defer-unlock and lock/work/unlock
+// shapes analyze exactly; exotic conditional locking warrants
+// //symsim:allow with a reason).
+
+// obsPkgSuffix identifies the metrics package in both the real tree
+// ("symsim/internal/obs") and test fixtures ("test/internal/obs").
+const obsPkgSuffix = "internal/obs"
+
+func runLocks(p *Pass) {
+	idx := buildFuncIndex(p.Prog)
+	for _, pkg := range p.Prog.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				lw := &lockWalker{p: p, pkg: pkg, idx: idx, held: map[string]ast.Expr{}}
+				lw.stmts(fd.Body.List)
+			}
+		}
+	}
+}
+
+// lockWalker tracks the held-mutex set through one function body.
+type lockWalker struct {
+	p    *Pass
+	pkg  *Package
+	idx  funcIndex
+	held map[string]ast.Expr // canonical mutex expr -> Lock call site
+}
+
+func (lw *lockWalker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		lw.stmt(s)
+	}
+}
+
+func (lw *lockWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && lw.lockOp(call, false) {
+			return
+		}
+		lw.expr(s.X)
+	case *ast.DeferStmt:
+		if lw.lockOp(s.Call, true) {
+			return
+		}
+		// A deferred slow call runs at return time; whether the lock is
+		// still held then depends on defer ordering — treat a deferred
+		// call while something is held as suspect only if it is itself
+		// an obs/slow call made with arguments evaluated now.
+		lw.expr(s.Call)
+	case *ast.BlockStmt:
+		lw.stmts(s.List)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			lw.stmt(s.Init)
+		}
+		lw.expr(s.Cond)
+		lw.stmt(s.Body)
+		if s.Else != nil {
+			lw.stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			lw.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			lw.expr(s.Cond)
+		}
+		lw.stmt(s.Body)
+		if s.Post != nil {
+			lw.stmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		lw.expr(s.X)
+		lw.stmt(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			lw.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			lw.expr(s.Tag)
+		}
+		lw.stmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			lw.stmt(s.Init)
+		}
+		lw.stmt(s.Assign)
+		lw.stmt(s.Body)
+	case *ast.SelectStmt:
+		lw.stmt(s.Body)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			lw.expr(e)
+		}
+		lw.stmts(s.Body)
+	case *ast.CommClause:
+		if s.Comm != nil {
+			lw.stmt(s.Comm)
+		}
+		lw.stmts(s.Body)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			lw.expr(e)
+		}
+		for _, e := range s.Lhs {
+			lw.expr(e)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			lw.expr(e)
+		}
+	case *ast.GoStmt:
+		// The goroutine body does not run under the caller's locks.
+	case *ast.DeclStmt, *ast.EmptyStmt, *ast.BranchStmt, *ast.IncDecStmt,
+		*ast.SendStmt, *ast.LabeledStmt:
+		if ls, ok := s.(*ast.LabeledStmt); ok {
+			lw.stmt(ls.Stmt)
+		}
+		if sd, ok := s.(*ast.SendStmt); ok {
+			lw.expr(sd.Chan)
+			lw.expr(sd.Value)
+		}
+		if id, ok := s.(*ast.IncDecStmt); ok {
+			lw.expr(id.X)
+		}
+		if ds, ok := s.(*ast.DeclStmt); ok {
+			if gd, ok := ds.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, v := range vs.Values {
+							lw.expr(v)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// expr scans an expression for calls made while locks are held. Func
+// literals are skipped: their bodies run later, not under these locks
+// (a literal invoked inline still surfaces through the enclosing call).
+func (lw *lockWalker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if len(lw.held) > 0 {
+			lw.checkCall(call)
+		}
+		return true
+	})
+}
+
+// lockOp handles mutex Lock/Unlock statements; returns true when the
+// call was a lock operation (and therefore fully handled).
+func (lw *lockWalker) lockOp(call *ast.CallExpr, deferred bool) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return false
+	}
+	// Resolve through the method object so embedded mutexes
+	// (s.Lock() with S embedding sync.Mutex) are recognized too.
+	c := calleeOf(lw.pkg, call)
+	isSyncMethod := c.fn != nil && c.fn.Pkg() != nil && c.fn.Pkg().Path() == "sync"
+	if !isSyncMethod && !isMutexExpr(lw.pkg, sel.X) {
+		return false
+	}
+	key := exprKey(lw.pkg, sel.X)
+	switch op {
+	case "Lock", "RLock":
+		if !deferred {
+			lw.held[key] = sel.X
+		}
+	case "Unlock", "RUnlock":
+		if deferred {
+			// defer mu.Unlock(): held until return; nothing to clear now.
+			return true
+		}
+		delete(lw.held, key)
+	}
+	return true
+}
+
+// checkCall flags obs publication and //symsim:slow calls under a lock.
+func (lw *lockWalker) checkCall(call *ast.CallExpr) {
+	c := calleeOf(lw.pkg, call)
+	if c.fn == nil {
+		return
+	}
+	heldKeys := ""
+	for k := range lw.held {
+		if heldKeys != "" {
+			heldKeys = "multiple mutexes"
+			break
+		}
+		heldKeys = displayKey(k)
+	}
+	if pkg := c.fn.Pkg(); pkg != nil && pkgPathHasSuffix(pkg.Path(), obsPkgSuffix) {
+		// Only publication calls matter; reading a metric value or
+		// formatting is equally banned under a lock — the whole package
+		// is off-limits inside a critical section.
+		lw.p.Reportf(call.Pos(), "obs call %s while holding %s (publish after unlock)", c.fn.Name(), heldKeys)
+		return
+	}
+	if fi := lw.idx[c.fn]; fi != nil && fi.marks.slow {
+		lw.p.Reportf(call.Pos(), "//symsim:slow call %s while holding %s", qualifiedName(c.fn), heldKeys)
+	}
+}
+
+// isMutexExpr reports whether e has type sync.Mutex/sync.RWMutex (or
+// pointer to one, or a named type embedding one directly).
+func isMutexExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isMutexType(tv.Type)
+}
+
+func isMutexType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return true
+		}
+	}
+	return false
+}
+
+// exprKey canonicalizes a mutex expression ("s.mu", "hub.mu") so Lock
+// and Unlock sites pair up. Unresolvable shapes get a positional key.
+func exprKey(pkg *Package, e ast.Expr) string {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pkg.Info.Uses[e]; obj != nil {
+			return fmt.Sprintf("%s#%d", e.Name, obj.Pos())
+		}
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprKey(pkg, e.X) + "." + e.Sel.Name
+	case *ast.UnaryExpr:
+		return exprKey(pkg, e.X)
+	case *ast.StarExpr:
+		return exprKey(pkg, e.X)
+	}
+	return fmt.Sprintf("mutex@%d", e.Pos())
+}
+
+// displayKey strips the position disambiguators from an exprKey for
+// human-readable diagnostics ("s#8228.mu" -> "s.mu").
+func displayKey(k string) string {
+	var b []byte
+	skip := false
+	for i := 0; i < len(k); i++ {
+		switch {
+		case k[i] == '#':
+			skip = true
+		case skip && (k[i] < '0' || k[i] > '9'):
+			skip = false
+			b = append(b, k[i])
+		case !skip:
+			b = append(b, k[i])
+		}
+	}
+	return string(b)
+}
+
+func pkgPathHasSuffix(path, suffix string) bool {
+	return path == suffix || len(path) > len(suffix) && path[len(path)-len(suffix)-1] == '/' && path[len(path)-len(suffix):] == suffix
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// SA005: the diagnostic-code registries. symsim has two: NL0xx
+// (structural netlist lint, internal/lint) and SA0xx (this suite). A
+// registry is sound when every code is declared exactly once, the
+// numbering has no gaps (a gap means a code was deleted — codes are
+// permanent — or a typo skipped one), and every code is documented in
+// DESIGN.md (the codes are the public contract of the tools; an
+// undocumented code is an undocumented gate).
+
+var codeConstPat = regexp.MustCompile(`^(NL|SA)(\d{3})$`)
+
+func runDiagCodes(p *Pass) {
+	type decl struct {
+		value string
+		num   int
+		pos   token.Pos
+	}
+	families := map[string][]decl{}
+	for _, pkg := range p.Prog.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok || gd.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if i >= len(vs.Values) {
+							continue
+						}
+						obj := pkg.Info.Defs[name]
+						if obj == nil {
+							continue
+						}
+						c, ok := obj.(interface{ Val() constant.Value })
+						if !ok || c.Val() == nil || c.Val().Kind() != constant.String {
+							continue
+						}
+						v := constant.StringVal(c.Val())
+						m := codeConstPat.FindStringSubmatch(v)
+						if m == nil {
+							continue
+						}
+						num, _ := strconv.Atoi(m[2])
+						families[m[1]] = append(families[m[1]], decl{value: v, num: num, pos: name.Pos()})
+					}
+				}
+			}
+		}
+	}
+
+	famNames := make([]string, 0, len(families))
+	for fam := range families {
+		famNames = append(famNames, fam)
+	}
+	sort.Strings(famNames)
+	for _, fam := range famNames {
+		decls := families[fam]
+		sort.Slice(decls, func(i, j int) bool {
+			if decls[i].num != decls[j].num {
+				return decls[i].num < decls[j].num
+			}
+			return decls[i].pos < decls[j].pos
+		})
+		seen := map[string]token.Pos{}
+		for _, d := range decls {
+			if first, dup := seen[d.value]; dup {
+				p.Reportf(d.pos, "duplicate declaration of code %s (first at %s)", d.value, p.Prog.Position(first))
+				continue
+			}
+			seen[d.value] = d.pos
+			if p.Prog.DesignDoc != "" && !containsCode(p.Prog.DesignDoc, d.value) {
+				p.Reportf(d.pos, "code %s is not documented in DESIGN.md", d.value)
+			}
+		}
+		// Gap check over the distinct numbers.
+		nums := make([]int, 0, len(seen))
+		for v := range seen {
+			n, _ := strconv.Atoi(v[2:])
+			nums = append(nums, n)
+		}
+		sort.Ints(nums)
+		for i := 1; i < len(nums); i++ {
+			if nums[i] != nums[i-1]+1 {
+				p.Reportf(decls[0].pos, "registry %s has a gap: %s is followed by %s (codes are append-only)",
+					fam, fmt.Sprintf("%s%03d", fam, nums[i-1]), fmt.Sprintf("%s%03d", fam, nums[i]))
+			}
+		}
+	}
+}
+
+// containsCode looks for the code as a standalone token in the doc (a
+// code embedded in a longer identifier does not count as documentation).
+func containsCode(doc, code string) bool {
+	for i := 0; ; {
+		j := indexFrom(doc, code, i)
+		if j < 0 {
+			return false
+		}
+		before := byte(' ')
+		if j > 0 {
+			before = doc[j-1]
+		}
+		after := byte(' ')
+		if k := j + len(code); k < len(doc) {
+			after = doc[k]
+		}
+		if !isWordByte(before) && !isWordByte(after) {
+			return true
+		}
+		i = j + 1
+	}
+}
+
+func indexFrom(s, sub string, from int) int {
+	if from >= len(s) {
+		return -1
+	}
+	for i := from; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func isWordByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9' || b == '_'
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SA006: discarded errors on I/O-shaped calls. PR 5 hand-fixed a batch
+// of silently dropped Write/Encode errors in the service; this gate
+// generalizes the fix: in non-test code, a statement-position call to a
+// function named Close/Flush/Sync/Encode or Write* whose results include
+// an error is a finding. An explicit `_ = f.Close()` is visible intent
+// and is not flagged; a bare deferred `defer f.Close()` on a read-only
+// resource is idiomatic and exempt (write-path deferred closes should
+// check the error in a named-return wrapper — see DESIGN.md §11).
+
+func runErrDrop(p *Pass) {
+	for _, pkg := range p.Prog.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				stmt, ok := n.(*ast.ExprStmt)
+				if !ok {
+					return true
+				}
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkDrop(p, pkg, call)
+				return true
+			})
+		}
+	}
+}
+
+// errDropName reports whether the callee name is in the guarded family.
+func errDropName(name string) bool {
+	switch name {
+	case "Close", "Flush", "Sync", "Encode":
+		return true
+	}
+	return strings.HasPrefix(name, "Write")
+}
+
+// neverFails lists receiver types whose Write*/Flush methods are
+// documented to always return a nil error; flagging them would bury the
+// real findings in noise.
+func neverFails(recv types.Type) bool {
+	if recv == nil {
+		return false
+	}
+	if p, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer",
+		"hash.Hash", "hash.Hash32", "hash.Hash64":
+		return true
+	}
+	return false
+}
+
+func checkDrop(p *Pass, pkg *Package, call *ast.CallExpr) {
+	c := calleeOf(pkg, call)
+	if c.fn == nil || !errDropName(c.fn.Name()) {
+		return
+	}
+	sig, ok := c.fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	if sig.Recv() != nil && neverFails(sig.Recv().Type()) {
+		return
+	}
+	// A hash.Hash's Write resolves to the embedded io.Writer method, so
+	// the receiver type alone misses it; the static type of the selector
+	// operand (`h` in `h.Write(...)`) settles whether the concrete
+	// contract is a never-fails one.
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if tv, ok := pkg.Info.Types[sel.X]; ok && neverFails(tv.Type) {
+			return
+		}
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		t := sig.Results().At(i).Type()
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			p.Reportf(call.Pos(), "%s drops its error result (handle it, log it, or `_ =` it deliberately)", c.fn.Name())
+			return
+		}
+	}
+}

@@ -124,7 +124,7 @@ func (a *Analysis) Config(spec *vvp.StateSpec) (core.Config, error) {
 			return cfg, fmt.Errorf("constrained policy needs -constraints: %w", err)
 		}
 		cons, err := csm.ParseConstraints(f, spec)
-		f.Close()
+		_ = f.Close() // opened read-only; Close cannot lose data
 		if err != nil {
 			return cfg, err
 		}

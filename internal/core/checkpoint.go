@@ -11,6 +11,7 @@ import (
 	"symsim/internal/csm"
 	"symsim/internal/logic"
 	"symsim/internal/vvp"
+	"symsim/internal/wire"
 )
 
 // This file implements checkpoint/resume for long co-analyses: a periodic,
@@ -28,7 +29,7 @@ import (
 // FuzzCheckpointRoundTrip).
 
 // checkpointMagic identifies version 1 of the checkpoint file format.
-const checkpointMagic = "SYMSIMC1"
+const checkpointMagic = wire.CheckpointMagic
 
 // ErrCheckpointCorrupt tags every checkpoint decode failure — wrong magic,
 // truncation, non-canonical or out-of-range content — so callers can
@@ -283,7 +284,7 @@ func (c *Checkpoint) WriteFile(path string) error {
 	}
 	data := c.EncodeBinary()
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // the write error takes precedence
 		os.Remove(tmp.Name())
 		return err
 	}

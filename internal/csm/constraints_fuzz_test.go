@@ -1,0 +1,43 @@
+package csm
+
+import (
+	"strings"
+	"testing"
+
+	"symsim/internal/logic"
+)
+
+// FuzzParseConstraints drives the §3.3 constraint-text parser with
+// arbitrary input. The contract under fuzz: never panic, reject with a
+// non-empty error or accept, and every accepted constraint is fully
+// resolved — a bit index the spec knows and a two-valued pin value. The
+// parser feeds NewConstrained directly, so an out-of-range Bit here would
+// corrupt the CSM state mask downstream.
+func FuzzParseConstraints(f *testing.F) {
+	f.Add("pc=0x14 bit=dff:pc[0] val=0\npc=* bit=dff:pc[1] val=1\n")
+	f.Add("# comment only\n\n")
+	f.Add("pc=0x14 bit=dff:pc[0] val=0 val=1\n")
+	f.Add("pc=zz bit=dff:pc[0] val=0\n")
+	f.Add("bit=dff:pc[0] val=1\n")
+	f.Add("pc=* bit=mem:dmem[12].4 val=1\n")
+	f.Add("pc=0xffffffffffffffff bit=dff:pc[1] val=1\r\n")
+	f.Add("pc=* bit=dff:pc[1]")
+	sp := constraintSpec(f)
+	f.Fuzz(func(t *testing.T, text string) {
+		cons, err := ParseConstraints(strings.NewReader(text), sp)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("empty error message")
+			}
+			return
+		}
+		for i, c := range cons {
+			if c.Bit < 0 || c.Bit >= sp.Bits() {
+				t.Fatalf("constraint %d: bit %d out of range [0,%d)", i, c.Bit, sp.Bits())
+			}
+			if c.Val != logic.Lo && c.Val != logic.Hi {
+				t.Fatalf("constraint %d: non-binary val %v", i, c.Val)
+			}
+		}
+	})
+}

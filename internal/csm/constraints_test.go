@@ -12,7 +12,7 @@ import (
 
 // constraintSpec builds a tiny design with named flip-flops so labels
 // resolve.
-func constraintSpec(t *testing.T) *vvp.StateSpec {
+func constraintSpec(t testing.TB) *vvp.StateSpec {
 	t.Helper()
 	m := rtl.NewModule("cdes")
 	d := rtl.Bus{m.N.AddNet("d0"), m.N.AddNet("d1")}

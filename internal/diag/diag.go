@@ -1,0 +1,238 @@
+// Package diag is the shared diagnostic vocabulary for symsim's
+// self-analysis tools. Two analyzers report through it: `symsim lint`
+// (structural netlist analysis, NL0xx codes) and `symsimvet` (static
+// analysis of the symsim source tree itself, SA0xx codes). Severities,
+// the -fail-on threshold contract, the one-line summary format and the
+// text/JSON renderers all live here so the two tools cannot drift apart:
+// a CI gate reading either tool's output sees the same severity names,
+// the same exit-code semantics and the same report shape.
+package diag
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Severity grades a diagnostic.
+type Severity uint8
+
+const (
+	// SevInfo marks advisory findings.
+	SevInfo Severity = iota
+	// SevWarn marks suspicious structure or style that works today but
+	// usually indicates a mistake.
+	SevWarn
+	// SevError marks findings that violate a load-bearing invariant.
+	SevError
+)
+
+// String returns "info", "warning" or "error".
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarn:
+		return "warning"
+	case SevError:
+		return "error"
+	}
+	return fmt.Sprintf("Severity(%d)", uint8(s))
+}
+
+// Code is a stable diagnostic identifier (e.g. "NL001", "SA003"). Codes
+// never change meaning between releases; new checks get new codes.
+type Code string
+
+// ParseFailOn maps a -fail-on flag value to the minimum severity that
+// fails a run. Both `symsim lint` and `symsimvet` accept the same three
+// spellings; anything else is a usage error.
+func ParseFailOn(s string) (Severity, error) {
+	switch s {
+	case "error":
+		return SevError, nil
+	case "warn":
+		return SevWarn, nil
+	case "info":
+		return SevInfo, nil
+	}
+	return SevError, fmt.Errorf("unknown -fail-on %q (want error, warn or info)", s)
+}
+
+// Fails reports whether a run with the given severity counts exceeds the
+// -fail-on threshold min: any finding at or above min fails the run.
+func Fails(errs, warns, infos int, min Severity) bool {
+	switch min {
+	case SevInfo:
+		return errs+warns+infos > 0
+	case SevWarn:
+		return errs+warns > 0
+	default:
+		return errs > 0
+	}
+}
+
+// Summary renders the canonical one-line count summary both tools print
+// in their report headers.
+func Summary(errs, warns, infos int) string {
+	return fmt.Sprintf("%d errors, %d warnings, %d infos", errs, warns, infos)
+}
+
+// FormatLine renders one finding as "CODE severity: message" — the
+// shared per-diagnostic text form.
+func FormatLine(code Code, sev Severity, msg string) string {
+	return fmt.Sprintf("%s %s: %s", code, sev, msg)
+}
+
+// Diag is one source-anchored finding, the symsimvet diagnostic record.
+// (Netlist lint keeps its own richer Diag carrying net/gate/memory IDs
+// but renders through FormatLine so the line shape matches.)
+type Diag struct {
+	Code Code
+	Sev  Severity
+	// Pos anchors the finding as "file:line:col", repo-relative where
+	// possible. Empty when the finding has no single location.
+	Pos string
+	// Msg is the human-readable description.
+	Msg string
+}
+
+// String renders "file:line:col: CODE severity: message" (position
+// omitted when empty).
+func (d Diag) String() string {
+	line := FormatLine(d.Code, d.Sev, d.Msg)
+	if d.Pos == "" {
+		return line
+	}
+	return d.Pos + ": " + line
+}
+
+// Report accumulates the findings for one analyzed unit (a netlist
+// design, a Go package, or a whole source tree).
+type Report struct {
+	// Name identifies the analyzed unit.
+	Name string
+	// Diags lists the findings in the order they were added.
+	Diags []Diag
+	// Counts is the total findings per code.
+	Counts map[Code]int
+
+	errs, warns, infos int
+}
+
+// NewReport returns an empty report for the named unit.
+func NewReport(name string) *Report {
+	return &Report{Name: name, Counts: make(map[Code]int)}
+}
+
+// Add records one finding.
+func (r *Report) Add(d Diag) {
+	r.Diags = append(r.Diags, d)
+	if r.Counts == nil {
+		r.Counts = make(map[Code]int)
+	}
+	r.Counts[d.Code]++
+	switch d.Sev {
+	case SevError:
+		r.errs++
+	case SevWarn:
+		r.warns++
+	default:
+		r.infos++
+	}
+}
+
+// ErrorCount returns the number of error-severity findings.
+func (r *Report) ErrorCount() int { return r.errs }
+
+// WarnCount returns the number of warning-severity findings.
+func (r *Report) WarnCount() int { return r.warns }
+
+// InfoCount returns the number of info-severity findings.
+func (r *Report) InfoCount() int { return r.infos }
+
+// Summary renders the one-line count summary.
+func (r *Report) Summary() string { return Summary(r.errs, r.warns, r.infos) }
+
+// Fails reports whether the report trips the -fail-on threshold.
+func (r *Report) Fails(min Severity) bool { return Fails(r.errs, r.warns, r.infos, min) }
+
+// Sort orders the findings by code, then position, then message — the
+// deterministic report order symsimvet emits regardless of analyzer
+// scheduling.
+func (r *Report) Sort() {
+	sort.SliceStable(r.Diags, func(i, j int) bool {
+		a, b := r.Diags[i], r.Diags[j]
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		if a.Pos != b.Pos {
+			return a.Pos < b.Pos
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// WriteText renders the report as a human-readable block: a summary
+// header followed by one line per finding.
+func (r *Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s: %s\n", r.Name, r.Summary()); err != nil {
+		return err
+	}
+	for _, d := range r.Diags {
+		if _, err := fmt.Fprintf(w, "  %s\n", d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonDiag is the machine-readable form of one finding.
+type jsonDiag struct {
+	Code     Code   `json:"code"`
+	Severity string `json:"severity"`
+	Pos      string `json:"pos,omitempty"`
+	Message  string `json:"message"`
+}
+
+type jsonReport struct {
+	Name     string         `json:"name"`
+	Errors   int            `json:"errors"`
+	Warnings int            `json:"warnings"`
+	Infos    int            `json:"infos"`
+	Counts   map[string]int `json:"counts,omitempty"`
+	Diags    []jsonDiag     `json:"diags"`
+}
+
+// JSON returns the machine-readable form of the report, ready for
+// json.Marshal (CLIs aggregate several reports into one array).
+func (r *Report) JSON() any {
+	out := jsonReport{
+		Name: r.Name, Errors: r.errs, Warnings: r.warns, Infos: r.infos,
+		Counts: make(map[string]int, len(r.Counts)),
+		Diags:  []jsonDiag{},
+	}
+	for c, v := range r.Counts {
+		out.Counts[string(c)] = v
+	}
+	for _, d := range r.Diags {
+		out.Diags = append(out.Diags, jsonDiag{
+			Code: d.Code, Severity: d.Sev.String(), Pos: d.Pos, Message: d.Msg,
+		})
+	}
+	return out
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r.JSON(), "", " ")
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	_, err = w.Write([]byte("\n"))
+	return err
+}

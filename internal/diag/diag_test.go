@@ -1,0 +1,132 @@
+package diag
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSeverityString(t *testing.T) {
+	for sev, want := range map[Severity]string{
+		SevInfo: "info", SevWarn: "warning", SevError: "error", Severity(9): "Severity(9)",
+	} {
+		if got := sev.String(); got != want {
+			t.Errorf("Severity(%d).String() = %q, want %q", sev, got, want)
+		}
+	}
+}
+
+func TestParseFailOn(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Severity
+		err  bool
+	}{
+		{"error", SevError, false},
+		{"warn", SevWarn, false},
+		{"info", SevInfo, false},
+		{"warning", 0, true},
+		{"", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseFailOn(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseFailOn(%q) err = %v, want err=%v", c.in, err, c.err)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseFailOn(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFails(t *testing.T) {
+	cases := []struct {
+		errs, warns, infos int
+		min                Severity
+		want               bool
+	}{
+		{0, 0, 0, SevInfo, false},
+		{0, 0, 1, SevInfo, true},
+		{0, 0, 1, SevWarn, false},
+		{0, 1, 0, SevWarn, true},
+		{0, 1, 0, SevError, false},
+		{1, 0, 0, SevError, true},
+	}
+	for _, c := range cases {
+		if got := Fails(c.errs, c.warns, c.infos, c.min); got != c.want {
+			t.Errorf("Fails(%d,%d,%d,%v) = %v, want %v", c.errs, c.warns, c.infos, c.min, got, c.want)
+		}
+	}
+}
+
+func TestReportAccumulationAndOrder(t *testing.T) {
+	r := NewReport("unit")
+	r.Add(Diag{Code: "SA006", Sev: SevWarn, Pos: "b.go:2:1", Msg: "zz"})
+	r.Add(Diag{Code: "SA001", Sev: SevError, Pos: "a.go:9:1", Msg: "mm"})
+	r.Add(Diag{Code: "SA001", Sev: SevError, Pos: "a.go:3:1", Msg: "nn"})
+	r.Add(Diag{Code: "SA005", Sev: SevInfo, Msg: "ii"})
+
+	if r.ErrorCount() != 2 || r.WarnCount() != 1 || r.InfoCount() != 1 {
+		t.Fatalf("counts = %d/%d/%d, want 2/1/1", r.ErrorCount(), r.WarnCount(), r.InfoCount())
+	}
+	if got, want := r.Summary(), "2 errors, 1 warnings, 1 infos"; got != want {
+		t.Fatalf("Summary() = %q, want %q", got, want)
+	}
+	if !r.Fails(SevError) || !r.Fails(SevWarn) || !r.Fails(SevInfo) {
+		t.Fatalf("Fails should trip at every threshold")
+	}
+	r.Sort()
+	var order []string
+	for _, d := range r.Diags {
+		order = append(order, string(d.Code)+"@"+d.Pos)
+	}
+	want := []string{"SA001@a.go:3:1", "SA001@a.go:9:1", "SA005@", "SA006@b.go:2:1"}
+	if strings.Join(order, " ") != strings.Join(want, " ") {
+		t.Fatalf("sorted order = %v, want %v", order, want)
+	}
+}
+
+func TestDiagString(t *testing.T) {
+	d := Diag{Code: "SA003", Sev: SevError, Pos: "x.go:4:2", Msg: "held"}
+	if got, want := d.String(), "x.go:4:2: SA003 error: held"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	d.Pos = ""
+	if got, want := d.String(), "SA003 error: held"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestWriteTextAndJSON(t *testing.T) {
+	r := NewReport("pkg")
+	r.Add(Diag{Code: "SA002", Sev: SevError, Pos: "p.go:1:1", Msg: "copied"})
+
+	var text strings.Builder
+	if err := r.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "pkg: 1 errors, 0 warnings, 0 infos") ||
+		!strings.Contains(text.String(), "p.go:1:1: SA002 error: copied") {
+		t.Fatalf("text output missing pieces:\n%s", text.String())
+	}
+
+	var buf strings.Builder
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Name   string `json:"name"`
+		Errors int    `json:"errors"`
+		Diags  []struct {
+			Code, Severity, Pos, Message string
+		} `json:"diags"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded.Name != "pkg" || decoded.Errors != 1 || len(decoded.Diags) != 1 ||
+		decoded.Diags[0].Code != "SA002" || decoded.Diags[0].Severity != "error" {
+		t.Fatalf("unexpected JSON: %+v", decoded)
+	}
+}

@@ -19,39 +19,30 @@ import (
 	"sort"
 	"strings"
 
+	"symsim/internal/diag"
 	"symsim/internal/logic"
 	"symsim/internal/netlist"
 )
 
-// Severity grades a diagnostic.
-type Severity uint8
+// Severity grades a diagnostic. It is the shared internal/diag severity:
+// `symsim lint` and `symsimvet` grade, summarize and threshold findings
+// identically (see diag.ParseFailOn for the -fail-on contract).
+type Severity = diag.Severity
 
 const (
 	// SevInfo marks advisory findings (e.g. the X-reachability summary).
-	SevInfo Severity = iota
+	SevInfo = diag.SevInfo
 	// SevWarn marks suspicious structure that simulates deterministically
 	// but usually indicates an elaboration or pruning mistake.
-	SevWarn
+	SevWarn = diag.SevWarn
 	// SevError marks structure that corrupts or aborts simulation.
-	SevError
+	SevError = diag.SevError
 )
 
-// String returns "info", "warning" or "error".
-func (s Severity) String() string {
-	switch s {
-	case SevInfo:
-		return "info"
-	case SevWarn:
-		return "warning"
-	case SevError:
-		return "error"
-	}
-	return fmt.Sprintf("Severity(%d)", uint8(s))
-}
-
 // Code is a stable diagnostic identifier. Codes never change meaning
-// between releases; new checks get new codes.
-type Code string
+// between releases; new checks get new codes. NL0xx codes belong to this
+// package; SA0xx codes belong to internal/analysis.
+type Code = diag.Code
 
 // The diagnostic codes.
 const (
@@ -110,8 +101,9 @@ type Diag struct {
 	Mems  []netlist.MemID
 }
 
-// String renders the diagnostic as "CODE severity: message".
-func (d Diag) String() string { return fmt.Sprintf("%s %s: %s", d.Code, d.Sev, d.Msg) }
+// String renders the diagnostic as "CODE severity: message" — the shared
+// diag line shape, so lint and symsimvet reports grep identically.
+func (d Diag) String() string { return diag.FormatLine(d.Code, d.Sev, d.Msg) }
 
 // Options tune a lint run. The zero value runs every check with default
 // bounds.
@@ -179,9 +171,16 @@ func (r *Result) Errors() []Diag {
 	return out
 }
 
-// Summary renders a one-line count summary.
+// Summary renders a one-line count summary (shared shape with symsimvet;
+// see diag.Summary).
 func (r *Result) Summary() string {
-	return fmt.Sprintf("%d errors, %d warnings, %d infos", r.errs, r.warns, r.infos)
+	return diag.Summary(r.errs, r.warns, r.infos)
+}
+
+// Fails reports whether the result trips the -fail-on threshold min —
+// the shared exit-code contract of `symsim lint` and `symsimvet`.
+func (r *Result) Fails(min Severity) bool {
+	return diag.Fails(r.errs, r.warns, r.infos, min)
 }
 
 // NewDiags compares two lint results and returns the findings of after

@@ -80,11 +80,14 @@ func (v Vec) Clone() Vec {
 
 func (v Vec) check(i int) {
 	if i < 0 || i >= v.width {
+		//symsim:allow SA001 panic formatting runs only on out-of-range programmer error, never in steady state
 		panic(fmt.Sprintf("logic: Vec bit %d out of range [0,%d)", i, v.width))
 	}
 }
 
 // Get returns bit i of v (Lo, Hi or X).
+//
+//symsim:hotpath
 func (v Vec) Get(i int) Value {
 	v.check(i)
 	w, b := i/64, uint(i%64)
@@ -95,6 +98,8 @@ func (v Vec) Get(i int) Value {
 }
 
 // Set assigns bit i of v. Z is stored as X.
+//
+//symsim:hotpath
 func (v *Vec) Set(i int, bit Value) {
 	v.check(i)
 	w, b := i/64, uint(i%64)
@@ -156,6 +161,8 @@ func lastWordMask(w, width int) uint64 {
 
 // Uint64 returns the value of v as an unsigned integer. ok is false when
 // any bit is unknown or the width exceeds 64.
+//
+//symsim:hotpath
 func (v Vec) Uint64() (u uint64, ok bool) {
 	if v.width > 64 || !v.IsAllKnown() {
 		return 0, false
@@ -225,8 +232,11 @@ func (v Vec) Merge(o Vec) Vec {
 // CopyFrom overwrites v with the contents of o in place, without
 // allocating. It panics when widths differ. The simulation engine's memory
 // write path uses it to keep steady-state stepping allocation-free.
+//
+//symsim:hotpath
 func (v *Vec) CopyFrom(o Vec) {
 	if v.width != o.width {
+		//symsim:allow SA001 panic formatting runs only on width-mismatch programmer error
 		panic(fmt.Sprintf("logic: CopyFrom width mismatch %d vs %d", v.width, o.width))
 	}
 	copy(v.known, o.known)
@@ -236,8 +246,11 @@ func (v *Vec) CopyFrom(o Vec) {
 // MergeInPlace folds o into v without allocating: v becomes Merge(v, o),
 // the least conservative vector covering both. It panics when widths
 // differ.
+//
+//symsim:hotpath
 func (v *Vec) MergeInPlace(o Vec) {
 	if v.width != o.width {
+		//symsim:allow SA001 panic formatting runs only on width-mismatch programmer error
 		panic(fmt.Sprintf("logic: MergeInPlace width mismatch %d vs %d", v.width, o.width))
 	}
 	for i := range v.known {
@@ -252,10 +265,12 @@ func (v *Vec) MergeInPlace(o Vec) {
 // word-sized chunks, so restoring a few thousand memory bits costs a few
 // dozen word operations instead of per-bit Get/Set pairs. Out-of-range
 // spans panic.
+//
+//symsim:hotpath
 func (v *Vec) CopyBitsFrom(dstOff int, src Vec, srcOff, n int) {
 	if n < 0 || dstOff < 0 || srcOff < 0 || dstOff+n > v.width || srcOff+n > src.width {
-		panic(fmt.Sprintf("logic: CopyBitsFrom [%d,%d)<-[%d,%d) out of range (dst %d, src %d bits)",
-			dstOff, dstOff+n, srcOff, srcOff+n, v.width, src.width))
+		//symsim:allow SA001 panic formatting runs only on out-of-range programmer error
+		panic(fmt.Sprintf("logic: CopyBitsFrom [%d,%d)<-[%d,%d) out of range (dst %d, src %d bits)", dstOff, dstOff+n, srcOff, srcOff+n, v.width, src.width))
 	}
 	for n > 0 {
 		dw, db := dstOff/64, uint(dstOff%64)

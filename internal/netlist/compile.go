@@ -89,6 +89,8 @@ type Program struct {
 
 // LevelRange returns the kernel gate ID range [lo, hi) of topological
 // level l.
+//
+//symsim:hotpath
 func (p *Program) LevelRange(l int32) (lo, hi uint32) {
 	return p.LvlStart[l], p.LvlStart[l+1]
 }
@@ -99,11 +101,15 @@ func (p *Program) LevelMems(l int32) []MemID {
 }
 
 // GateFan returns the kernel IDs of the gates reading net id, ascending.
+//
+//symsim:hotpath
 func (p *Program) GateFan(id NetID) []GateID {
 	return p.Fan[p.FanIdx[id]:p.FanIdx[id+1]]
 }
 
 // MemFanOf returns the memories reading net id, ascending MemID.
+//
+//symsim:hotpath
 func (p *Program) MemFanOf(id NetID) []MemID {
 	return p.MemFan[p.MemFanIdx[id]:p.MemFanIdx[id+1]]
 }

@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"sort"
+
+	"symsim/internal/wire"
 )
 
 // This file implements the canonical content hash of a netlist: the
@@ -41,7 +43,7 @@ func (d Digest) String() string { return hex.EncodeToString(d[:]) }
 
 // hashMagic versions the hash construction: bump it whenever the label
 // derivation changes so stale cache entries cannot alias new ones.
-const hashMagic = "SYMSIMH1"
+const hashMagic = wire.HashMagic
 
 // hashRounds is the number of label-refinement rounds. Each round extends
 // every net's structural horizon by one driver level; eight rounds

@@ -292,19 +292,27 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 		DesignHash: hash.String(),
 	}
 
+	// Counter publication is deferred to after the unlock: the lock-scope
+	// contract (SA003) keeps internal/obs calls out of critical sections.
+	var publish []*obs.Counter
+	defer func() {
+		for _, c := range publish {
+			c.Inc()
+		}
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		return JobView{}, ErrDraining
 	}
 	s.m.accepted++
-	s.om.accepted.Inc()
+	publish = append(publish, s.om.accepted)
 
 	if data, ok := s.store.readCache(key); ok {
 		// Content-addressed hit: the exact analysis already ran to
 		// completion. Serve the stored result without spending a cycle.
 		s.m.cacheHits++
-		s.om.cacheHits.Inc()
+		publish = append(publish, s.om.cacheHits)
 		now := time.Now().UnixNano()
 		rec.State = StateDone
 		rec.Cached = true
@@ -320,7 +328,7 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 		return viewOf(s.jobs[rec.ID]), nil
 	}
 	s.m.cacheMisses++
-	s.om.cacheMisses.Inc()
+	publish = append(publish, s.om.cacheMisses)
 
 	if err := s.store.saveJob(rec); err != nil {
 		return JobView{}, err
@@ -432,6 +440,14 @@ func (s *Service) analyze(ctx context.Context, id string, spec JobSpec, resumabl
 // finishJob settles a finished analysis into its terminal state — or back
 // into the queue when a drain interrupted it.
 func (s *Service) finishJob(id string, res *core.Result, err error) {
+	// As in Submit, terminal-state counters publish only after the lock
+	// releases (SA003).
+	var publish []*obs.Counter
+	defer func() {
+		for _, c := range publish {
+			c.Inc()
+		}
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j := s.jobs[id]
@@ -451,13 +467,13 @@ func (s *Service) finishJob(id string, res *core.Result, err error) {
 		j.rec.Error = err.Error()
 		j.rec.Finished = now
 		s.m.failed++
-		s.om.failed.Inc()
+		publish = append(publish, s.om.failed)
 		s.store.removeCheckpoint(id)
 
 	case j.cancelRequested && !res.Complete:
 		j.rec.State = StateCanceled
 		j.rec.Finished = now
-		s.om.canceled.Inc()
+		publish = append(publish, s.om.canceled)
 		s.store.removeCheckpoint(id)
 
 	case res.Complete:
@@ -482,7 +498,7 @@ func (s *Service) finishJob(id string, res *core.Result, err error) {
 		}
 		s.store.removeCheckpoint(id)
 		s.noteEngineLocked(j.rec, res)
-		s.om.done.Inc()
+		publish = append(publish, s.om.done)
 
 	case s.draining:
 		// Drain interruption: the final checkpoint was written by the
@@ -492,7 +508,7 @@ func (s *Service) finishJob(id string, res *core.Result, err error) {
 		j.rec.Started = 0
 		j.rec.Resumable = s.store.hasCheckpoint(id)
 		s.m.requeued++
-		s.om.requeued.Inc()
+		publish = append(publish, s.om.requeued)
 
 	default:
 		// Budget-degraded completion: terminal, result served, never
@@ -500,7 +516,7 @@ func (s *Service) finishJob(id string, res *core.Result, err error) {
 		j.rec.State = StateDone
 		j.rec.Finished = now
 		s.m.degraded++
-		s.om.degraded.Inc()
+		publish = append(publish, s.om.degraded)
 		data, merr := json.Marshal(summarize(j.rec.Spec, res))
 		if merr == nil {
 			merr = s.store.writeResult(id, data)

@@ -20,6 +20,7 @@ import (
 
 	"symsim/internal/cliflags"
 	"symsim/internal/netlist"
+	"symsim/internal/wire"
 )
 
 // JobSpec describes one requested co-analysis: a built-in design/benchmark
@@ -154,7 +155,7 @@ func normalize(spec, def JobSpec) (JobSpec, error) {
 
 // cacheKeyMagic versions the cache key derivation; bump on any change to
 // what the key covers so stale entries cannot alias.
-const cacheKeyMagic = "SYMSIMK1"
+const cacheKeyMagic = wire.CacheKeyMagic
 
 // policyKey is the canonical result-affecting policy identity: the policy
 // plus exactly the parameters that change its merging behaviour.

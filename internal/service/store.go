@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"symsim/internal/wire"
 )
 
 // This file is the durable job store: every accepted job is persisted as
@@ -60,7 +62,7 @@ type jobRecord struct {
 }
 
 // jobMagic identifies version 1 of the job record format.
-const jobMagic = "SYMSIMJ1"
+const jobMagic = wire.JobMagic
 
 // ErrJobRecordCorrupt tags every job record decode failure, so callers can
 // distinguish corruption from I/O errors with errors.Is.
@@ -309,7 +311,7 @@ func atomicWrite(path string, data []byte) error {
 		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // the write error takes precedence
 		os.Remove(tmp.Name())
 		return err
 	}

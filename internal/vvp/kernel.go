@@ -37,6 +37,8 @@ import (
 // kernelLevel runs one round of level lvl on the compiled kernel: claim
 // the level's slice of the dirty bitmap, then evaluate the claimed gates
 // in ascending kernel ID order via trailing-zero iteration.
+//
+//symsim:hotpath
 func (s *Simulator) kernelLevel(lvl int32) error {
 	lo, hi := s.prog.LevelRange(lvl)
 	if lo != hi {
@@ -80,6 +82,7 @@ func (s *Simulator) kernelLevel(lvl int32) error {
 			// their bit back in dirtyW and defer to the next round.
 			s.dirtyW[wi] &^= w
 			n += bits.OnesCount64(w)
+			//symsim:allow SA001 scratchW is pre-sized at Freeze; append reuses its capacity
 			sw = append(sw, w)
 		}
 		s.scratchW = sw
@@ -112,6 +115,8 @@ func (s *Simulator) Sweeps() uint64 { return s.sweeps }
 // LUT ignores their operands, so the loads are unconditional. g is a
 // kernel gate ID; every per-gate array the kernel touches (descriptors,
 // levels, lastClk) is indexed by it.
+//
+//symsim:hotpath
 func (s *Simulator) evalGateK(g netlist.GateID) {
 	d := &s.prog.Gates[g]
 	if d.Kind == netlist.KindDFF {

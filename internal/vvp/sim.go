@@ -522,6 +522,7 @@ func (s *Simulator) dirtyGate(g netlist.GateID) {
 	if !s.inQ[g] {
 		s.inQ[g] = true
 		lvl := s.glv[g]
+		//symsim:allow SA001 level buckets are pre-sized at Freeze; append reuses their capacity
 		s.buckets[lvl] = append(s.buckets[lvl], g)
 		if lvl < s.dirtyLo {
 			s.dirtyLo = lvl
@@ -532,6 +533,8 @@ func (s *Simulator) dirtyGate(g netlist.GateID) {
 
 // dirtyGateK is the kernel's dirty marking: one bit in the level-major
 // bitmap. g is a kernel gate ID.
+//
+//symsim:hotpath
 func (s *Simulator) dirtyGateK(g netlist.GateID) {
 	wi, m := uint32(g)>>6, uint64(1)<<(uint32(g)&63)
 	if s.dirtyW[wi]&m == 0 {
@@ -549,6 +552,7 @@ func (s *Simulator) dirtyMem(m netlist.MemID) {
 	if !s.memInQ[m] {
 		s.memInQ[m] = true
 		lvl := s.mlv[m]
+		//symsim:allow SA001 memory buckets are pre-sized at Freeze; append reuses their capacity
 		s.memBuckets[lvl] = append(s.memBuckets[lvl], m)
 		if s.lvlW != nil {
 			s.lvlW[uint32(lvl)>>6] |= uint64(1) << (uint32(lvl) & 63)
@@ -566,6 +570,7 @@ func (s *Simulator) commit(id netlist.NetID, v logic.Value, region Region) {
 	if len(s.forces) != 0 {
 		// A forced net holds its forced value against driver updates
 		// until released (Verilog force/release semantics).
+		//symsim:allow SA001 force lookup runs only while forces are active; the benchmarked steady state has none
 		if i, ok := slices.BinarySearchFunc(s.forces, id, func(f force, id netlist.NetID) int {
 			return cmp.Compare(f.net, id)
 		}); ok {
@@ -661,11 +666,13 @@ func (s *Simulator) stepDFF(g netlist.GateID, out netlist.NetID, d, clk, en, rst
 			// Positive edge: sample D gated by EN. Mux merges when the
 			// enable is unknown — the conservative register update.
 			q := logic.Mux(en, s.val[out], d)
+			//symsim:allow SA001 nba reuses its capacity between cycles after the first
 			s.nba = append(s.nba, nbaAssign{net: out, val: q})
 		} else if !clk.IsKnown() || !last.IsKnown() {
 			// An unknown clock sample could be an edge: conservatively
 			// merge the captured value into the output.
 			q := logic.Mux(en, s.val[out], d)
+			//symsim:allow SA001 nba reuses its capacity between cycles after the first
 			s.nba = append(s.nba, nbaAssign{net: out, val: logic.MergeValue(s.val[out], q)})
 		}
 		s.lastClk[g] = clk
@@ -766,6 +773,7 @@ func (s *Simulator) countDeltas(n int) error {
 	s.deltas += n
 	s.evals += uint64(n)
 	if s.deltas > maxDeltas {
+		//symsim:allow SA001 the oscillation error is the abort path, not steady state
 		return fmt.Errorf("vvp: delta-cycle limit exceeded at t=%d (oscillating netlist?)", s.now)
 	}
 	return nil
@@ -899,9 +907,12 @@ func (s *Simulator) interpLevel(lvl int32) error {
 // engines: a design's few memories never warrant a sweep).
 func (s *Simulator) drainLevelMems(lvl int32) {
 	if b := s.memBuckets[lvl]; len(b) > 0 {
+		//symsim:allow SA001 scratchM reuses its capacity; memBuckets bound it
 		s.scratchM = append(s.scratchM[:0], b...)
 		s.memBuckets[lvl] = b[:0]
+		//symsim:allow SA001 slices.IsSorted on a MemID slice compares in place
 		if !slices.IsSorted(s.scratchM) {
+			//symsim:allow SA001 slices.Sort sorts in place without allocating
 			slices.Sort(s.scratchM)
 		}
 		for _, m := range s.scratchM {

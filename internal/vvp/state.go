@@ -1,7 +1,6 @@
 package vvp
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 
@@ -243,20 +242,19 @@ func (s *Simulator) gidx(g netlist.GateID) netlist.GateID {
 // MarshalBinary serializes st (the on-disk "sim_state.log" of the paper's
 // flow).
 func (st State) MarshalBinary() ([]byte, error) {
-	var buf bytes.Buffer
-	w := func(v any) { _ = binary.Write(&buf, binary.LittleEndian, v) }
-	w(uint64(st.Time))
-	w(uint64(st.PC))
+	out := make([]byte, 0, 8+8+1+4+st.Bits.Width())
+	out = binary.LittleEndian.AppendUint64(out, st.Time)
+	out = binary.LittleEndian.AppendUint64(out, st.PC)
 	var known uint8
 	if st.PCKnown {
 		known = 1
 	}
-	w(known)
-	w(uint32(st.Bits.Width()))
+	out = append(out, known)
+	out = binary.LittleEndian.AppendUint32(out, uint32(st.Bits.Width()))
 	for i := 0; i < st.Bits.Width(); i++ {
-		w(uint8(st.Bits.Get(i)))
+		out = append(out, uint8(st.Bits.Get(i)))
 	}
-	return buf.Bytes(), nil
+	return out, nil
 }
 
 // UnmarshalBinary deserializes a state written by MarshalBinary. It is

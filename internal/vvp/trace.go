@@ -28,6 +28,11 @@ type Trace struct {
 	Limit int
 }
 
+// record appends one trace event. Tracing is an opt-in debug facility;
+// the benchmarked steady state runs with it disabled, so event growth is
+// off the allocation budget.
+//
+//symsim:coldpath
 func (t *Trace) record(time uint64, region Region, net netlist.NetID, old, new logic.Value) {
 	if t.Limit > 0 && len(t.Events) >= t.Limit {
 		return

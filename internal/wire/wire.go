@@ -1,0 +1,70 @@
+// Package wire is the single registry of symsim's binary wire-format
+// magics. Every on-disk or on-wire artifact symsim produces opens with an
+// 8-byte magic "SYMSIM" + format letter + version digit; the codecs that
+// read and write them live next to their subsystems (checkpoint in
+// internal/core, job records in internal/service, …) but the magic
+// constants live here, once, so two formats can never collide and the
+// SA004 analyzer can verify that no magic literal is minted outside this
+// file and that every decodable format keeps a round-trip fuzz target.
+//
+// Bumping a format version means adding a new constant and registry row —
+// never editing an existing one; old magics stay reserved so stale files
+// are recognized rather than misparsed.
+package wire
+
+// The registered format magics. These are the only places in non-test
+// symsim source where a SYMSIM?? literal may appear (enforced by SA004).
+const (
+	// CheckpointMagic identifies version 1 of the analysis checkpoint
+	// file (internal/core checkpoint.go): the consistent-cut snapshot
+	// that `symsim -resume` and the symsimd drain protocol restart from.
+	CheckpointMagic = "SYMSIMC1"
+	// JobMagic identifies version 1 of the durable job record
+	// (internal/service store.go): one fully-validated record per job,
+	// crash-repaired on daemon restart.
+	JobMagic = "SYMSIMJ1"
+	// CacheKeyMagic identifies version 1 of the content-addressed result
+	// cache key (internal/service spec.go): a digest over the canonical
+	// netlist hash plus normalized analysis parameters. Digest-only —
+	// keys are derived, never decoded.
+	CacheKeyMagic = "SYMSIMK1"
+	// HashMagic identifies version 1 of the canonical netlist content
+	// hash construction (internal/netlist hash.go). Digest-only — bump it
+	// whenever the label refinement changes.
+	HashMagic = "SYMSIMH1"
+)
+
+// Format describes one registered wire format.
+type Format struct {
+	// Magic is the 8-byte format identifier.
+	Magic string
+	// Name is the short human name used in docs and diagnostics.
+	Name string
+	// Package is the import path of the owning codec.
+	Package string
+	// Fuzz names the round-trip fuzz target guarding the decoder.
+	// Empty only when DigestOnly: a format with a decoder must keep its
+	// fuzz corpus (enforced by SA004).
+	Fuzz string
+	// DigestOnly marks formats that are produced but never parsed
+	// (content hashes, cache keys) and therefore have no decoder to fuzz.
+	DigestOnly bool
+}
+
+// Formats is the registry, one row per magic, in magic order.
+var Formats = []Format{
+	{Magic: CheckpointMagic, Name: "checkpoint", Package: "symsim/internal/core", Fuzz: "FuzzCheckpointRoundTrip"},
+	{Magic: HashMagic, Name: "netlist content hash", Package: "symsim/internal/netlist", DigestOnly: true},
+	{Magic: JobMagic, Name: "job record", Package: "symsim/internal/service", Fuzz: "FuzzJobRecordRoundTrip"},
+	{Magic: CacheKeyMagic, Name: "result cache key", Package: "symsim/internal/service", DigestOnly: true},
+}
+
+// ByMagic returns the registered format for magic, or nil.
+func ByMagic(magic string) *Format {
+	for i := range Formats {
+		if Formats[i].Magic == magic {
+			return &Formats[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryShape enforces the registry's own invariants: well-formed
+// unique magics, names, owners, and a fuzz target on every decodable
+// format. (SA004 additionally verifies the fuzz targets exist and that no
+// magic literal appears outside this package.)
+func TestRegistryShape(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, f := range Formats {
+		if len(f.Magic) != 8 || !strings.HasPrefix(f.Magic, "SYMSIM") {
+			t.Errorf("magic %q is not an 8-byte SYMSIM?? identifier", f.Magic)
+		}
+		if seen[f.Magic] {
+			t.Errorf("duplicate magic %q", f.Magic)
+		}
+		seen[f.Magic] = true
+		if f.Name == "" || f.Package == "" {
+			t.Errorf("magic %q missing name or package", f.Magic)
+		}
+		if f.DigestOnly && f.Fuzz != "" {
+			t.Errorf("digest-only format %q claims fuzz target %q", f.Magic, f.Fuzz)
+		}
+		if !f.DigestOnly && f.Fuzz == "" {
+			t.Errorf("decodable format %q has no fuzz target", f.Magic)
+		}
+	}
+}
+
+func TestByMagic(t *testing.T) {
+	if f := ByMagic(CheckpointMagic); f == nil || f.Name != "checkpoint" {
+		t.Fatalf("ByMagic(CheckpointMagic) = %+v", f)
+	}
+	if f := ByMagic("SYMSIMZ9"); f != nil {
+		t.Fatalf("ByMagic(unknown) = %+v, want nil", f)
+	}
+}
