@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet symsimvet build test race lint bench
+.PHONY: check fmt vet symsimvet build test race lint bench chaos
 
 check: build vet symsimvet fmt race
 
@@ -30,6 +30,19 @@ test:
 
 race:
 	$(GO) test -race -timeout 10m ./...
+
+# Chaos gate: the fault-injection torture matrix under the race detector.
+# The crash-point sweep derives its matrix from a fault-free probe run
+# (every store operation becomes a crash point) and the seeded sweep uses
+# fixed seeds, so the job is fully deterministic and reproducible — a
+# failure names either its crash point (crash@K) or its seed (seed=N),
+# and `go test -run 'TestStoreCrashPointSweep/crash@K'` replays it.
+chaos:
+	$(GO) test -race -timeout 15m -count=1 ./internal/fault/
+	$(GO) test -race -timeout 15m -count=1 \
+		-run 'TestStoreCrashPointSweep|TestStoreSeededFaultSweep|TestCrashBetweenCreateTempAndRenameReapsOrphan|TestCorruptCache|TestSubmitRefusedWhileStoreDown|TestLease' \
+		./internal/service/
+	$(GO) test -race -timeout 5m -count=1 ./cmd/symsim/
 
 # Structural lint over the three shipped processors.
 lint:

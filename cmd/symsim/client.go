@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"symsim/internal/cliflags"
 	"symsim/internal/service"
@@ -32,7 +33,7 @@ func clientMain(cmd string, args []string) int {
 		})
 	case "cancel":
 		return jobGetCmd("cancel", args, func(server, id string) error {
-			resp, err := http.Post(server+"/jobs/"+id+"/cancel", "application/json", nil)
+			resp, err := postIdempotent(server + "/jobs/" + id + "/cancel")
 			if err != nil {
 				return err
 			}
@@ -95,7 +96,9 @@ func submitCmd(args []string) int {
 		fmt.Fprintln(os.Stderr, "symsim:", err)
 		return 1
 	}
-	resp, err := http.Post(*server+"/jobs", "application/json", bytes.NewReader(body))
+	resp, err := postOnce(*server+"/jobs", "application/json", func() (*http.Request, error) {
+		return http.NewRequest(http.MethodPost, *server+"/jobs", bytes.NewReader(body))
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "symsim:", err)
 		return 1
@@ -135,21 +138,79 @@ func submitCmd(args []string) int {
 	return 1
 }
 
-// followJob attaches to the job's SSE stream, echoing progress heartbeats
-// to stderr, and returns the job's terminal state.
+// maxStreamRetries bounds consecutive failed SSE reconnect attempts; any
+// successfully received event resets the budget.
+const maxStreamRetries = 6
+
+// followJob follows the job's SSE stream to its terminal state, echoing
+// progress heartbeats to stderr. A killed connection reconnects with
+// jittered backoff, resuming from the last received `id:` via the
+// Last-Event-ID header — the server replays the missed window from its
+// ring buffer, so no lifecycle event is duplicated or lost across the
+// reconnect.
 func followJob(server, id string) (service.State, error) {
-	resp, err := http.Get(server + "/jobs/" + id + "/events")
+	var lastEventID string
+	failures := 0
+	for {
+		gotAny, st, err := streamEventsOnce(server, id, &lastEventID)
+		if st != "" {
+			return st, nil
+		}
+		if gotAny {
+			failures = 0
+		}
+		// The stream ended without delivering a terminal event. Ask the
+		// job API directly before reconnecting: a resumed stream ends
+		// silently when this client already saw the terminal event, and a
+		// job may finish while the stream is down.
+		if view, verr := fetchJob(server, id); verr == nil && terminalState(view.State) {
+			if lastEventID == "" {
+				// No event ever printed the state; say it once here.
+				fmt.Fprintf(os.Stderr, "symsim: job %s %s\n", id, view.State)
+			}
+			return view.State, nil
+		}
+		failures++
+		if failures > maxStreamRetries {
+			if err == nil {
+				err = fmt.Errorf("event stream for job %s ended without a terminal state", id)
+			}
+			return "", err
+		}
+		d := backoff(failures - 1)
+		fmt.Fprintf(os.Stderr, "symsim: event stream interrupted, reconnecting in %v\n", d.Round(time.Millisecond))
+		time.Sleep(d)
+	}
+}
+
+// streamEventsOnce runs one SSE connection. It updates *lastEventID from
+// `id:` lines as events arrive, returns the terminal state if one was
+// observed, and reports whether any event landed (to reset the caller's
+// retry budget).
+func streamEventsOnce(server, id string, lastEventID *string) (gotAny bool, st service.State, err error) {
+	req, err := http.NewRequest(http.MethodGet, server+"/jobs/"+id+"/events", nil)
 	if err != nil {
-		return "", err
+		return false, "", err
+	}
+	if *lastEventID != "" {
+		req.Header.Set("Last-Event-ID", *lastEventID)
+	}
+	resp, err := streamClient.Do(req)
+	if err != nil {
+		return false, "", err
 	}
 	defer resp.Body.Close()
 	if err := checkStatus(resp); err != nil {
-		return "", err
+		return false, "", err
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
+		if strings.HasPrefix(line, "id: ") {
+			*lastEventID = strings.TrimPrefix(line, "id: ")
+			continue
+		}
 		if !strings.HasPrefix(line, "data: ") {
 			continue
 		}
@@ -157,6 +218,7 @@ func followJob(server, id string) (service.State, error) {
 		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
 			continue
 		}
+		gotAny = true
 		switch ev.Type {
 		case "progress":
 			if pr := ev.Progress; pr != nil {
@@ -165,16 +227,31 @@ func followJob(server, id string) (service.State, error) {
 			}
 		case "state":
 			fmt.Fprintf(os.Stderr, "symsim: job %s %s\n", id, ev.State)
-			switch ev.State {
-			case service.StateDone, service.StateFailed, service.StateCanceled:
-				return ev.State, nil
+			if terminalState(ev.State) {
+				return gotAny, ev.State, nil
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return "", err
+	return gotAny, "", sc.Err()
+}
+
+func terminalState(st service.State) bool {
+	return st == service.StateDone || st == service.StateFailed || st == service.StateCanceled
+}
+
+// fetchJob reads one job's view (with idempotent-GET retry).
+func fetchJob(server, id string) (service.JobView, error) {
+	var view service.JobView
+	resp, err := clientGet(server + "/jobs/" + id)
+	if err != nil {
+		return view, err
 	}
-	return "", fmt.Errorf("event stream for job %s ended without a terminal state", id)
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return view, err
+	}
+	err = json.NewDecoder(resp.Body).Decode(&view)
+	return view, err
 }
 
 // jobGetCmd factors the subcommands of shape `symsim <cmd> [-server ...] <job-id>`.
@@ -194,7 +271,7 @@ func jobGetCmd(name string, args []string, run func(server, id string) error) in
 }
 
 func getJSON(url string, sink func([]byte) error) error {
-	resp, err := http.Get(url)
+	resp, err := clientGet(url)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"time"
+)
+
+// This file is the client's transport hardening: shared http.Clients with
+// real timeouts (the zero-value default client never times out, so a dead
+// server used to hang every subcommand forever), exponential backoff with
+// jitter for requests the server handles idempotently, and the reconnect
+// budget the SSE follower draws on.
+
+// unaryClient serves request/response calls. The overall timeout bounds a
+// wedged server: no single status/result/submit call may take longer.
+var unaryClient = &http.Client{
+	Timeout:   30 * time.Second,
+	Transport: newTransport(),
+}
+
+// streamClient serves SSE streams, which are long-lived by design — an
+// overall timeout would sever healthy streams, so only the dial and
+// response-header phases are bounded. Liveness on an established stream
+// comes from the server's ": ping" keep-alives severing dead TCP paths.
+var streamClient = &http.Client{Transport: newTransport()}
+
+func newTransport() *http.Transport {
+	return &http.Transport{
+		DialContext:           (&net.Dialer{Timeout: 5 * time.Second, KeepAlive: 30 * time.Second}).DialContext,
+		ResponseHeaderTimeout: 10 * time.Second,
+		IdleConnTimeout:       90 * time.Second,
+	}
+}
+
+const (
+	retryAttempts = 4
+	retryBase     = 200 * time.Millisecond
+	retryMaxDelay = 3 * time.Second
+)
+
+// backoff returns the delay before retry n (0-based): exponential growth
+// capped at retryMaxDelay, with ±50% jitter so a burst of clients bounced
+// by the same outage doesn't reconverge in lockstep.
+func backoff(n int) time.Duration {
+	d := retryBase << uint(n)
+	if d > retryMaxDelay {
+		d = retryMaxDelay
+	}
+	half := int64(d) / 2
+	return time.Duration(half + rand.Int63n(half+1))
+}
+
+// retryStatus reports whether an HTTP status signals a transient refusal
+// worth retrying: backpressure (429) or an unavailable/intermediary-down
+// server (502/503/504).
+func retryStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// doIdempotent issues the request built by build, retrying on transport
+// errors and retryable statuses with jittered backoff. Only requests that
+// are safe to repeat belong here (GETs, and cancel — requesting a stop
+// twice stops the job once).
+func doIdempotent(build func() (*http.Request, error)) (*http.Response, error) {
+	var lastErr error
+	for n := 0; n < retryAttempts; n++ {
+		if n > 0 {
+			d := backoff(n - 1)
+			fmt.Fprintf(os.Stderr, "symsim: %v, retrying in %v\n", lastErr, d.Round(time.Millisecond))
+			time.Sleep(d)
+		}
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := unaryClient.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if retryStatus(resp.StatusCode) && n < retryAttempts-1 {
+			_ = resp.Body.Close()
+			lastErr = fmt.Errorf("server: %s", resp.Status)
+			continue
+		}
+		return resp, nil
+	}
+	return nil, lastErr
+}
+
+// clientGet is doIdempotent over a plain GET.
+func clientGet(url string) (*http.Response, error) {
+	return doIdempotent(func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, url, nil)
+	})
+}
+
+// postIdempotent is doIdempotent over a bodyless POST — used for cancel,
+// which the server treats idempotently.
+func postIdempotent(url string) (*http.Response, error) {
+	return doIdempotent(func() (*http.Request, error) {
+		return http.NewRequest(http.MethodPost, url, nil)
+	})
+}
+
+// postOnce issues a non-idempotent POST (job submission). A transport
+// error is never retried — the request may have been accepted and a retry
+// would submit a duplicate job — but a received 429/503 means the server
+// refused before accepting, which is safe to retry with backoff.
+func postOnce(url, contentType string, body func() (*http.Request, error)) (*http.Response, error) {
+	var lastErr error
+	for n := 0; n < retryAttempts; n++ {
+		if n > 0 {
+			d := backoff(n - 1)
+			fmt.Fprintf(os.Stderr, "symsim: %v, retrying in %v\n", lastErr, d.Round(time.Millisecond))
+			time.Sleep(d)
+		}
+		req, err := body()
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", contentType)
+		resp, err := unaryClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if retryStatus(resp.StatusCode) && n < retryAttempts-1 {
+			_ = resp.Body.Close()
+			lastErr = fmt.Errorf("server: %s", resp.Status)
+			continue
+		}
+		return resp, nil
+	}
+	return nil, lastErr
+}

@@ -41,24 +41,41 @@ import (
 	"time"
 
 	"symsim/internal/cliflags"
+	"symsim/internal/fault"
+	"symsim/internal/obs"
 	"symsim/internal/service"
 )
 
 func main() {
 	var (
-		listen    = flag.String("listen", "localhost:8466", "HTTP listen address")
-		dataDir   = flag.String("data", "symsimd-data", "durable state directory (jobs, results, cache, checkpoints)")
-		jobs      = flag.Int("jobs", 2, "concurrent analysis jobs (each job additionally uses its own -workers path workers)")
-		queueCap  = flag.Int("queue", 64, "pending-job queue capacity; submissions beyond it get HTTP 429")
-		ckptEvery = flag.Duration("checkpoint-every", 15*time.Second, "periodic checkpoint interval for running jobs")
-		progress  = flag.Duration("progress-every", 250*time.Millisecond, "progress heartbeat interval streamed to subscribers")
-		keepAlive = flag.Duration("sse-keepalive", 15*time.Second, "SSE comment-line keep-alive interval (defeats proxy idle timeouts)")
-		debug     = flag.String("debug", "", "debug listen address for net/http/pprof (e.g. localhost:8467; empty = off)")
-		defaults  = cliflags.Register(flag.CommandLine)
+		listen     = flag.String("listen", "localhost:8466", "HTTP listen address")
+		dataDir    = flag.String("data", "symsimd-data", "durable state directory (jobs, results, cache, checkpoints)")
+		jobs       = flag.Int("jobs", 2, "concurrent analysis jobs (each job additionally uses its own -workers path workers)")
+		queueCap   = flag.Int("queue", 64, "pending-job queue capacity; submissions beyond it get HTTP 429")
+		ckptEvery  = flag.Duration("checkpoint-every", 15*time.Second, "periodic checkpoint interval for running jobs")
+		progress   = flag.Duration("progress-every", 250*time.Millisecond, "progress heartbeat interval streamed to subscribers")
+		keepAlive  = flag.Duration("sse-keepalive", 15*time.Second, "SSE comment-line keep-alive interval (defeats proxy idle timeouts)")
+		leaseTTL   = flag.Duration("lease-ttl", 0, "job lease TTL: a running job making no observable progress this long is requeued under a new lease (0 = watchdog off)")
+		leaseCheck = flag.Duration("lease-check-every", 0, "lease watchdog sweep interval (default lease-ttl/4)")
+		faultPlan  = flag.String("fault-plan", "", "chaos testing: inject store faults per internal/fault plan spec (e.g. 'rename@3=eio,write@2=short' or 'seed:42:5'); NOT for production")
+		debug      = flag.String("debug", "", "debug listen address for net/http/pprof (e.g. localhost:8467; empty = off)")
+		defaults   = cliflags.Register(flag.CommandLine)
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "symsimd: ", log.LstdFlags)
+	var vfs fault.FS
+	if *faultPlan != "" {
+		plan, err := fault.ParsePlan(*faultPlan)
+		if err != nil {
+			logger.Fatalf("-fault-plan: %v", err)
+		}
+		inj := fault.NewInjector(fault.OS{}, plan)
+		inj.Logf = func(format string, args ...any) { logger.Printf(format, args...) }
+		inj.Counter = obs.Default.Counter("symsim_fault_injected_total", "Faults injected into the store by the chaos fault plan.")
+		vfs = inj
+		logger.Printf("CHAOS MODE: store faults injected per plan %q", *faultPlan)
+	}
 	svc, err := service.New(service.Config{
 		DataDir:         *dataDir,
 		Workers:         *jobs,
@@ -66,6 +83,9 @@ func main() {
 		CheckpointEvery: *ckptEvery,
 		ProgressEvery:   *progress,
 		SSEKeepAlive:    *keepAlive,
+		LeaseTTL:        *leaseTTL,
+		LeaseCheckEvery: *leaseCheck,
+		FS:              vfs,
 		Defaults:        defaults,
 		Logf:            func(format string, args ...any) { logger.Printf(format, args...) },
 	})

@@ -35,9 +35,14 @@ func runErrDrop(p *Pass) {
 }
 
 // errDropName reports whether the callee name is in the guarded family.
+// Remove/Rename/RemoveAll joined when the fault-injection layer landed:
+// cleanup-path removals look harmless but a silently failed Remove is how
+// orphan temp files and stale checkpoints survive a crash, so best-effort
+// removals must say so with an explicit `_ =`.
 func errDropName(name string) bool {
 	switch name {
-	case "Close", "Flush", "Sync", "Encode":
+	case "Close", "Flush", "Sync", "Encode",
+		"Remove", "Rename", "RemoveAll":
 		return true
 	}
 	return strings.HasPrefix(name, "Write")

@@ -285,15 +285,15 @@ func (c *Checkpoint) WriteFile(path string) error {
 	data := c.EncodeBinary()
 	if _, err := tmp.Write(data); err != nil {
 		_ = tmp.Close() // the write error takes precedence
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return err
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return err
 	}
 	return nil

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -26,7 +27,10 @@ import (
 func Handler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		// Degraded mode still answers 200 — the daemon is alive and
+		// serving — but the body says the store is failing writes so
+		// orchestrators and humans can see it before submissions bounce.
+		s.writeJSON(w, http.StatusOK, s.Health())
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -105,22 +109,25 @@ func submitStatus(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueClosed):
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueClosed), errors.Is(err, ErrDegraded):
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError
 }
 
-// serveEvents streams a job's events as server-sent events. The stream
-// starts with the job's current state (so late subscribers see where it
-// stands), then forwards hub events, and closes once the job reaches a
-// terminal state or the client disconnects. Between events it emits SSE
-// comment lines every Config.SSEKeepAlive so proxy idle timeouts don't
-// sever streams of long-quiet jobs (e.g. queued behind a full pool).
+// serveEvents streams a job's events as server-sent events, each with an
+// `id:` line carrying its per-job sequence number. A fresh stream starts
+// with the job's current state (so late subscribers see where it stands);
+// a reconnect with a Last-Event-ID header instead replays the buffered
+// events after that sequence number — exactly once, no gaps — from the
+// hub's bounded ring. The stream then forwards live hub events and closes
+// once the job reaches a terminal state or the client disconnects.
+// Between events it emits SSE comment lines every Config.SSEKeepAlive so
+// proxy idle timeouts don't sever streams of long-quiet jobs (e.g.
+// queued behind a full pool).
 func serveEvents(s *Service, w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	view, err := s.Job(id)
-	if err != nil {
+	if _, err := s.Job(id); err != nil {
 		s.writeErr(w, http.StatusNotFound, err)
 		return
 	}
@@ -129,14 +136,23 @@ func serveEvents(s *Service, w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
 		return
 	}
-	// Subscribe before reading the initial state so no transition between
-	// the snapshot and the stream can be lost.
-	ch, cancel, err := s.Subscribe(id)
-	if err != nil {
-		s.writeErr(w, http.StatusNotFound, err)
-		return
+	afterSeq := ^uint64(0) // fresh connect: no replay
+	resuming := false
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, perr := strconv.ParseUint(v, 10, 64); perr == nil {
+			afterSeq, resuming = n, true
+		}
 	}
+	// The replay snapshot and the subscription are atomic under the hub
+	// lock, so nothing published between them can be lost or duplicated.
+	replay, latest, ch, cancel := s.hub.SubscribeFrom(id, afterSeq)
 	defer cancel()
+	if resuming && afterSeq > latest {
+		// Stale cursor (e.g. from before a daemon restart renumbered the
+		// stream): the replay window is meaningless, fall back to a fresh
+		// snapshot.
+		resuming = false
+	}
 
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
@@ -147,19 +163,41 @@ func serveEvents(s *Service, w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return false
 		}
-		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
 			return false
 		}
 		flusher.Flush()
 		return true
 	}
 
-	view, _ = s.Job(id) // re-read under the subscription
-	if !send(Event{Type: "state", Job: id, State: view.State}) {
-		return
-	}
-	if terminal(view.State) {
-		return
+	if resuming {
+		for _, ev := range replay {
+			if !send(ev) {
+				return
+			}
+			if ev.Type == "state" && terminal(ev.State) {
+				return
+			}
+		}
+		// The replay held no terminal event; if the job is terminal
+		// anyway, the client saw that event before it disconnected (state
+		// events are never shed while heartbeats remain), so the stream
+		// simply ends.
+		view, err := s.Job(id)
+		if err != nil || terminal(view.State) {
+			return
+		}
+	} else {
+		// Snapshot carries the latest sequence number so an immediate
+		// reconnect resumes without replaying history the snapshot
+		// already summarized.
+		view, _ := s.Job(id)
+		if !send(Event{Type: "state", Job: id, State: view.State, Seq: latest}) {
+			return
+		}
+		if terminal(view.State) {
+			return
+		}
 	}
 	keepAlive := time.NewTicker(s.cfg.SSEKeepAlive)
 	defer keepAlive.Stop()

@@ -8,10 +8,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"symsim/internal/cliflags"
 	"symsim/internal/core"
+	"symsim/internal/fault"
 	"symsim/internal/obs"
 	"symsim/internal/report"
 )
@@ -52,6 +54,20 @@ type Config struct {
 	// core analysis) publishes into, served at /metrics in Prometheus
 	// text format. Nil selects obs.Default.
 	Metrics *obs.Registry
+	// FS is the filesystem the durable store writes through. Nil means
+	// the real OS; the fault-injection harness (and symsimd's chaos flag)
+	// installs a fault.Injector here.
+	FS fault.FS
+	// LeaseTTL enables the job-lease watchdog: a running job whose
+	// analysis makes no observable progress for LeaseTTL is presumed
+	// wedged, its context is canceled, and the job re-queues under a new
+	// lease (resuming from its checkpoint when one exists). Zero disables
+	// the watchdog. Liveness is measured on the Progress snapshot
+	// *content* — the heartbeat ticker keeps firing when a path worker is
+	// stuck, so only advancing counters count as a heartbeat.
+	LeaseTTL time.Duration
+	// LeaseCheckEvery is the watchdog sweep interval. Default LeaseTTL/4.
+	LeaseCheckEvery time.Duration
 
 	// tuneConfig, when non-nil, is applied to each job's core.Config just
 	// before the analysis starts — a test seam for installing hooks
@@ -70,6 +86,20 @@ type job struct {
 	// In-memory only: the SYMSIMJ1 record format is strict and
 	// intentionally unchanged, so the figure resets on daemon restart.
 	cpuSeconds float64
+	// attempt is the lease epoch: it increments each time a worker starts
+	// the job, and a finishing worker whose attempt is stale (the lease
+	// watchdog re-queued the job, or a newer attempt ran) must not touch
+	// the record. In-memory only, like cpuSeconds.
+	attempt int
+	// beat is the last observed-liveness time (unix nanos) and progFP the
+	// progress-snapshot fingerprint it was derived from; both are written
+	// by the heartbeat callback without taking Service.mu.
+	beat   atomic.Int64
+	progFP atomic.Uint64
+	// resultData is the degraded-mode fallback: when the store cannot
+	// persist a finished job's result, the bytes are kept here so Result
+	// still serves them — the daemon degrades instead of failing the job.
+	resultData []byte
 }
 
 // Service is the analysis daemon core: a bounded priority queue feeding a
@@ -90,6 +120,13 @@ type Service struct {
 	draining bool
 	wg       sync.WaitGroup
 
+	// degraded flips on when a store write fails and off on the next
+	// success; degradedReason (mu-guarded) carries the last failure.
+	degraded       atomic.Bool
+	degradedReason string
+	// stopLease ends the lease watchdog on drain.
+	stopLease chan struct{}
+
 	m metricsState
 }
 
@@ -105,6 +142,9 @@ type svcObs struct {
 	failed      *obs.Counter
 	done        *obs.Counter
 	canceled    *obs.Counter
+	storeFaults *obs.Counter
+	leaseExpiry *obs.Counter
+	tmpReaped   *obs.Counter
 }
 
 func newSvcObs(reg *obs.Registry) *svcObs {
@@ -118,20 +158,26 @@ func newSvcObs(reg *obs.Registry) *svcObs {
 		failed:      reg.Counter("symsim_service_jobs_failed_total", "Jobs finished in error."),
 		done:        reg.Counter("symsim_service_jobs_done_total", "Jobs finished successfully."),
 		canceled:    reg.Counter("symsim_service_jobs_canceled_total", "Jobs canceled before completing."),
+		storeFaults: reg.Counter("symsim_service_store_faults_total", "Durable-store I/O failures observed (each one trips or extends degraded mode)."),
+		leaseExpiry: reg.Counter("symsim_service_lease_expiries_total", "Running jobs re-queued by the lease watchdog after their worker stopped making progress."),
+		tmpReaped:   reg.Counter("symsim_service_tmp_reaped_total", "Orphan temp files reaped from the store at startup."),
 	}
 }
 
 // metricsState is the mutable counter set behind Metrics (guarded by
 // Service.mu).
 type metricsState struct {
-	accepted    uint64
-	cacheHits   uint64
-	cacheMisses uint64
-	degraded    uint64
-	resumed     uint64
-	requeued    uint64
-	failed      uint64
-	engines     map[string]*engineStat
+	accepted     uint64
+	cacheHits    uint64
+	cacheMisses  uint64
+	degraded     uint64
+	resumed      uint64
+	requeued     uint64
+	failed       uint64
+	storeFaults  uint64
+	leaseExpired uint64
+	tmpReaped    uint64
+	engines      map[string]*engineStat
 }
 
 type engineStat struct {
@@ -152,6 +198,12 @@ var ErrNotDone = errors.New("service: job has no result yet")
 
 // ErrDraining is returned by Submit once a drain has begun.
 var ErrDraining = errors.New("service: draining, not accepting jobs")
+
+// ErrDegraded is returned by Submit when the durable store cannot persist
+// the job record: the service refuses rather than accepting a job it
+// could lose on restart. The HTTP layer maps it to 503 so well-behaved
+// clients retry with backoff once the disk recovers.
+var ErrDegraded = errors.New("service: store degraded, submission refused")
 
 // New opens (or creates) the durable store under cfg.DataDir, recovers
 // jobs interrupted by a crash or drain — running records return to the
@@ -187,22 +239,44 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.Default
 	}
+	if cfg.LeaseTTL > 0 && cfg.LeaseCheckEvery <= 0 {
+		cfg.LeaseCheckEvery = cfg.LeaseTTL / 4
+		if cfg.LeaseCheckEvery < 10*time.Millisecond {
+			cfg.LeaseCheckEvery = 10 * time.Millisecond
+		}
+	}
 
-	st, err := openStore(cfg.DataDir)
+	st, reaped, reapErrs, err := openStore(cfg.DataDir, cfg.FS)
 	if err != nil {
 		return nil, err
 	}
+	for _, e := range reapErrs {
+		cfg.Logf("service: store reap: %v", e)
+	}
+	if reaped > 0 {
+		cfg.Logf("service: reaped %d orphan temp file(s) from interrupted writes", reaped)
+	}
 	s := &Service{
-		cfg:   cfg,
-		store: st,
-		queue: newJobQueue(cfg.QueueCap),
-		hub:   newHub(),
-		reg:   cfg.Metrics,
-		jobs:  make(map[string]*job),
+		cfg:       cfg,
+		store:     st,
+		queue:     newJobQueue(cfg.QueueCap),
+		hub:       newHub(),
+		reg:       cfg.Metrics,
+		jobs:      make(map[string]*job),
+		stopLease: make(chan struct{}),
 	}
 	s.om = newSvcObs(s.reg)
+	s.om.tmpReaped.Add(uint64(reaped))
+	s.m.tmpReaped = uint64(reaped)
 	s.reg.GaugeFunc("symsim_service_queue_depth", "Pending jobs in the queue.",
 		func() float64 { return float64(s.queue.Len()) })
+	s.reg.GaugeFunc("symsim_service_degraded", "1 while the durable store is failing writes (degraded mode), else 0.",
+		func() float64 {
+			if s.degraded.Load() {
+				return 1
+			}
+			return 0
+		})
 	s.reg.GaugeFunc("symsim_service_jobs_running", "Jobs currently analyzing.",
 		func() float64 {
 			s.mu.Lock()
@@ -231,7 +305,13 @@ func New(cfg Config) (*Service, error) {
 			rec.Started = 0
 			rec.Resumable = st.hasCheckpoint(rec.ID)
 			if err := st.saveJob(rec); err != nil {
-				return nil, err
+				// Degrade, don't die: the in-memory state is repaired and
+				// the job still runs; the stale on-disk "running" record
+				// would simply be repaired again by the next restart.
+				cfg.Logf("service: persisting crash repair of job %s: %v", rec.ID, err)
+				s.m.storeFaults++
+				s.om.storeFaults.Inc()
+				s.noteStoreFaultLocked(err)
 			}
 		}
 		s.jobs[rec.ID] = &job{rec: rec}
@@ -248,6 +328,10 @@ func New(cfg Config) (*Service, error) {
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
+	}
+	if cfg.LeaseTTL > 0 {
+		s.wg.Add(1)
+		go s.leaseWatchdog()
 	}
 	return s, nil
 }
@@ -308,31 +392,55 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 	s.m.accepted++
 	publish = append(publish, s.om.accepted)
 
-	if data, ok := s.store.readCache(key); ok {
+	if data, ok, cacheErr := s.store.readCache(key); cacheErr != nil {
+		// A faulting or corrupt cache entry is a miss, never an error to
+		// the client: the submission simply runs instead.
+		s.cfg.Logf("service: job %s: cache read: %v", rec.ID, cacheErr)
+		s.m.storeFaults++
+		publish = append(publish, s.om.storeFaults)
+		s.noteStoreFaultLocked(cacheErr)
+	} else if ok {
 		// Content-addressed hit: the exact analysis already ran to
 		// completion. Serve the stored result without spending a cycle.
-		s.m.cacheHits++
-		publish = append(publish, s.om.cacheHits)
 		now := time.Now().UnixNano()
 		rec.State = StateDone
 		rec.Cached = true
 		rec.Started, rec.Finished = now, now
-		if err := s.store.writeResult(rec.ID, data); err != nil {
-			return JobView{}, err
+		werr := s.store.writeResult(rec.ID, data)
+		if werr == nil {
+			werr = s.store.saveJob(rec)
 		}
-		if err := s.store.saveJob(rec); err != nil {
-			return JobView{}, err
+		if werr == nil {
+			s.noteStoreOKLocked()
+			s.m.cacheHits++
+			publish = append(publish, s.om.cacheHits)
+			s.jobs[rec.ID] = &job{rec: rec}
+			s.hub.Publish(Event{Type: "state", Job: rec.ID, State: StateDone})
+			return viewOf(s.jobs[rec.ID]), nil
 		}
-		s.jobs[rec.ID] = &job{rec: rec}
-		s.hub.Publish(Event{Type: "state", Job: rec.ID, State: StateDone})
-		return viewOf(s.jobs[rec.ID]), nil
+		// The hit couldn't persist: fall through to the queued path (which
+		// refuses only if the record itself can't be saved) rather than
+		// failing a submission the analysis engine can still satisfy.
+		s.cfg.Logf("service: job %s: persisting cache hit: %v", rec.ID, werr)
+		s.m.storeFaults++
+		publish = append(publish, s.om.storeFaults)
+		s.noteStoreFaultLocked(werr)
+		rec.State = StateQueued
+		rec.Cached = false
+		rec.Started, rec.Finished = 0, 0
 	}
 	s.m.cacheMisses++
 	publish = append(publish, s.om.cacheMisses)
 
 	if err := s.store.saveJob(rec); err != nil {
-		return JobView{}, err
+		// Refuse rather than accept a job the daemon could lose on
+		// restart: with no durable record, a crash would silently drop it.
+		s.m.storeFaults++
+		publish = append(publish, s.om.storeFaults)
+		s.noteStoreFaultLocked(err)
+		return JobView{}, fmt.Errorf("%w: %v", ErrDegraded, err)
 	}
+	s.noteStoreOKLocked()
 	s.jobs[rec.ID] = &job{rec: rec}
 	if err := s.queue.Push(rec.ID, spec.Priority, false); err != nil {
 		delete(s.jobs, rec.ID)
@@ -348,7 +456,7 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 }
 
 func (s *Service) removeJobFile(id string) error {
-	return removeFile(s.store.jobPath(id))
+	return s.store.removeFile(s.store.jobPath(id))
 }
 
 // runJob executes one queued job to a terminal state (or back to the
@@ -363,30 +471,41 @@ func (s *Service) runJob(id string) {
 	if j.cancelRequested {
 		j.rec.State = StateCanceled
 		j.rec.Finished = time.Now().UnixNano()
-		s.persistLocked(j)
+		faulted := s.persistJobLocked(j)
 		s.hub.Publish(Event{Type: "state", Job: id, State: StateCanceled})
 		s.mu.Unlock()
+		if faulted {
+			s.om.storeFaults.Inc()
+		}
 		return
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	j.cancel = cancel
 	j.rec.State = StateRunning
 	j.rec.Started = time.Now().UnixNano()
+	// A fresh lease: the attempt epoch marks this worker's run, and the
+	// liveness beat starts now.
+	j.attempt++
+	attempt := j.attempt
+	j.beat.Store(time.Now().UnixNano())
 	resumable := j.rec.Resumable
 	spec := j.rec.Spec
-	s.persistLocked(j)
+	faulted := s.persistJobLocked(j)
 	s.hub.Publish(Event{Type: "state", Job: id, State: StateRunning})
 	s.mu.Unlock()
+	if faulted {
+		s.om.storeFaults.Inc()
+	}
 	defer cancel()
 
-	res, err := s.analyze(ctx, id, spec, resumable)
-	s.finishJob(id, res, err)
+	res, err := s.analyze(ctx, j, id, spec, resumable)
+	s.finishJob(id, attempt, res, err)
 }
 
 // analyze maps a job spec onto a core run: platform, policy, budgets,
 // periodic checkpoints to the job's checkpoint file, resume from a
 // surviving checkpoint, and progress heartbeats published to the hub.
-func (s *Service) analyze(ctx context.Context, id string, spec JobSpec, resumable bool) (*core.Result, error) {
+func (s *Service) analyze(ctx context.Context, jb *job, id string, spec JobSpec, resumable bool) (*core.Result, error) {
 	p, err := s.cfg.BuildPlatform(spec.Design, spec.Bench)
 	if err != nil {
 		return nil, err
@@ -414,6 +533,17 @@ func (s *Service) analyze(ctx context.Context, id string, spec JobSpec, resumabl
 	}
 	cc.Progress = func(pr core.Progress) {
 		prCopy := pr
+		// Lease heartbeat: the snapshot ticker fires even when every path
+		// worker is wedged, so only a *changing* snapshot counts as
+		// liveness. Elapsed is excluded from the fingerprint — it always
+		// moves.
+		fp := uint64(pr.PathsDone)
+		for _, v := range []uint64{uint64(pr.PathsPending), uint64(pr.PathsInFlight), pr.SimulatedCycles, uint64(pr.CSMStates)} {
+			fp = fp*1099511628211 + v
+		}
+		if jb.progFP.Swap(fp) != fp {
+			jb.beat.Store(time.Now().UnixNano())
+		}
 		s.hub.Publish(Event{Type: "progress", Job: id, Progress: &prCopy})
 	}
 	if resumable {
@@ -438,8 +568,11 @@ func (s *Service) analyze(ctx context.Context, id string, spec JobSpec, resumabl
 }
 
 // finishJob settles a finished analysis into its terminal state — or back
-// into the queue when a drain interrupted it.
-func (s *Service) finishJob(id string, res *core.Result, err error) {
+// into the queue when a drain interrupted it. attempt is the lease epoch
+// the finishing worker ran under; a stale epoch means the lease watchdog
+// re-queued the job (or a newer attempt ran it), and the stale result is
+// discarded without touching the record.
+func (s *Service) finishJob(id string, attempt int, res *core.Result, err error) {
 	// As in Submit, terminal-state counters publish only after the lock
 	// releases (SA003).
 	var publish []*obs.Counter
@@ -454,12 +587,27 @@ func (s *Service) finishJob(id string, res *core.Result, err error) {
 	if j == nil {
 		return
 	}
+	if j.attempt != attempt || j.rec.State != StateRunning {
+		// The lease expired and the job re-queued (state queued, same
+		// epoch) or already re-ran (newer epoch): this worker unwedged
+		// too late and its outcome is void.
+		s.cfg.Logf("service: job %s: discarding stale result from expired lease (attempt %d, current %d, state %s)",
+			id, attempt, j.attempt, j.rec.State)
+		return
+	}
 	now := time.Now().UnixNano()
 	if res != nil {
 		// Accumulate across segments: a drained-and-resumed job keeps the
 		// CPU it already spent.
 		j.cpuSeconds += res.BusyTime.Seconds()
 	}
+
+	// Set when the result bytes could not be persisted and live only in
+	// j.resultData: the durable record must then NOT be advanced to done —
+	// a done record without its result file is exactly the half-written
+	// state the torture sweep hunts. The record stays at its last
+	// persisted state (running), so a restart re-runs the job.
+	memOnly := false
 
 	switch {
 	case err != nil:
@@ -481,20 +629,34 @@ func (s *Service) finishJob(id string, res *core.Result, err error) {
 		j.rec.Finished = now
 		data, merr := json.Marshal(summarize(j.rec.Spec, res))
 		if merr != nil {
+			// A marshal failure is a bug, not a disk fault: fail the job.
 			j.rec.State = StateFailed
 			j.rec.Error = merr.Error()
 			break
 		}
 		if werr := s.store.writeResult(id, data); werr != nil {
-			j.rec.State = StateFailed
-			j.rec.Error = werr.Error()
-			break
-		}
-		// Only complete results enter the content cache: a degraded
-		// dichotomy is sound but over-approximate, and caching it would
-		// freeze the degradation into every future identical submission.
-		if werr := s.store.writeCache(j.rec.CacheKey, data); werr != nil {
-			s.cfg.Logf("service: job %s: caching result: %v", id, werr)
+			// Disk fault: the job still finished — keep the result bytes
+			// in memory so Result serves them, and enter degraded mode
+			// instead of failing work that is already done.
+			s.cfg.Logf("service: job %s: persisting result: %v (serving from memory)", id, werr)
+			j.resultData = data
+			memOnly = true
+			s.m.storeFaults++
+			s.noteStoreFaultLocked(werr)
+			publish = append(publish, s.om.storeFaults)
+		} else {
+			s.noteStoreOKLocked()
+			// Only complete results enter the content cache: a degraded
+			// dichotomy is sound but over-approximate, and caching it
+			// would freeze the degradation into every future identical
+			// submission. While the store is degraded the cache write is
+			// bypassed outright — it would only burn another fault.
+			if werr := s.store.writeCache(j.rec.CacheKey, data); werr != nil {
+				s.cfg.Logf("service: job %s: caching result: %v", id, werr)
+				s.m.storeFaults++
+				s.noteStoreFaultLocked(werr)
+				publish = append(publish, s.om.storeFaults)
+			}
 		}
 		s.store.removeCheckpoint(id)
 		s.noteEngineLocked(j.rec, res)
@@ -518,19 +680,29 @@ func (s *Service) finishJob(id string, res *core.Result, err error) {
 		s.m.degraded++
 		publish = append(publish, s.om.degraded)
 		data, merr := json.Marshal(summarize(j.rec.Spec, res))
-		if merr == nil {
-			merr = s.store.writeResult(id, data)
-		}
 		if merr != nil {
 			j.rec.State = StateFailed
 			j.rec.Error = merr.Error()
+			break
+		}
+		if werr := s.store.writeResult(id, data); werr != nil {
+			s.cfg.Logf("service: job %s: persisting degraded result: %v (serving from memory)", id, werr)
+			j.resultData = data
+			memOnly = true
+			s.m.storeFaults++
+			s.noteStoreFaultLocked(werr)
+			publish = append(publish, s.om.storeFaults)
+		} else {
+			s.noteStoreOKLocked()
 		}
 		s.store.removeCheckpoint(id)
 		s.noteEngineLocked(j.rec, res)
 	}
 
 	j.cancel = nil
-	s.persistLocked(j)
+	if !memOnly && s.persistJobLocked(j) {
+		publish = append(publish, s.om.storeFaults)
+	}
 	s.hub.Publish(Event{Type: "state", Job: id, State: j.rec.State})
 }
 
@@ -547,9 +719,114 @@ func (s *Service) noteEngineLocked(rec *jobRecord, res *core.Result) {
 	}
 }
 
-func (s *Service) persistLocked(j *job) {
+// persistJobLocked saves the job record, tracking store health. It
+// reports whether the write faulted so callers can publish the
+// storeFaults counter after releasing s.mu (SA003 keeps obs calls out of
+// critical sections).
+func (s *Service) persistJobLocked(j *job) (faulted bool) {
 	if err := s.store.saveJob(j.rec); err != nil {
 		s.cfg.Logf("service: persisting job %s: %v", j.rec.ID, err)
+		s.m.storeFaults++
+		s.noteStoreFaultLocked(err)
+		return true
+	}
+	s.noteStoreOKLocked()
+	return false
+}
+
+// noteStoreFaultLocked records a durable-store I/O failure: the service
+// enters (or stays in) degraded mode until a store write succeeds again.
+// Callers hold s.mu (or, during New, have not yet published the Service).
+func (s *Service) noteStoreFaultLocked(err error) {
+	s.degradedReason = err.Error()
+	if s.degraded.CompareAndSwap(false, true) {
+		s.cfg.Logf("service: entering degraded mode: %v", err)
+	}
+}
+
+// noteStoreOKLocked clears degraded mode after a successful store write —
+// every ordinary write doubles as the recovery probe, so no separate
+// health-check goroutine is needed.
+func (s *Service) noteStoreOKLocked() {
+	if s.degraded.CompareAndSwap(true, false) {
+		s.degradedReason = ""
+		s.cfg.Logf("service: store recovered, leaving degraded mode")
+	}
+}
+
+// leaseWatchdog periodically sweeps running jobs for expired leases.
+// Runs on its own goroutine (registered on s.wg) until drain.
+func (s *Service) leaseWatchdog() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.LeaseCheckEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopLease:
+			return
+		case <-t.C:
+			s.leaseSweep()
+		}
+	}
+}
+
+// leaseSweep expires the lease of every running job whose analysis has
+// made no observable progress for LeaseTTL: the wedged attempt's context
+// is canceled, the job re-queues (resuming from its checkpoint when one
+// exists), and a replacement worker is spawned so a pool fully occupied
+// by wedged workers still drains the queue. If the old worker ever
+// unwedges, finishJob finds its attempt epoch stale and discards its
+// outcome.
+func (s *Service) leaseSweep() {
+	now := time.Now()
+	var publish []*obs.Counter
+	var expired []string
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return
+	}
+	for id, j := range s.jobs {
+		if j.rec.State != StateRunning {
+			continue
+		}
+		if now.Sub(time.Unix(0, j.beat.Load())) < s.cfg.LeaseTTL {
+			continue
+		}
+		if j.cancel != nil {
+			j.cancel()
+			j.cancel = nil
+		}
+		j.rec.State = StateQueued
+		j.rec.Started = 0
+		j.rec.Resumable = s.store.hasCheckpoint(id)
+		s.m.leaseExpired++
+		publish = append(publish, s.om.leaseExpiry)
+		if s.persistJobLocked(j) {
+			publish = append(publish, s.om.storeFaults)
+		}
+		if err := s.queue.Push(id, j.rec.Spec.Priority, true); err != nil {
+			// Push only fails after Close; the restart repair path will
+			// re-queue this job from its durable record then.
+			s.cfg.Logf("service: lease requeue of job %s: %v", id, err)
+		}
+		s.hub.Publish(Event{Type: "state", Job: id, State: StateQueued})
+		expired = append(expired, id)
+	}
+	s.mu.Unlock()
+	for _, c := range publish {
+		c.Inc()
+	}
+	for _, id := range expired {
+		s.cfg.Logf("service: lease expired for job %s: no progress for %v, requeued", id, s.cfg.LeaseTTL)
+		// The wedged worker still occupies its pool slot (blocked inside
+		// the analysis), so spawn a replacement. The pool can transiently
+		// exceed Workers if the wedged worker later revives; the extra
+		// goroutines drain once the queue closes. Safe to Add here: the
+		// watchdog itself holds a wg slot, so the counter cannot have
+		// reached zero.
+		s.wg.Add(1)
+		go s.worker()
 	}
 }
 
@@ -557,6 +834,12 @@ func (s *Service) persistLocked(j *job) {
 // analysis context canceled (the core drains soundly and the job settles
 // as canceled).
 func (s *Service) Cancel(id string) error {
+	var publish []*obs.Counter
+	defer func() {
+		for _, c := range publish {
+			c.Inc()
+		}
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j := s.jobs[id]
@@ -569,7 +852,9 @@ func (s *Service) Cancel(id string) error {
 		if s.queue.Remove(id) {
 			j.rec.State = StateCanceled
 			j.rec.Finished = time.Now().UnixNano()
-			s.persistLocked(j)
+			if s.persistJobLocked(j) {
+				publish = append(publish, s.om.storeFaults)
+			}
 			s.hub.Publish(Event{Type: "state", Job: id, State: StateCanceled})
 		}
 		// If Remove missed, a worker has already popped the ID and will
@@ -609,18 +894,46 @@ func (s *Service) Jobs() []JobView {
 	return views
 }
 
-// Result returns the stored result JSON for a done job.
+// Result returns the stored result JSON for a done job. When the durable
+// store faulted at finish time, the in-memory fallback copy is served
+// instead — a finished job's result survives a failing disk (but not a
+// daemon restart; the job would then re-run from its checkpoint).
 func (s *Service) Result(id string) ([]byte, error) {
 	s.mu.Lock()
 	j := s.jobs[id]
-	s.mu.Unlock()
 	if j == nil {
+		s.mu.Unlock()
 		return nil, ErrUnknownJob
 	}
 	if j.rec.State != StateDone {
+		s.mu.Unlock()
 		return nil, ErrNotDone
 	}
-	return s.store.readResult(id)
+	mem := j.resultData
+	s.mu.Unlock()
+	data, err := s.store.readResult(id)
+	if err != nil && mem != nil {
+		return mem, nil
+	}
+	return data, err
+}
+
+// HealthView is the /healthz body: "ok" normally, "degraded" with the
+// last store error while the durable store is failing writes.
+type HealthView struct {
+	Status string `json:"status"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// Health returns the current health view.
+func (s *Service) Health() HealthView {
+	if !s.degraded.Load() {
+		return HealthView{Status: "ok"}
+	}
+	s.mu.Lock()
+	reason := s.degradedReason
+	s.mu.Unlock()
+	return HealthView{Status: "degraded", Reason: reason}
 }
 
 // Subscribe streams a job's events (progress heartbeats and state
@@ -647,6 +960,7 @@ func (s *Service) beginDrain() {
 		return
 	}
 	s.draining = true
+	close(s.stopLease)
 	for _, j := range s.jobs {
 		if j.rec.State == StateRunning && j.cancel != nil {
 			j.cancel()
@@ -689,6 +1003,10 @@ type JobView struct {
 	// across drain/resume segments. In-memory only — it resets to zero on
 	// daemon restart (the durable record format is unchanged).
 	CPUSeconds float64 `json:"cpuSeconds,omitempty"`
+	// Attempts is the number of lease epochs (worker runs) this job has
+	// started; >1 means the lease watchdog or a drain re-ran it.
+	// In-memory only, like CPUSeconds.
+	Attempts int `json:"attempts,omitempty"`
 }
 
 func viewOf(j *job) JobView {
@@ -706,6 +1024,7 @@ func viewOf(j *job) JobView {
 		DesignHash: r.DesignHash,
 		CacheKey:   r.CacheKey,
 		CPUSeconds: j.cpuSeconds,
+		Attempts:   j.attempt,
 	}
 }
 
@@ -726,18 +1045,27 @@ func less(a, b JobView) bool {
 
 // Metrics is a snapshot of the service's observable counters.
 type Metrics struct {
-	QueueDepth   int                      `json:"queueDepth"`
-	Running      int                      `json:"running"`
-	JobsByState  map[State]int            `json:"jobsByState"`
-	Accepted     uint64                   `json:"accepted"`
-	CacheHits    uint64                   `json:"cacheHits"`
-	CacheMisses  uint64                   `json:"cacheMisses"`
-	CacheHitRate float64                  `json:"cacheHitRate"`
-	Degraded     uint64                   `json:"degraded"`
-	Resumed      uint64                   `json:"resumed"`
-	Requeued     uint64                   `json:"requeued"`
-	Failed       uint64                   `json:"failed"`
-	Engines      map[string]EngineMetrics `json:"engines"`
+	QueueDepth   int           `json:"queueDepth"`
+	Running      int           `json:"running"`
+	JobsByState  map[State]int `json:"jobsByState"`
+	Accepted     uint64        `json:"accepted"`
+	CacheHits    uint64        `json:"cacheHits"`
+	CacheMisses  uint64        `json:"cacheMisses"`
+	CacheHitRate float64       `json:"cacheHitRate"`
+	Degraded     uint64        `json:"degraded"`
+	Resumed      uint64        `json:"resumed"`
+	Requeued     uint64        `json:"requeued"`
+	Failed       uint64        `json:"failed"`
+	// StoreFaults counts durable-store I/O failures the service observed
+	// (each one trips or extends degraded mode); StoreDegraded is the
+	// current degraded-mode gauge.
+	StoreFaults   uint64 `json:"storeFaults"`
+	StoreDegraded bool   `json:"storeDegraded"`
+	// LeaseExpiries counts running jobs re-queued by the lease watchdog;
+	// TmpReaped counts orphan temp files reaped at startup.
+	LeaseExpiries uint64                   `json:"leaseExpiries"`
+	TmpReaped     uint64                   `json:"tmpReaped"`
+	Engines       map[string]EngineMetrics `json:"engines"`
 }
 
 // EngineMetrics is accumulated per-engine throughput.
@@ -756,16 +1084,20 @@ func (s *Service) MetricsSnapshot() Metrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m := Metrics{
-		QueueDepth:  s.queue.Len(),
-		JobsByState: make(map[State]int),
-		Accepted:    s.m.accepted,
-		CacheHits:   s.m.cacheHits,
-		CacheMisses: s.m.cacheMisses,
-		Degraded:    s.m.degraded,
-		Resumed:     s.m.resumed,
-		Requeued:    s.m.requeued,
-		Failed:      s.m.failed,
-		Engines:     make(map[string]EngineMetrics),
+		QueueDepth:    s.queue.Len(),
+		JobsByState:   make(map[State]int),
+		Accepted:      s.m.accepted,
+		CacheHits:     s.m.cacheHits,
+		CacheMisses:   s.m.cacheMisses,
+		Degraded:      s.m.degraded,
+		Resumed:       s.m.resumed,
+		Requeued:      s.m.requeued,
+		Failed:        s.m.failed,
+		StoreFaults:   s.m.storeFaults,
+		StoreDegraded: s.degraded.Load(),
+		LeaseExpiries: s.m.leaseExpired,
+		TmpReaped:     s.m.tmpReaped,
+		Engines:       make(map[string]EngineMetrics),
 	}
 	for _, j := range s.jobs {
 		m.JobsByState[j.rec.State]++

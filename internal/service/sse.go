@@ -17,50 +17,119 @@ type Event struct {
 	State State `json:"state,omitempty"`
 	// Progress accompanies "progress" events.
 	Progress *core.Progress `json:"progress,omitempty"`
+	// Seq is the per-job monotonically increasing sequence number,
+	// assigned by the hub at publish time and emitted as the SSE `id:`
+	// line — clients detect gaps with it and resume via Last-Event-ID.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
-// hub fans job events out to stream subscribers. Subscriber channels are
-// buffered; heartbeats are lossy — a slow SSE client drops them rather
-// than stalling the analysis worker that publishes them — but lifecycle
-// "state" events are never dropped: a full buffer sheds its oldest
-// heartbeat to make room, so a slow subscriber still observes the
-// terminal transition that ends its stream.
+// ringCap bounds the per-job replay buffer. 256 events comfortably holds
+// every lifecycle transition a job can have plus a long tail of recent
+// heartbeats; when full, heartbeats are shed first so lifecycle replay
+// stays lossless.
+const ringCap = 256
+
+// jobStream is the hub's per-job state: the sequence counter, the bounded
+// replay ring, and the live subscriber set. The stream outlives its
+// subscribers — the ring must still serve Last-Event-ID reconnects that
+// arrive after the job went terminal and every watcher hung up.
+type jobStream struct {
+	seq  uint64
+	ring []Event
+	subs map[chan Event]struct{}
+}
+
+// appendRing records ev for replay. A full ring sheds its oldest
+// "progress" heartbeat; only if the ring somehow holds nothing but state
+// events does the oldest state go (it is superseded by the transitions
+// still buffered behind it).
+func (st *jobStream) appendRing(ev Event) {
+	if len(st.ring) < ringCap {
+		st.ring = append(st.ring, ev)
+		return
+	}
+	shed := 0
+	for i, e := range st.ring {
+		if e.Type == "progress" {
+			shed = i
+			break
+		}
+	}
+	st.ring = append(append(st.ring[:shed], st.ring[shed+1:]...), ev)
+}
+
+// hub fans job events out to stream subscribers and keeps a bounded
+// per-job replay ring. Subscriber channels are buffered; heartbeats are
+// lossy — a slow SSE client drops them rather than stalling the analysis
+// worker that publishes them — but lifecycle "state" events are never
+// dropped: a full buffer sheds its oldest heartbeat to make room, so a
+// slow subscriber still observes the terminal transition that ends its
+// stream.
 type hub struct {
 	mu   sync.Mutex
-	subs map[string]map[chan Event]struct{}
+	jobs map[string]*jobStream
 }
 
-func newHub() *hub { return &hub{subs: make(map[string]map[chan Event]struct{})} }
+func newHub() *hub { return &hub{jobs: make(map[string]*jobStream)} }
+
+// streamLocked returns (creating if needed) the stream for job id.
+func (h *hub) streamLocked(id string) *jobStream {
+	st := h.jobs[id]
+	if st == nil {
+		st = &jobStream{subs: make(map[chan Event]struct{})}
+		h.jobs[id] = st
+	}
+	return st
+}
 
 // Subscribe returns a channel of events for job id and a cancel func that
 // must be called exactly once when the subscriber is done.
 func (h *hub) Subscribe(id string) (<-chan Event, func()) {
-	ch := make(chan Event, 32)
+	_, _, ch, cancel := h.SubscribeFrom(id, ^uint64(0))
+	return ch, cancel
+}
+
+// SubscribeFrom subscribes to job id and atomically returns the buffered
+// events with Seq > afterSeq (oldest first) plus the latest Seq the job
+// has been assigned. Because the replay snapshot and the subscription
+// happen under one lock, a reconnecting client replaying from its
+// Last-Event-ID sees every event exactly once: ring events up to the
+// subscription point come back in replay, everything published after
+// arrives on the channel. Pass afterSeq ^uint64(0) for no replay.
+func (h *hub) SubscribeFrom(id string, afterSeq uint64) (replay []Event, latest uint64, ch <-chan Event, cancel func()) {
+	c := make(chan Event, 32)
 	h.mu.Lock()
-	if h.subs[id] == nil {
-		h.subs[id] = make(map[chan Event]struct{})
+	st := h.streamLocked(id)
+	st.subs[c] = struct{}{}
+	latest = st.seq
+	for _, ev := range st.ring {
+		if ev.Seq > afterSeq {
+			replay = append(replay, ev)
+		}
 	}
-	h.subs[id][ch] = struct{}{}
 	h.mu.Unlock()
-	return ch, func() {
+	return replay, latest, c, func() {
 		h.mu.Lock()
-		if set := h.subs[id]; set != nil {
-			delete(set, ch)
-			if len(set) == 0 {
-				delete(h.subs, id)
-			}
+		if st := h.jobs[id]; st != nil {
+			// The stream itself stays: its ring serves late reconnects.
+			delete(st.subs, c)
 		}
 		h.mu.Unlock()
 	}
 }
 
-// Publish delivers ev to every subscriber of its job. "progress"
-// heartbeats are dropped for subscribers whose buffer is full; "state"
-// lifecycle events always land (see requeueWithState).
+// Publish assigns ev its per-job sequence number, records it for replay,
+// and delivers it to every subscriber of its job. "progress" heartbeats
+// are dropped for subscribers whose buffer is full; "state" lifecycle
+// events always land (see requeueWithState).
 func (h *hub) Publish(ev Event) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	for ch := range h.subs[ev.Job] {
+	st := h.streamLocked(ev.Job)
+	st.seq++
+	ev.Seq = st.seq
+	st.appendRing(ev)
+	for ch := range st.subs {
 		select {
 		case ch <- ev:
 			continue

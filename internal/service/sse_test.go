@@ -2,8 +2,11 @@ package service
 
 import (
 	"bufio"
+	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -185,6 +188,272 @@ func TestSSEStreamTerminatesForSlowClient(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("stream never terminated for slow client")
+	}
+}
+
+// SubscribeFrom must hand back the buffered window after the cursor and
+// the live channel atomically: every event lands exactly once, either in
+// the replay slice or on the channel, never both, never neither.
+func TestSubscribeFromReplaysExactlyOnce(t *testing.T) {
+	h := newHub()
+	for i := 1; i <= 5; i++ {
+		h.Publish(progressEv("j", i))
+	}
+	replay, latest, ch, cancel := h.SubscribeFrom("j", 2)
+	defer cancel()
+	if latest != 5 {
+		t.Fatalf("latest = %d, want 5", latest)
+	}
+	if len(replay) != 3 {
+		t.Fatalf("replay = %d events, want 3 (seqs 3..5)", len(replay))
+	}
+	for i, ev := range replay {
+		if want := uint64(i + 3); ev.Seq != want {
+			t.Errorf("replay[%d].Seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+	// Published after subscription: on the channel only.
+	h.Publish(Event{Type: "state", Job: "j", State: StateDone})
+	ev := <-ch
+	if ev.Seq != 6 || ev.State != StateDone {
+		t.Errorf("live event = %+v, want done at seq 6", ev)
+	}
+	if len(ch) != 0 {
+		t.Errorf("%d extra events on channel", len(ch))
+	}
+}
+
+// The replay ring is bounded but lifecycle-lossless: flooding it with far
+// more heartbeats than it holds must never shed a state event.
+func TestRingShedsHeartbeatsKeepsStates(t *testing.T) {
+	h := newHub()
+	h.Publish(Event{Type: "state", Job: "j", State: StateQueued})
+	h.Publish(Event{Type: "state", Job: "j", State: StateRunning})
+	for i := 0; i < 4*ringCap; i++ {
+		h.Publish(progressEv("j", i))
+	}
+	h.Publish(Event{Type: "state", Job: "j", State: StateDone})
+
+	replay, _, _, cancel := h.SubscribeFrom("j", 0)
+	defer cancel()
+	if len(replay) > ringCap {
+		t.Fatalf("ring grew past its bound: %d > %d", len(replay), ringCap)
+	}
+	var states []State
+	lastSeq := uint64(0)
+	for _, ev := range replay {
+		if ev.Seq <= lastSeq {
+			t.Fatalf("ring order broken: seq %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		if ev.Type == "state" {
+			states = append(states, ev.State)
+		}
+	}
+	want := []State{StateQueued, StateRunning, StateDone}
+	if len(states) != len(want) {
+		t.Fatalf("surviving state events = %v, want %v", states, want)
+	}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Fatalf("surviving state events = %v, want %v", states, want)
+		}
+	}
+}
+
+// sseLine is one parsed SSE event: its id: line and decoded data: payload.
+type sseLine struct {
+	id string
+	ev Event
+}
+
+// readSSE drains one SSE response body to EOF, returning every complete
+// event in order.
+func readSSE(t *testing.T, resp *http.Response) []sseLine {
+	t.Helper()
+	var out []sseLine
+	var cur sseLine
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			cur.id = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &cur.ev); err != nil {
+				t.Fatalf("bad SSE data line %q: %v", line, err)
+			}
+			out = append(out, cur)
+			cur = sseLine{}
+		}
+	}
+	return out
+}
+
+// TestSSEReconnectWithLastEventID is the acceptance path for stream
+// resumption: a follower's connection dies mid-job, the job finishes while
+// it is away, and the reconnect with Last-Event-ID replays exactly the
+// missed window — the terminal event arrives exactly once, nothing is
+// duplicated, and ids stay strictly monotonic across the two connections.
+func TestSSEReconnectWithLastEventID(t *testing.T) {
+	gate := make(chan struct{})
+	svc, err := New(Config{
+		DataDir:       t.TempDir(),
+		Workers:       1,
+		ProgressEvery: time.Hour, // lifecycle events only: deterministic stream
+		BuildPlatform: loopPlatform(t, 0x3),
+		tuneConfig:    func(string, *core.Config) { <-gate },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(Handler(svc))
+	defer ts.Close()
+
+	view, err := svc.Submit(JobSpec{Design: "dr5", Bench: "loop", Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, svc, view.ID, StateRunning)
+
+	// Connection 1: fresh stream, snapshot only (the job is gated), then
+	// the connection dies client-side.
+	req1, _ := http.NewRequest(http.MethodGet, ts.URL+"/jobs/"+view.ID+"/events", nil)
+	ctx1, kill := context.WithCancel(context.Background())
+	resp1, err := http.DefaultClient.Do(req1.WithContext(ctx1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snapshot sseLine
+	sc := bufio.NewScanner(resp1.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "id: ") {
+			snapshot.id = strings.TrimPrefix(line, "id: ")
+		}
+		if strings.HasPrefix(line, "data: ") {
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &snapshot.ev); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	kill()
+	resp1.Body.Close()
+	if snapshot.ev.State != StateRunning || snapshot.id == "" {
+		t.Fatalf("snapshot = %+v (id %q), want running with an id", snapshot.ev, snapshot.id)
+	}
+
+	// The job finishes while the client is disconnected.
+	close(gate)
+	waitState(t, svc, view.ID, StateDone)
+
+	// Connection 2: resume from the snapshot's id. Exactly the missed
+	// window comes back — here the single terminal transition.
+	req2, _ := http.NewRequest(http.MethodGet, ts.URL+"/jobs/"+view.ID+"/events", nil)
+	req2.Header.Set("Last-Event-ID", snapshot.id)
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	events := readSSE(t, resp2)
+	if len(events) == 0 {
+		t.Fatal("resumed stream delivered nothing")
+	}
+	prev, err := strconv.ParseUint(snapshot.id, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneCount := 0
+	for i, e := range events {
+		n, perr := strconv.ParseUint(e.id, 10, 64)
+		if perr != nil || n <= prev {
+			t.Errorf("resumed event %d id %q not past cursor %q", i, e.id, snapshot.id)
+		}
+		prev = n
+		if e.ev.Type == "state" && e.ev.State == StateDone {
+			doneCount++
+		}
+	}
+	if doneCount != 1 {
+		t.Fatalf("terminal done arrived %d times on resume, want exactly once: %+v", doneCount, events)
+	}
+	if fin := events[len(events)-1].ev; fin.Type != "state" || fin.State != StateDone {
+		t.Fatalf("resumed stream ended with %+v, want terminal done", fin)
+	}
+
+	// Connection 3: the client already saw the terminal event. Resuming
+	// past it closes silently — zero events, no duplicate lifecycle.
+	req3, _ := http.NewRequest(http.MethodGet, ts.URL+"/jobs/"+view.ID+"/events", nil)
+	req3.Header.Set("Last-Event-ID", events[len(events)-1].id)
+	resp3, err := http.DefaultClient.Do(req3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if tail := readSSE(t, resp3); len(tail) != 0 {
+		t.Errorf("resume at terminal replayed %d events, want silent close: %+v", len(tail), tail)
+	}
+
+	// A stale cursor from a renumbered stream (e.g. daemon restart) falls
+	// back to a fresh snapshot instead of replaying garbage.
+	req4, _ := http.NewRequest(http.MethodGet, ts.URL+"/jobs/"+view.ID+"/events", nil)
+	req4.Header.Set("Last-Event-ID", "999999999")
+	resp4, err := http.DefaultClient.Do(req4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp4.Body.Close()
+	snap := readSSE(t, resp4)
+	if len(snap) != 1 || snap[0].ev.State != StateDone {
+		t.Errorf("stale cursor got %+v, want one fresh done snapshot", snap)
+	}
+}
+
+// Every event on a live stream carries a strictly increasing id: line —
+// the contract Last-Event-ID resumption depends on.
+func TestSSEIDsMonotonic(t *testing.T) {
+	svc, err := New(Config{
+		DataDir:       t.TempDir(),
+		Workers:       1,
+		ProgressEvery: time.Millisecond,
+		BuildPlatform: loopPlatform(t, 0x7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(Handler(svc))
+	defer ts.Close()
+
+	view, err := svc.Submit(JobSpec{Design: "dr5", Bench: "loop", Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/jobs/" + view.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	events := readSSE(t, resp)
+	if len(events) == 0 {
+		t.Fatal("no events on live stream")
+	}
+	last := uint64(0)
+	for i, e := range events {
+		n, err := strconv.ParseUint(e.id, 10, 64)
+		if err != nil {
+			t.Fatalf("event %d id %q: %v", i, e.id, err)
+		}
+		if i > 0 && n <= last {
+			t.Fatalf("id not strictly increasing at event %d: %d after %d", i, n, last)
+		}
+		last = n
+	}
+	if fin := events[len(events)-1].ev; fin.Type != "state" || fin.State != StateDone {
+		t.Errorf("stream ended with %+v, want terminal done", fin)
 	}
 }
 

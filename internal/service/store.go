@@ -2,13 +2,14 @@ package service
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 
+	"symsim/internal/fault"
 	"symsim/internal/wire"
 )
 
@@ -218,16 +219,59 @@ func (r *recReader) str() string {
 //	results/<id>.json  per-job result summaries
 //	cache/<key>.json   content-addressed complete results
 //	ckpt/<id>.ckpt     per-job exploration checkpoints (SYMSIMC1)
-type store struct{ root string }
+//
+// Every filesystem touch goes through the fault.FS seam, so the torture
+// matrix can inject I/O errors, torn writes and crash-points into any
+// write path and prove the restart invariants hold.
+type store struct {
+	root string
+	fs   fault.FS
+}
 
-func openStore(root string) (*store, error) {
-	for _, d := range []string{root, filepath.Join(root, "jobs"), filepath.Join(root, "results"),
-		filepath.Join(root, "cache"), filepath.Join(root, "ckpt")} {
-		if err := os.MkdirAll(d, 0o755); err != nil {
-			return nil, err
+// storeDirs lists the store's subdirectories, shared by openStore's
+// mkdir/reap sweep and the test-side litter checks.
+var storeDirs = []string{"jobs", "results", "cache", "ckpt"}
+
+// openStore opens (or creates) the layout under root on vfs and reaps any
+// orphan temp files a crash mid-atomic-write left behind, returning how
+// many were removed. Reap errors are reported but do not fail the open:
+// a leftover .tmp file is litter, not corruption.
+func openStore(root string, vfs fault.FS) (st *store, reaped int, errs []error, err error) {
+	if vfs == nil {
+		vfs = fault.OS{}
+	}
+	st = &store{root: root, fs: vfs}
+	for _, d := range append([]string{root}, storeDirs...) {
+		dir := root
+		if d != root {
+			dir = filepath.Join(root, d)
+		}
+		if err := vfs.MkdirAll(dir, 0o755); err != nil {
+			return nil, 0, nil, err
 		}
 	}
-	return &store{root: root}, nil
+	for _, sub := range storeDirs {
+		dir := filepath.Join(root, sub)
+		entries, rerr := vfs.ReadDir(dir)
+		if rerr != nil {
+			errs = append(errs, rerr)
+			continue
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.Contains(e.Name(), ".tmp") {
+				continue
+			}
+			// A temp file that survived to the next open belongs to an
+			// atomic write that never reached its rename: the record it
+			// was replacing is still intact, so the temp is pure litter.
+			if rerr := vfs.Remove(filepath.Join(dir, e.Name())); rerr != nil {
+				errs = append(errs, rerr)
+				continue
+			}
+			reaped++
+		}
+	}
+	return st, reaped, errs, nil
 }
 
 func (s *store) jobPath(id string) string        { return filepath.Join(s.root, "jobs", id+".job") }
@@ -235,13 +279,13 @@ func (s *store) resultPath(id string) string     { return filepath.Join(s.root, 
 func (s *store) cachePath(key string) string     { return filepath.Join(s.root, "cache", key+".json") }
 func (s *store) checkpointPath(id string) string { return filepath.Join(s.root, "ckpt", id+".ckpt") }
 
-func (s *store) saveJob(r *jobRecord) error { return atomicWrite(s.jobPath(r.ID), r.encode()) }
+func (s *store) saveJob(r *jobRecord) error { return s.atomicWrite(s.jobPath(r.ID), r.encode()) }
 
 // loadJobs scans the job directory. Records that fail to decode are
 // reported in errs but do not abort the scan: one corrupt file must not
 // take the whole daemon down. Records are returned in submission order.
 func (s *store) loadJobs() (recs []*jobRecord, errs []error) {
-	entries, err := os.ReadDir(filepath.Join(s.root, "jobs"))
+	entries, err := s.fs.ReadDir(filepath.Join(s.root, "jobs"))
 	if err != nil {
 		return nil, []error{err}
 	}
@@ -250,7 +294,7 @@ func (s *store) loadJobs() (recs []*jobRecord, errs []error) {
 			continue
 		}
 		path := filepath.Join(s.root, "jobs", e.Name())
-		data, err := os.ReadFile(path)
+		data, err := s.fs.ReadFile(path)
 		if err != nil {
 			errs = append(errs, err)
 			continue
@@ -276,51 +320,73 @@ func (s *store) loadJobs() (recs []*jobRecord, errs []error) {
 }
 
 func (s *store) writeResult(id string, data []byte) error {
-	return atomicWrite(s.resultPath(id), data)
+	return s.atomicWrite(s.resultPath(id), data)
 }
 
-func (s *store) readResult(id string) ([]byte, error) { return os.ReadFile(s.resultPath(id)) }
+func (s *store) readResult(id string) ([]byte, error) { return s.fs.ReadFile(s.resultPath(id)) }
 
 func (s *store) writeCache(key string, data []byte) error {
-	return atomicWrite(s.cachePath(key), data)
+	return s.atomicWrite(s.cachePath(key), data)
 }
 
-// readCache returns the cached result blob for key, or ok=false on a miss.
-func (s *store) readCache(key string) (data []byte, ok bool) {
-	data, err := os.ReadFile(s.cachePath(key))
-	if err != nil {
-		return nil, false
+// readCache returns the cached result blob for key. A missing entry is a
+// plain miss; a corrupt entry (an interrupted or bit-rotted write that
+// is not valid JSON) is quarantined to <key>.json.corrupt and counted as
+// a miss — a damaged cache record must never be served as a result. faultErr
+// reports a real I/O failure (injected or otherwise), which the caller
+// counts toward degraded-mode detection; a miss has faultErr nil.
+func (s *store) readCache(key string) (data []byte, ok bool, faultErr error) {
+	path := s.cachePath(key)
+	data, err := s.fs.ReadFile(path)
+	switch {
+	case fault.IsNotExist(err):
+		return nil, false, nil
+	case err != nil:
+		return nil, false, err
 	}
-	return data, true
+	if !json.Valid(data) {
+		// Quarantine preserves the evidence for post-mortem without ever
+		// letting the entry satisfy a future lookup.
+		if qerr := s.fs.Rename(path, path+".corrupt"); qerr != nil {
+			return nil, false, fmt.Errorf("quarantining corrupt cache entry: %w", qerr)
+		}
+		return nil, false, fmt.Errorf("%w: cache entry %s quarantined (invalid JSON)", ErrJobRecordCorrupt, key)
+	}
+	return data, true, nil
 }
 
-func (s *store) removeCheckpoint(id string) { os.Remove(s.checkpointPath(id)) }
+// removeCheckpoint is best-effort: a checkpoint that survives a failed
+// Remove is overwritten by the job's next run or ignored, costing disk
+// only — so the error is deliberately discarded.
+func (s *store) removeCheckpoint(id string) { _ = s.fs.Remove(s.checkpointPath(id)) }
 
 func (s *store) hasCheckpoint(id string) bool {
-	_, err := os.Stat(s.checkpointPath(id))
+	_, err := s.fs.Stat(s.checkpointPath(id))
 	return err == nil
 }
 
-func removeFile(path string) error { return os.Remove(path) }
+func (s *store) removeFile(path string) error { return s.fs.Remove(path) }
 
 // atomicWrite lands data in a temp file in the target's directory and
 // renames it over path, so a crash mid-write never corrupts a record.
-func atomicWrite(path string, data []byte) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+// Cleanup removals after a failed write are best-effort (the open-time
+// reap catches what they miss); the original write error always wins.
+func (s *store) atomicWrite(path string, data []byte) error {
+	tmp, err := s.fs.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
 		_ = tmp.Close() // the write error takes precedence
-		os.Remove(tmp.Name())
+		_ = s.fs.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		_ = s.fs.Remove(tmp.Name())
 		return err
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := s.fs.Rename(tmp.Name(), path); err != nil {
+		_ = s.fs.Remove(tmp.Name())
 		return err
 	}
 	return nil

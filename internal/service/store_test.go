@@ -115,7 +115,7 @@ func FuzzJobRecordRoundTrip(f *testing.F) {
 
 func TestStoreLayoutAndAtomicWrite(t *testing.T) {
 	dir := t.TempDir()
-	st, err := openStore(dir)
+	st, _, _, err := openStore(dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,16 +145,16 @@ func TestStoreLayoutAndAtomicWrite(t *testing.T) {
 	if data, err := st.readResult(rec.ID); err != nil || string(data) != `{"ok":true}` {
 		t.Errorf("readResult = %q, %v", data, err)
 	}
-	if data, ok := st.readCache("k123"); !ok || string(data) != `{"cached":true}` {
-		t.Errorf("readCache = %q, %v", data, ok)
+	if data, ok, err := st.readCache("k123"); !ok || err != nil || string(data) != `{"cached":true}` {
+		t.Errorf("readCache = %q, %v, %v", data, ok, err)
 	}
-	if _, ok := st.readCache("missing"); ok {
-		t.Error("cache miss reported as hit")
+	if _, ok, err := st.readCache("missing"); ok || err != nil {
+		t.Errorf("cache miss reported as hit (ok=%v err=%v)", ok, err)
 	}
 	if st.hasCheckpoint(rec.ID) {
 		t.Error("phantom checkpoint")
 	}
-	if err := atomicWrite(st.checkpointPath(rec.ID), []byte("ck")); err != nil {
+	if err := st.atomicWrite(st.checkpointPath(rec.ID), []byte("ck")); err != nil {
 		t.Fatal(err)
 	}
 	if !st.hasCheckpoint(rec.ID) {
@@ -183,7 +183,7 @@ func TestStoreLayoutAndAtomicWrite(t *testing.T) {
 // name (a copied or renamed record would otherwise shadow another job).
 func TestLoadJobsRejectsRenamedRecord(t *testing.T) {
 	dir := t.TempDir()
-	st, err := openStore(dir)
+	st, _, _, err := openStore(dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
