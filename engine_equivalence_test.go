@@ -1,58 +1,79 @@
 package symsim_test
 
 import (
+	"fmt"
 	"testing"
 
 	"symsim"
 )
 
-// TestEngineEquivalenceEndToEnd is the whole-stack differential check: a
-// full co-analysis of openMSP430 running tHold must produce the identical
-// dichotomy under the compiled kernel and the reference interpreter —
-// same exercisable set, same tie-offs, same paths, same simulated cycles,
-// same conservative-state count. The unit-level suite in internal/vvp
-// certifies the engines commit-for-commit; this certifies nothing above
-// them (forking, CSM, toggle absorption) observes a difference either.
+// TestEngineEquivalenceEndToEnd is the whole-stack differential check,
+// swept across all three evaluation cores (Table 2) and both X-memory
+// policies. For each platform a full co-analysis must produce:
+//
+//   - interp vs kernel: the identical everything — exercisable set,
+//     tie-offs, path counts, simulated cycles, conservative-state count.
+//     The unit-level suite in internal/vvp certifies the engines
+//     commit-for-commit; this certifies nothing above them (forking,
+//     CSM, toggle absorption) observes a difference either.
+//   - batch vs kernel: the identical dichotomy and tie-offs only. The
+//     batch engine retires up to 64 lanes per settle, so CSM merge
+//     order — and with it path counts and total cycles — may legally
+//     differ; the dichotomy is a fixpoint of sound over-approximations
+//     and may not.
 func TestEngineEquivalenceEndToEnd(t *testing.T) {
-	p, err := symsim.BuildPlatform(symsim.OMSP430, "tHold")
-	if err != nil {
-		t.Fatal(err)
-	}
-	run := func(e symsim.SimEngine) *symsim.Result {
-		res, err := symsim.Analyze(p, symsim.Config{Engine: e})
-		if err != nil {
-			t.Fatal(err)
-		}
-		return res
-	}
-	ri := run(symsim.EngineInterp)
-	rk := run(symsim.EngineKernel)
+	for _, d := range []symsim.Design{symsim.BM32, symsim.OMSP430, symsim.DR5} {
+		for _, memx := range []symsim.MemXPolicy{symsim.MemXVerilog, symsim.MemXSound} {
+			t.Run(fmt.Sprintf("%v/memx=%v", d, memx), func(t *testing.T) {
+				p, err := symsim.BuildPlatform(d, "tHold")
+				if err != nil {
+					t.Fatal(err)
+				}
+				run := func(e symsim.SimEngine) *symsim.Result {
+					res, err := symsim.Analyze(p, symsim.Config{Engine: e, MemX: memx})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res
+				}
+				ri := run(symsim.EngineInterp)
+				rk := run(symsim.EngineKernel)
+				rb := run(symsim.EngineBatch)
 
-	if ri.PathsCreated != rk.PathsCreated || ri.PathsSkipped != rk.PathsSkipped {
-		t.Errorf("paths diverged: interp %d/%d kernel %d/%d",
-			ri.PathsCreated, ri.PathsSkipped, rk.PathsCreated, rk.PathsSkipped)
-	}
-	if ri.SimulatedCycles != rk.SimulatedCycles {
-		t.Errorf("cycles diverged: %d vs %d", ri.SimulatedCycles, rk.SimulatedCycles)
-	}
-	if ri.CSMStates != rk.CSMStates {
-		t.Errorf("CSM states diverged: %d vs %d", ri.CSMStates, rk.CSMStates)
-	}
-	if ri.ExercisableCount != rk.ExercisableCount {
-		t.Errorf("exercisable count diverged: %d vs %d", ri.ExercisableCount, rk.ExercisableCount)
-	}
-	for gi := range ri.ExercisableGates {
-		if ri.ExercisableGates[gi] != rk.ExercisableGates[gi] {
-			t.Fatalf("gate %d exercisability diverged", gi)
-		}
-	}
-	ti, tk := ri.TieOffs(), rk.TieOffs()
-	if len(ti) != len(tk) {
-		t.Fatalf("tie-off counts diverged: %d vs %d", len(ti), len(tk))
-	}
-	for i := range ti {
-		if ti[i] != tk[i] {
-			t.Fatalf("tie-off %d diverged: %+v vs %+v", i, ti[i], tk[i])
+				if ri.PathsCreated != rk.PathsCreated || ri.PathsSkipped != rk.PathsSkipped {
+					t.Errorf("paths diverged: interp %d/%d kernel %d/%d",
+						ri.PathsCreated, ri.PathsSkipped, rk.PathsCreated, rk.PathsSkipped)
+				}
+				if ri.SimulatedCycles != rk.SimulatedCycles {
+					t.Errorf("cycles diverged: %d vs %d", ri.SimulatedCycles, rk.SimulatedCycles)
+				}
+				if ri.CSMStates != rk.CSMStates {
+					t.Errorf("CSM states diverged: %d vs %d", ri.CSMStates, rk.CSMStates)
+				}
+				for name, res := range map[string]*symsim.Result{"interp": ri, "batch": rb} {
+					if res.ExercisableCount != rk.ExercisableCount {
+						t.Errorf("%s exercisable count diverged: %d vs kernel %d",
+							name, res.ExercisableCount, rk.ExercisableCount)
+					}
+					for gi := range rk.ExercisableGates {
+						if res.ExercisableGates[gi] != rk.ExercisableGates[gi] {
+							t.Fatalf("%s: gate %d exercisability diverged", name, gi)
+						}
+					}
+					to, tk := res.TieOffs(), rk.TieOffs()
+					if len(to) != len(tk) {
+						t.Fatalf("%s tie-off counts diverged: %d vs %d", name, len(to), len(tk))
+					}
+					for i := range to {
+						if to[i] != tk[i] {
+							t.Fatalf("%s tie-off %d diverged: %+v vs %+v", name, i, to[i], tk[i])
+						}
+					}
+				}
+				if !rb.Complete {
+					t.Errorf("batch run degraded: %+v", rb.Degradation)
+				}
+			})
 		}
 	}
 }

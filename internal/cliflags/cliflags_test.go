@@ -4,6 +4,7 @@ import (
 	"flag"
 	"reflect"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -17,7 +18,7 @@ import (
 // both register exactly this analysis flag vocabulary through Register,
 // so a flag added or renamed in only one place fails here.
 var sharedFlagNames = []string{
-	"constraints", "deadline", "engine", "k", "max-csm-states",
+	"constraints", "deadline", "engine", "k", "lanes", "max-csm-states",
 	"max-forks", "max-sim-cycles", "max-states", "memx", "policy",
 	"workers",
 }
@@ -84,6 +85,28 @@ func TestConfigInterpretsFlags(t *testing.T) {
 	}
 	if want := (core.Budget{MaxForks: 5}); cfg.Budget != want {
 		t.Errorf("budget = %+v", cfg.Budget)
+	}
+}
+
+// TestBatchEngineFlags pins the batch-engine vocabulary: -engine=batch
+// parses to vvp.EngineBatch, -lanes flows into Config.Lanes, and the
+// unknown-engine error names all three engines.
+func TestBatchEngineFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	a := cliflags.Register(fs)
+	if err := fs.Parse([]string{"-engine", "batch", "-lanes", "16"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := a.Config(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Engine != vvp.EngineBatch || cfg.Lanes != 16 {
+		t.Errorf("config = engine %v lanes %d, want batch/16", cfg.Engine, cfg.Lanes)
+	}
+	if _, err := cliflags.ParseEngine("warp"); err == nil ||
+		!strings.Contains(err.Error(), "kernel | interp | batch") {
+		t.Errorf("unknown-engine error should list all engines, got %v", err)
 	}
 }
 

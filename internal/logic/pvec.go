@@ -1,0 +1,167 @@
+package logic
+
+import "fmt"
+
+// PVec is a lane-packed plane vector: the value of one bit position across
+// 64 independent simulation lanes, for every bit of a fixed-width vector.
+// It is the batch engine's transposed counterpart of Vec — where Vec packs
+// the bits of one scenario into machine words, PVec packs one bit of 64
+// scenarios into a machine word, so a single bitwise formula evaluates a
+// gate for every lane at once.
+//
+// Bit position i is stored as two lane words: a[i] has lane bit l set when
+// lane l holds a known 1, x[i] has it set when lane l is unknown. A lane
+// with neither bit set holds a known 0; a&x == 0 is an invariant every
+// operation preserves. Z folds to X on pack, matching the scalar engine's
+// gate-input canonicalization (logic.in) — the batch engine does not model
+// Z distinctness.
+//
+// The zero PVec has width 0. Use NewPVec to construct one.
+type PVec struct {
+	width int
+	a     []uint64 // lane bit set = known 1
+	x     []uint64 // lane bit set = unknown
+}
+
+// NewPVec returns a plane vector of the given width with every lane of
+// every bit unknown (the all-X reset state of a fresh simulator).
+func NewPVec(width int) PVec {
+	if width < 0 {
+		panic("logic: negative PVec width")
+	}
+	p := PVec{width: width, a: make([]uint64, width), x: make([]uint64, width)}
+	for i := range p.x {
+		p.x[i] = ^uint64(0)
+	}
+	return p
+}
+
+// Width returns the number of bit positions in p.
+func (p PVec) Width() int { return p.width }
+
+// Planes returns the raw lane planes of p: a[i]/x[i] are the known-1 and
+// unknown lane words of bit i. The slices alias internal state; hot paths
+// index them directly instead of going through Get/Set.
+func (p PVec) Planes() (a, x []uint64) { return p.a, p.x }
+
+func (p PVec) check(i, lane int) {
+	if i < 0 || i >= p.width || lane < 0 || lane > 63 {
+		//symsim:allow SA001 panic formatting runs only on out-of-range programmer error, never in steady state
+		panic(fmt.Sprintf("logic: PVec bit %d lane %d out of range (width %d)", i, lane, p.width))
+	}
+}
+
+// Get returns bit i of lane lane.
+//
+//symsim:hotpath
+func (p PVec) Get(i, lane int) Value {
+	p.check(i, lane)
+	m := uint64(1) << uint(lane)
+	if p.a[i]&m != 0 {
+		return Hi
+	}
+	if p.x[i]&m != 0 {
+		return X
+	}
+	return Lo
+}
+
+// Set assigns bit i of lane lane. Z is stored as X.
+//
+//symsim:hotpath
+func (p *PVec) Set(i, lane int, bit Value) {
+	p.check(i, lane)
+	m := uint64(1) << uint(lane)
+	p.a[i] &^= m
+	p.x[i] &^= m
+	switch in(bit) {
+	case Hi:
+		p.a[i] |= m
+	case Lo:
+	default:
+		p.x[i] |= m
+	}
+}
+
+// SetLane packs the scalar vector v into lane lane. Widths must match.
+func (p *PVec) SetLane(lane int, v Vec) {
+	if v.Width() != p.width {
+		panic(fmt.Sprintf("logic: SetLane width mismatch %d vs %d", v.Width(), p.width))
+	}
+	for i := 0; i < p.width; i++ {
+		p.Set(i, lane, v.Get(i))
+	}
+}
+
+// Lane unpacks lane lane into a fresh scalar vector.
+func (p PVec) Lane(lane int) Vec {
+	v := NewVec(p.width)
+	p.LaneInto(&v, lane)
+	return v
+}
+
+// LaneInto unpacks lane lane into the pre-sized vector dst without
+// allocating. Widths must match.
+func (p PVec) LaneInto(dst *Vec, lane int) {
+	if dst.Width() != p.width {
+		panic(fmt.Sprintf("logic: LaneInto width mismatch %d vs %d", dst.Width(), p.width))
+	}
+	for i := 0; i < p.width; i++ {
+		dst.Set(i, p.Get(i, lane))
+	}
+}
+
+// SubsetLane reports whether lane lane is covered by the conservative
+// scalar vector c — the per-lane form of Vec.Subset. Widths must match.
+func (p PVec) SubsetLane(lane int, c Vec) bool {
+	if c.Width() != p.width {
+		panic(fmt.Sprintf("logic: SubsetLane width mismatch %d vs %d", c.Width(), p.width))
+	}
+	m := uint64(1) << uint(lane)
+	for i := 0; i < p.width; i++ {
+		cb := c.Get(i)
+		if !cb.IsKnown() {
+			continue
+		}
+		if p.x[i]&m != 0 {
+			return false // X in the lane is not covered by a known bit of c
+		}
+		if (cb == Hi) != (p.a[i]&m != 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeLane folds the scalar vector o into lane lane: the lane becomes the
+// least conservative vector covering both its old value and o (agreeing
+// known bits kept, all others X). Widths must match.
+func (p *PVec) MergeLane(lane int, o Vec) {
+	if o.Width() != p.width {
+		panic(fmt.Sprintf("logic: MergeLane width mismatch %d vs %d", o.Width(), p.width))
+	}
+	m := uint64(1) << uint(lane)
+	for i := 0; i < p.width; i++ {
+		ob := o.Get(i)
+		agree := ob.IsKnown() && p.x[i]&m == 0 && (ob == Hi) == (p.a[i]&m != 0)
+		if !agree {
+			p.a[i] &^= m
+			p.x[i] |= m
+		}
+	}
+}
+
+// CopyLanes overwrites the lanes selected by mask with the corresponding
+// lanes of src, leaving every other lane untouched. Widths must match.
+// This is the batch engine's bulk lane transplant (admission, checkpoint
+// restore across plane vectors).
+func (p *PVec) CopyLanes(src PVec, mask uint64) {
+	if src.width != p.width {
+		//symsim:allow SA001 panic formatting runs only on width-mismatch programmer error
+		panic(fmt.Sprintf("logic: CopyLanes width mismatch %d vs %d", src.width, p.width))
+	}
+	for i := range p.a {
+		p.a[i] = p.a[i]&^mask | src.a[i]&mask
+		p.x[i] = p.x[i]&^mask | src.x[i]&mask
+	}
+}

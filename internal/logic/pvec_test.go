@@ -1,0 +1,180 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randVec(r *rand.Rand, width int) Vec {
+	v := NewVec(width)
+	for i := 0; i < width; i++ {
+		v.Set(i, Value(r.Intn(3))) // Lo, Hi, X
+	}
+	return v
+}
+
+func TestPVecStartsAllX(t *testing.T) {
+	p := NewPVec(67)
+	for i := 0; i < 67; i++ {
+		for l := 0; l < 64; l++ {
+			if got := p.Get(i, l); got != X {
+				t.Fatalf("fresh PVec bit %d lane %d = %v, want X", i, l, got)
+			}
+		}
+	}
+	a, x := p.Planes()
+	if len(a) != 67 || len(x) != 67 {
+		t.Fatalf("Planes lengths %d/%d, want 67/67", len(a), len(x))
+	}
+}
+
+func TestPVecSetGetFoldsZ(t *testing.T) {
+	p := NewPVec(4)
+	p.Set(2, 13, Z)
+	if got := p.Get(2, 13); got != X {
+		t.Fatalf("Z stored as %v, want X", got)
+	}
+	p.Set(2, 13, Hi)
+	p.Set(2, 13, Lo)
+	if got := p.Get(2, 13); got != Lo {
+		t.Fatalf("Lo after Hi = %v", got)
+	}
+	a, x := p.Planes()
+	for i := range a {
+		if a[i]&x[i] != 0 {
+			t.Fatalf("plane invariant violated at bit %d", i)
+		}
+	}
+}
+
+func TestPVecLaneRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	p := NewPVec(37)
+	var want [64]Vec
+	for l := 0; l < 64; l++ {
+		want[l] = randVec(r, 37)
+		p.SetLane(l, want[l])
+	}
+	for l := 0; l < 64; l++ {
+		if got := p.Lane(l); !got.Equal(want[l]) {
+			t.Fatalf("lane %d: got %s want %s", l, got, want[l])
+		}
+	}
+	// Lanes are independent: rewriting one must not disturb the others.
+	p.SetLane(17, randVec(r, 37))
+	for l := 0; l < 64; l++ {
+		if l == 17 {
+			continue
+		}
+		if got := p.Lane(l); !got.Equal(want[l]) {
+			t.Fatalf("lane %d disturbed by SetLane(17)", l)
+		}
+	}
+}
+
+func TestPVecSubsetLane(t *testing.T) {
+	p := NewPVec(8)
+	v := MustVec("0110X01X")
+	p.SetLane(5, v)
+	if !p.SubsetLane(5, v) {
+		t.Fatal("lane is not a subset of itself")
+	}
+	allX := NewVec(8)
+	if !p.SubsetLane(5, allX) {
+		t.Fatal("lane is not a subset of all-X")
+	}
+	// c known where lane is X: not covered.
+	c := MustVec("0110001X")
+	if p.SubsetLane(5, c) {
+		t.Fatal("X lane bit covered by known conservative bit")
+	}
+	// c disagreeing on a known bit: not covered.
+	c2 := MustVec("1110X01X")
+	if p.SubsetLane(5, c2) {
+		t.Fatal("disagreeing known bit reported covered")
+	}
+	// The oracle: SubsetLane must equal Vec.Subset on the unpacked lane.
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		lv, cv := randVec(r, 8), randVec(r, 8)
+		p.SetLane(3, lv)
+		if got, want := p.SubsetLane(3, cv), lv.Subset(cv); got != want {
+			t.Fatalf("SubsetLane(%s, %s) = %v, Vec.Subset = %v", lv, cv, got, want)
+		}
+	}
+}
+
+func TestPVecMergeLane(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	p := NewPVec(16)
+	for trial := 0; trial < 200; trial++ {
+		a, b := randVec(r, 16), randVec(r, 16)
+		p.SetLane(9, a)
+		other := randVec(r, 16)
+		p.SetLane(10, other)
+		p.MergeLane(9, b)
+		if got, want := p.Lane(9), a.Merge(b); !got.Equal(want) {
+			t.Fatalf("MergeLane(%s, %s) = %s, want %s", a, b, got, want)
+		}
+		if !p.Lane(10).Equal(other) {
+			t.Fatal("MergeLane disturbed a neighbouring lane")
+		}
+	}
+}
+
+func TestPVecCopyLanes(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	src, dst := NewPVec(12), NewPVec(12)
+	var sv, dv [64]Vec
+	for l := 0; l < 64; l++ {
+		sv[l], dv[l] = randVec(r, 12), randVec(r, 12)
+		src.SetLane(l, sv[l])
+		dst.SetLane(l, dv[l])
+	}
+	mask := uint64(0xF0F0_0FF0_AAAA_5555)
+	dst.CopyLanes(src, mask)
+	for l := 0; l < 64; l++ {
+		want := dv[l]
+		if mask>>uint(l)&1 == 1 {
+			want = sv[l]
+		}
+		if got := dst.Lane(l); !got.Equal(want) {
+			t.Fatalf("lane %d after CopyLanes: got %s want %s", l, got, want)
+		}
+	}
+}
+
+// FuzzPVecRoundTrip packs an arbitrary value string into an arbitrary lane
+// and checks the unpack reproduces it (with Z folded to X), the plane
+// invariant holds, and a neighbouring lane is untouched.
+func FuzzPVecRoundTrip(f *testing.F) {
+	f.Add("01X10", uint8(0))
+	f.Add("XXXX", uint8(63))
+	f.Add("10Z1", uint8(31))
+	f.Add("", uint8(7))
+	f.Fuzz(func(t *testing.T, s string, lane uint8) {
+		v, err := VecFromString(s)
+		if err != nil {
+			t.Skip()
+		}
+		l := int(lane % 64)
+		p := NewPVec(v.Width())
+		sentinel := (l + 1) % 64
+		p.SetLane(l, v)
+		got := p.Lane(l)
+		if !got.Equal(v) {
+			t.Fatalf("round trip: packed %s, unpacked %s", v, got)
+		}
+		a, x := p.Planes()
+		for i := range a {
+			if a[i]&x[i] != 0 {
+				t.Fatalf("plane invariant violated at bit %d", i)
+			}
+		}
+		for i := 0; i < v.Width(); i++ {
+			if p.Get(i, sentinel) != X {
+				t.Fatalf("neighbouring lane %d disturbed at bit %d", sentinel, i)
+			}
+		}
+	})
+}

@@ -1,0 +1,76 @@
+// Bit-parallel gate evaluation: the batch engine's counterpart of EvalLUT.
+// Where the scalar kernel evaluates one scenario per gate visit through a
+// table load, EvalPlanes evaluates the same gate for 64 independent lanes
+// at once with a handful of word operations over two bitplanes per operand.
+//
+// Encoding (shared with logic.PVec): per operand, lane bit l of the A plane
+// is set when lane l holds a known 1 and lane bit l of the X plane when it
+// is unknown; neither set means known 0, and A&X == 0 is an invariant every
+// formula below preserves. Z does not exist in the packed form — it folds
+// to X on pack, exactly the canonicalization logic.in applies to every
+// scalar gate input — so the formulas need no fourth state.
+//
+// Every formula is derived from the same IEEE 1364 controlling-value rules
+// EvalGate implements, and the exhaustive oracle in planes_test.go checks
+// all input combinations of every kind against EvalGate, so the scalar and
+// batch evaluators cannot disagree.
+package netlist
+
+// EvalPlanes evaluates a combinational gate kind over 64 lanes at once.
+// aA/aX, bA/bX, cA/cX are the known-1/unknown planes of input pins 0..2;
+// operands beyond the kind's pin count are ignored. It returns the output
+// planes (outA&outX == 0). Sequential kinds panic — flip-flops keep
+// explicit control flow in the engine, as they do on the scalar kernel.
+//
+//symsim:hotpath
+func EvalPlanes(k GateKind, aA, aX, bA, bX, cA, cX uint64) (outA, outX uint64) {
+	switch k {
+	case KindConst0:
+		return 0, 0
+	case KindConst1:
+		return ^uint64(0), 0
+	case KindBuf:
+		return aA, aX
+	case KindNot:
+		return ^aA &^ aX, aX
+	case KindAnd:
+		// Known 0 on either input is controlling.
+		outA = aA & bA
+		z := ^aA&^aX | ^bA&^bX
+		return outA, ^(outA | z)
+	case KindOr:
+		// Known 1 on either input is controlling.
+		outA = aA | bA
+		z := ^aA & ^aX & ^bA & ^bX
+		return outA, ^(outA | z)
+	case KindNand:
+		innerA := aA & bA
+		z := ^aA&^aX | ^bA&^bX
+		return z, ^(innerA | z)
+	case KindNor:
+		innerA := aA | bA
+		z := ^aA & ^aX & ^bA & ^bX
+		return z, ^(innerA | z)
+	case KindXor:
+		// No controlling value: any unknown contaminates.
+		known := ^aX & ^bX
+		return (aA ^ bA) & known, ^known
+	case KindXnor:
+		known := ^aX & ^bX
+		return ^(aA ^ bA) & known, ^known
+	case KindMux2:
+		// In = [SEL, A, B]: SEL known selects a leg, SEL unknown merges the
+		// legs (common known value kept, X otherwise) — logic.Mux lanewise.
+		s0 := ^aA & ^aX
+		mA := bA & cA
+		m0 := ^bA & ^bX & ^cA & ^cX
+		mX := ^(mA | m0)
+		outA = s0&bA | aA&cA | aX&mA
+		outX = s0&bX | aA&cX | aX&mX
+		return outA, outX
+	}
+	// Static message: rendering the kind would drag GateKind.String into
+	// the hot-path call graph (SA001) for an unreachable-by-construction
+	// branch — the engine routes KindDFF to its own step before calling.
+	panic("netlist: EvalPlanes on a sequential or unknown gate kind")
+}

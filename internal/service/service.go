@@ -116,6 +116,17 @@ type Service struct {
 
 	mu   sync.Mutex
 	jobs map[string]*job
+	// inflightByKey maps a cache key to the job currently running (or
+	// queued to run) that analysis — the coalescing leader. followers maps
+	// a leader's ID to the coalesced duplicate submissions parked behind
+	// it: durable queued records that are deliberately NOT in the queue.
+	// When the leader lands a complete result every follower settles done
+	// with the same bytes; any other outcome promotes the first follower
+	// to leader and releases the rest behind it. Coalescing state is
+	// in-memory only — after a restart the recovered records simply all
+	// queue (and the first to run re-primes the cache for the rest).
+	inflightByKey map[string]string
+	followers     map[string][]string
 
 	draining bool
 	wg       sync.WaitGroup
@@ -136,6 +147,7 @@ type svcObs struct {
 	accepted    *obs.Counter
 	cacheHits   *obs.Counter
 	cacheMisses *obs.Counter
+	coalesced   *obs.Counter
 	degraded    *obs.Counter
 	resumed     *obs.Counter
 	requeued    *obs.Counter
@@ -152,6 +164,7 @@ func newSvcObs(reg *obs.Registry) *svcObs {
 		accepted:    reg.Counter("symsim_service_jobs_accepted_total", "Jobs accepted by Submit."),
 		cacheHits:   reg.Counter("symsim_service_cache_hits_total", "Submissions satisfied from the result cache."),
 		cacheMisses: reg.Counter("symsim_service_cache_misses_total", "Submissions that had to run."),
+		coalesced:   reg.Counter("symsim_service_coalesced_total", "Cache-miss submissions coalesced behind an identical in-flight job."),
 		degraded:    reg.Counter("symsim_service_jobs_degraded_total", "Jobs finished with a budget-degraded result."),
 		resumed:     reg.Counter("symsim_service_jobs_resumed_total", "Jobs resumed from a checkpoint."),
 		requeued:    reg.Counter("symsim_service_jobs_requeued_total", "Jobs re-queued by a drain."),
@@ -170,6 +183,7 @@ type metricsState struct {
 	accepted     uint64
 	cacheHits    uint64
 	cacheMisses  uint64
+	coalesced    uint64
 	degraded     uint64
 	resumed      uint64
 	requeued     uint64
@@ -257,13 +271,15 @@ func New(cfg Config) (*Service, error) {
 		cfg.Logf("service: reaped %d orphan temp file(s) from interrupted writes", reaped)
 	}
 	s := &Service{
-		cfg:       cfg,
-		store:     st,
-		queue:     newJobQueue(cfg.QueueCap),
-		hub:       newHub(),
-		reg:       cfg.Metrics,
-		jobs:      make(map[string]*job),
-		stopLease: make(chan struct{}),
+		cfg:           cfg,
+		store:         st,
+		queue:         newJobQueue(cfg.QueueCap),
+		hub:           newHub(),
+		reg:           cfg.Metrics,
+		jobs:          make(map[string]*job),
+		inflightByKey: make(map[string]string),
+		followers:     make(map[string][]string),
+		stopLease:     make(chan struct{}),
 	}
 	s.om = newSvcObs(s.reg)
 	s.om.tmpReaped.Add(uint64(reaped))
@@ -442,6 +458,22 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 	}
 	s.noteStoreOKLocked()
 	s.jobs[rec.ID] = &job{rec: rec}
+
+	// Single-flight: an identical analysis is already in flight. Park this
+	// submission behind it instead of queueing a duplicate run — its
+	// durable record is saved (a restart would just re-queue it), but no
+	// worker will pick it up until the leader settles.
+	if leaderID, ok := s.inflightByKey[key]; ok {
+		if lj := s.jobs[leaderID]; lj != nil && !terminal(lj.rec.State) {
+			s.followers[leaderID] = append(s.followers[leaderID], rec.ID)
+			s.m.coalesced++
+			publish = append(publish, s.om.coalesced)
+			s.hub.Publish(Event{Type: "state", Job: rec.ID, State: StateQueued})
+			return viewOf(s.jobs[rec.ID]), nil
+		}
+		delete(s.inflightByKey, key)
+	}
+
 	if err := s.queue.Push(rec.ID, spec.Priority, false); err != nil {
 		delete(s.jobs, rec.ID)
 		// Best effort: the record file is orphaned on error; restart
@@ -451,6 +483,7 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 		}
 		return JobView{}, err
 	}
+	s.inflightByKey[key] = rec.ID
 	s.hub.Publish(Event{Type: "state", Job: rec.ID, State: StateQueued})
 	return viewOf(s.jobs[rec.ID]), nil
 }
@@ -469,13 +502,17 @@ func (s *Service) runJob(id string) {
 		return
 	}
 	if j.cancelRequested {
+		var publish []*obs.Counter
 		j.rec.State = StateCanceled
 		j.rec.Finished = time.Now().UnixNano()
-		faulted := s.persistJobLocked(j)
+		if s.persistJobLocked(j) {
+			publish = append(publish, s.om.storeFaults)
+		}
 		s.hub.Publish(Event{Type: "state", Job: id, State: StateCanceled})
+		s.settleFollowersLocked(id, nil, &publish)
 		s.mu.Unlock()
-		if faulted {
-			s.om.storeFaults.Inc()
+		for _, c := range publish {
+			c.Inc()
 		}
 		return
 	}
@@ -512,6 +549,7 @@ func (s *Service) analyze(ctx context.Context, jb *job, id string, spec JobSpec,
 	}
 	cc := core.Config{
 		Workers: spec.Workers,
+		Lanes:   spec.Lanes,
 		Budget: core.Budget{
 			WallClock:    time.Duration(spec.DeadlineMS) * time.Millisecond,
 			MaxCycles:    spec.MaxCycles,
@@ -602,6 +640,9 @@ func (s *Service) finishJob(id string, attempt int, res *core.Result, err error)
 		j.cpuSeconds += res.BusyTime.Seconds()
 	}
 
+	// settleData is the complete-result bytes handed verbatim to coalesced
+	// followers; nil means the followers must run for themselves.
+	var settleData []byte
 	// Set when the result bytes could not be persisted and live only in
 	// j.resultData: the durable record must then NOT be advanced to done —
 	// a done record without its result file is exactly the half-written
@@ -634,6 +675,7 @@ func (s *Service) finishJob(id string, attempt int, res *core.Result, err error)
 			j.rec.Error = merr.Error()
 			break
 		}
+		settleData = data
 		if werr := s.store.writeResult(id, data); werr != nil {
 			// Disk fault: the job still finished — keep the result bytes
 			// in memory so Result serves them, and enter degraded mode
@@ -704,6 +746,99 @@ func (s *Service) finishJob(id string, attempt int, res *core.Result, err error)
 		publish = append(publish, s.om.storeFaults)
 	}
 	s.hub.Publish(Event{Type: "state", Job: id, State: j.rec.State})
+	s.settleFollowersLocked(id, settleData, &publish)
+}
+
+// settleFollowersLocked dissolves a leader's coalition (mu held). With a
+// complete result (data != nil) every follower settles done with the same
+// bytes — the coalescing payoff. Without one (failure, cancel, drain,
+// budget degradation) the first surviving follower is promoted to leader
+// for the cache key and re-queued; the rest stay coalesced behind it, so
+// at most one duplicate analysis runs at a time no matter how the leader
+// ends.
+func (s *Service) settleFollowersLocked(leaderID string, data []byte, publish *[]*obs.Counter) {
+	ids := s.followers[leaderID]
+	delete(s.followers, leaderID)
+	var key string
+	for k, lid := range s.inflightByKey {
+		if lid == leaderID {
+			key = k
+			delete(s.inflightByKey, k)
+		}
+	}
+	newLeader := ""
+	for _, fid := range ids {
+		fj := s.jobs[fid]
+		if fj == nil || fj.rec.State != StateQueued {
+			continue
+		}
+		if fj.cancelRequested {
+			fj.rec.State = StateCanceled
+			fj.rec.Finished = time.Now().UnixNano()
+			if s.persistJobLocked(fj) {
+				*publish = append(*publish, s.om.storeFaults)
+			}
+			*publish = append(*publish, s.om.canceled)
+			s.hub.Publish(Event{Type: "state", Job: fid, State: StateCanceled})
+			continue
+		}
+		if data == nil {
+			if newLeader == "" {
+				newLeader = fid
+				if key != "" {
+					s.inflightByKey[key] = fid
+				}
+				// Recovered=true: the job was already accepted; releasing it
+				// must not bounce off a full queue.
+				if err := s.queue.Push(fid, fj.rec.Spec.Priority, true); err != nil {
+					// Push only fails after Close (drain); the durable queued
+					// record re-queues on restart.
+					s.cfg.Logf("service: releasing coalesced job %s: %v", fid, err)
+				}
+			} else {
+				s.followers[newLeader] = append(s.followers[newLeader], fid)
+			}
+			continue
+		}
+		now := time.Now().UnixNano()
+		fj.rec.State = StateDone
+		fj.rec.Cached = true
+		fj.rec.Started, fj.rec.Finished = now, now
+		memOnly := false
+		if werr := s.store.writeResult(fid, data); werr != nil {
+			// Same degraded-mode contract as the leader: serve from memory,
+			// leave the durable record at queued so a restart re-runs rather
+			// than leaving a done record without its result file.
+			s.cfg.Logf("service: job %s: persisting coalesced result: %v (serving from memory)", fid, werr)
+			fj.resultData = data
+			memOnly = true
+			s.m.storeFaults++
+			s.noteStoreFaultLocked(werr)
+			*publish = append(*publish, s.om.storeFaults)
+		} else {
+			s.noteStoreOKLocked()
+		}
+		if !memOnly && s.persistJobLocked(fj) {
+			*publish = append(*publish, s.om.storeFaults)
+		}
+		*publish = append(*publish, s.om.done)
+		s.hub.Publish(Event{Type: "state", Job: fid, State: StateDone})
+	}
+}
+
+// removeFollowerLocked withdraws id from whichever coalition holds it (mu
+// held), reporting whether it was a parked follower — a queued record that
+// is not in the queue, so Cancel must settle it directly.
+func (s *Service) removeFollowerLocked(id string) bool {
+	for leader, ids := range s.followers {
+		for i, fid := range ids {
+			if fid == id {
+				s.followers[leader] = append(ids[:i:i], ids[i+1:]...)
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // noteEngineLocked accrues per-engine throughput counters (mu held).
@@ -849,15 +984,18 @@ func (s *Service) Cancel(id string) error {
 	switch j.rec.State {
 	case StateQueued:
 		j.cancelRequested = true
-		if s.queue.Remove(id) {
+		if s.queue.Remove(id) || s.removeFollowerLocked(id) {
 			j.rec.State = StateCanceled
 			j.rec.Finished = time.Now().UnixNano()
 			if s.persistJobLocked(j) {
 				publish = append(publish, s.om.storeFaults)
 			}
+			publish = append(publish, s.om.canceled)
 			s.hub.Publish(Event{Type: "state", Job: id, State: StateCanceled})
+			// A withdrawn queued leader releases its coalition.
+			s.settleFollowersLocked(id, nil, &publish)
 		}
-		// If Remove missed, a worker has already popped the ID and will
+		// If both misses, a worker has already popped the ID and will
 		// observe cancelRequested in runJob.
 		return nil
 	case StateRunning:
@@ -1052,10 +1190,13 @@ type Metrics struct {
 	CacheHits    uint64        `json:"cacheHits"`
 	CacheMisses  uint64        `json:"cacheMisses"`
 	CacheHitRate float64       `json:"cacheHitRate"`
-	Degraded     uint64        `json:"degraded"`
-	Resumed      uint64        `json:"resumed"`
-	Requeued     uint64        `json:"requeued"`
-	Failed       uint64        `json:"failed"`
+	// Coalesced counts cache-miss submissions parked behind an identical
+	// in-flight job instead of running their own analysis.
+	Coalesced uint64 `json:"coalesced"`
+	Degraded  uint64 `json:"degraded"`
+	Resumed   uint64 `json:"resumed"`
+	Requeued  uint64 `json:"requeued"`
+	Failed    uint64 `json:"failed"`
 	// StoreFaults counts durable-store I/O failures the service observed
 	// (each one trips or extends degraded mode); StoreDegraded is the
 	// current degraded-mode gauge.
@@ -1089,6 +1230,7 @@ func (s *Service) MetricsSnapshot() Metrics {
 		Accepted:      s.m.accepted,
 		CacheHits:     s.m.cacheHits,
 		CacheMisses:   s.m.cacheMisses,
+		Coalesced:     s.m.coalesced,
 		Degraded:      s.m.degraded,
 		Resumed:       s.m.resumed,
 		Requeued:      s.m.requeued,

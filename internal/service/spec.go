@@ -20,6 +20,7 @@ import (
 
 	"symsim/internal/cliflags"
 	"symsim/internal/netlist"
+	"symsim/internal/vvp"
 	"symsim/internal/wire"
 )
 
@@ -39,12 +40,15 @@ type JobSpec struct {
 	K         int    `json:"k,omitempty"`
 	MaxStates int    `json:"maxStates,omitempty"`
 
-	// Engine (kernel | interp), MemX (verilog | sound) and Workers tune
-	// the simulation machinery. Engine and Workers never change a
-	// complete result, so they do not enter the cache key.
+	// Engine (kernel | interp | batch), MemX (verilog | sound), Workers
+	// and Lanes tune the simulation machinery. Engine, Workers and Lanes
+	// never change a complete result, so they do not enter the cache key.
+	// Lanes caps the scenarios the batch engine packs per sweep (1..64,
+	// 0 = 64); scalar engines ignore it.
 	Engine  string `json:"engine,omitempty"`
 	MemX    string `json:"memx,omitempty"`
 	Workers int    `json:"workers,omitempty"`
+	Lanes   int    `json:"lanes,omitempty"`
 
 	// Priority orders the queue: higher runs first, FIFO within a level.
 	Priority int `json:"priority,omitempty"`
@@ -67,6 +71,7 @@ func specDefaults(a *cliflags.Analysis) JobSpec {
 		Engine:       a.Engine,
 		MemX:         a.MemX,
 		Workers:      a.Workers,
+		Lanes:        a.Lanes,
 		DeadlineMS:   a.Deadline.Milliseconds(),
 		MaxCycles:    a.MaxCycles,
 		MaxForks:     a.MaxForks,
@@ -107,6 +112,9 @@ func normalize(spec, def JobSpec) (JobSpec, error) {
 	if spec.Workers == 0 {
 		spec.Workers = 1
 	}
+	if spec.Lanes == 0 {
+		spec.Lanes = def.Lanes
+	}
 	if spec.DeadlineMS == 0 {
 		spec.DeadlineMS = def.DeadlineMS
 	}
@@ -146,6 +154,9 @@ func normalize(spec, def JobSpec) (JobSpec, error) {
 	}
 	if spec.Workers < 0 || spec.DeadlineMS < 0 || spec.MaxForks < 0 || spec.MaxCSMStates < 0 {
 		return spec, &BadSpecError{Reason: "negative budget or worker count"}
+	}
+	if spec.Lanes < 0 || spec.Lanes > vvp.BatchLanes {
+		return spec, &BadSpecError{Reason: fmt.Sprintf("lanes %d out of range [0,%d]", spec.Lanes, vvp.BatchLanes)}
 	}
 	if spec.Priority < -1<<20 || spec.Priority > 1<<20 {
 		return spec, &BadSpecError{Reason: fmt.Sprintf("priority %d out of range", spec.Priority)}

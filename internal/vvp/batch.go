@@ -1,0 +1,1125 @@
+// The bit-parallel batched kernel: up to 64 independent scenarios packed
+// into two bitplanes per net, swept together in a single pass over the
+// level-major netlist.Program.
+//
+// The data layout is the transpose of the scalar engines': where they hold
+// one logic.Value per net, BatchSim holds two lane words per net — valA
+// (lane bit set = known 1) and valX (lane bit set = unknown) — so one
+// EvalPlanes call evaluates a gate for every lane at once. Everything else
+// is deliberately the scalar kernel's machinery with lane masks threaded
+// through:
+//
+//   - The dirty set is lane-agnostic: a gate is dirty when ANY lane changed
+//     one of its inputs, and a level round claims and sweeps the same flat
+//     bitmap the scalar kernel uses. Lanes that did not change recompute
+//     identical planes and the commit's changed mask excludes them, so the
+//     extra evaluations are observationally neutral per lane — which is the
+//     confluence argument behind per-lane bit-identity with the scalar
+//     engines (enforced by the differential suite in batch_test.go).
+//   - Flip-flops and memories partition the lanes by edge/reset/enable
+//     conditions into disjoint masks and commit plane-wise under each.
+//   - Every lane carries its own simulation clock: now, stimulus cursor and
+//     cycle count are per-lane, so a StepAll advances each active lane to
+//     its own next event time. Lanes join (RestoreLane) and leave
+//     (RetireLane) independently — divergence costs one lane, not the
+//     whole batch.
+//
+// Sweeps and Evals count once per pass and per gate visit respectively —
+// NOT once per lane — so batch throughput is directly comparable to the
+// scalar kernel's per-scenario effort counters.
+//
+// Limitations (by design, documented in DESIGN.md §13): no Trace, no
+// CountActivity/peak tracking, and Z folds to X on every commit — the
+// plane encoding has no fourth state, matching the canonicalization every
+// scalar gate input applies anyway.
+package vvp
+
+import (
+	"fmt"
+	"math/bits"
+
+	"symsim/internal/logic"
+	"symsim/internal/netlist"
+)
+
+// BatchLanes is the lane capacity of one BatchSim: the scenarios per
+// machine word of the plane encoding.
+const BatchLanes = 64
+
+// BatchOptions configure a BatchSim.
+type BatchOptions struct {
+	// MemX selects X-address write semantics, as on the scalar engines.
+	MemX MemXPolicy
+	// Lanes caps the usable lanes, 1..64. Zero means the full 64. The cap
+	// bounds admission (RestoreLane rejects lanes at or above it); the
+	// plane layout is always 64 wide.
+	Lanes int
+}
+
+// batchAssign is one queued NBA commit: plane values applied under a lane
+// mask (lanes outside the mask are untouched; their plane bits are
+// don't-care).
+type batchAssign struct {
+	net  netlist.NetID
+	a, x uint64
+	mask uint64
+}
+
+// batchForce is one active force: per-lane forced planes, the lanes it
+// covers, and each lane's absolute release time.
+type batchForce struct {
+	net     netlist.NetID
+	a, x    uint64
+	mask    uint64
+	release [BatchLanes]uint64
+}
+
+// batchMem is the plane-encoded state of one memory: per word, one lane
+// word per data bit, plus the per-lane clock sample and pre-sized scratch
+// for the read port.
+type batchMem struct {
+	wordsA, wordsX [][]uint64 // [word][dataBit] lane planes
+	lastClkA       uint64
+	lastClkX       uint64
+	rdA, rdX       []uint64 // read-port scratch, one lane word per data bit
+}
+
+// BatchSim simulates up to 64 independent scenarios of one frozen design in
+// lockstep over the compiled Program. It is not safe for concurrent use.
+// Lanes are admitted with RestoreLane, advanced together with StepAll, and
+// individually retired with RetireLane when they finish or halt.
+type BatchSim struct {
+	d    *netlist.Netlist
+	prog *netlist.Program
+	opts BatchOptions
+
+	vals       logic.PVec // per-net lane planes; valA/valX alias its storage
+	valA, valX []uint64
+	lastClkA   []uint64 // per kernel gate (DFFs only): previous clock planes
+	lastClkX   []uint64
+
+	mem    []batchMem
+	forces []batchForce
+
+	// Lane-agnostic dirty tracking — the scalar kernel's flat bitmap,
+	// verbatim (see kernel.go).
+	dirtyW     []uint64
+	lvlW       []uint64
+	scratchW   []uint64
+	memBuckets [][]netlist.MemID
+	memInQ     []bool
+	scratchM   []netlist.MemID
+	dirtyLo    int32
+	dirtyN     int
+	levels     int32
+
+	sweeps uint64 // level rounds, once per pass over all lanes
+	evals  uint64 // gate visits, once per visit (not per lane)
+	deltas int
+
+	glv []int32
+	mlv []int32
+
+	nba     []batchAssign
+	nbaBack []batchAssign
+
+	monitorSpc *MonitorXSpec
+
+	stim       *Stimulus
+	now        [BatchLanes]uint64
+	stimCursor [BatchLanes]int
+	cycles     [BatchLanes]uint64
+
+	active    uint64 // occupied lanes
+	recording uint64 // lanes with toggle profiling enabled
+	toggledP  []uint64
+	laneCap   int
+}
+
+// NewBatchSim creates a batched simulator for the frozen design d. Like
+// New, it panics when d is not frozen. All lanes start unoccupied; the net
+// planes start all-X exactly like a fresh scalar simulator, and time-zero
+// initial evaluation settles constant cones on the first StepAll or
+// RestoreLane settle.
+func NewBatchSim(d *netlist.Netlist, opts BatchOptions) *BatchSim {
+	if opts.Lanes < 0 || opts.Lanes > BatchLanes {
+		panic(fmt.Sprintf("vvp: batch lane cap %d out of range [0,%d]", opts.Lanes, BatchLanes))
+	}
+	cap := opts.Lanes
+	if cap == 0 {
+		cap = BatchLanes
+	}
+	prog := d.Program()
+	s := &BatchSim{
+		d:          d,
+		prog:       prog,
+		opts:       opts,
+		vals:       logic.NewPVec(len(d.Nets)),
+		lastClkA:   make([]uint64, len(d.Gates)),
+		lastClkX:   make([]uint64, len(d.Gates)),
+		memBuckets: make([][]netlist.MemID, d.MaxLevel()+1),
+		memInQ:     make([]bool, len(d.Mems)),
+		toggledP:   make([]uint64, len(d.Nets)),
+		dirtyLo:    d.MaxLevel() + 1,
+		levels:     d.MaxLevel() + 1,
+		glv:        prog.GateLevel,
+		mlv:        prog.MemLevel,
+		laneCap:    cap,
+	}
+	s.valA, s.valX = s.vals.Planes()
+	for i := range s.lastClkX {
+		s.lastClkX[i] = ^uint64(0)
+	}
+	nw := (len(d.Gates) + 63) / 64
+	s.dirtyW = make([]uint64, nw)
+	s.scratchW = make([]uint64, 0, nw+1)
+	s.lvlW = make([]uint64, (int(s.levels)+63)/64)
+
+	s.mem = make([]batchMem, len(d.Mems))
+	for i, m := range d.Mems {
+		bm := batchMem{
+			wordsA:   make([][]uint64, m.Words),
+			wordsX:   make([][]uint64, m.Words),
+			lastClkX: ^uint64(0),
+			rdA:      make([]uint64, m.DataBits),
+			rdX:      make([]uint64, m.DataBits),
+		}
+		// Flat backing arrays: one allocation per plane, not per word.
+		backA := make([]uint64, m.Words*m.DataBits)
+		backX := make([]uint64, m.Words*m.DataBits)
+		for w := 0; w < m.Words; w++ {
+			bm.wordsA[w] = backA[w*m.DataBits : (w+1)*m.DataBits]
+			bm.wordsX[w] = backX[w*m.DataBits : (w+1)*m.DataBits]
+			if w < len(m.Init) && m.Init[w].Width() == m.DataBits {
+				for b := 0; b < m.DataBits; b++ {
+					switch m.Init[w].Get(b) {
+					case logic.Hi:
+						bm.wordsA[w][b] = ^uint64(0)
+					case logic.Lo:
+					default:
+						bm.wordsX[w][b] = ^uint64(0)
+					}
+				}
+			} else {
+				for b := 0; b < m.DataBits; b++ {
+					bm.wordsX[w][b] = ^uint64(0)
+				}
+			}
+		}
+		s.mem[i] = bm
+	}
+	// Time-zero initial evaluation, as on the scalar engines: every gate
+	// and memory scheduled once so constant cones settle before any lane's
+	// first event.
+	for gi := range d.Gates {
+		s.dirtyGateB(netlist.GateID(gi))
+	}
+	for mi := range d.Mems {
+		s.dirtyMemB(netlist.MemID(mi))
+	}
+	return s
+}
+
+// Design returns the netlist under simulation.
+func (s *BatchSim) Design() *netlist.Netlist { return s.d }
+
+// LaneCap returns the admissible lane count (the -lanes cap, default 64).
+func (s *BatchSim) LaneCap() int { return s.laneCap }
+
+// ActiveLanes returns the mask of occupied lanes.
+func (s *BatchSim) ActiveLanes() uint64 { return s.active }
+
+// NowLane returns lane lane's current simulation time.
+func (s *BatchSim) NowLane(lane int) uint64 { return s.now[lane] }
+
+// CyclesLane returns the clock posedges lane lane has executed since it was
+// admitted.
+func (s *BatchSim) CyclesLane(lane int) uint64 { return s.cycles[lane] }
+
+// Sweeps returns the level rounds executed — once per pass over all lanes,
+// the batched-sweep accounting the throughput comparison relies on.
+func (s *BatchSim) Sweeps() uint64 { return s.sweeps }
+
+// Evals returns cumulative gate visits (once per visit, not per lane).
+func (s *BatchSim) Evals() uint64 { return s.evals }
+
+// SetMonitorX installs the $monitor_x specification shared by all lanes.
+func (s *BatchSim) SetMonitorX(spec *MonitorXSpec) { s.monitorSpc = spec }
+
+// BindStimulus attaches the testbench stimulus shared by all lanes. Unlike
+// the scalar BindStimulus it commits no clock value — lanes join at their
+// own restore times and RestoreLane establishes each lane's clock phase.
+func (s *BatchSim) BindStimulus(st *Stimulus) { s.stim = st }
+
+// LaneValue returns the current value of a net in one lane (never Z — the
+// plane encoding folds it to X).
+func (s *BatchSim) LaneValue(id netlist.NetID, lane int) logic.Value {
+	m := uint64(1) << uint(lane)
+	if s.valA[id]&m != 0 {
+		return logic.Hi
+	}
+	if s.valX[id]&m != 0 {
+		return logic.X
+	}
+	return logic.Lo
+}
+
+// LaneNetValues copies every net's value in one lane into dst (allocated
+// when nil or mis-sized) and returns it.
+func (s *BatchSim) LaneNetValues(lane int, dst []logic.Value) []logic.Value {
+	if len(dst) != len(s.valA) {
+		dst = make([]logic.Value, len(s.valA))
+	}
+	m := uint64(1) << uint(lane)
+	for i := range dst {
+		switch {
+		case s.valA[i]&m != 0:
+			dst[i] = logic.Hi
+		case s.valX[i]&m != 0:
+			dst[i] = logic.X
+		default:
+			dst[i] = logic.Lo
+		}
+	}
+	return dst
+}
+
+// StartRecordingLane begins toggle profiling for one lane from its current
+// state: nets currently X in the lane are immediately exercisable, every
+// subsequent lane change marks its net — the per-lane analogue of
+// StartRecording.
+func (s *BatchSim) StartRecordingLane(lane int) {
+	lm := uint64(1) << uint(lane)
+	s.recording |= lm
+	for id := range s.toggledP {
+		s.toggledP[id] = s.toggledP[id]&^lm | s.valX[id]&lm
+	}
+}
+
+// ToggledLane copies lane lane's toggle profile into dst (allocated when
+// nil or mis-sized) and returns it.
+func (s *BatchSim) ToggledLane(lane int, dst []bool) []bool {
+	if len(dst) != len(s.toggledP) {
+		dst = make([]bool, len(s.toggledP))
+	}
+	lm := uint64(1) << uint(lane)
+	for i, w := range s.toggledP {
+		dst[i] = w&lm != 0
+	}
+	return dst
+}
+
+// forceIdxB returns the position of net id in the sorted forces slice, or
+// its insertion point.
+func (s *BatchSim) forceIdxB(id netlist.NetID) int {
+	lo, hi := 0, len(s.forces)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.forces[mid].net < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ForceLane forces net id to v in one lane until the lane's simulation time
+// reaches release — the per-lane Verilog force used when continuing down
+// one path of a forked branch.
+func (s *BatchSim) ForceLane(id netlist.NetID, v logic.Value, lane int, release uint64) {
+	i := s.forceIdxB(id)
+	if i == len(s.forces) || s.forces[i].net != id {
+		s.forces = append(s.forces, batchForce{})
+		copy(s.forces[i+1:], s.forces[i:])
+		s.forces[i] = batchForce{net: id}
+	}
+	f := &s.forces[i]
+	lm := uint64(1) << uint(lane)
+	f.a &^= lm
+	f.x &^= lm
+	switch v {
+	case logic.Hi:
+		f.a |= lm
+	case logic.Lo:
+	default:
+		f.x |= lm
+	}
+	f.mask |= lm
+	f.release[lane] = release
+	s.commitB(id, f.a, f.x, lm)
+}
+
+// ForcedLanes returns the lanes in which net id currently has a force.
+func (s *BatchSim) ForcedLanes(id netlist.NetID) uint64 {
+	if len(s.forces) == 0 {
+		return 0
+	}
+	i := s.forceIdxB(id)
+	if i < len(s.forces) && s.forces[i].net == id {
+		return s.forces[i].mask
+	}
+	return 0
+}
+
+// releaseExpiredB drops force lanes whose release time has passed and
+// re-dirties the driver so the natural value reasserts. Lanes still forced
+// on the same net are protected by the commit-time override.
+func (s *BatchSim) releaseExpiredB() {
+	if len(s.forces) == 0 {
+		return
+	}
+	kept := s.forces[:0]
+	for i := range s.forces {
+		f := &s.forces[i]
+		var expired uint64
+		for lanes := f.mask; lanes != 0; lanes &= lanes - 1 {
+			l := bits.TrailingZeros64(lanes)
+			if s.now[l] >= f.release[l] {
+				expired |= uint64(1) << uint(l)
+			}
+		}
+		if expired != 0 {
+			f.mask &^= expired
+			s.redirtyNet(f.net)
+		}
+		if f.mask != 0 {
+			kept = append(kept, *f)
+		}
+	}
+	s.forces = kept
+}
+
+// redirtyNet schedules the driver and memory fanout of a net so its natural
+// value recomputes (force release, lane admission).
+func (s *BatchSim) redirtyNet(id netlist.NetID) {
+	if d := s.d.Nets[id].Driver; d != netlist.NoGate {
+		s.dirtyGateB(s.prog.Renum[d])
+	}
+	for _, m := range s.prog.MemFanOf(id) {
+		s.dirtyMemB(m)
+	}
+}
+
+// clearLaneForces removes one lane from every active force (lane retirement
+// and admission).
+func (s *BatchSim) clearLaneForces(lane int) {
+	if len(s.forces) == 0 {
+		return
+	}
+	lm := uint64(1) << uint(lane)
+	kept := s.forces[:0]
+	for i := range s.forces {
+		f := &s.forces[i]
+		f.mask &^= lm
+		if f.mask != 0 {
+			kept = append(kept, *f)
+		}
+	}
+	s.forces = kept
+}
+
+// dirtyGateB marks one kernel gate dirty — the scalar kernel's bitmap
+// marking, shared across all lanes.
+//
+//symsim:hotpath
+func (s *BatchSim) dirtyGateB(g netlist.GateID) {
+	wi, m := uint32(g)>>6, uint64(1)<<(uint32(g)&63)
+	if s.dirtyW[wi]&m == 0 {
+		s.dirtyW[wi] |= m
+		lvl := s.glv[g]
+		s.lvlW[uint32(lvl)>>6] |= uint64(1) << (uint32(lvl) & 63)
+		if lvl < s.dirtyLo {
+			s.dirtyLo = lvl
+		}
+		s.dirtyN++
+	}
+}
+
+func (s *BatchSim) dirtyMemB(m netlist.MemID) {
+	if !s.memInQ[m] {
+		s.memInQ[m] = true
+		lvl := s.mlv[m]
+		//symsim:allow SA001 memory buckets are pre-sized at Freeze; append reuses their capacity
+		s.memBuckets[lvl] = append(s.memBuckets[lvl], m)
+		s.lvlW[uint32(lvl)>>6] |= uint64(1) << (uint32(lvl) & 63)
+		if lvl < s.dirtyLo {
+			s.dirtyLo = lvl
+		}
+		s.dirtyN++
+	}
+}
+
+// commitB assigns plane values to a net under a lane mask, honouring
+// per-lane forces, recording per-lane toggles, and scheduling lane-agnostic
+// fanout. Lanes outside mask are untouched.
+//
+//symsim:hotpath
+func (s *BatchSim) commitB(id netlist.NetID, a, x, mask uint64) {
+	if len(s.forces) != 0 {
+		//symsim:allow SA001 force lookup runs only while forces are active; the benchmarked steady state has none
+		i := s.forceIdxB(id)
+		if i < len(s.forces) && s.forces[i].net == id {
+			f := &s.forces[i]
+			fm := f.mask & mask
+			a = a&^fm | f.a&fm
+			x = x&^fm | f.x&fm
+		}
+	}
+	oldA, oldX := s.valA[id], s.valX[id]
+	changed := mask & ((oldA ^ a) | (oldX ^ x))
+	if changed == 0 {
+		return
+	}
+	s.valA[id] = oldA&^changed | a&changed
+	s.valX[id] = oldX&^changed | x&changed
+	if rec := s.recording & changed; rec != 0 {
+		s.toggledP[id] |= rec
+	}
+	// Lane-agnostic fanout dirtying with the hot loads hoisted, exactly as
+	// the scalar kernel's commit.
+	dirtyW, glv, lvlW := s.dirtyW, s.glv, s.lvlW
+	lo, n := s.dirtyLo, 0
+	for _, g := range s.prog.GateFan(id) {
+		wi, m := uint32(g)>>6, uint64(1)<<(uint32(g)&63)
+		if dirtyW[wi]&m == 0 {
+			dirtyW[wi] |= m
+			lvl := glv[g]
+			lvlW[uint32(lvl)>>6] |= uint64(1) << (uint32(lvl) & 63)
+			if lvl < lo {
+				lo = lvl
+			}
+			n++
+		}
+	}
+	s.dirtyLo = lo
+	s.dirtyN += n
+	for _, m := range s.prog.MemFanOf(id) {
+		s.dirtyMemB(m)
+	}
+}
+
+// commitValueLane commits a scalar value into the lanes of mask.
+func (s *BatchSim) commitValueLane(id netlist.NetID, v logic.Value, mask uint64) {
+	var a, x uint64
+	switch v {
+	case logic.Hi:
+		a = ^uint64(0)
+	case logic.Lo:
+	default:
+		x = ^uint64(0)
+	}
+	s.commitB(id, a, x, mask)
+}
+
+// evalGateB evaluates one gate for all lanes: flip-flops through the
+// lane-partitioned evalDFFB, everything else through one EvalPlanes call.
+//
+//symsim:hotpath
+func (s *BatchSim) evalGateB(g netlist.GateID) {
+	d := &s.prog.Gates[g]
+	if d.Kind == netlist.KindDFF {
+		s.evalDFFB(g, d)
+		return
+	}
+	valA, valX := s.valA, s.valX
+	oA, oX := netlist.EvalPlanes(d.Kind,
+		valA[d.In[0]], valX[d.In[0]],
+		valA[d.In[1]], valX[d.In[1]],
+		valA[d.In[2]], valX[d.In[2]])
+	// No-change fast path over the active lanes; sound with forces for the
+	// same reason as the scalar kernel's.
+	out := d.Out
+	if ((oA^valA[out])|(oX^valX[out]))&s.active == 0 {
+		return
+	}
+	s.commitB(out, oA, oX, s.active)
+}
+
+// evalDFFB is stepDFF with the lanes partitioned into disjoint masks:
+// reset-asserted (r0), reset-unknown (rU), and clock-edge lanes split into
+// exact posedges (pe) and unknown-edge conservative captures (ue). Each
+// partition commits plane-wise under its mask; lanes in none of them are
+// untouched, so an evaluation triggered by another lane's activity is a
+// per-lane no-op — the property the confluence argument rests on.
+//
+//symsim:hotpath
+func (s *BatchSim) evalDFFB(g netlist.GateID, d *netlist.GateDesc) {
+	act := s.active
+	valA, valX := s.valA, s.valX
+	out := d.Out
+	dA, dX := valA[d.In[netlist.DFFPinD]], valX[d.In[netlist.DFFPinD]]
+	clkA, clkX := valA[d.In[netlist.DFFPinClk]], valX[d.In[netlist.DFFPinClk]]
+	enA, enX := valA[d.In[netlist.DFFPinEn]], valX[d.In[netlist.DFFPinEn]]
+	rA, rX := valA[d.In[netlist.DFFPinRstn]], valX[d.In[netlist.DFFPinRstn]]
+	var initA, initX uint64
+	switch d.Init {
+	case logic.Hi:
+		initA = ^uint64(0)
+	case logic.Lo:
+	default:
+		initX = ^uint64(0)
+	}
+
+	// Asynchronous reset dominates: known-low lanes load Init and sample
+	// the clock without edge processing.
+	r0 := ^rA & ^rX & act
+	if r0 != 0 {
+		s.commitB(out, initA, initX, r0)
+		s.lastClkA[g] = s.lastClkA[g]&^r0 | clkA&r0
+		s.lastClkX[g] = s.lastClkX[g]&^r0 | clkX&r0
+	}
+	// Unknown reset: the output covers both the reset and held value, then
+	// falls through to edge processing.
+	if rU := rX & act; rU != 0 {
+		qA, qX := valA[out], valX[out]
+		mA := qA & initA
+		m0 := ^qA & ^qX & ^initA & ^initX
+		s.commitB(out, mA, ^(mA | m0), rU)
+	}
+	edge := act &^ r0
+	lastA, lastX := s.lastClkA[g], s.lastClkX[g]
+	changed := ((clkA ^ lastA) | (clkX ^ lastX)) & edge
+	if changed == 0 {
+		return
+	}
+	pe := changed & ^lastA & ^lastX & clkA // exact Lo -> Hi
+	ue := changed & (clkX | lastX)         // either clock sample unknown
+	if pe|ue != 0 {
+		// Mux(en, q, d) plane-wise, q re-read after the rU merge above.
+		qA, qX := valA[out], valX[out]
+		en0 := ^enA & ^enX
+		mA := qA & dA
+		m0 := ^qA & ^qX & ^dA & ^dX
+		mX := ^(mA | m0)
+		muxA := en0&qA | enA&dA | enX&mA
+		muxX := en0&qX | enA&dX | enX&mX
+		if pe != 0 {
+			//symsim:allow SA001 nba reuses its capacity between cycles after the first
+			s.nba = append(s.nba, batchAssign{net: out, a: muxA, x: muxX, mask: pe})
+		}
+		if ue != 0 {
+			// Conservative capture: merge the current output with the
+			// sampled value.
+			gA := qA & muxA
+			g0 := ^qA & ^qX & ^muxA & ^muxX
+			//symsim:allow SA001 nba reuses its capacity between cycles after the first
+			s.nba = append(s.nba, batchAssign{net: out, a: gA, x: ^(gA | g0), mask: ue})
+		}
+	}
+	s.lastClkA[g] = s.lastClkA[g]&^changed | clkA&changed
+	s.lastClkX[g] = s.lastClkX[g]&^changed | clkX&changed
+}
+
+// evalMemB evaluates one memory for all lanes: per-lane edge-triggered
+// writes, then the read port for every active lane.
+func (s *BatchSim) evalMemB(id netlist.MemID) {
+	m := s.d.Mems[id]
+	ms := &s.mem[id]
+	if !m.IsROM() {
+		clkA, clkX := s.valA[m.Clk], s.valX[m.Clk]
+		changed := ((clkA ^ ms.lastClkA) | (clkX ^ ms.lastClkX)) & s.active
+		if changed != 0 {
+			if pe := changed & ^ms.lastClkA & ^ms.lastClkX & clkA; pe != 0 {
+				s.memWriteB(m, ms, pe)
+			}
+			ms.lastClkA = ms.lastClkA&^changed | clkA&changed
+			ms.lastClkX = ms.lastClkX&^changed | clkX&changed
+		}
+	}
+	s.memReadB(m, ms)
+}
+
+// mergeWordLane merges the current write-data planes into one memory word
+// under a lane mask (conservative write: agreeing known bits kept, X
+// otherwise).
+func (s *BatchSim) mergeWordLane(m *netlist.Mem, wa, wx []uint64, lm uint64) {
+	for b, n := range m.WData {
+		da, dx := s.valA[n], s.valX[n]
+		mA := wa[b] & da
+		m0 := ^wa[b] & ^wx[b] & ^da & ^dx
+		wa[b] = wa[b]&^lm | mA&lm
+		wx[b] = wx[b]&^lm | ^(mA|m0)&lm
+	}
+}
+
+// addrCouldBeLane reports whether lane l's ternary address over nets could
+// equal w.
+func (s *BatchSim) addrCouldBeLane(addr []netlist.NetID, l int, w uint64) bool {
+	lm := uint64(1) << uint(l)
+	for j, n := range addr {
+		if s.valX[n]&lm != 0 {
+			continue
+		}
+		if (s.valA[n]&lm != 0) != (w>>uint(j)&1 == 1) {
+			return false
+		}
+	}
+	return true
+}
+
+// memWriteB performs the write port for the posedge lanes pe: write-enable
+// partitions lanes into skip (known 0), exact write (known 1) and
+// conservative merge (unknown); unknown addresses follow the MemX policy
+// per lane.
+func (s *BatchSim) memWriteB(m *netlist.Mem, ms *batchMem, pe uint64) {
+	weA, weX := s.valA[m.WEn], s.valX[m.WEn]
+	cand := pe & (weA | weX)
+	if cand == 0 {
+		return
+	}
+	var unknown uint64
+	for _, n := range m.WAddr {
+		unknown |= s.valX[n]
+	}
+	for lanes := cand &^ unknown; lanes != 0; lanes &= lanes - 1 {
+		l := bits.TrailingZeros64(lanes)
+		lm := uint64(1) << uint(l)
+		var a uint64
+		for j, n := range m.WAddr {
+			a |= s.valA[n] >> uint(l) & 1 << uint(j)
+		}
+		if int(a) >= m.Words {
+			continue
+		}
+		wa, wx := ms.wordsA[a], ms.wordsX[a]
+		if weX&lm != 0 {
+			// Unknown enable: the word may or may not update — merge.
+			s.mergeWordLane(m, wa, wx, lm)
+			continue
+		}
+		for b, n := range m.WData {
+			wa[b] = wa[b]&^lm | s.valA[n]&lm
+			wx[b] = wx[b]&^lm | s.valX[n]&lm
+		}
+	}
+	xLanes := cand & unknown
+	if xLanes == 0 || s.opts.MemX == MemXVerilog {
+		// MemXVerilog drops unknown-address writes (iverilog semantics).
+		return
+	}
+	for lanes := xLanes; lanes != 0; lanes &= lanes - 1 {
+		l := bits.TrailingZeros64(lanes)
+		lm := uint64(1) << uint(l)
+		for w := 0; w < m.Words; w++ {
+			if s.addrCouldBeLane(m.WAddr, l, uint64(w)) {
+				s.mergeWordLane(m, ms.wordsA[w], ms.wordsX[w], lm)
+			}
+		}
+	}
+}
+
+// memReadB recomputes the asynchronous read port for every active lane:
+// known in-range addresses gather their word's lane planes, unknown or
+// out-of-range addresses read X.
+func (s *BatchSim) memReadB(m *netlist.Mem, ms *batchMem) {
+	for b := range ms.rdA {
+		ms.rdA[b] = 0
+		ms.rdX[b] = 0
+	}
+	var unknown uint64
+	for _, n := range m.RAddr {
+		unknown |= s.valX[n]
+	}
+	act := s.active
+	xl := act & unknown
+	for lanes := act &^ unknown; lanes != 0; lanes &= lanes - 1 {
+		l := bits.TrailingZeros64(lanes)
+		var a uint64
+		for j, n := range m.RAddr {
+			a |= s.valA[n] >> uint(l) & 1 << uint(j)
+		}
+		if int(a) >= m.Words {
+			xl |= uint64(1) << uint(l)
+			continue
+		}
+		lm := uint64(1) << uint(l)
+		wa, wx := ms.wordsA[a], ms.wordsX[a]
+		for b := range ms.rdA {
+			ms.rdA[b] |= wa[b] & lm
+			ms.rdX[b] |= wx[b] & lm
+		}
+	}
+	for b, dnet := range m.RData {
+		s.commitB(dnet, ms.rdA[b], ms.rdX[b]|xl, act)
+	}
+}
+
+func (s *BatchSim) countDeltasB(n int) error {
+	s.deltas += n
+	s.evals += uint64(n)
+	if s.deltas > maxDeltas {
+		//symsim:allow SA001 the oscillation error is the abort path, not steady state
+		return fmt.Errorf("vvp: delta-cycle limit exceeded (oscillating netlist?)")
+	}
+	return nil
+}
+
+// batchLevel runs one round of level lvl — the scalar kernelLevel with
+// evalGateB in place of evalGateK. One sweep covers every occupied lane.
+//
+//symsim:hotpath
+func (s *BatchSim) batchLevel(lvl int32) error {
+	lo, hi := s.prog.LevelRange(lvl)
+	if lo != hi {
+		w0 := lo >> 6
+		w1 := (hi - 1) >> 6
+		if w0 == w1 {
+			w := s.dirtyW[w0] &^ (uint64(1)<<(lo&63) - 1)
+			if hi&63 != 0 {
+				w &= uint64(1)<<(hi&63) - 1
+			}
+			if w != 0 {
+				s.dirtyW[w0] &^= w
+				n := bits.OnesCount64(w)
+				s.sweeps++
+				s.dirtyN -= n
+				base := netlist.GateID(w0 << 6)
+				for w != 0 {
+					s.evalGateB(base + netlist.GateID(bits.TrailingZeros64(w)))
+					w &= w - 1
+				}
+				if err := s.countDeltasB(n); err != nil {
+					return err
+				}
+			}
+			s.drainLevelMemsB(lvl)
+			return nil
+		}
+		sw := s.scratchW[:0]
+		n := 0
+		for wi := w0; wi <= w1; wi++ {
+			w := s.dirtyW[wi]
+			if wi == w0 {
+				w &^= uint64(1)<<(lo&63) - 1
+			}
+			if wi == w1 && hi&63 != 0 {
+				w &= uint64(1)<<(hi&63) - 1
+			}
+			s.dirtyW[wi] &^= w
+			n += bits.OnesCount64(w)
+			//symsim:allow SA001 scratchW is pre-sized at construction; append reuses its capacity
+			sw = append(sw, w)
+		}
+		s.scratchW = sw
+		if n > 0 {
+			s.sweeps++
+			s.dirtyN -= n
+			for i, w := range sw {
+				base := netlist.GateID((w0 + uint32(i)) << 6)
+				for w != 0 {
+					s.evalGateB(base + netlist.GateID(bits.TrailingZeros64(w)))
+					w &= w - 1
+				}
+			}
+			if err := s.countDeltasB(n); err != nil {
+				return err
+			}
+		}
+	}
+	s.drainLevelMemsB(lvl)
+	return nil
+}
+
+func (s *BatchSim) drainLevelMemsB(lvl int32) {
+	if b := s.memBuckets[lvl]; len(b) > 0 {
+		//symsim:allow SA001 scratchM reuses its capacity; memBuckets bound it
+		s.scratchM = append(s.scratchM[:0], b...)
+		s.memBuckets[lvl] = b[:0]
+		for i := 1; i < len(s.scratchM); i++ {
+			for j := i; j > 0 && s.scratchM[j] < s.scratchM[j-1]; j-- {
+				s.scratchM[j], s.scratchM[j-1] = s.scratchM[j-1], s.scratchM[j]
+			}
+		}
+		for _, m := range s.scratchM {
+			s.memInQ[m] = false
+			s.dirtyN--
+			s.evalMemB(m)
+		}
+	}
+}
+
+// nextDirtyLevelB returns the lowest level >= from whose lvlW bit is set.
+func (s *BatchSim) nextDirtyLevelB(from int32) int32 {
+	wi := uint32(from) >> 6
+	if int(wi) >= len(s.lvlW) {
+		return s.levels
+	}
+	w := s.lvlW[wi] &^ (uint64(1)<<(uint32(from)&63) - 1)
+	for w == 0 {
+		wi++
+		if int(wi) >= len(s.lvlW) {
+			return s.levels
+		}
+		w = s.lvlW[wi]
+	}
+	return int32(wi<<6) + int32(bits.TrailingZeros64(w))
+}
+
+// settleB drains the Active and NBA regions to a fixpoint — the scalar
+// settle without the Inactive region (the batch engine exposes no #0
+// scheduling API).
+func (s *BatchSim) settleB() error {
+	s.deltas = 0
+	for {
+		if err := s.drainActiveB(); err != nil {
+			return err
+		}
+		if len(s.nba) > 0 {
+			batch := s.nba
+			s.nba = s.nbaBack[:0]
+			s.nbaBack = batch
+			for _, a := range batch {
+				s.commitB(a.net, a.a, a.x, a.mask)
+			}
+			continue
+		}
+		return nil
+	}
+}
+
+func (s *BatchSim) drainActiveB() error {
+	var lvl int32
+	for s.dirtyN > 0 {
+		lvl = s.nextDirtyLevelB(lvl)
+		if lvl >= s.levels {
+			lvl = 0
+			continue
+		}
+		s.lvlW[uint32(lvl)>>6] &^= uint64(1) << (uint32(lvl) & 63)
+		s.dirtyLo = s.levels
+		if err := s.batchLevel(lvl); err != nil {
+			return err
+		}
+		if s.dirtyLo <= lvl {
+			lvl = s.dirtyLo
+		} else {
+			lvl++
+		}
+	}
+	return nil
+}
+
+// applyStimulusLane commits the stimulus assignments scheduled at lane
+// lane's current time and reports whether this step is its clock posedge.
+func (s *BatchSim) applyStimulusLane(lane int) bool {
+	lm := uint64(1) << uint(lane)
+	st := s.stim
+	now := s.now[lane]
+	posedge := false
+	if st.Clock != netlist.NoNet && st.HalfPeriod > 0 && now > 0 && now%st.HalfPeriod == 0 {
+		v := st.clockValueAt(now)
+		if v == logic.Hi && s.valA[st.Clock]&lm == 0 {
+			posedge = true
+		}
+		s.commitValueLane(st.Clock, v, lm)
+	}
+	for s.stimCursor[lane] < len(st.Events) && st.Events[s.stimCursor[lane]].Time <= now {
+		e := st.Events[s.stimCursor[lane]]
+		s.commitValueLane(e.Net, e.Val, lm)
+		s.stimCursor[lane]++
+	}
+	return posedge
+}
+
+// StepAll advances every active lane to its own next scheduled time point,
+// settles all lanes in one shared pass, and evaluates the symbolic region
+// per lane. It returns the lanes whose design finished and the lanes that
+// halted on a symbolic branch (disjoint; finish wins within a lane). Both
+// masks report lanes still active — the caller retires them.
+func (s *BatchSim) StepAll() (finished, halted uint64, err error) {
+	if s.stim == nil {
+		return 0, 0, fmt.Errorf("vvp: StepAll without stimulus")
+	}
+	act := s.active
+	if act == 0 {
+		return 0, 0, nil
+	}
+	for lanes := act; lanes != 0; lanes &= lanes - 1 {
+		l := bits.TrailingZeros64(lanes)
+		t, ok := s.stim.nextTime(s.now[l], s.stimCursor[l])
+		if !ok {
+			return 0, 0, fmt.Errorf("vvp: stimulus exhausted at t=%d (lane %d)", s.now[l], l)
+		}
+		s.now[l] = t
+	}
+	s.releaseExpiredB()
+	var posedge uint64
+	for lanes := act; lanes != 0; lanes &= lanes - 1 {
+		l := bits.TrailingZeros64(lanes)
+		if s.applyStimulusLane(l) {
+			posedge |= uint64(1) << uint(l)
+		}
+	}
+	if err := s.settleB(); err != nil {
+		return 0, 0, err
+	}
+	for lanes := posedge; lanes != 0; lanes &= lanes - 1 {
+		s.cycles[bits.TrailingZeros64(lanes)]++
+	}
+
+	if s.monitorSpc == nil {
+		return 0, 0, nil
+	}
+	sp := s.monitorSpc
+	if sp.Finish != netlist.NoNet {
+		finished = s.valA[sp.Finish] & act
+	}
+	if sp.BranchActive != netlist.NoNet {
+		if ba := s.valA[sp.BranchActive] & act &^ s.ForcedLanes(sp.Cond); ba != 0 {
+			var xw uint64
+			for _, w := range sp.Watch {
+				xw |= s.valX[w]
+			}
+			xw |= s.valX[sp.Cond]
+			halted = ba & xw
+		}
+	}
+	halted &^= finished
+	return finished, halted, nil
+}
+
+// RestoreLane admits one scenario into lane lane: the per-lane analogue of
+// the scalar Restore ($initialize_state). The lane's clock phase, inputs,
+// memories and flip-flops are established from the saved state, then the
+// whole design is re-settled. Every gate is dirtied — not just the fanout
+// of the touched nets — because constant cones settled for earlier
+// occupants were committed under their lane masks only; the extra
+// evaluations are no-ops for the other lanes (see the confluence note in
+// the package comment). Admission must happen between StepAll calls, when
+// the NBA queue is empty.
+func (s *BatchSim) RestoreLane(sp *StateSpec, st State, lane int) error {
+	if s.stim == nil {
+		return fmt.Errorf("vvp: RestoreLane without stimulus")
+	}
+	if lane < 0 || lane >= s.laneCap {
+		return fmt.Errorf("vvp: lane %d out of range [0,%d)", lane, s.laneCap)
+	}
+	lm := uint64(1) << uint(lane)
+	s.active |= lm
+	s.recording &^= lm
+	s.now[lane] = st.Time
+	s.cycles[lane] = 0
+	s.clearLaneForces(lane)
+	for i := range s.nba {
+		s.nba[i].mask &^= lm
+	}
+
+	// Primary inputs: clock phase from the stimulus, everything else its
+	// latest scheduled value at or before the state's time.
+	for _, in := range s.d.Inputs {
+		if in == s.stim.Clock {
+			s.commitValueLane(in, s.stim.clockValueAt(st.Time), lm)
+			continue
+		}
+		v, _ := s.stim.inputValueAt(in, st.Time)
+		s.commitValueLane(in, v, lm)
+	}
+	s.stimCursor[lane] = 0
+	for s.stimCursor[lane] < len(s.stim.Events) && s.stim.Events[s.stimCursor[lane]].Time <= st.Time {
+		s.stimCursor[lane]++
+	}
+
+	// Memories: transplant the saved words into this lane's plane bits and
+	// sample the clock so no spurious write edge fires.
+	for k, mid := range sp.Mems {
+		m := s.d.Mems[mid]
+		ms := &s.mem[mid]
+		base := sp.memBase[k]
+		for w := 0; w < m.Words; w++ {
+			wa, wx := ms.wordsA[w], ms.wordsX[w]
+			for b := 0; b < m.DataBits; b++ {
+				wa[b] &^= lm
+				wx[b] &^= lm
+				switch st.Bits.Get(base + w*m.DataBits + b) {
+				case logic.Hi:
+					wa[b] |= lm
+				case logic.Lo:
+				default:
+					wx[b] |= lm
+				}
+			}
+		}
+		ms.lastClkA = ms.lastClkA&^lm | s.valA[m.Clk]&lm
+		ms.lastClkX = ms.lastClkX&^lm | s.valX[m.Clk]&lm
+	}
+
+	assertState := func() {
+		for i, g := range sp.DFFs {
+			k := s.prog.Renum[g]
+			d := &s.prog.Gates[k]
+			clkNet := d.In[netlist.DFFPinClk]
+			s.lastClkA[k] = s.lastClkA[k]&^lm | s.valA[clkNet]&lm
+			s.lastClkX[k] = s.lastClkX[k]&^lm | s.valX[clkNet]&lm
+			s.commitValueLane(d.Out, st.Bits.Get(i), lm)
+		}
+	}
+	assertState()
+	for gi := range s.prog.Gates {
+		s.dirtyGateB(netlist.GateID(gi))
+	}
+	for mi := range s.d.Mems {
+		s.dirtyMemB(netlist.MemID(mi))
+	}
+	if err := s.settleB(); err != nil {
+		return err
+	}
+	// Re-assert: combinational settling may have rippled through DFF
+	// evaluation for this lane, but Q values are state and must equal the
+	// snapshot exactly — the scalar Restore's second pass, lane-masked.
+	assertState()
+	return s.settleB()
+}
+
+// SnapshotLane captures lane lane's machine state per spec — the per-lane
+// Snapshot used when a lane halts on a symbolic branch.
+func (s *BatchSim) SnapshotLane(sp *StateSpec, lane int) State {
+	v := logic.NewVec(sp.bits)
+	for i, g := range sp.DFFs {
+		v.Set(i, s.LaneValue(s.d.Gates[g].Out, lane))
+	}
+	lm := uint64(1) << uint(lane)
+	for k, mid := range sp.Mems {
+		m := s.d.Mems[mid]
+		ms := &s.mem[mid]
+		base := sp.memBase[k]
+		for w := 0; w < m.Words; w++ {
+			wa, wx := ms.wordsA[w], ms.wordsX[w]
+			for b := 0; b < m.DataBits; b++ {
+				switch {
+				case wa[b]&lm != 0:
+					v.Set(base+w*m.DataBits+b, logic.Hi)
+				case wx[b]&lm != 0:
+					v.Set(base+w*m.DataBits+b, logic.X)
+				default:
+					v.Set(base+w*m.DataBits+b, logic.Lo)
+				}
+			}
+		}
+	}
+	st := State{Bits: v, Time: s.now[lane]}
+	pcv := logic.NewVec(len(sp.PC))
+	for i, n := range sp.PC {
+		pcv.Set(i, s.LaneValue(n, lane))
+	}
+	if pc, ok := pcv.Uint64(); ok {
+		st.PC, st.PCKnown = pc, true
+	}
+	return st
+}
+
+// RetireLane frees one lane: it leaves the shared schedule, its forces are
+// dropped and its toggle recording stops. The lane's plane bits keep their
+// last values until the next admission overwrites them — retired lanes are
+// masked out of every commit, so the stale bits are unobservable. This is
+// the compaction step of the lane scheduler: freed slots are simply reused
+// by the next RestoreLane.
+func (s *BatchSim) RetireLane(lane int) {
+	lm := uint64(1) << uint(lane)
+	s.active &^= lm
+	s.recording &^= lm
+	s.clearLaneForces(lane)
+	for i := range s.nba {
+		s.nba[i].mask &^= lm
+	}
+}

@@ -1,0 +1,369 @@
+package vvp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"symsim/internal/logic"
+	"symsim/internal/netlist"
+)
+
+// The batch differential suite: every lane of the bit-parallel engine must
+// be bit-identical, step for step, to a scalar reference interpreter
+// restored from the same snapshot — values, memories, toggle profiles,
+// cycle counts, symbolic halt/finish decisions and exit snapshots. Lanes
+// are admitted from different warm-up depths (so the batch runs genuinely
+// divergent scenarios), forced at random, retired mid-run and their slots
+// re-used, exercising the scheduler's whole lane lifecycle.
+
+// checkLane compares every piece of per-lane observable batch state against
+// a scalar reference simulator.
+func checkLane(t *testing.T, ctx string, b *BatchSim, ref *Simulator, lane int) {
+	t.Helper()
+	if b.NowLane(lane) != ref.Now() || b.CyclesLane(lane) != ref.Cycles() {
+		t.Fatalf("%s: lane %d time %d/%d cycles %d/%d diverged",
+			ctx, lane, b.NowLane(lane), ref.Now(), b.CyclesLane(lane), ref.Cycles())
+	}
+	for id := range ref.val {
+		want := ref.val[id]
+		if want == logic.Z {
+			want = logic.X // the plane encoding folds Z at commit
+		}
+		if got := b.LaneValue(netlist.NetID(id), lane); got != want {
+			t.Fatalf("%s: lane %d net %s = %v (batch) vs %v (interp)",
+				ctx, lane, ref.d.NetName(netlist.NetID(id)), got, want)
+		}
+	}
+	lm := uint64(1) << uint(lane)
+	for mi := range ref.mem {
+		m := ref.d.Mems[mi]
+		bm := &b.mem[mi]
+		for w := range ref.mem[mi].words {
+			for bit := 0; bit < m.DataBits; bit++ {
+				want := ref.mem[mi].words[w].Get(bit)
+				got := logic.Lo
+				if bm.wordsA[w][bit]&lm != 0 {
+					got = logic.Hi
+				} else if bm.wordsX[w][bit]&lm != 0 {
+					got = logic.X
+				}
+				if got != want {
+					t.Fatalf("%s: lane %d mem %d word %d bit %d: %v vs %v",
+						ctx, lane, mi, w, bit, got, want)
+				}
+			}
+		}
+	}
+	tg := b.ToggledLane(lane, nil)
+	for id, want := range ref.toggled {
+		if tg[id] != want {
+			t.Fatalf("%s: lane %d toggle profile diverged on %s: %v vs %v",
+				ctx, lane, ref.d.NetName(netlist.NetID(id)), tg[id], want)
+		}
+	}
+}
+
+// batchDiffTrial runs one random circuit with several divergent scenarios
+// in batch lanes, each shadowed by a scalar interpreter, in lockstep.
+func batchDiffTrial(t *testing.T, seed int64, memx MemXPolicy) {
+	r := rand.New(rand.NewSource(seed))
+	n, ins := randMemCircuit(r, 2+r.Intn(3), 2+r.Intn(4), 10+r.Intn(40), r.Intn(2) == 0)
+	st := randStimulus(r, n, ins, 40)
+	sp, err := SpecFor(n, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := make([]netlist.NetID, 0, len(n.Nets))
+	for id := range n.Nets {
+		pool = append(pool, netlist.NetID(id))
+	}
+	var spec *MonitorXSpec
+	if r.Intn(2) == 0 {
+		// A monitor spec over random nets: lanes finish and halt at
+		// arbitrary, divergent steps, exercising per-lane retirement.
+		pick := func() netlist.NetID { return pool[r.Intn(len(pool))] }
+		spec = &MonitorXSpec{
+			BranchActive: pick(), Cond: pick(),
+			Watch:  []netlist.NetID{pick(), pick()},
+			Finish: pick(),
+		}
+	}
+
+	b := NewBatchSim(n, BatchOptions{MemX: memx})
+	b.BindStimulus(st)
+	b.SetMonitorX(spec)
+
+	nl := 2 + r.Intn(10)
+	refs := make([]*Simulator, nl)
+	done := make([]bool, nl)
+
+	admit := func(lane, warm int, ctx string) {
+		// Produce a mid-run state by warming a scratch interpreter, then
+		// restore it into the batch lane and a fresh scalar shadow.
+		w := New(n, Options{Engine: EngineInterp, MemX: memx})
+		w.BindStimulus(st)
+		for i := 0; i < warm; i++ {
+			if _, err := w.Step(); err != nil {
+				t.Fatalf("%s: warm-up: %v", ctx, err)
+			}
+		}
+		snap := w.Snapshot(sp)
+		ref := New(n, Options{Engine: EngineInterp, MemX: memx})
+		ref.BindStimulus(st)
+		ref.SetMonitorX(spec)
+		if err := ref.Restore(sp, snap); err != nil {
+			t.Fatalf("%s: scalar restore: %v", ctx, err)
+		}
+		if err := b.RestoreLane(sp, snap, lane); err != nil {
+			t.Fatalf("%s: RestoreLane(%d): %v", ctx, lane, err)
+		}
+		if r.Intn(2) == 0 {
+			fn := n.Outputs[0]
+			rel := ref.Now() + 3*hp
+			ref.Force(fn, logic.Hi, rel)
+			b.ForceLane(fn, logic.Hi, lane, rel)
+		}
+		ref.StartRecording()
+		b.StartRecordingLane(lane)
+		refs[lane] = ref
+		done[lane] = false
+		checkLane(t, ctx+" post-restore", b, ref, lane)
+	}
+
+	for lane := 0; lane < nl; lane++ {
+		admit(lane, r.Intn(8), fmt.Sprintf("seed %d admit %d", seed, lane))
+	}
+
+	for step := 0; step < 60; step++ {
+		if b.ActiveLanes() == 0 {
+			break
+		}
+		fin, hal, err := b.StepAll()
+		if err != nil {
+			t.Fatalf("seed %d step %d: StepAll: %v", seed, step, err)
+		}
+		if fin&hal != 0 {
+			t.Fatalf("seed %d step %d: finish and halt masks overlap: %x & %x", seed, step, fin, hal)
+		}
+		for lane := 0; lane < nl; lane++ {
+			if done[lane] {
+				continue
+			}
+			ctx := fmt.Sprintf("seed %d step %d", seed, step)
+			stt, rerr := refs[lane].Step()
+			if rerr != nil {
+				t.Fatalf("%s: lane %d scalar step: %v", ctx, lane, rerr)
+			}
+			lm := uint64(1) << uint(lane)
+			if got, want := fin&lm != 0, stt == Finished; got != want {
+				t.Fatalf("%s: lane %d finished = %v, scalar status %v", ctx, lane, got, stt)
+			}
+			if got, want := hal&lm != 0, stt == HaltX; got != want {
+				t.Fatalf("%s: lane %d halted = %v, scalar status %v", ctx, lane, got, stt)
+			}
+			checkLane(t, ctx, b, refs[lane], lane)
+			if stt != Running {
+				// The exit snapshot the core hands to the explorer must
+				// match the scalar engine's bit for bit.
+				bs := b.SnapshotLane(sp, lane)
+				rs := refs[lane].Snapshot(sp)
+				if !bs.Bits.Equal(rs.Bits) || bs.Time != rs.Time ||
+					bs.PCKnown != rs.PCKnown || bs.PC != rs.PC {
+					t.Fatalf("%s: lane %d exit snapshot diverged: %s@%d vs %s@%d",
+						ctx, lane, bs.Bits, bs.Time, rs.Bits, rs.Time)
+				}
+				b.RetireLane(lane)
+				done[lane] = true
+			}
+		}
+		if step == 20 {
+			// Mid-run lane churn: retire one live lane, then re-use its
+			// slot for a brand-new scenario while the others keep running —
+			// the compaction path of the lane scheduler.
+			for lane := 0; lane < nl; lane++ {
+				if !done[lane] {
+					b.RetireLane(lane)
+					done[lane] = true
+					admit(lane, 2+r.Intn(6), fmt.Sprintf("seed %d readmit %d", seed, lane))
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestBatchMatchesInterpreterPerLane is the always-on per-lane differential
+// sweep: many random circuits, both X-address policies.
+func TestBatchMatchesInterpreterPerLane(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		batchDiffTrial(t, seed, MemXVerilog)
+		batchDiffTrial(t, seed, MemXSound)
+	}
+}
+
+// FuzzBatchVsInterpreter lets the fuzzer hunt for lane interference beyond
+// the fixed sweep.
+func FuzzBatchVsInterpreter(f *testing.F) {
+	f.Add(uint64(1), false)
+	f.Add(uint64(42), true)
+	f.Fuzz(func(t *testing.T, seed uint64, sound bool) {
+		memx := MemXVerilog
+		if sound {
+			memx = MemXSound
+		}
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], seed)
+		batchDiffTrial(t, int64(seed%(1<<62)), memx)
+	})
+}
+
+// TestBatchLaneRetireCompaction pins the lane lifecycle in isolation: a
+// retired lane's slot must be reusable for a new scenario without
+// disturbing a surviving lane — the surviving lane's shadow interpreter
+// stays bit-identical across the churn.
+func TestBatchLaneRetireCompaction(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	n, ins := randMemCircuit(r, 3, 4, 25, true)
+	st := randStimulus(r, n, ins, 40)
+	sp, err := SpecFor(n, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatchSim(n, BatchOptions{})
+	b.BindStimulus(st)
+
+	freshPair := func(warm int) (*Simulator, State) {
+		w := New(n, Options{Engine: EngineInterp})
+		w.BindStimulus(st)
+		for i := 0; i < warm; i++ {
+			if _, err := w.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap := w.Snapshot(sp)
+		ref := New(n, Options{Engine: EngineInterp})
+		ref.BindStimulus(st)
+		if err := ref.Restore(sp, snap); err != nil {
+			t.Fatal(err)
+		}
+		return ref, snap
+	}
+
+	// Two occupants: lane 0 (survivor) and lane 1 (to be retired).
+	ref0, snap0 := freshPair(3)
+	if err := b.RestoreLane(sp, snap0, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, snap1 := freshPair(6)
+	if err := b.RestoreLane(sp, snap1, 1); err != nil {
+		t.Fatal(err)
+	}
+	b.StartRecordingLane(0)
+	ref0.StartRecording()
+	step := func(nsteps int) {
+		for i := 0; i < nsteps; i++ {
+			if _, _, err := b.StepAll(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ref0.Step(); err != nil {
+				t.Fatal(err)
+			}
+			checkLane(t, fmt.Sprintf("churn step %d", i), b, ref0, 0)
+		}
+	}
+	step(5)
+
+	// Retire lane 1: the active mask must drop it and its slot must accept
+	// a new occupant while lane 0 keeps running undisturbed.
+	b.RetireLane(1)
+	if b.ActiveLanes() != 1 {
+		t.Fatalf("active mask after retire = %#x, want 0x1", b.ActiveLanes())
+	}
+	step(3)
+	_, snap2 := freshPair(10)
+	if err := b.RestoreLane(sp, snap2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if b.ActiveLanes() != 3 {
+		t.Fatalf("active mask after re-admission = %#x, want 0x3", b.ActiveLanes())
+	}
+	step(5)
+}
+
+// TestBatchLaneCap pins the -lanes cap: admission beyond the cap is
+// rejected, admission below it succeeds.
+func TestBatchLaneCap(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	n, ins := randMemCircuit(r, 2, 2, 10, false)
+	st := randStimulus(r, n, ins, 4)
+	sp, err := SpecFor(n, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatchSim(n, BatchOptions{Lanes: 4})
+	b.BindStimulus(st)
+	if got := b.LaneCap(); got != 4 {
+		t.Fatalf("LaneCap = %d, want 4", got)
+	}
+	w := New(n, Options{Engine: EngineInterp})
+	w.BindStimulus(st)
+	snap := w.Snapshot(sp)
+	if err := b.RestoreLane(sp, snap, 3); err != nil {
+		t.Fatalf("RestoreLane(3) under cap 4: %v", err)
+	}
+	if err := b.RestoreLane(sp, snap, 4); err == nil {
+		t.Fatal("RestoreLane(4) under cap 4 succeeded, want error")
+	}
+	if err := b.RestoreLane(sp, snap, -1); err == nil {
+		t.Fatal("RestoreLane(-1) succeeded, want error")
+	}
+}
+
+// TestBatchSweepAccounting pins the batched-sweep contract: stepping N
+// occupied lanes together must cost roughly the sweeps of ONE scalar
+// kernel run, not N — the whole point of the bit-parallel engine. The
+// batch counters tick once per pass, so aggregate per-scenario effort is
+// sweeps/occupancy.
+func TestBatchSweepAccounting(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	n, ins := randMemCircuit(r, 3, 4, 60, false)
+	st := randStimulus(r, n, ins, 40)
+	sp, err := SpecFor(n, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := New(n, Options{Engine: EngineInterp})
+	w.BindStimulus(st)
+	snap := w.Snapshot(sp)
+
+	run := func(lanes int) (sweeps, evals uint64) {
+		b := NewBatchSim(n, BatchOptions{})
+		b.BindStimulus(st)
+		for l := 0; l < lanes; l++ {
+			if err := b.RestoreLane(sp, snap, l); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s0, e0 := b.Sweeps(), b.Evals()
+		for i := 0; i < 30; i++ {
+			if _, _, err := b.StepAll(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return b.Sweeps() - s0, b.Evals() - e0
+	}
+	s1, e1 := run(1)
+	s16, e16 := run(16)
+	if s1 == 0 || e1 == 0 {
+		t.Fatal("single-lane run recorded no work")
+	}
+	// Identical scenarios in every lane settle identically, so a 16-lane
+	// pass must not multiply the counters: allow slack for admission-order
+	// effects but nothing near 16x.
+	if s16 > 4*s1 || e16 > 4*e1 {
+		t.Fatalf("batched counters scale with lanes: sweeps %d -> %d, evals %d -> %d (want ~flat)",
+			s1, s16, e1, e16)
+	}
+}

@@ -95,6 +95,13 @@ const (
 	// through netlist.EvalGate and slice-of-slices fanout walks. It is the
 	// oracle the kernel is differentially tested against.
 	EngineInterp
+	// EngineBatch is the bit-parallel batched kernel: up to 64 independent
+	// scenarios packed into two bitplanes per net, swept together over the
+	// compiled Program (see BatchSim). Selecting it on a scalar Simulator
+	// falls back to the kernel machinery — the batch data layout lives in
+	// BatchSim, and the core's lane scheduler boots cold paths on the
+	// scalar kernel before packing them into lanes.
+	EngineBatch
 )
 
 // String returns the engine name used by CLI flags.
@@ -104,6 +111,8 @@ func (e Engine) String() string {
 		return "kernel"
 	case EngineInterp:
 		return "interp"
+	case EngineBatch:
+		return "batch"
 	}
 	return fmt.Sprintf("Engine(%d)", uint8(e))
 }
@@ -294,7 +303,7 @@ func New(d *netlist.Netlist, opts Options) *Simulator {
 		dirtyLo:    d.MaxLevel() + 1,
 		levels:     d.MaxLevel() + 1,
 	}
-	if opts.Engine == EngineKernel {
+	if opts.Engine != EngineInterp {
 		s.prog = d.Program()
 		s.glv, s.mlv = s.prog.GateLevel, s.prog.MemLevel
 		nw := (len(d.Gates) + 63) / 64

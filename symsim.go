@@ -258,7 +258,8 @@ const (
 )
 
 // SimEngine selects the simulation machinery: the compiled kernel
-// (default) or the reference interpreter. Both produce identical results.
+// (default), the reference interpreter, or the bit-parallel batch engine.
+// All produce the same dichotomy.
 type SimEngine = vvp.Engine
 
 // Simulation engines.
@@ -269,6 +270,10 @@ const (
 	// EngineInterp is the reference interpreter the kernel is
 	// differentially tested against.
 	EngineInterp = vvp.EngineInterp
+	// EngineBatch is the bit-parallel batched kernel: up to 64 pending
+	// paths packed into two bitplanes per net and swept together in one
+	// pass over the levelized design (Config.Lanes caps the packing).
+	EngineBatch = vvp.EngineBatch
 )
 
 // MemXPolicy selects the semantics of memory writes with unknown
