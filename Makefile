@@ -56,11 +56,17 @@ lint:
 # BENCH_batch.json records the bit-parallel batched kernel: aggregate
 # lane-steps/s of batch-N vs scalar-N (the >=4x at >=8 lanes acceptance
 # number) and the end-to-end kernel-vs-batch co-analysis comparison.
+# BENCH_cluster.json records distributed exploration: aggregate paths/s
+# of the Table-1 workload run single-node versus fanned out across a
+# 3-worker fleet behind a real HTTP coordinator (the fleet's speedup is
+# bounded by min(workers, cores) — on a single-core host the recorded
+# ratio is the pure coordination overhead).
 # BENCHTIME trades accuracy for wall time; CI uses 1x.
 BENCHTIME ?= 2x
 BENCH_PAT ?= BenchmarkTable3GateCounts|BenchmarkTable4Paths|BenchmarkEngineComparison|BenchmarkSettleSteadyState
 BENCH_OBS_PAT ?= BenchmarkObsOverhead
 BENCH_BATCH_PAT ?= BenchmarkBatchKernelSweep|BenchmarkBatchAnalyze
+BENCH_CLUSTER_PAT ?= BenchmarkClusterSingleNode|BenchmarkClusterThreeWorkers
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem -benchtime $(BENCHTIME) -timeout 30m . \
 		| tee bench_output.txt
@@ -77,3 +83,8 @@ bench:
 	$(GO) run ./cmd/benchjson -o BENCH_batch.json bench_batch_output.txt
 	@rm -f bench_batch_output.txt
 	@echo "wrote BENCH_batch.json"
+	$(GO) test -run '^$$' -bench '$(BENCH_CLUSTER_PAT)' -benchmem -benchtime $(BENCHTIME) -timeout 30m ./internal/cluster/ \
+		| tee bench_cluster_output.txt
+	$(GO) run ./cmd/benchjson -o BENCH_cluster.json bench_cluster_output.txt
+	@rm -f bench_cluster_output.txt
+	@echo "wrote BENCH_cluster.json"

@@ -2,69 +2,43 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
-	"net"
 	"net/http"
 	"os"
 	"time"
+
+	"symsim/internal/httpx"
 )
 
-// This file is the client's transport hardening: shared http.Clients with
-// real timeouts (the zero-value default client never times out, so a dead
-// server used to hang every subcommand forever), exponential backoff with
-// jitter for requests the server handles idempotently, and the reconnect
-// budget the SSE follower draws on.
+// This file is the client's transport hardening. The clients themselves
+// live in internal/httpx — one shared unary client with a real timeout
+// (the zero-value default client never times out, so a dead server used
+// to hang every subcommand forever) serves both `symsim submit` and the
+// cluster worker's pull RPCs, and one stream client serves SSE. This
+// file keeps the retry choreography: exponential backoff with jitter for
+// requests the server handles idempotently, and the reconnect budget the
+// SSE follower draws on.
 
-// unaryClient serves request/response calls. The overall timeout bounds a
-// wedged server: no single status/result/submit call may take longer.
-var unaryClient = &http.Client{
-	Timeout:   30 * time.Second,
-	Transport: newTransport(),
-}
-
-// streamClient serves SSE streams, which are long-lived by design — an
-// overall timeout would sever healthy streams, so only the dial and
-// response-header phases are bounded. Liveness on an established stream
-// comes from the server's ": ping" keep-alives severing dead TCP paths.
-var streamClient = &http.Client{Transport: newTransport()}
-
-func newTransport() *http.Transport {
-	return &http.Transport{
-		DialContext:           (&net.Dialer{Timeout: 5 * time.Second, KeepAlive: 30 * time.Second}).DialContext,
-		ResponseHeaderTimeout: 10 * time.Second,
-		IdleConnTimeout:       90 * time.Second,
-	}
-}
+// unaryClient and streamClient alias the shared hardened clients so every
+// call site in this command goes through the same pool and timeouts as
+// the cluster worker.
+var (
+	unaryClient  = httpx.Unary
+	streamClient = httpx.Stream
+)
 
 const (
-	retryAttempts = 4
-	retryBase     = 200 * time.Millisecond
-	retryMaxDelay = 3 * time.Second
+	retryAttempts = httpx.RetryAttempts
+	retryBase     = httpx.RetryBase
+	retryMaxDelay = httpx.RetryMaxDelay
 )
 
-// backoff returns the delay before retry n (0-based): exponential growth
-// capped at retryMaxDelay, with ±50% jitter so a burst of clients bounced
-// by the same outage doesn't reconverge in lockstep.
-func backoff(n int) time.Duration {
-	d := retryBase << uint(n)
-	if d > retryMaxDelay {
-		d = retryMaxDelay
-	}
-	half := int64(d) / 2
-	return time.Duration(half + rand.Int63n(half+1))
-}
+// backoff returns the jittered exponential delay before retry n
+// (0-based); see httpx.Backoff.
+func backoff(n int) time.Duration { return httpx.Backoff(n) }
 
 // retryStatus reports whether an HTTP status signals a transient refusal
-// worth retrying: backpressure (429) or an unavailable/intermediary-down
-// server (502/503/504).
-func retryStatus(code int) bool {
-	switch code {
-	case http.StatusTooManyRequests, http.StatusBadGateway,
-		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
-		return true
-	}
-	return false
-}
+// worth retrying; see httpx.RetryStatus.
+func retryStatus(code int) bool { return httpx.RetryStatus(code) }
 
 // doIdempotent issues the request built by build, retrying on transport
 // errors and retryable statuses with jittered backoff. Only requests that

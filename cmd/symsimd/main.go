@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"symsim/internal/cliflags"
+	"symsim/internal/cluster"
 	"symsim/internal/fault"
 	"symsim/internal/obs"
 	"symsim/internal/service"
@@ -60,10 +61,14 @@ func main() {
 		faultPlan  = flag.String("fault-plan", "", "chaos testing: inject store faults per internal/fault plan spec (e.g. 'rename@3=eio,write@2=short' or 'seed:42:5'); NOT for production")
 		debug      = flag.String("debug", "", "debug listen address for net/http/pprof (e.g. localhost:8467; empty = off)")
 		defaults   = cliflags.Register(flag.CommandLine)
+		clusterCfg = cliflags.RegisterCluster(flag.CommandLine)
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "symsimd: ", log.LstdFlags)
+	if clusterCfg.Coordinator && clusterCfg.Worker != "" {
+		logger.Fatalf("-coordinator and -worker are mutually exclusive: a daemon either owns the authoritative CSM or delegates to one")
+	}
 	var vfs fault.FS
 	if *faultPlan != "" {
 		plan, err := fault.ParsePlan(*faultPlan)
@@ -76,7 +81,7 @@ func main() {
 		vfs = inj
 		logger.Printf("CHAOS MODE: store faults injected per plan %q", *faultPlan)
 	}
-	svc, err := service.New(service.Config{
+	svcCfg := service.Config{
 		DataDir:         *dataDir,
 		Workers:         *jobs,
 		QueueCap:        *queueCap,
@@ -88,12 +93,36 @@ func main() {
 		FS:              vfs,
 		Defaults:        defaults,
 		Logf:            func(format string, args ...any) { logger.Printf(format, args...) },
-	})
+	}
+	if clusterCfg.Worker != "" {
+		// Worker mode routes local cache misses through the coordinator's
+		// cluster-wide memo table (and publishes completed results back).
+		svcCfg.RemoteCache = cluster.NewMemoClient(clusterCfg.Worker)
+	}
+	svc, err := service.New(svcCfg)
 	if err != nil {
 		logger.Fatal(err)
 	}
 
-	server := &http.Server{Addr: *listen, Handler: service.Handler(svc)}
+	handler := service.Handler(svc)
+	var coord *cluster.Coordinator
+	if clusterCfg.Coordinator {
+		// Coordinator mode mounts the cluster API next to the job API. The
+		// co-located service doubles as the fleet's memo table.
+		coord = cluster.NewCoordinator(cluster.Config{
+			Memo:      svc,
+			ShardSize: clusterCfg.ShardSize,
+			LeaseTTL:  clusterCfg.LeaseTTL,
+			Logf:      func(format string, args ...any) { logger.Printf(format, args...) },
+		})
+		mux := http.NewServeMux()
+		mux.Handle("/cluster/", coord.Handler())
+		mux.Handle("/", handler)
+		handler = mux
+		logger.Printf("cluster coordinator enabled (shard %d, lease TTL %v)", clusterCfg.ShardSize, clusterCfg.LeaseTTL)
+	}
+
+	server := &http.Server{Addr: *listen, Handler: handler}
 
 	if *debug != "" {
 		// pprof lives on its own listener (normally loopback-only) so
@@ -123,6 +152,23 @@ func main() {
 	go func() { errCh <- server.ListenAndServe() }()
 	logger.Printf("listening on %s (data %s, %d job workers, queue %d)", *listen, *dataDir, *jobs, *queueCap)
 
+	workerDone := make(chan struct{})
+	if clusterCfg.Worker != "" {
+		w := &cluster.Worker{
+			Coordinator: clusterCfg.Worker,
+			Slots:       clusterCfg.Slots,
+			Name:        *listen,
+			Logf:        func(format string, args ...any) { logger.Printf(format, args...) },
+		}
+		go func() {
+			defer close(workerDone)
+			_ = w.Run(ctx) // returns ctx.Err() once the drain signal fires
+		}()
+		logger.Printf("cluster worker enabled: pulling from %s (%d slots)", clusterCfg.Worker, clusterCfg.Slots)
+	} else {
+		close(workerDone)
+	}
+
 	select {
 	case <-ctx.Done():
 		logger.Printf("shutdown signal: draining")
@@ -139,6 +185,18 @@ func main() {
 	defer cancel()
 	if err := server.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Printf("http shutdown: %v", err)
+	}
+	// The worker's lease loop stops with the signal context; wait for its
+	// in-flight units to settle (their analyses observe the cancellation)
+	// before draining. Abandoned units simply lease-expire and requeue at
+	// the coordinator — by design, nothing is lost.
+	select {
+	case <-workerDone:
+	case <-shutdownCtx.Done():
+		logger.Printf("worker did not settle in time; its leases will expire at the coordinator")
+	}
+	if coord != nil {
+		coord.Close()
 	}
 	svc.Drain()
 	logger.Printf("drained, bye")

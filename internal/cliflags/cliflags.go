@@ -55,6 +55,29 @@ func Register(fs *flag.FlagSet) *Analysis {
 	return a
 }
 
+// Cluster holds the parsed cluster-mode flags (cmd/symsimd only): one
+// daemon serves the coordination API, the others pull work from it.
+type Cluster struct {
+	Coordinator bool
+	Worker      string
+	ShardSize   int
+	LeaseTTL    time.Duration
+	Slots       int
+}
+
+// RegisterCluster installs the cluster-mode flags on fs. Like Register,
+// it is the single definition of the vocabulary, so the flag parity test
+// pins these names too.
+func RegisterCluster(fs *flag.FlagSet) *Cluster {
+	c := &Cluster{}
+	fs.BoolVar(&c.Coordinator, "coordinator", false, "serve the cluster coordination API under /cluster/ next to the job API: authoritative CSM, shared pending-path frontier, cluster-wide result memo table")
+	fs.StringVar(&c.Worker, "worker", "", "pull leased work units from the coordinator at this base URL (e.g. http://host:8466), simulate them and report back; also routes local cache misses through the coordinator's memo table")
+	fs.IntVar(&c.ShardSize, "shard-size", 8, "pending paths bundled per leased work unit (coordinator mode)")
+	fs.DurationVar(&c.LeaseTTL, "shard-lease-ttl", 10*time.Second, "work-unit lease TTL: a leased shard with no progress heartbeat this long is requeued under a new epoch (coordinator mode)")
+	fs.IntVar(&c.Slots, "worker-slots", 1, "work units this worker simulates concurrently (worker mode)")
+	return c
+}
+
 // ParseMemX maps a -memx flag value to its policy.
 func ParseMemX(s string) (vvp.MemXPolicy, error) {
 	switch s {

@@ -1,0 +1,255 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"symsim/internal/httpx"
+)
+
+// coordClient speaks the /cluster wire protocol. Every request goes
+// through the shared hardened unary client (internal/httpx): a real
+// overall timeout and jittered retry backoff — never a zero-timeout
+// default client. The RPCs it retries are all idempotent at the
+// coordinator: a replayed observe of an already-merged state answers
+// "subsumed" without registering children again, a replayed report of the
+// retiring epoch is acknowledged without double retirement, and a
+// replayed fail of a requeued unit bounces off the epoch fence.
+type coordClient struct {
+	base string
+	hc   *http.Client
+}
+
+func newCoordClient(base string, hc *http.Client) *coordClient {
+	if hc == nil {
+		hc = httpx.Unary
+	}
+	return &coordClient{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// call issues one JSON-in/JSON-out request with idempotent-retry
+// semantics and maps the protocol statuses back to the package errors.
+// A 204 returns (204, nil) with out untouched.
+func (cc *coordClient) call(method, path string, in, out any) (int, error) {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return 0, err
+		}
+	}
+	var lastErr error
+	for n := 0; n < httpx.RetryAttempts; n++ {
+		if n > 0 {
+			time.Sleep(httpx.Backoff(n - 1))
+		}
+		var rd io.Reader
+		if in != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, cc.base+path, rd)
+		if err != nil {
+			return 0, err
+		}
+		if in != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := cc.hc.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if httpx.RetryStatus(resp.StatusCode) && n < httpx.RetryAttempts-1 {
+			_ = resp.Body.Close()
+			lastErr = fmt.Errorf("cluster: server: %s", resp.Status)
+			continue
+		}
+		status, err := cc.finish(resp, out)
+		return status, err
+	}
+	return 0, lastErr
+}
+
+// finish consumes one response: decodes 200 bodies into out and maps
+// error statuses onto the package sentinels.
+func (cc *coordClient) finish(resp *http.Response, out any) (int, error) {
+	defer func() { _ = resp.Body.Close() }()
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusCreated:
+		if out == nil {
+			return resp.StatusCode, nil
+		}
+		return resp.StatusCode, json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(out)
+	case http.StatusNoContent:
+		return resp.StatusCode, nil
+	case http.StatusConflict:
+		return resp.StatusCode, ErrStale
+	case http.StatusNotFound:
+		return resp.StatusCode, ErrUnknownRun
+	case http.StatusServiceUnavailable:
+		return resp.StatusCode, ErrClosed
+	}
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	return resp.StatusCode, fmt.Errorf("cluster: server: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+}
+
+// createRun registers a run and returns its ID.
+func (cc *coordClient) createRun(spec RunSpec) (string, error) {
+	var resp createRunResponse
+	if _, err := cc.call(http.MethodPost, "/cluster/runs", spec, &resp); err != nil {
+		return "", err
+	}
+	return resp.ID, nil
+}
+
+// lease long-polls for one work unit; ok is false when the coordinator
+// had no work within its poll window.
+func (cc *coordClient) lease(worker string) (*leaseResponse, bool, error) {
+	var ls leaseResponse
+	status, err := cc.call(http.MethodPost, "/cluster/lease", leaseRequest{Worker: worker}, &ls)
+	if err != nil {
+		return nil, false, err
+	}
+	if status == http.StatusNoContent {
+		return nil, false, nil
+	}
+	return &ls, true, nil
+}
+
+// observe presents a halted state to the authoritative CSM.
+func (cc *coordClient) observe(runID string, unit, epoch int, state []byte) (observeResponse, error) {
+	var resp observeResponse
+	_, err := cc.call(http.MethodPost, "/cluster/runs/"+url.PathEscape(runID)+"/observe",
+		observeRequest{Unit: unit, Epoch: epoch, State: state}, &resp)
+	return resp, err
+}
+
+// report retires a completed unit.
+func (cc *coordClient) report(runID string, unit, epoch int, rep []byte) error {
+	_, err := cc.call(http.MethodPost, "/cluster/runs/"+url.PathEscape(runID)+"/report",
+		reportRequest{Unit: unit, Epoch: epoch, Report: rep}, nil)
+	return err
+}
+
+// fail returns a unit for requeue.
+func (cc *coordClient) fail(runID string, unit, epoch int, reason string) error {
+	_, err := cc.call(http.MethodPost, "/cluster/runs/"+url.PathEscape(runID)+"/fail",
+		failRequest{Unit: unit, Epoch: epoch, Reason: reason}, nil)
+	return err
+}
+
+// heartbeat extends a unit's lease. Single attempt, best effort: a missed
+// beat only matters if every beat inside the TTL misses, and by then the
+// lease SHOULD lapse.
+func (cc *coordClient) heartbeat(runID string, unit, epoch int) error {
+	body, err := json.Marshal(heartbeatRequest{Unit: unit, Epoch: epoch})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, cc.base+"/cluster/runs/"+url.PathEscape(runID)+"/heartbeat", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := cc.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	status, err := cc.finish(resp, nil)
+	if err == nil && status != http.StatusOK {
+		return fmt.Errorf("cluster: heartbeat: status %d", status)
+	}
+	return err
+}
+
+// status fetches a run's status view.
+func (cc *coordClient) status(runID string) (RunStatusView, error) {
+	var v RunStatusView
+	_, err := cc.call(http.MethodGet, "/cluster/runs/"+url.PathEscape(runID), nil, &v)
+	return v, err
+}
+
+// MemoClient consults a coordinator's cluster-wide result memo table —
+// the SYMSIMK1 content-addressed cache served over /cluster/cache/{key}.
+// It implements the service's CacheClient seam, so a worker daemon plugs
+// it in as Config.RemoteCache: local cache misses fall through to the
+// cluster, and completed results publish back for the whole fleet.
+type MemoClient struct {
+	cc *coordClient
+}
+
+// NewMemoClient returns a memo client for the coordinator at base
+// (e.g. "http://coordinator:8466"). It shares the hardened unary client.
+func NewMemoClient(base string) *MemoClient {
+	return &MemoClient{cc: newCoordClient(base, nil)}
+}
+
+// Get fetches a memoized result; ok is false on miss. Both the GET and
+// the retry are safe: the table is content-addressed, keys never remap.
+func (m *MemoClient) Get(key string) ([]byte, bool, error) {
+	var lastErr error
+	for n := 0; n < httpx.RetryAttempts; n++ {
+		if n > 0 {
+			time.Sleep(httpx.Backoff(n - 1))
+		}
+		resp, err := m.cc.hc.Get(m.cc.base + "/cluster/cache/" + url.PathEscape(key))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+			_ = resp.Body.Close()
+			return data, err == nil, err
+		case resp.StatusCode == http.StatusNotFound:
+			_ = resp.Body.Close()
+			return nil, false, nil
+		case httpx.RetryStatus(resp.StatusCode) && n < httpx.RetryAttempts-1:
+			_ = resp.Body.Close()
+			lastErr = fmt.Errorf("cluster: memo get: %s", resp.Status)
+		default:
+			_ = resp.Body.Close()
+			return nil, false, fmt.Errorf("cluster: memo get: %s", resp.Status)
+		}
+	}
+	return nil, false, lastErr
+}
+
+// Put publishes a result to the memo table. Idempotent by construction
+// (same key, same content), so retried freely.
+func (m *MemoClient) Put(key string, data []byte) error {
+	var lastErr error
+	for n := 0; n < httpx.RetryAttempts; n++ {
+		if n > 0 {
+			time.Sleep(httpx.Backoff(n - 1))
+		}
+		req, err := http.NewRequest(http.MethodPut, m.cc.base+"/cluster/cache/"+url.PathEscape(key), bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := m.cc.hc.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		code := resp.StatusCode
+		_ = resp.Body.Close()
+		switch {
+		case code == http.StatusNoContent || code == http.StatusOK:
+			return nil
+		case httpx.RetryStatus(code) && n < httpx.RetryAttempts-1:
+			lastErr = fmt.Errorf("cluster: memo put: status %d", code)
+		default:
+			return fmt.Errorf("cluster: memo put: status %d", code)
+		}
+	}
+	return lastErr
+}

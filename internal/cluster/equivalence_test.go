@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"symsim/internal/cliflags"
+	"symsim/internal/core"
+	"symsim/internal/obs"
+	"symsim/internal/report"
+	"symsim/internal/vvp"
+)
+
+// testCluster is one in-process fleet: a coordinator behind a real HTTP
+// server and n workers pulling from it over the wire — the full
+// lease/observe/report round-trip, nothing short-circuited.
+type testCluster struct {
+	coord   *Coordinator
+	ts      *httptest.Server
+	workers []*Worker
+}
+
+// startCluster spins the fleet up and registers its teardown on t.
+func startCluster(t *testing.T, cfg Config, n int) *testCluster {
+	t.Helper()
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	coord := NewCoordinator(cfg)
+	ts := httptest.NewServer(coord.Handler())
+	tc := &testCluster{coord: coord, ts: ts}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w := &Worker{
+			Coordinator: ts.URL,
+			Name:        fmt.Sprintf("w%d", i),
+			Metrics:     obs.NewRegistry(),
+			PollEvery:   10 * time.Millisecond,
+		}
+		tc.workers = append(tc.workers, w)
+		wg.Add(1)
+		go func() { defer wg.Done(); _ = w.Run(ctx) }()
+	}
+	t.Cleanup(func() {
+		cancel()
+		wg.Wait()
+		coord.Close()
+		ts.Close()
+	})
+	return tc
+}
+
+// requireDichotomyEqual asserts the cluster result agrees with the
+// single-node reference on everything the engine-equivalence contract
+// guarantees: the exercisable set and the tie-off list. Path counts,
+// cycles and CSM state counts may legally differ — merge order does —
+// exactly as batch-vs-kernel may differ single-node; the dichotomy is a
+// fixpoint of sound over-approximations and may not.
+func requireDichotomyEqual(t *testing.T, got, want *core.Result) {
+	t.Helper()
+	if !got.Complete {
+		t.Fatalf("cluster run degraded: %+v", got.Degradation)
+	}
+	if got.ExercisableCount != want.ExercisableCount {
+		t.Errorf("exercisable count diverged: cluster %d vs single-node %d",
+			got.ExercisableCount, want.ExercisableCount)
+	}
+	for gi := range want.ExercisableGates {
+		if got.ExercisableGates[gi] != want.ExercisableGates[gi] {
+			t.Fatalf("gate %d exercisability diverged", gi)
+		}
+	}
+	to, tw := got.TieOffs(), want.TieOffs()
+	if len(to) != len(tw) {
+		t.Fatalf("tie-off counts diverged: cluster %d vs single-node %d", len(to), len(tw))
+	}
+	for i := range to {
+		if to[i] != tw[i] {
+			t.Fatalf("tie-off %d diverged: %+v vs %+v", i, to[i], tw[i])
+		}
+	}
+}
+
+// TestClusterEquivalenceEndToEnd is the distributed differential check:
+// a 3-worker fleet must reproduce the single-node kernel dichotomy and
+// tie-off lists exactly, on all three CPUs and under both X-memory
+// policies. ShardSize 2 forces many lease/observe/report round-trips so
+// the frontier really is partitioned across workers, not handed out as
+// one unit.
+func TestClusterEquivalenceEndToEnd(t *testing.T) {
+	tc := startCluster(t, Config{ShardSize: 2}, 3)
+	for _, d := range []report.Design{report.BM32, report.OMSP430, report.DR5} {
+		for _, memx := range []string{"verilog", "sound"} {
+			t.Run(fmt.Sprintf("%s/memx=%s", d, memx), func(t *testing.T) {
+				p, err := report.BuildPlatform(d, "tHold")
+				if err != nil {
+					t.Fatal(err)
+				}
+				mx, err := cliflags.ParseMemX(memx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := core.Analyze(p, core.Config{
+					Engine: vvp.EngineKernel, MemX: mx, Metrics: obs.NewRegistry(),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				id, err := tc.coord.NewRun(RunSpec{
+					Design: string(d), Bench: "tHold", MemX: memx, Engine: "kernel",
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+				defer cancel()
+				got, err := tc.coord.Wait(ctx, id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireDichotomyEqual(t, got, want)
+
+				st, err := tc.coord.Status(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st.State != "done" || st.Retired != st.Created {
+					t.Errorf("exactly-once accounting violated: state=%s created=%d retired=%d",
+						st.State, st.Created, st.Retired)
+				}
+			})
+		}
+	}
+}
+
+// TestClusterPolicySweep checks the remaining authoritative policies
+// round-trip through the remote CSM: clustered and exact runs must each
+// match their single-node counterpart's dichotomy.
+func TestClusterPolicySweep(t *testing.T) {
+	tc := startCluster(t, Config{ShardSize: 2}, 2)
+	for _, pc := range []struct {
+		policy string
+		k      int
+		max    int
+	}{
+		{policy: "clustered", k: 3},
+		{policy: "exact", max: 64},
+	} {
+		t.Run(pc.policy, func(t *testing.T) {
+			p, err := report.BuildPlatform(report.DR5, "tHold")
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := cliflags.NewPolicy(pc.policy, pc.k, pc.max)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := core.Analyze(p, core.Config{
+				Engine: vvp.EngineKernel, Policy: m, Metrics: obs.NewRegistry(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			id, err := tc.coord.NewRun(RunSpec{
+				Design: "dr5", Bench: "tHold",
+				Policy: pc.policy, K: pc.k, MaxStates: pc.max,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+			defer cancel()
+			got, err := tc.coord.Wait(ctx, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireDichotomyEqual(t, got, want)
+		})
+	}
+}
+
+// TestClusterRejectsBadSpecs pins the validation surface of NewRun.
+func TestClusterRejectsBadSpecs(t *testing.T) {
+	coord := NewCoordinator(Config{Metrics: obs.NewRegistry()})
+	defer coord.Close()
+	for _, spec := range []RunSpec{
+		{},                               // no design/bench
+		{Design: "dr5"},                  // no bench
+		{Design: "nope", Bench: "tHold"}, // unknown design
+		{Design: "dr5", Bench: "tHold", Policy: "constrained"}, // needs local file
+	} {
+		if _, err := coord.NewRun(spec); err == nil {
+			t.Errorf("spec %+v accepted", spec)
+		}
+	}
+}

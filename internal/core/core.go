@@ -151,6 +151,26 @@ type Config struct {
 	// then only validated by Freeze, whose first-failure errors are far
 	// less descriptive).
 	SkipLint bool
+	// DisableDrainMerge stops a degraded run from force-merging its
+	// pending frontier into the CSM before finishing. The default merge
+	// keeps the local dichotomy sound; cluster workers disable it because
+	// an interrupted work unit is discarded and requeued whole by the
+	// coordinator, and merging un-simulated start states into the shared
+	// remote CSM would register forks for paths nobody simulated. Only
+	// set this when the incomplete result is thrown away.
+	DisableDrainMerge bool
+	// RemoteObserve declares that Policy.Observe is a slow remote call (a
+	// cluster worker's delegating manager, one RPC per halt): the
+	// scheduler releases its lock for the duration of the observe so
+	// sibling path workers keep simulating instead of stalling behind the
+	// round-trip. The in-observe halt stays counted as in-flight, so the
+	// worklist does not drain out from under a verdict that is about to
+	// fork. Incompatible with Checkpoint: an unlocked observe breaks the
+	// consistent-cut argument (a snapshot could capture the halt absorbed
+	// but its children not yet pushed), and AnalyzeContext rejects the
+	// combination. Decision-log records are attributed to path -1 in this
+	// mode — concurrent observes have no single "current" path.
+	RemoteObserve bool
 	// Metrics selects the registry the run publishes exploration metrics
 	// into (paths by end, per-PC fork/merge/skip counters, segment
 	// histograms, engine effort); nil selects obs.Default. Publication is
@@ -393,6 +413,9 @@ func AnalyzeContext(ctx context.Context, p *Platform, cfg Config) (*Result, erro
 	if cfg.Lanes == 0 {
 		cfg.Lanes = vvp.BatchLanes
 	}
+	if cfg.RemoteObserve && cfg.Checkpoint != nil {
+		return nil, errors.New("core: RemoteObserve is incompatible with checkpointing (an unlocked observe breaks the checkpoint's consistent cut)")
+	}
 	// Structural pre-check before Freeze: lint tolerates broken designs
 	// and reports every hazard at once, where Freeze stops at the first.
 	if !cfg.SkipLint {
@@ -488,6 +511,8 @@ type analysis struct {
 	// decisionPath is the path ID the next CSM Observe classifies (-1 for
 	// the degradation drain). Written and read under a.mu — Observe only
 	// runs from classify (lock held) and the single-threaded finish drain.
+	// Under RemoteObserve it stays -1: observes run unlocked and
+	// concurrently, so no single path is "the" decision path.
 	decisionPath int
 	// busy accumulates per-segment wall time (Result.BusyTime).
 	busy time.Duration
@@ -730,17 +755,45 @@ func forcedLabel(e entry) string {
 }
 
 // classify presents a halted state to the CSM and forks its children
-// (Algorithm 1 lines 20–27). Called with a.mu held, which keeps the
-// (CSM, worklist, result) triple a consistent cut for checkpoints: a
-// halt is either still pending or fully absorbed — never observed by the
-// CSM with its children missing from the worklist.
+// (Algorithm 1 lines 20–27). Called with a.mu held and returns with it
+// held, which keeps the (CSM, worklist, result) triple a consistent cut
+// for checkpoints: a halt is either still pending or fully absorbed —
+// never observed by the CSM with its children missing from the worklist.
+//
+// Under Config.RemoteObserve the observe itself runs with the lock
+// RELEASED: the verdict is one network round-trip to a cluster
+// coordinator, and holding the scheduler lock across it would serialize
+// every sibling path worker behind each RPC. The halt is re-counted as
+// in-flight for the window so the worklist cannot drain out from under a
+// verdict about to fork, and the consistent-cut argument is not needed —
+// RemoteObserve excludes checkpointing (enforced at AnalyzeContext).
 func (a *analysis) classify(out *pathOutcome) {
-	a.decisionPath = out.stat.ID
-	d := a.cfg.Policy.Observe(out.halt)
+	// absorb just appended this path; the index stays valid across an
+	// unlocked window because a.res.Paths is append-only while running.
+	idx := len(a.res.Paths) - 1
+	var d csm.Decision
+	if a.cfg.RemoteObserve {
+		a.active++
+		a.mu.Unlock()
+		d = a.cfg.Policy.Observe(out.halt)
+		a.mu.Lock()
+		a.active--
+	} else {
+		a.decisionPath = out.stat.ID
+		d = a.cfg.Policy.Observe(out.halt)
+	}
 	if d.Subsumed {
 		out.stat.End = EndSubsumed
-		a.res.Paths[len(a.res.Paths)-1].End = EndSubsumed
+		a.res.Paths[idx].End = EndSubsumed
 		a.res.PathsSkipped++
+		return
+	}
+	if d.Remote {
+		// The authoritative manager lives elsewhere (a cluster
+		// coordinator) and has already registered both children on its
+		// own frontier: the segment keeps its EndForked verdict but this
+		// scheduler pushes nothing and counts nothing — path creation is
+		// accounted exactly once, at the coordinator.
 		return
 	}
 	if a.res.PathsCreated+2 > a.cfg.MaxPaths {
@@ -984,12 +1037,17 @@ func (a *analysis) finish() {
 		// Drain the frontier: merge every pending state into the CSM
 		// conservative superstate for its PC, so the stored states keep
 		// covering the unexplored behaviours. The drain's decisions are
-		// logged against path -1 (no segment simulated them).
-		a.decisionPath = -1
-		for _, e := range a.stack {
-			if e.state.Bits.Width() > 0 && e.state.PCKnown {
-				a.cfg.Policy.Observe(e.state)
-				deg.ForcedMerges++
+		// logged against path -1 (no segment simulated them). Cluster
+		// workers skip the drain — their incomplete result is discarded
+		// and the unit requeued, so the merge would only pollute the
+		// coordinator's authoritative CSM (see DisableDrainMerge).
+		if !a.cfg.DisableDrainMerge {
+			a.decisionPath = -1
+			for _, e := range a.stack {
+				if e.state.Bits.Width() > 0 && e.state.PCKnown {
+					a.cfg.Policy.Observe(e.state)
+					deg.ForcedMerges++
+				}
 			}
 		}
 

@@ -29,8 +29,15 @@ type Decision struct {
 	// conservative state for the same PC; the path needs no further
 	// exploration (Algorithm 1 line 26).
 	Subsumed bool
+	// Remote is true when the decision was made by a remote authoritative
+	// Manager (a cluster coordinator) that registered the fork children on
+	// its own frontier. The local scheduler must then not fork: the path
+	// segment is finished here and its children will be simulated by
+	// whichever worker leases them. Remote decisions carry a zero-width
+	// Explore state.
+	Remote bool
 	// Explore is the (possibly merged, possibly constrained) state to
-	// continue simulating when Subsumed is false.
+	// continue simulating when Subsumed is false. Zero-width when Remote.
 	Explore vvp.State
 }
 

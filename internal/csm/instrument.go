@@ -72,7 +72,12 @@ func (i *instrumented) Observe(st vvp.State) Decision {
 		ev.Verdict = VerdictNew
 	default:
 		ev.Verdict = VerdictMerged
-		ev.XGained = d.Explore.Bits.CountX() - xBefore
+		// Remote decisions carry no Explore state (the authoritative
+		// manager forked elsewhere); a zero-width vector would make the
+		// delta a bogus negative.
+		if d.Explore.Bits.Width() != 0 {
+			ev.XGained = d.Explore.Bits.CountX() - xBefore
+		}
 	}
 	i.hook(ev)
 	return d

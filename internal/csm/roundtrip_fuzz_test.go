@@ -1,0 +1,129 @@
+package csm
+
+import (
+	"fmt"
+	"testing"
+
+	"symsim/internal/logic"
+	"symsim/internal/vvp"
+)
+
+// FuzzExportImportRoundTrip drives every merge policy with an arbitrary
+// observation stream and checks the three properties the distributed
+// coordinator leans on (internal/cluster):
+//
+//   - Export is a faithful snapshot: importing Export(A) into a fresh
+//     manager B and exporting again yields the identical state list —
+//     the checkpoint currency round-trips losslessly.
+//   - Merges are covering: after the import, every state A ever observed
+//     is subsumed by B. This is the remote-decision replay lemma behind
+//     exactly-once crash recovery — a worker that dies mid-shard and is
+//     re-simulated halts in states the authoritative CSM already covers,
+//     so the retry observes "subsumed" and registers nothing twice.
+//   - Explored verdicts converge: re-observing the Explore state a
+//     policy hands back is subsumed immediately (constrained may pin
+//     bits against the stored merge and needs one extra widening
+//     round, but never more).
+//
+// Each 3-byte chunk of input encodes one observation over an 8-bit
+// state: PC (mod 5, keeping per-PC tables busy), known values, X mask.
+func FuzzExportImportRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0xff, 0x00})
+	f.Add([]byte{0x01, 0x0f, 0xf0, 0x01, 0xf0, 0x0f})
+	f.Add([]byte{0x02, 0xaa, 0x55, 0x03, 0x55, 0xaa, 0x02, 0x00, 0xff})
+	f.Add([]byte{
+		0x00, 0x01, 0x00, 0x00, 0x02, 0x00, 0x00, 0x04, 0x00,
+		0x01, 0x08, 0x00, 0x01, 0x10, 0x00, 0x04, 0x20, 0x00,
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var states []vvp.State
+		for i := 0; i+2 < len(data) && len(states) < 64; i += 3 {
+			v := logic.NewVec(8)
+			for b := 0; b < 8; b++ {
+				switch {
+				case data[i+2]&(1<<b) != 0:
+					v.Set(b, logic.X)
+				case data[i+1]&(1<<b) != 0:
+					v.Set(b, logic.Hi)
+				}
+			}
+			states = append(states, vvp.State{PC: uint64(data[i] % 5), Bits: v, PCKnown: true})
+		}
+
+		policies := []struct {
+			name string
+			mk   func() Manager
+			// pinRounds is how many extra Observe rounds an Explore
+			// verdict may need before subsumption: constrained pins bits
+			// against the stored merge, which can force one widening.
+			pinRounds int
+		}{
+			{"merge-all", NewMergeAll, 0},
+			{"clustered", func() Manager { return NewClustered(3) }, 0},
+			{"exact", func() Manager { return NewExact(16) }, 0},
+			{"constrained", func() Manager {
+				return NewConstrained(8, []Constraint{
+					{AnyPC: true, Bit: 0, Val: logic.Lo},
+					{PC: 2, Bit: 3, Val: logic.Hi},
+				})
+			}, 1},
+		}
+		for _, pc := range policies {
+			t.Run(pc.name, func(t *testing.T) {
+				a := pc.mk()
+				for _, s := range states {
+					d := a.Observe(s.Clone())
+					if d.Subsumed {
+						continue
+					}
+					// Explored verdicts converge: the state handed back is
+					// covered by what the manager now stores.
+					ex := d.Explore
+					for r := 0; ; r++ {
+						rd := a.Observe(ex.Clone())
+						if rd.Subsumed {
+							break
+						}
+						if r >= pc.pinRounds {
+							t.Fatalf("explore verdict for %v never converged", s.Bits)
+						}
+						ex = rd.Explore
+					}
+				}
+
+				expA := a.Export()
+				b := pc.mk()
+				if err := b.Import(expA); err != nil {
+					t.Fatalf("import of own export rejected: %v", err)
+				}
+				expB := b.Export()
+				if err := sameSavedStates(expA, expB); err != nil {
+					t.Fatalf("export did not round-trip: %v", err)
+				}
+				if got, want := b.States(), a.States(); got != want {
+					t.Fatalf("imported manager has %d states, original %d", got, want)
+				}
+				// The replay lemma: everything A observed, B subsumes.
+				for i, s := range states {
+					if d := b.Observe(s.Clone()); !d.Subsumed {
+						t.Fatalf("state %d (%v @ pc %d) not subsumed after round-trip", i, s.Bits, s.PC)
+					}
+				}
+			})
+		}
+	})
+}
+
+// sameSavedStates compares two export snapshots entry by entry.
+func sameSavedStates(a, b []SavedState) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%d states vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].PC != b[i].PC || !a[i].Bits.Equal(b[i].Bits) {
+			return fmt.Errorf("state %d: %d/%v vs %d/%v", i, a[i].PC, a[i].Bits, b[i].PC, b[i].Bits)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+// Package httpx is the one place symsim constructs HTTP clients. The
+// zero-value http.Client never times out, so a dead server used to hang
+// every subcommand forever; the PR-7 hardening fixed that for cmd/symsim,
+// and this package hoists the hardened clients so the cluster worker, the
+// remote-CSM client and the memo-table client share the exact same
+// transport discipline (and the same connection pool) instead of minting
+// fresh zero-timeout clients next to every new endpoint.
+package httpx
+
+import (
+	"math/rand"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Unary serves request/response calls. The overall timeout bounds a
+// wedged server: no single call may take longer. Shared by `symsim
+// submit`, the cluster worker's lease/observe/report RPCs and the memo
+// client — one client, one pool, one timeout policy.
+var Unary = &http.Client{
+	Timeout:   30 * time.Second,
+	Transport: NewTransport(),
+}
+
+// Stream serves long-lived streams (SSE), where an overall timeout would
+// sever healthy streams: only the dial and response-header phases are
+// bounded. Liveness on an established stream comes from server
+// keep-alives severing dead TCP paths.
+var Stream = &http.Client{Transport: NewTransport()}
+
+// NewTransport returns the hardened transport both shared clients use:
+// bounded dial, bounded response-header wait, recycled idle connections.
+func NewTransport() *http.Transport {
+	return &http.Transport{
+		DialContext:           (&net.Dialer{Timeout: 5 * time.Second, KeepAlive: 30 * time.Second}).DialContext,
+		ResponseHeaderTimeout: 10 * time.Second,
+		IdleConnTimeout:       90 * time.Second,
+		// The whole process talks to ONE coordinator/daemon host, and the
+		// stdlib default of 2 idle connections per host closes and redials
+		// a TCP connection for nearly every RPC once a few worker slots
+		// issue observes concurrently. Keep enough warm connections for a
+		// full fleet's RPC fan-in.
+		MaxIdleConns:        128,
+		MaxIdleConnsPerHost: 32,
+	}
+}
+
+// Retry policy shared by every idempotent caller.
+const (
+	// RetryAttempts is the total number of tries (first + retries).
+	RetryAttempts = 4
+	// RetryBase and RetryMaxDelay bound Backoff's exponential schedule.
+	RetryBase     = 200 * time.Millisecond
+	RetryMaxDelay = 3 * time.Second
+)
+
+// Backoff returns the delay before retry n (0-based): exponential growth
+// capped at retryMaxDelay, with ±50% jitter so a burst of clients bounced
+// by the same outage doesn't reconverge in lockstep.
+func Backoff(n int) time.Duration {
+	d := RetryBase << uint(n)
+	if d > RetryMaxDelay {
+		d = RetryMaxDelay
+	}
+	half := int64(d) / 2
+	return time.Duration(half + rand.Int63n(half+1))
+}
+
+// RetryStatus reports whether an HTTP status signals a transient refusal
+// worth retrying: backpressure (429) or an unavailable/intermediary-down
+// server (502/503/504).
+func RetryStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}

@@ -68,6 +68,13 @@ type Config struct {
 	LeaseTTL time.Duration
 	// LeaseCheckEvery is the watchdog sweep interval. Default LeaseTTL/4.
 	LeaseCheckEvery time.Duration
+	// RemoteCache, when non-nil, is a cluster-wide second-level result
+	// cache: local cache misses fall through to it, remote hits are
+	// adopted into the local store, and completed results publish back so
+	// the whole worker fleet shares one memo table (the coordinator's
+	// SYMSIMK1 cache; see internal/cluster.MemoClient). Remote trouble is
+	// always a miss, never an error — the analysis just runs.
+	RemoteCache CacheClient
 
 	// tuneConfig, when non-nil, is applied to each job's core.Config just
 	// before the analysis starts — a test seam for installing hooks
@@ -157,6 +164,9 @@ type svcObs struct {
 	storeFaults *obs.Counter
 	leaseExpiry *obs.Counter
 	tmpReaped   *obs.Counter
+	remoteHits  *obs.Counter
+	remoteMiss  *obs.Counter
+	remoteErrs  *obs.Counter
 }
 
 func newSvcObs(reg *obs.Registry) *svcObs {
@@ -174,6 +184,9 @@ func newSvcObs(reg *obs.Registry) *svcObs {
 		storeFaults: reg.Counter("symsim_service_store_faults_total", "Durable-store I/O failures observed (each one trips or extends degraded mode)."),
 		leaseExpiry: reg.Counter("symsim_service_lease_expiries_total", "Running jobs re-queued by the lease watchdog after their worker stopped making progress."),
 		tmpReaped:   reg.Counter("symsim_service_tmp_reaped_total", "Orphan temp files reaped from the store at startup."),
+		remoteHits:  reg.Counter("symsim_service_remote_cache_hits_total", "Local cache misses satisfied by the cluster memo table."),
+		remoteMiss:  reg.Counter("symsim_service_remote_cache_misses_total", "Cluster memo-table lookups that missed."),
+		remoteErrs:  reg.Counter("symsim_service_remote_cache_errors_total", "Cluster memo-table operations that failed (treated as misses)."),
 	}
 }
 
@@ -191,7 +204,20 @@ type metricsState struct {
 	storeFaults  uint64
 	leaseExpired uint64
 	tmpReaped    uint64
+	remoteHits   uint64
+	remoteMiss   uint64
+	remoteErrs   uint64
 	engines      map[string]*engineStat
+}
+
+// CacheClient is the cluster-wide second-level result cache seam (see
+// Config.RemoteCache). Implementations must be safe for concurrent use;
+// internal/cluster.MemoClient is the HTTP one.
+type CacheClient interface {
+	// Get fetches a memoized result summary; ok is false on miss.
+	Get(key string) (data []byte, ok bool, err error)
+	// Put publishes a complete result summary under its cache key.
+	Put(key string, data []byte) error
 }
 
 type engineStat struct {
@@ -392,6 +418,11 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 		DesignHash: hash.String(),
 	}
 
+	// The cache lookup happens before the lock: the local read is cheap,
+	// but the remote fallback is a network RPC that must not stall every
+	// concurrent submission behind s.mu.
+	cl := s.lookupCache(rec.ID, key)
+
 	// Counter publication is deferred to after the unlock: the lock-scope
 	// contract (SA003) keeps internal/obs calls out of critical sections.
 	var publish []*obs.Counter
@@ -407,8 +438,19 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 	}
 	s.m.accepted++
 	publish = append(publish, s.om.accepted)
+	switch {
+	case cl.remoteHit:
+		s.m.remoteHits++
+		publish = append(publish, s.om.remoteHits)
+	case cl.remoteMiss:
+		s.m.remoteMiss++
+		publish = append(publish, s.om.remoteMiss)
+	case cl.remoteErr:
+		s.m.remoteErrs++
+		publish = append(publish, s.om.remoteErrs)
+	}
 
-	if data, ok, cacheErr := s.store.readCache(key); cacheErr != nil {
+	if data, ok, cacheErr := cl.data, cl.ok, cl.err; cacheErr != nil {
 		// A faulting or corrupt cache entry is a miss, never an error to
 		// the client: the submission simply runs instead.
 		s.cfg.Logf("service: job %s: cache read: %v", rec.ID, cacheErr)
@@ -490,6 +532,120 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 
 func (s *Service) removeJobFile(id string) error {
 	return s.store.removeFile(s.store.jobPath(id))
+}
+
+// cacheLookup is the outcome of the two-level cache probe.
+type cacheLookup struct {
+	data []byte
+	ok   bool
+	// err is a LOCAL store fault (degraded-mode accounting applies);
+	// remote trouble is never an error, only remoteErr.
+	err error
+	// remoteHit/remoteMiss/remoteErr record whether the cluster memo
+	// table answered, for the metrics published under s.mu.
+	remoteHit  bool
+	remoteMiss bool
+	remoteErr  bool
+}
+
+// lookupCache probes the local result cache and, on a clean local miss,
+// the cluster-wide memo table. Called WITHOUT s.mu held — the remote
+// probe is a network round-trip. A remote hit is adopted into the local
+// store (best effort) so the next identical submission never leaves the
+// machine.
+func (s *Service) lookupCache(jobID, key string) cacheLookup {
+	data, ok, err := s.store.readCache(key)
+	if err != nil || ok {
+		return cacheLookup{data: data, ok: ok, err: err}
+	}
+	rc := s.cfg.RemoteCache
+	if rc == nil {
+		return cacheLookup{}
+	}
+	rdata, rok, rerr := rc.Get(key)
+	if rerr != nil {
+		s.cfg.Logf("service: job %s: remote cache get: %v", jobID, rerr)
+		return cacheLookup{remoteErr: true}
+	}
+	if !rok {
+		return cacheLookup{remoteMiss: true}
+	}
+	if !json.Valid(rdata) {
+		// The memo table serves opaque bytes; a corrupt peer must not be
+		// able to park garbage in front of a runnable analysis.
+		s.cfg.Logf("service: job %s: remote cache entry %s is not JSON, ignoring", jobID, key)
+		return cacheLookup{remoteErr: true}
+	}
+	if werr := s.store.writeCache(key, rdata); werr != nil {
+		// Adoption is an optimization; the authoritative copy is remote.
+		s.cfg.Logf("service: job %s: adopting remote cache entry: %v", jobID, werr)
+	}
+	return cacheLookup{data: rdata, ok: true, remoteHit: true}
+}
+
+// ErrBadCacheKey rejects memo-table keys that are not the 64 lowercase
+// hex digits the service mints (SHA-256): anything else could never have
+// come from cacheKey, and path metacharacters must not reach the store.
+var ErrBadCacheKey = errors.New("service: cache keys are 64 lowercase hex digits")
+
+// validCacheKey reports whether key has the exact shape cacheKey mints.
+func validCacheKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		ch := key[i]
+		if (ch < '0' || ch > '9') && (ch < 'a' || ch > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// CacheGet serves one content-addressed cache entry — the coordinator
+// side of the cluster-wide memo table (it makes *Service satisfy
+// internal/cluster's Memo seam). A store fault counts toward degraded
+// mode exactly as every other cache read.
+func (s *Service) CacheGet(key string) ([]byte, bool, error) {
+	if !validCacheKey(key) {
+		return nil, false, ErrBadCacheKey
+	}
+	data, ok, err := s.store.readCache(key)
+	if err != nil {
+		s.cfg.Logf("service: memo get %s: %v", key, err)
+		s.mu.Lock()
+		s.m.storeFaults++
+		s.noteStoreFaultLocked(err)
+		s.mu.Unlock()
+		s.om.storeFaults.Inc()
+		return nil, false, err
+	}
+	return data, ok, nil
+}
+
+// CachePut stores one memo-table entry published by a worker. Only valid
+// JSON is accepted — the entries are result summaries, and a corrupt
+// peer must not be able to poison every fleet member's cache.
+func (s *Service) CachePut(key string, data []byte) error {
+	if !validCacheKey(key) {
+		return ErrBadCacheKey
+	}
+	if !json.Valid(data) {
+		return fmt.Errorf("service: memo put %s: payload is not JSON", key)
+	}
+	if err := s.store.writeCache(key, data); err != nil {
+		s.cfg.Logf("service: memo put %s: %v", key, err)
+		s.mu.Lock()
+		s.m.storeFaults++
+		s.noteStoreFaultLocked(err)
+		s.mu.Unlock()
+		s.om.storeFaults.Inc()
+		return err
+	}
+	s.mu.Lock()
+	s.noteStoreOKLocked()
+	s.mu.Unlock()
+	return nil
 }
 
 // runJob executes one queued job to a terminal state (or back to the
@@ -619,6 +775,24 @@ func (s *Service) finishJob(id string, attempt int, res *core.Result, err error)
 			c.Inc()
 		}
 	}()
+	// A complete result also publishes to the cluster memo table. The RPC
+	// runs in this deferred step — registered before the lock so it
+	// executes after the unlock (defers are LIFO) — because a network
+	// round-trip has no business inside s.mu.
+	var remoteKey string
+	var remoteData []byte
+	defer func() {
+		if remoteData == nil {
+			return
+		}
+		if perr := s.cfg.RemoteCache.Put(remoteKey, remoteData); perr != nil {
+			s.cfg.Logf("service: job %s: remote cache put: %v", id, perr)
+			s.om.remoteErrs.Inc()
+			s.mu.Lock()
+			s.m.remoteErrs++
+			s.mu.Unlock()
+		}
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j := s.jobs[id]
@@ -698,6 +872,11 @@ func (s *Service) finishJob(id string, attempt int, res *core.Result, err error)
 				s.m.storeFaults++
 				s.noteStoreFaultLocked(werr)
 				publish = append(publish, s.om.storeFaults)
+			}
+			if s.cfg.RemoteCache != nil {
+				// Publish to the fleet after the unlock (see the deferred
+				// remote put above).
+				remoteKey, remoteData = j.rec.CacheKey, data
 			}
 		}
 		s.store.removeCheckpoint(id)
@@ -1204,9 +1383,15 @@ type Metrics struct {
 	StoreDegraded bool   `json:"storeDegraded"`
 	// LeaseExpiries counts running jobs re-queued by the lease watchdog;
 	// TmpReaped counts orphan temp files reaped at startup.
-	LeaseExpiries uint64                   `json:"leaseExpiries"`
-	TmpReaped     uint64                   `json:"tmpReaped"`
-	Engines       map[string]EngineMetrics `json:"engines"`
+	LeaseExpiries uint64 `json:"leaseExpiries"`
+	TmpReaped     uint64 `json:"tmpReaped"`
+	// RemoteCacheHits counts local misses the cluster memo table
+	// satisfied; errors are operations against it that failed (always
+	// treated as misses).
+	RemoteCacheHits   uint64                   `json:"remoteCacheHits"`
+	RemoteCacheMisses uint64                   `json:"remoteCacheMisses"`
+	RemoteCacheErrors uint64                   `json:"remoteCacheErrors"`
+	Engines           map[string]EngineMetrics `json:"engines"`
 }
 
 // EngineMetrics is accumulated per-engine throughput.
@@ -1225,21 +1410,24 @@ func (s *Service) MetricsSnapshot() Metrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m := Metrics{
-		QueueDepth:    s.queue.Len(),
-		JobsByState:   make(map[State]int),
-		Accepted:      s.m.accepted,
-		CacheHits:     s.m.cacheHits,
-		CacheMisses:   s.m.cacheMisses,
-		Coalesced:     s.m.coalesced,
-		Degraded:      s.m.degraded,
-		Resumed:       s.m.resumed,
-		Requeued:      s.m.requeued,
-		Failed:        s.m.failed,
-		StoreFaults:   s.m.storeFaults,
-		StoreDegraded: s.degraded.Load(),
-		LeaseExpiries: s.m.leaseExpired,
-		TmpReaped:     s.m.tmpReaped,
-		Engines:       make(map[string]EngineMetrics),
+		QueueDepth:        s.queue.Len(),
+		JobsByState:       make(map[State]int),
+		Accepted:          s.m.accepted,
+		CacheHits:         s.m.cacheHits,
+		CacheMisses:       s.m.cacheMisses,
+		Coalesced:         s.m.coalesced,
+		Degraded:          s.m.degraded,
+		Resumed:           s.m.resumed,
+		Requeued:          s.m.requeued,
+		Failed:            s.m.failed,
+		StoreFaults:       s.m.storeFaults,
+		StoreDegraded:     s.degraded.Load(),
+		LeaseExpiries:     s.m.leaseExpired,
+		TmpReaped:         s.m.tmpReaped,
+		RemoteCacheHits:   s.m.remoteHits,
+		RemoteCacheMisses: s.m.remoteMiss,
+		RemoteCacheErrors: s.m.remoteErrs,
+		Engines:           make(map[string]EngineMetrics),
 	}
 	for _, j := range s.jobs {
 		m.JobsByState[j.rec.State]++
