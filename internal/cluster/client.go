@@ -17,10 +17,13 @@ import (
 // through the shared hardened unary client (internal/httpx): a real
 // overall timeout and jittered retry backoff — never a zero-timeout
 // default client. The RPCs it retries are all idempotent at the
-// coordinator: a replayed observe of an already-merged state answers
-// "subsumed" without registering children again, a replayed report of the
-// retiring epoch is acknowledged without double retirement, and a
-// replayed fail of a requeued unit bounces off the epoch fence.
+// coordinator: a replayed observe carries the same per-unit sequence
+// number and is answered from the memoized original verdict (so a fork
+// whose response was lost is re-delivered, not re-judged "subsumed" with
+// the worker left unaware of the two children registered on its unit), a
+// replayed report of the retiring epoch is acknowledged without double
+// retirement, and a replayed fail of a requeued unit bounces off the
+// epoch fence.
 type coordClient struct {
 	base string
 	hc   *http.Client
@@ -122,11 +125,14 @@ func (cc *coordClient) lease(worker string) (*leaseResponse, bool, error) {
 	return &ls, true, nil
 }
 
-// observe presents a halted state to the authoritative CSM.
-func (cc *coordClient) observe(runID string, unit, epoch int, state []byte) (observeResponse, error) {
+// observe presents a halted state to the authoritative CSM. seq is the
+// 1-based per-unit sequence number; call's transport retries replay the
+// identical body, so a retried observe reaches the coordinator with the
+// same seq and is answered from the memoized verdict.
+func (cc *coordClient) observe(runID string, unit, epoch, seq int, state []byte) (observeResponse, error) {
 	var resp observeResponse
 	_, err := cc.call(http.MethodPost, "/cluster/runs/"+url.PathEscape(runID)+"/observe",
-		observeRequest{Unit: unit, Epoch: epoch, State: state}, &resp)
+		observeRequest{Unit: unit, Epoch: epoch, Seq: seq, State: state}, &resp)
 	return resp, err
 }
 

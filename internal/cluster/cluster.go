@@ -127,6 +127,13 @@ type leaseResponse struct {
 type observeRequest struct {
 	Unit  int `json:"unit"`
 	Epoch int `json:"epoch"`
+	// Seq is the worker's 1-based observe sequence number within this
+	// unit lease. A retry of a lost response replays the same Seq, and
+	// the coordinator answers it from the memoized original verdict — a
+	// fresh policy observe would answer "subsumed" for a state the first
+	// delivery already merged, desyncing the worker's path count from the
+	// unit's registered path set.
+	Seq int `json:"seq"`
 	// State is the halt state (vvp.State.AppendBinary, JSON base64).
 	State []byte `json:"state"`
 }

@@ -89,6 +89,7 @@ type run struct {
 	skipped  int // subsumed paths, summed from reports
 	requeues int
 	cycles   uint64
+	inflight int // observes between their two c.mu sections (see Observe)
 
 	state  string // "running" | "done" | "failed"
 	errMsg string
@@ -104,6 +105,16 @@ type workUnit struct {
 	paths    []core.PendingPath
 	deadline time.Time
 	worker   string
+	// verdicts memoizes this epoch's observe responses by the worker's
+	// per-unit sequence number, so a retried observe (lost response)
+	// replays the original verdict instead of re-running the policy — a
+	// re-run would answer "subsumed" for a state the first delivery
+	// already merged, and the worker would never simulate the two children
+	// the coordinator registered on its path set. A nil entry marks a
+	// first delivery still between Observe's lock sections; a concurrent
+	// duplicate parks on c.cond until the verdict lands. Cleared on every
+	// epoch bump (a fresh lease restarts the sequence at 1).
+	verdicts map[int]*observeResponse
 }
 
 // NewCoordinator starts a coordinator and its lease-expiry sweeper.
@@ -253,10 +264,18 @@ func newPolicy(spec RunSpec) (csm.Manager, error) {
 func (c *Coordinator) Lease(ctx context.Context, worker string, wait time.Duration) (*leaseResponse, error) {
 	deadline := time.Now().Add(wait)
 	// cond.Wait cannot time out; these wakers make the long-poll bounded
-	// by wait and by the caller's context.
-	timer := time.AfterFunc(wait, c.cond.Broadcast)
+	// by wait and by the caller's context. They broadcast with c.mu held:
+	// a bare broadcast could land in the window between the deadline check
+	// below and cond.Wait parking, and a poller that misses its own waker
+	// stays parked until some unrelated broadcast happens along.
+	wake := func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+	timer := time.AfterFunc(wait, wake)
 	defer timer.Stop()
-	stopCtx := context.AfterFunc(ctx, c.cond.Broadcast)
+	stopCtx := context.AfterFunc(ctx, wake)
 	defer stopCtx()
 
 	c.mu.Lock()
@@ -345,7 +364,23 @@ func (c *Coordinator) leaseLocked(worker string) *leaseResponse {
 // grows the way a single-node worklist does. Only when the fleet is
 // starving — a worker is parked in Lease and no run has leasable work —
 // are they spilled to the shared frontier for the idle worker to pick up.
-func (c *Coordinator) Observe(runID string, unit, epoch int, halt vvp.State) (observeResponse, error) {
+//
+// seq is the worker's per-unit observe sequence number (1-based; <= 0
+// disables replay protection). The verdict is memoized on the unit under
+// seq before it is returned, so a retry of a lost response replays the
+// original verdict — see workUnit.verdicts.
+//
+// The CPU-bound middle — the manager's merge, the two clones, Specialize
+// and the explore-state encoding — runs with c.mu RELEASED: every policy
+// serializes its own merges per run, and the clones touch only
+// caller-owned state, so lease/report/heartbeat/sweep traffic (and every
+// other run) never queues behind merge work. The run's inflight count
+// covers the window: finalizeLocked cannot declare the run drained while
+// a verdict whose children are not yet registered is in flight, and if
+// the unit's lease lapses inside the window the children are registered
+// on the shared frontier instead (the requeued unit re-simulates the
+// parent to a now-covered halt, so nobody else will explore them).
+func (c *Coordinator) Observe(runID string, unit, epoch, seq int, halt vvp.State) (observeResponse, error) {
 	var publish []*obs.Counter
 	defer func() {
 		for _, ctr := range publish {
@@ -354,44 +389,120 @@ func (c *Coordinator) Observe(runID string, unit, epoch int, halt vvp.State) (ob
 	}()
 
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	r, ok := c.runs[runID]
 	if !ok {
+		c.mu.Unlock()
 		return observeResponse{}, ErrUnknownRun
 	}
 	if err := r.checkEpochLocked(unit, epoch); err != nil {
+		c.mu.Unlock()
 		publish = append(publish, c.om.staleRPCs)
 		return observeResponse{}, err
 	}
+	u := r.leased[unit]
+	if seq > 0 {
+		for {
+			memo, seen := u.verdicts[seq]
+			if !seen {
+				break
+			}
+			if memo != nil {
+				c.mu.Unlock()
+				publish = append(publish, c.om.replayedObserves)
+				return *memo, nil
+			}
+			// The first delivery of this seq is still between the lock
+			// sections; park until its verdict lands (every Observe exit
+			// broadcasts) and re-validate the world after the wake.
+			c.cond.Wait()
+			if c.closed {
+				c.mu.Unlock()
+				return observeResponse{}, ErrClosed
+			}
+			if err := r.checkEpochLocked(unit, epoch); err != nil {
+				c.mu.Unlock()
+				publish = append(publish, c.om.staleRPCs)
+				return observeResponse{}, err
+			}
+		}
+		if u.verdicts == nil {
+			u.verdicts = make(map[int]*observeResponse)
+		}
+		u.verdicts[seq] = nil // first delivery, verdict in flight
+	}
+	r.inflight++
+	c.mu.Unlock()
+
 	d := r.policy.Observe(halt)
+	var children []core.PendingPath
+	var exploreEnc []byte
+	if !d.Subsumed {
+		taken, notTaken := d.Explore.Clone(), d.Explore.Clone()
+		if r.p.Specialize != nil {
+			taken = r.p.Specialize(taken, true)
+			notTaken = r.p.Specialize(notTaken, false)
+		}
+		children = []core.PendingPath{
+			{State: taken, Forced: logic.Hi, HasForce: true},
+			{State: notTaken, Forced: logic.Lo, HasForce: true},
+		}
+		exploreEnc = d.Explore.AppendBinary(nil)
+	}
+	states := r.policy.States()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r.inflight--
+	// Wake parked duplicates of this seq (lease waiters re-check and
+	// re-park). Runs before the unlock, so the wake cannot be lost.
+	defer c.cond.Broadcast()
+	if r.state != "running" {
+		// The run failed while the verdict was computed ("done" is
+		// impossible: this observe held the inflight count). Nothing to
+		// register — the failed run's accounting is void anyway.
+		publish = append(publish, c.om.staleRPCs)
+		return observeResponse{}, ErrStale
+	}
+	stale := r.checkEpochLocked(unit, epoch) != nil
 	if d.Subsumed {
+		if stale {
+			// Lease lapsed inside the window. The merge registered
+			// nothing, so there is nothing to hand over; fence the caller.
+			publish = append(publish, c.om.staleRPCs)
+			publish = append(publish, c.maybeFinalizeLocked(r)...)
+			return observeResponse{}, ErrStale
+		}
+		resp := observeResponse{Subsumed: true, States: states}
+		if seq > 0 {
+			u.verdicts[seq] = &resp
+		}
 		publish = append(publish, c.om.observesSubsumed)
-		return observeResponse{Subsumed: true, States: r.policy.States()}, nil
-	}
-	publish = append(publish, c.om.observesForked)
-	taken, notTaken := d.Explore.Clone(), d.Explore.Clone()
-	if r.p.Specialize != nil {
-		taken = r.p.Specialize(taken, true)
-		notTaken = r.p.Specialize(notTaken, false)
-	}
-	children := []core.PendingPath{
-		{State: taken, Forced: logic.Hi, HasForce: true},
-		{State: notTaken, Forced: logic.Lo, HasForce: true},
+		return resp, nil
 	}
 	r.created += 2
+	publish = append(publish, c.om.observesForked)
+	if stale {
+		// Lease lapsed between the merge and this registration. The
+		// requeued unit will re-simulate the parent to a halt the CSM now
+		// covers, so these children would otherwise never be explored:
+		// they go to the shared frontier, and the zombie caller is fenced.
+		publish = append(publish, c.om.staleRPCs, c.om.observesSpilled)
+		r.pending = append(r.pending, children...)
+		return observeResponse{}, ErrStale
+	}
+	var resp observeResponse
 	if c.starvingLocked() {
 		publish = append(publish, c.om.observesSpilled)
 		r.pending = append(r.pending, children...)
-		c.cond.Broadcast()
-		return observeResponse{States: r.policy.States()}, nil
+		resp = observeResponse{States: states}
+	} else {
+		u.paths = append(u.paths, children...)
+		resp = observeResponse{Keep: true, Explore: exploreEnc, States: states}
 	}
-	u := r.leased[unit]
-	u.paths = append(u.paths, children...)
-	return observeResponse{
-		Keep:    true,
-		Explore: d.Explore.AppendBinary(nil),
-		States:  r.policy.States(),
-	}, nil
+	if seq > 0 {
+		u.verdicts[seq] = &resp
+	}
+	return resp, nil
 }
 
 // starvingLocked reports whether some worker is parked in Lease with no
@@ -480,9 +591,7 @@ func (c *Coordinator) Report(runID string, unit, epoch int, rep *core.Checkpoint
 	delete(r.leased, unit)
 	r.done[unit] = epoch
 	publish = append(publish, c.om.retires)
-	if len(r.pending) == 0 && len(r.requeue) == 0 && len(r.leased) == 0 {
-		publish = append(publish, c.finalizeLocked(r)...)
-	}
+	publish = append(publish, c.maybeFinalizeLocked(r)...)
 	return nil
 }
 
@@ -546,19 +655,37 @@ func (c *Coordinator) requeueLocked(r *run, u *workUnit, reason string) []*obs.C
 	}
 	u.epoch++
 	u.worker = ""
+	u.verdicts = nil // a fresh lease restarts the observe sequence at 1
 	r.requeue = append(r.requeue, u)
 	r.requeues++
 	c.cond.Broadcast()
 	return []*obs.Counter{c.om.requeues}
 }
 
-// failRunLocked marks a run failed and wakes waiters. Caller holds c.mu.
+// failRunLocked marks a run failed and wakes waiters. Idempotent: sweep
+// can exhaust several of a run's units in one pass, and each exhaustion
+// lands here — only the first closes doneCh and records the failure.
+// Caller holds c.mu.
 func (c *Coordinator) failRunLocked(r *run, msg string) []*obs.Counter {
+	if r.state != "running" {
+		return nil
+	}
 	r.state = "failed"
 	r.errMsg = msg
 	close(r.doneCh)
+	c.cond.Broadcast() // parked lease/observe waiters must re-check the state
 	c.cfg.Logf("cluster: run %s FAILED: %s", r.id, msg)
 	return []*obs.Counter{c.om.runsFailed}
+}
+
+// maybeFinalizeLocked finalizes a run that has fully drained: nothing
+// pending, nothing requeued, nothing leased, and no observe verdict in
+// flight whose fork children are not yet registered. Caller holds c.mu.
+func (c *Coordinator) maybeFinalizeLocked(r *run) []*obs.Counter {
+	if r.state != "running" || len(r.pending) != 0 || len(r.requeue) != 0 || len(r.leased) != 0 || r.inflight != 0 {
+		return nil
+	}
+	return c.finalizeLocked(r)
 }
 
 // finalizeLocked completes a drained run: the exactly-once invariant is
@@ -629,6 +756,11 @@ func (c *Coordinator) sweep(now time.Time) {
 			c.cfg.Logf("cluster: run %s: unit %d lease expired (worker %s, epoch %d), requeueing", r.id, uid, u.worker, u.epoch)
 			publish = append(publish, c.om.expiries)
 			publish = append(publish, c.requeueLocked(r, u, "lease expired")...)
+			if r.state != "running" {
+				// requeueLocked failed the run (attempts exhausted): its
+				// remaining leases are moot, stop processing them.
+				break
+			}
 		}
 	}
 }

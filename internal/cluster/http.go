@@ -118,7 +118,7 @@ func (c *Coordinator) Handler() http.Handler {
 			c.writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding halt state: %w", err))
 			return
 		}
-		resp, err := c.Observe(r.PathValue("id"), req.Unit, req.Epoch, st)
+		resp, err := c.Observe(r.PathValue("id"), req.Unit, req.Epoch, req.Seq, st)
 		if err != nil {
 			c.writeErr(w, statusOf(err), err)
 			return

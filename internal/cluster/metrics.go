@@ -19,6 +19,7 @@ type coordMetrics struct {
 	heartbeats       *obs.Counter
 	staleRPCs        *obs.Counter
 	duplicateReports *obs.Counter
+	replayedObserves *obs.Counter
 	observesSubsumed *obs.Counter
 	observesForked   *obs.Counter
 	observesSpilled  *obs.Counter
@@ -42,6 +43,7 @@ func newCoordMetrics(reg *obs.Registry, c *Coordinator) *coordMetrics {
 		heartbeats:       reg.Counter("symsim_cluster_heartbeats_total", "Lease-extending progress heartbeats accepted."),
 		staleRPCs:        reg.Counter("symsim_cluster_stale_rpcs_total", "RPCs fenced off for carrying a dead lease epoch (zombie workers)."),
 		duplicateReports: reg.Counter("symsim_cluster_duplicate_reports_total", "Same-epoch report retransmissions acknowledged idempotently."),
+		replayedObserves: reg.Counter("symsim_cluster_replayed_observes_total", "Observe retransmissions answered from the unit's memoized verdict (lost-response replays)."),
 		observesSubsumed: reg.Counter("symsim_cluster_observes_subsumed_total", "Authoritative CSM observes answered subsumed."),
 		observesForked:   reg.Counter("symsim_cluster_observes_forked_total", "Authoritative CSM observes that registered two fork children."),
 		observesSpilled:  reg.Counter("symsim_cluster_observes_spilled_total", "Fork observes whose children were spilled to the shared frontier for a starving worker (the rest stay with their unit)."),

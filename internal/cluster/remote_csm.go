@@ -36,6 +36,7 @@ type remoteCSM struct {
 
 	mu     sync.Mutex
 	states int
+	seq    int // observe sequence within this lease; see observeRequest.Seq
 	err    error
 	// covered caches, per PC, the merged explore states the coordinator
 	// returned for this unit's fork verdicts. Covering states only ever
@@ -67,7 +68,11 @@ func (m *remoteCSM) Observe(st vvp.State) csm.Decision {
 		return csm.Decision{Subsumed: true, Remote: true}
 	}
 	m.om.observeRPCs.Inc()
-	resp, err := m.cc.observe(m.runID, m.unit, m.epoch, st.AppendBinary(nil))
+	m.mu.Lock()
+	m.seq++
+	seq := m.seq
+	m.mu.Unlock()
+	resp, err := m.cc.observe(m.runID, m.unit, m.epoch, seq, st.AppendBinary(nil))
 	if err != nil {
 		return m.poison(err)
 	}
