@@ -61,12 +61,18 @@ lint:
 # 3-worker fleet behind a real HTTP coordinator (the fleet's speedup is
 # bounded by min(workers, cores) — on a single-core host the recorded
 # ratio is the pure coordination overhead).
+# BENCH_prune.json records constraint-aware forking on the paper's
+# counter-trend cell (openMSP430/tHold x both MemX policies): Table-4
+# paths-created and wall time with pre-fork pruning off vs on, same
+# constrained policy and fact both ways. The acceptance comparison is
+# strictly fewer paths in the prune-on rows at identical gate counts.
 # BENCHTIME trades accuracy for wall time; CI uses 1x.
 BENCHTIME ?= 2x
 BENCH_PAT ?= BenchmarkTable3GateCounts|BenchmarkTable4Paths|BenchmarkEngineComparison|BenchmarkSettleSteadyState
 BENCH_OBS_PAT ?= BenchmarkObsOverhead
 BENCH_BATCH_PAT ?= BenchmarkBatchKernelSweep|BenchmarkBatchAnalyze
 BENCH_CLUSTER_PAT ?= BenchmarkClusterSingleNode|BenchmarkClusterThreeWorkers
+BENCH_PRUNE_PAT ?= BenchmarkPruneTable4
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem -benchtime $(BENCHTIME) -timeout 30m . \
 		| tee bench_output.txt
@@ -88,3 +94,8 @@ bench:
 	$(GO) run ./cmd/benchjson -o BENCH_cluster.json bench_cluster_output.txt
 	@rm -f bench_cluster_output.txt
 	@echo "wrote BENCH_cluster.json"
+	$(GO) test -run '^$$' -bench '$(BENCH_PRUNE_PAT)' -benchmem -benchtime $(BENCHTIME) -timeout 30m . \
+		| tee bench_prune_output.txt
+	$(GO) run ./cmd/benchjson -o BENCH_prune.json bench_prune_output.txt
+	@rm -f bench_prune_output.txt
+	@echo "wrote BENCH_prune.json"

@@ -18,6 +18,16 @@
 //	symsim -design omsp430 -bench tHold -deadline 2m -checkpoint run.ckpt
 //	symsim -design omsp430 -bench tHold -checkpoint run.ckpt -resume
 //
+// The constrained policy refines merged states with application facts
+// from a -constraints file: one fact per line, each a pinned state bit
+// (pc=0x14 bit=dff:pc[0] val=0), a register value range (pc=* reg=r6
+// min=0x0 max=0x3f) or a bit relation (pc=0x1e rel=dff:a[0]!=dff:b[0]);
+// pc=* applies the fact at every PC. Facts also prove forked children
+// infeasible before they are scheduled, pruning the path explosion at
+// its source; -no-prune disables only that pruning for A/B comparison:
+//
+//	symsim -design omsp430 -bench tHold -policy constrained -constraints facts.txt
+//
 // Every run publishes exploration metrics; -trace additionally records a
 // JSONL trace of the exploration (per-path spans plus the CSM decision
 // log) that the explain subcommand renders as a fork tree with per-PC
@@ -98,6 +108,8 @@ func analyzeMain(args []string, printStats bool) {
 		// one-shot CLI and the daemon cannot drift.
 		tuning = cliflags.Register(fs)
 
+		noPrune = fs.Bool("no-prune", false, "disable constraint-aware pre-fork pruning (A/B comparison; pruning is sound and on by default)")
+
 		ckptPath  = fs.String("checkpoint", "", "periodically checkpoint the exploration state to this file (atomic writes)")
 		ckptEvery = fs.Duration("checkpoint-every", 30*time.Second, "minimum interval between periodic checkpoints")
 		resume    = fs.Bool("resume", false, "resume from the -checkpoint file instead of starting fresh")
@@ -151,6 +163,7 @@ func analyzeMain(args []string, printStats bool) {
 	if err != nil {
 		fatal(err)
 	}
+	cfg.DisablePrune = *noPrune
 	if *verbose {
 		// The structural pre-check always runs (errors abort the
 		// analysis); -v additionally surfaces its warnings.
@@ -265,7 +278,12 @@ func analyzeMain(args []string, printStats bool) {
 	fmt.Printf("policy      %s (%d conservative states)\n", res.Policy, res.CSMStates)
 	fmt.Printf("exercisable %d / %d gates  (%.2f%% reduction)\n",
 		res.ExercisableCount, res.TotalGates, res.ReductionPct())
-	fmt.Printf("paths       %d created, %d skipped\n", res.PathsCreated, res.PathsSkipped)
+	if res.PathsPruned > 0 {
+		fmt.Printf("paths       %d created, %d skipped, %d pruned pre-fork\n",
+			res.PathsCreated, res.PathsSkipped, res.PathsPruned)
+	} else {
+		fmt.Printf("paths       %d created, %d skipped\n", res.PathsCreated, res.PathsSkipped)
+	}
 	fmt.Printf("cycles      %d simulated\n", res.SimulatedCycles)
 
 	if deg := res.Degradation; deg != nil {

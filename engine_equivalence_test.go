@@ -8,8 +8,11 @@ import (
 )
 
 // TestEngineEquivalenceEndToEnd is the whole-stack differential check,
-// swept across all three evaluation cores (Table 2) and both X-memory
-// policies. For each platform a full co-analysis must produce:
+// swept across all three evaluation cores (Table 2), both X-memory
+// policies and two CSM policies (the merge-all default and constrained,
+// whose fact trimming, fork pruning and heat-ordered merging all sit on
+// the observe path the engines share). For each cell a full co-analysis
+// must produce:
 //
 //   - interp vs kernel: the identical everything — exercisable set,
 //     tie-offs, path counts, simulated cycles, conservative-state count.
@@ -21,59 +24,83 @@ import (
 //     order — and with it path counts and total cycles — may legally
 //     differ; the dichotomy is a fixpoint of sound over-approximations
 //     and may not.
+//
+// Policies are constructed fresh per engine run: a CSM is stateful, and
+// sharing one across runs would let the first engine's merges subsume
+// the second engine's paths.
 func TestEngineEquivalenceEndToEnd(t *testing.T) {
+	policies := []struct {
+		name string
+		mk   func(p *symsim.Platform) (symsim.Policy, error)
+	}{
+		{"merge-all", func(*symsim.Platform) (symsim.Policy, error) { return nil, nil }}, // Config default
+		{"constrained", func(p *symsim.Platform) (symsim.Policy, error) {
+			return symsim.ConstrainedPolicy(p.Spec.Bits(), []symsim.Constraint{
+				{AnyPC: true, Bit: 0, Val: symsim.Lo},
+			})
+		}},
+	}
 	for _, d := range []symsim.Design{symsim.BM32, symsim.OMSP430, symsim.DR5} {
 		for _, memx := range []symsim.MemXPolicy{symsim.MemXVerilog, symsim.MemXSound} {
-			t.Run(fmt.Sprintf("%v/memx=%v", d, memx), func(t *testing.T) {
-				p, err := symsim.BuildPlatform(d, "tHold")
-				if err != nil {
-					t.Fatal(err)
-				}
-				run := func(e symsim.SimEngine) *symsim.Result {
-					res, err := symsim.Analyze(p, symsim.Config{Engine: e, MemX: memx})
+			for _, pol := range policies {
+				t.Run(fmt.Sprintf("%v/memx=%v/%s", d, memx, pol.name), func(t *testing.T) {
+					p, err := symsim.BuildPlatform(d, "tHold")
 					if err != nil {
 						t.Fatal(err)
 					}
-					return res
-				}
-				ri := run(symsim.EngineInterp)
-				rk := run(symsim.EngineKernel)
-				rb := run(symsim.EngineBatch)
+					run := func(e symsim.SimEngine) *symsim.Result {
+						policy, err := pol.mk(p)
+						if err != nil {
+							t.Fatal(err)
+						}
+						res, err := symsim.Analyze(p, symsim.Config{Engine: e, MemX: memx, Policy: policy})
+						if err != nil {
+							t.Fatal(err)
+						}
+						return res
+					}
+					ri := run(symsim.EngineInterp)
+					rk := run(symsim.EngineKernel)
+					rb := run(symsim.EngineBatch)
 
-				if ri.PathsCreated != rk.PathsCreated || ri.PathsSkipped != rk.PathsSkipped {
-					t.Errorf("paths diverged: interp %d/%d kernel %d/%d",
-						ri.PathsCreated, ri.PathsSkipped, rk.PathsCreated, rk.PathsSkipped)
-				}
-				if ri.SimulatedCycles != rk.SimulatedCycles {
-					t.Errorf("cycles diverged: %d vs %d", ri.SimulatedCycles, rk.SimulatedCycles)
-				}
-				if ri.CSMStates != rk.CSMStates {
-					t.Errorf("CSM states diverged: %d vs %d", ri.CSMStates, rk.CSMStates)
-				}
-				for name, res := range map[string]*symsim.Result{"interp": ri, "batch": rb} {
-					if res.ExercisableCount != rk.ExercisableCount {
-						t.Errorf("%s exercisable count diverged: %d vs kernel %d",
-							name, res.ExercisableCount, rk.ExercisableCount)
+					if ri.PathsCreated != rk.PathsCreated || ri.PathsSkipped != rk.PathsSkipped {
+						t.Errorf("paths diverged: interp %d/%d kernel %d/%d",
+							ri.PathsCreated, ri.PathsSkipped, rk.PathsCreated, rk.PathsSkipped)
 					}
-					for gi := range rk.ExercisableGates {
-						if res.ExercisableGates[gi] != rk.ExercisableGates[gi] {
-							t.Fatalf("%s: gate %d exercisability diverged", name, gi)
+					if ri.PathsPruned != rk.PathsPruned {
+						t.Errorf("pruned diverged: interp %d kernel %d", ri.PathsPruned, rk.PathsPruned)
+					}
+					if ri.SimulatedCycles != rk.SimulatedCycles {
+						t.Errorf("cycles diverged: %d vs %d", ri.SimulatedCycles, rk.SimulatedCycles)
+					}
+					if ri.CSMStates != rk.CSMStates {
+						t.Errorf("CSM states diverged: %d vs %d", ri.CSMStates, rk.CSMStates)
+					}
+					for name, res := range map[string]*symsim.Result{"interp": ri, "batch": rb} {
+						if res.ExercisableCount != rk.ExercisableCount {
+							t.Errorf("%s exercisable count diverged: %d vs kernel %d",
+								name, res.ExercisableCount, rk.ExercisableCount)
+						}
+						for gi := range rk.ExercisableGates {
+							if res.ExercisableGates[gi] != rk.ExercisableGates[gi] {
+								t.Fatalf("%s: gate %d exercisability diverged", name, gi)
+							}
+						}
+						to, tk := res.TieOffs(), rk.TieOffs()
+						if len(to) != len(tk) {
+							t.Fatalf("%s tie-off counts diverged: %d vs %d", name, len(to), len(tk))
+						}
+						for i := range to {
+							if to[i] != tk[i] {
+								t.Fatalf("%s tie-off %d diverged: %+v vs %+v", name, i, to[i], tk[i])
+							}
 						}
 					}
-					to, tk := res.TieOffs(), rk.TieOffs()
-					if len(to) != len(tk) {
-						t.Fatalf("%s tie-off counts diverged: %d vs %d", name, len(to), len(tk))
+					if !rb.Complete {
+						t.Errorf("batch run degraded: %+v", rb.Degradation)
 					}
-					for i := range to {
-						if to[i] != tk[i] {
-							t.Fatalf("%s tie-off %d diverged: %+v vs %+v", name, i, to[i], tk[i])
-						}
-					}
-				}
-				if !rb.Complete {
-					t.Errorf("batch run degraded: %+v", rb.Degradation)
-				}
-			})
+				})
+			}
 		}
 	}
 }

@@ -2,6 +2,7 @@ package symsim_test
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -12,15 +13,24 @@ import (
 // the facade carries real coverage, not just type aliases.
 func TestFacadeSurface(t *testing.T) {
 	// Policies.
+	cp, err := symsim.ConstrainedPolicy(4, []symsim.Constraint{{AnyPC: true, Bit: 0, Val: symsim.Lo}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, pol := range []symsim.Policy{
 		symsim.MergeAllPolicy(),
 		symsim.ClusteredPolicy(3),
 		symsim.ExactPolicy(16),
-		symsim.ConstrainedPolicy(4, []symsim.Constraint{{AnyPC: true, Bit: 0, Val: symsim.Lo}}),
+		cp,
 	} {
 		if pol.Name() == "" {
 			t.Error("unnamed policy")
 		}
+	}
+	// Malformed facts are rejected up front with a typed error.
+	var cerr *symsim.ConstraintError
+	if _, err := symsim.ConstrainedPolicy(4, []symsim.Constraint{{AnyPC: true, Bit: 9, Val: symsim.Lo}}); !errors.As(err, &cerr) {
+		t.Errorf("out-of-range bit: err = %v, want *ConstraintError", err)
 	}
 
 	// Vectors.

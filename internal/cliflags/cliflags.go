@@ -130,9 +130,37 @@ func (a *Analysis) Budget() core.Budget {
 	}
 }
 
+// ManagerFor constructs the CSM manager the flags select for a run
+// against spec (needed only by the constrained policy, whose constraint
+// file references state bits; spec may be nil otherwise). Constraint
+// validation errors from csm.NewConstrained — out-of-range bits, empty
+// ranges, inverted bounds — surface here as a *csm.ConstraintError
+// wrapped with the file name, so errors.As recovers the offending fact.
+func (a *Analysis) ManagerFor(spec *vvp.StateSpec) (csm.Manager, error) {
+	if a.Policy != "constrained" {
+		return NewPolicy(a.Policy, a.K, a.MaxStates)
+	}
+	if spec == nil {
+		return nil, fmt.Errorf("constrained policy needs a platform state spec")
+	}
+	f, err := os.Open(a.Constraints)
+	if err != nil {
+		return nil, fmt.Errorf("constrained policy needs -constraints: %w", err)
+	}
+	cons, err := csm.ParseConstraints(f, spec)
+	_ = f.Close() // opened read-only; Close cannot lose data
+	if err != nil {
+		return nil, err
+	}
+	m, err := csm.NewConstrained(spec.Bits(), cons)
+	if err != nil {
+		return nil, fmt.Errorf("-constraints %s: %w", a.Constraints, err)
+	}
+	return m, nil
+}
+
 // Config interprets the flags into a core.Config for a run against spec
-// (needed only by the constrained policy, whose constraint file references
-// state bits; spec may be nil otherwise).
+// (needed only by the constrained policy; spec may be nil otherwise).
 func (a *Analysis) Config(spec *vvp.StateSpec) (core.Config, error) {
 	cfg := core.Config{Workers: a.Workers, Lanes: a.Lanes, Budget: a.Budget()}
 	var err error
@@ -142,23 +170,7 @@ func (a *Analysis) Config(spec *vvp.StateSpec) (core.Config, error) {
 	if cfg.Engine, err = ParseEngine(a.Engine); err != nil {
 		return cfg, err
 	}
-	if a.Policy == "constrained" {
-		if spec == nil {
-			return cfg, fmt.Errorf("constrained policy needs a platform state spec")
-		}
-		f, err := os.Open(a.Constraints)
-		if err != nil {
-			return cfg, fmt.Errorf("constrained policy needs -constraints: %w", err)
-		}
-		cons, err := csm.ParseConstraints(f, spec)
-		_ = f.Close() // opened read-only; Close cannot lose data
-		if err != nil {
-			return cfg, err
-		}
-		cfg.Policy = csm.NewConstrained(spec.Bits(), cons)
-		return cfg, nil
-	}
-	if cfg.Policy, err = NewPolicy(a.Policy, a.K, a.MaxStates); err != nil {
+	if cfg.Policy, err = a.ManagerFor(spec); err != nil {
 		return cfg, err
 	}
 	return cfg, nil

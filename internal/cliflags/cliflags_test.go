@@ -1,7 +1,10 @@
 package cliflags_test
 
 import (
+	"errors"
 	"flag"
+	"os"
+	"path/filepath"
 	"reflect"
 	"sort"
 	"strings"
@@ -11,6 +14,8 @@ import (
 	"symsim/internal/cliflags"
 	"symsim/internal/core"
 	"symsim/internal/csm"
+	"symsim/internal/netlist"
+	"symsim/internal/rtl"
 	"symsim/internal/vvp"
 )
 
@@ -171,6 +176,66 @@ func TestConfigRejectsBadValues(t *testing.T) {
 		if _, err := a.Config(nil); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+// TestManagerForSurfacesConstraintError pins the plumb-through of
+// constraint validation: a -constraints file that PARSES (every bit
+// resolves) but fails fact validation in csm.NewConstrained — here an
+// inverted range — must surface the typed *csm.ConstraintError through
+// ManagerFor, wrapped with the file name, so the CLI error names both the
+// file and the offending fact.
+func TestManagerForSurfacesConstraintError(t *testing.T) {
+	m := rtl.NewModule("cfx")
+	d := rtl.Bus{m.N.AddNet("d0"), m.N.AddNet("d1")}
+	q := m.Reg("pc", d, m.Hi(), 0)
+	next := m.Inc(q)
+	for i := range d {
+		m.N.AddGate(netlist.KindBuf, d[i], next[i])
+	}
+	m.Output("pc", q)
+	if err := m.N.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := vvp.SpecFor(m.N, "pc")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "facts.txt")
+	if err := os.WriteFile(path, []byte("pc=* reg=pc min=0x3 max=0x1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	a := cliflags.Register(fs)
+	if err := fs.Parse([]string{"-policy", "constrained", "-constraints", path}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = a.ManagerFor(spec)
+	if err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	var cerr *csm.ConstraintError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("err = %v, want *csm.ConstraintError", err)
+	}
+	if cerr.Index != 0 {
+		t.Errorf("constraint index = %d, want 0", cerr.Index)
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Errorf("error %q does not name the constraint file", err)
+	}
+
+	// A valid file constructs the constrained manager through the same path.
+	if err := os.WriteFile(path, []byte("pc=* reg=pc min=0x1 max=0x3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := a.ManagerFor(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Name() != "constrained" {
+		t.Errorf("manager = %q", mgr.Name())
 	}
 }
 

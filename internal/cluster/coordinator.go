@@ -253,6 +253,12 @@ func newPolicy(spec RunSpec) (csm.Manager, error) {
 		return csm.NewClustered(spec.K), nil
 	case "exact":
 		return csm.NewExact(spec.MaxStates), nil
+	case "constrained":
+		// Deliberately unsupported rather than unknown: the constrained
+		// policy is built from a -constraints fact file resolved against
+		// the submitting machine's platform state spec, and the RunSpec
+		// wire format carries neither. Run it locally with cmd/symsim.
+		return nil, fmt.Errorf("%w: the constrained policy needs a local -constraints fact file and platform state spec, which the cluster API does not carry; run constrained analyses locally with symsim -policy constrained", ErrBadPayload)
 	}
 	return nil, fmt.Errorf("%w: unknown policy %q (cluster runs accept merge-all | clustered | exact)", ErrBadPayload, spec.Policy)
 }
@@ -446,6 +452,19 @@ func (c *Coordinator) Observe(runID string, unit, epoch, seq int, halt vvp.State
 			{State: taken, Forced: logic.Hi, HasForce: true},
 			{State: notTaken, Forced: logic.Lo, HasForce: true},
 		}
+		if pr, ok := r.policy.(csm.Pruner); ok {
+			// Defensive: no cluster-accepted policy prunes today (newPolicy
+			// rejects constrained), but if one ever does, an infeasible
+			// child must not be registered, spilled to the shared frontier,
+			// or handed back to the worker.
+			kept := children[:0]
+			for _, ch := range children {
+				if pr.FeasibleChild(ch.State) {
+					kept = append(kept, ch)
+				}
+			}
+			children = kept
+		}
 		exploreEnc = d.Explore.AppendBinary(nil)
 	}
 	states := r.policy.States()
@@ -479,7 +498,7 @@ func (c *Coordinator) Observe(runID string, unit, epoch, seq int, halt vvp.State
 		publish = append(publish, c.om.observesSubsumed)
 		return resp, nil
 	}
-	r.created += 2
+	r.created += len(children)
 	publish = append(publish, c.om.observesForked)
 	if stale {
 		// Lease lapsed between the merge and this registration. The
@@ -491,11 +510,16 @@ func (c *Coordinator) Observe(runID string, unit, epoch, seq int, halt vvp.State
 		return observeResponse{}, ErrStale
 	}
 	var resp observeResponse
-	if c.starvingLocked() {
+	switch {
+	case len(children) == 0:
+		// Every child was pruned as infeasible: the worker must fork
+		// nothing, exactly as for a spilled verdict.
+		resp = observeResponse{States: states}
+	case c.starvingLocked():
 		publish = append(publish, c.om.observesSpilled)
 		r.pending = append(r.pending, children...)
 		resp = observeResponse{States: states}
-	} else {
+	default:
 		u.paths = append(u.paths, children...)
 		resp = observeResponse{Keep: true, Explore: exploreEnc, States: states}
 	}

@@ -22,7 +22,7 @@ func TestSweepMultiUnitExhaustionFailsRunOnce(t *testing.T) {
 	coord := NewCoordinator(Config{
 		Metrics:     obs.NewRegistry(),
 		MaxAttempts: 1,
-		ShardSize:   1, // one path per unit: two pending paths = two units
+		ShardSize:   1,         // one path per unit: two pending paths = two units
 		LeaseTTL:    time.Hour, // the test drives sweep by hand
 		SweepEvery:  time.Hour,
 	})

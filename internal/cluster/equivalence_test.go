@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -198,6 +200,28 @@ func TestClusterRejectsBadSpecs(t *testing.T) {
 	} {
 		if _, err := coord.NewRun(spec); err == nil {
 			t.Errorf("spec %+v accepted", spec)
+		}
+	}
+}
+
+// TestClusterRejectsConstrainedActionably pins the shape of the
+// constrained-policy rejection: a 400-class ErrBadPayload whose message
+// says WHY (the fact file and state spec are local) and what to do
+// instead — not the generic unknown-policy error.
+func TestClusterRejectsConstrainedActionably(t *testing.T) {
+	coord := NewCoordinator(Config{Metrics: obs.NewRegistry()})
+	defer coord.Close()
+	_, err := coord.NewRun(RunSpec{Design: "dr5", Bench: "tHold", Policy: "constrained"})
+	if !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("err = %v, want ErrBadPayload", err)
+	}
+	msg := err.Error()
+	if strings.Contains(msg, "unknown policy") {
+		t.Errorf("constrained rejected as unknown: %q", msg)
+	}
+	for _, want := range []string{"-constraints", "locally"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("rejection %q does not mention %q", msg, want)
 		}
 	}
 }

@@ -181,6 +181,14 @@ type Config struct {
 	// `symsim explain`. Nil disables tracing at the cost of one pointer
 	// test per segment.
 	Tracer *obs.Tracer
+	// DisablePrune turns off constraint-aware fork pruning: when the
+	// policy can prove a forked child infeasible under the user's
+	// application facts (csm.Pruner), the scheduler normally drops the
+	// child before it is ever created. Pruning is sound by construction —
+	// only states contradicting a designer-supplied fact are dropped — so
+	// this knob exists for A/B measurement (the bench harness runs each
+	// cell with pruning off and on), not as a safety valve.
+	DisablePrune bool
 }
 
 // PathEnd describes how one simulated path segment terminated.
@@ -250,9 +258,13 @@ type Result struct {
 	// TotalGates is the design's gate count.
 	TotalGates int
 
-	// PathsCreated counts worklist entries (the initial path plus two per
-	// fork); PathsSkipped counts paths that ended subsumed by the CSM.
-	PathsCreated, PathsSkipped int
+	// PathsCreated counts worklist entries (the initial path plus up to
+	// two per fork); PathsSkipped counts paths that ended subsumed by the
+	// CSM. PathsPruned counts forked children proven infeasible under the
+	// user's application facts and dropped before they were scheduled —
+	// they appear in neither of the other two counters. In-memory only,
+	// like BusyTime: checkpoints do not persist it.
+	PathsCreated, PathsSkipped, PathsPruned int
 	// SimulatedCycles sums clock cycles over all simulated paths.
 	SimulatedCycles uint64
 	// Paths lists the per-segment statistics sorted by path ID, so
@@ -304,6 +316,9 @@ type pathOutcome struct {
 	// worker's simulator, published as counters once the segment ends.
 	evals  uint64
 	sweeps uint64
+	// pruned counts fork children classify dropped as fact-infeasible,
+	// published with the other segment counters after the lock is released.
+	pruned uint64
 }
 
 // Stimulus builds the testbench stimulus for p: clock, reset sequence and
@@ -433,6 +448,21 @@ func AnalyzeContext(ctx context.Context, p *Platform, cfg Config) (*Result, erro
 		reg = obs.Default
 	}
 	a.m = newCoreMetrics(reg)
+	// Capture the policy's optional capabilities BEFORE the Instrument
+	// wrap below hides them: the wrapper forwards only the Manager surface.
+	if !cfg.DisablePrune {
+		a.pruner, _ = cfg.Policy.(csm.Pruner)
+	}
+	if hs, ok := cfg.Policy.(csm.HeatSink); ok && !cfg.RemoteObserve {
+		// Per-PC fork counts drive the policy's merge-ordering heuristic.
+		// The map is this run's own state (not the process-global metrics
+		// registry, which other concurrent runs would pollute); reads and
+		// writes are serialized by a.mu, the same lock every locked
+		// Observe runs under. RemoteObserve runs observes unlocked, so the
+		// heat source is withheld there and the policy stays eager.
+		a.forksByPC = make(map[uint64]int)
+		hs.SetHeat(func(pc uint64) int { return a.forksByPC[pc] })
+	}
 	// Instrument the policy so every Observe feeds the per-PC counters and
 	// the decision log. The wrapper delegates Name/Export/Import, so
 	// checkpoint policy validation still sees the inner policy.
@@ -505,6 +535,15 @@ type analysis struct {
 	lastCkpt    time.Time
 	ckptBusy    bool
 	ckptErr     error
+
+	// pruner is the policy's pre-fork feasibility test (nil when the
+	// policy has none or Config.DisablePrune is set). Immutable after
+	// AnalyzeContext; FeasibleChild is safe without a.mu but classify
+	// happens to hold it anyway.
+	pruner csm.Pruner
+	// forksByPC feeds the policy's merge-ordering heat function; nil
+	// unless the policy is a csm.HeatSink. Guarded by a.mu.
+	forksByPC map[uint64]int
 
 	// m caches the run's metric handles; never nil after AnalyzeContext.
 	m *coreMetrics
@@ -724,6 +763,10 @@ func (a *analysis) worker() {
 		if out.stat.End == EndForked {
 			a.m.forkedByPC.With(pcLabel(out.stat.HaltPC)).Inc()
 		}
+		if out.pruned > 0 {
+			a.m.pruned.Add(out.pruned)
+			a.m.prunedByPC.With(pcLabel(out.stat.HaltPC)).Add(out.pruned)
+		}
 		if out.quarantine != nil {
 			a.m.quarantines.Inc()
 		}
@@ -796,23 +839,48 @@ func (a *analysis) classify(out *pathOutcome) {
 		// accounted exactly once, at the coordinator.
 		return
 	}
-	if a.res.PathsCreated+2 > a.cfg.MaxPaths {
-		if a.fatal == nil {
-			a.fatal = fmt.Errorf("core: path budget %d exhausted", a.cfg.MaxPaths)
-		}
-		return
-	}
 	taken, notTaken := d.Explore.Clone(), d.Explore.Clone()
 	if a.p.Specialize != nil {
 		taken = a.p.Specialize(taken, true)
 		notTaken = a.p.Specialize(notTaken, false)
 	}
-	a.stack = append(a.stack,
-		entry{state: taken, forced: logic.Hi, hasForce: true, parent: out.stat.ID},
-		entry{state: notTaken, forced: logic.Lo, hasForce: true, parent: out.stat.ID},
-	)
-	a.res.PathsCreated += 2
+	children := []entry{
+		{state: taken, forced: logic.Hi, hasForce: true, parent: out.stat.ID},
+		{state: notTaken, forced: logic.Lo, hasForce: true, parent: out.stat.ID},
+	}
+	if a.pruner != nil {
+		// Constraint-aware pruning: a child whose specialized start state
+		// already contradicts a designer fact can never halt in a state the
+		// fact admits, so it is dropped before it is created. Sound because
+		// only designer-asserted facts disprove — an all-X child is always
+		// feasible.
+		kept := children[:0]
+		for _, ch := range children {
+			if a.pruner.FeasibleChild(ch.state) {
+				kept = append(kept, ch)
+				continue
+			}
+			a.res.PathsPruned++
+			out.pruned++
+		}
+		children = kept
+	}
+	if a.res.PathsCreated+len(children) > a.cfg.MaxPaths {
+		if a.fatal == nil {
+			a.fatal = fmt.Errorf("core: path budget %d exhausted", a.cfg.MaxPaths)
+		}
+		return
+	}
+	a.stack = append(a.stack, children...)
+	a.res.PathsCreated += len(children)
+	// The fork happened even if pruning dropped every child: the segment
+	// keeps its EndForked verdict and the fork counters advance, so heat
+	// and the fork budget see the same exploration shape with and without
+	// pruning.
 	a.forks++
+	if a.forksByPC != nil {
+		a.forksByPC[out.stat.HaltPC]++
+	}
 	if a.cfg.Budget.MaxForks > 0 && a.forks >= a.cfg.Budget.MaxForks {
 		a.tripStopLocked(TripForks)
 	}

@@ -311,7 +311,11 @@ func TestConstrainedPolicyReducesOverApproximation(t *testing.T) {
 		}
 		cons = append(cons, csm.Constraint{AnyPC: true, Bit: idx, Val: logic.Lo})
 	}
-	res, err := core.Analyze(p, core.Config{Policy: csm.NewConstrained(p.Spec.Bits(), cons)})
+	pol, err := csm.NewConstrained(p.Spec.Bits(), cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Analyze(p, core.Config{Policy: pol})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,6 +34,8 @@ type coreMetrics struct {
 	laneOcc      *obs.Histogram
 	trips        *obs.CounterVec // by trip cause
 	quarantines  *obs.Counter
+	pruned       *obs.Counter
+	prunedByPC   *obs.CounterVec
 }
 
 func newCoreMetrics(reg *obs.Registry) *coreMetrics {
@@ -76,6 +78,10 @@ func newCoreMetrics(reg *obs.Registry) *coreMetrics {
 			"Governance stops by cause.", "trip"),
 		quarantines: reg.Counter("symsim_quarantines_total",
 			"Path workers contained after a panic."),
+		pruned: reg.Counter("symsim_csm_pruned_forks_total",
+			"Forked children proven infeasible under application facts and dropped before scheduling."),
+		prunedByPC: reg.CounterVec("symsim_csm_pruned_by_pc_total",
+			"Pruned forked children by the PC of the X branch that forked them.", "pc"),
 	}
 }
 

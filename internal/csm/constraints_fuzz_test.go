@@ -9,10 +9,12 @@ import (
 
 // FuzzParseConstraints drives the §3.3 constraint-text parser with
 // arbitrary input. The contract under fuzz: never panic, reject with a
-// non-empty error or accept, and every accepted constraint is fully
-// resolved — a bit index the spec knows and a two-valued pin value. The
-// parser feeds NewConstrained directly, so an out-of-range Bit here would
-// corrupt the CSM state mask downstream.
+// non-empty error or accept, and every accepted fact is fully resolved —
+// pin facts carry a bit index the spec knows and a two-valued pin value,
+// range facts carry in-range value bits, relations carry two distinct
+// in-range bits. The parser feeds NewConstrained directly, so anything
+// accepted here must also construct (or fail with a typed error, never
+// panic) downstream.
 func FuzzParseConstraints(f *testing.F) {
 	f.Add("pc=0x14 bit=dff:pc[0] val=0\npc=* bit=dff:pc[1] val=1\n")
 	f.Add("# comment only\n\n")
@@ -22,6 +24,14 @@ func FuzzParseConstraints(f *testing.F) {
 	f.Add("pc=* bit=mem:dmem[12].4 val=1\n")
 	f.Add("pc=0xffffffffffffffff bit=dff:pc[1] val=1\r\n")
 	f.Add("pc=* bit=dff:pc[1]")
+	f.Add("pc=0X1A bit=dff:pc[0] val=0\n")
+	f.Add("pc=* reg=pc min=0x0 max=0x3\n")
+	f.Add("pc=0x14 reg=pc min=0X1 max=2\n")
+	f.Add("pc=* reg=pc min=0x3 max=0x1\n")
+	f.Add("pc=0x14 rel=dff:pc[0]!=dff:pc[1]\n")
+	f.Add("pc=* rel=dff:pc[0]==dff:pc[1]\n")
+	f.Add("pc=* rel=dff:pc[0]==dff:pc[0]\n")
+	f.Add("pc=* bit=dff:pc[0] val=0 reg=pc min=0 max=1\n")
 	sp := constraintSpec(f)
 	f.Fuzz(func(t *testing.T, text string) {
 		cons, err := ParseConstraints(strings.NewReader(text), sp)
@@ -32,12 +42,35 @@ func FuzzParseConstraints(f *testing.F) {
 			return
 		}
 		for i, c := range cons {
-			if c.Bit < 0 || c.Bit >= sp.Bits() {
-				t.Fatalf("constraint %d: bit %d out of range [0,%d)", i, c.Bit, sp.Bits())
+			switch c.Kind {
+			case FactPin:
+				if c.Bit < 0 || c.Bit >= sp.Bits() {
+					t.Fatalf("constraint %d: bit %d out of range [0,%d)", i, c.Bit, sp.Bits())
+				}
+				if c.Val != logic.Lo && c.Val != logic.Hi {
+					t.Fatalf("constraint %d: non-binary val %v", i, c.Val)
+				}
+			case FactRange:
+				if len(c.Bits) == 0 || len(c.Bits) > 64 {
+					t.Fatalf("constraint %d: %d range bits", i, len(c.Bits))
+				}
+				for _, b := range c.Bits {
+					if b < 0 || b >= sp.Bits() {
+						t.Fatalf("constraint %d: range bit %d out of range", i, b)
+					}
+				}
+			case FactRel:
+				if c.A == c.B || c.A < 0 || c.A >= sp.Bits() || c.B < 0 || c.B >= sp.Bits() {
+					t.Fatalf("constraint %d: bad relation %d vs %d", i, c.A, c.B)
+				}
+			default:
+				t.Fatalf("constraint %d: unknown kind %v", i, c.Kind)
 			}
-			if c.Val != logic.Lo && c.Val != logic.Hi {
-				t.Fatalf("constraint %d: non-binary val %v", i, c.Val)
-			}
+		}
+		// Anything the parser accepts must construct cleanly or fail with
+		// a diagnosable error (e.g. min > max), never panic.
+		if _, err := NewConstrained(sp.Bits(), cons); err != nil && err.Error() == "" {
+			t.Fatal("empty NewConstrained error")
 		}
 	})
 }

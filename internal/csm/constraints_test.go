@@ -57,16 +57,145 @@ pc=* bit=dff:pc[1] val=1
 func TestParseConstraintsErrors(t *testing.T) {
 	sp := constraintSpec(t)
 	for _, bad := range []string{
-		"pc=0x14 bit=dff:pc[0]",         // missing val
-		"pc=zz bit=dff:pc[0] val=0",     // bad pc
-		"pc=* bit=dff:nothere val=0",    // unknown bit
-		"pc=* bit=dff:pc[0] val=x",      // bad value
-		"pc=* pc=1 bit=dff:pc[0] val=0", // duplicate field
-		"pc=* bit=dff:pc[0] val=0 hm=1", // unknown field
-		"malformed",                     // no '='
+		"pc=0x14 bit=dff:pc[0]",                       // missing val
+		"pc=zz bit=dff:pc[0] val=0",                   // bad pc
+		"pc=* bit=dff:nothere val=0",                  // unknown bit
+		"pc=* bit=dff:pc[0] val=x",                    // bad value
+		"pc=* pc=1 bit=dff:pc[0] val=0",               // duplicate field
+		"pc=* bit=dff:pc[0] val=0 hm=1",               // unknown field
+		"malformed",                                   // no '='
+		"pc=*",                                        // no fact form at all
+		"pc=* reg=pc min=0x0",                         // range fact missing max
+		"pc=* reg=nothere min=0 max=1",                // unknown register
+		"pc=* reg=pc min=zz max=1",                    // bad min
+		"pc=* rel=dff:pc[0]",                          // no relation operator
+		"pc=* rel=dff:pc[0]==dff:nope",                // unknown rel operand
+		"pc=* rel=dff:pc[0]!=dff:pc[0]",               // self-relation
+		"pc=* bit=dff:pc[0] val=0 reg=pc min=0 max=1", // two fact forms
 	} {
 		if _, err := ParseConstraints(strings.NewReader(bad), sp); err == nil {
 			t.Errorf("accepted %q", bad)
 		}
+	}
+}
+
+// Regression: the 0x prefix strip was case-sensitive, so "pc=0X1A" was
+// rejected while "pc=0x1a" parsed. Both casings (and bare hex) must work.
+func TestParseConstraintsHexPrefixCaseInsensitive(t *testing.T) {
+	sp := constraintSpec(t)
+	for _, text := range []string{
+		"pc=0X1A bit=dff:pc[0] val=0\n",
+		"pc=0x1A bit=dff:pc[0] val=0\n",
+		"pc=1A bit=dff:pc[0] val=0\n",
+	} {
+		cons, err := ParseConstraints(strings.NewReader(text), sp)
+		if err != nil {
+			t.Fatalf("%q rejected: %v", text, err)
+		}
+		if len(cons) != 1 || cons[0].PC != 0x1A {
+			t.Fatalf("%q parsed to %+v", text, cons)
+		}
+	}
+}
+
+// Regression: lines beyond bufio.Scanner's default 64 KiB buffer failed
+// with an opaque "token too long". Long-but-legal lines must parse, and
+// lines beyond the 1 MiB cap must fail with a line number.
+func TestParseConstraintsLongLines(t *testing.T) {
+	sp := constraintSpec(t)
+	long := "# " + strings.Repeat("a", 100*1024) + "\npc=0x14 bit=dff:pc[0] val=0\n"
+	cons, err := ParseConstraints(strings.NewReader(long), sp)
+	if err != nil {
+		t.Fatalf("100 KiB comment rejected: %v", err)
+	}
+	if len(cons) != 1 {
+		t.Fatalf("parsed %d constraints", len(cons))
+	}
+
+	huge := "# " + strings.Repeat("a", maxConstraintLine+1)
+	_, err = ParseConstraints(strings.NewReader(huge), sp)
+	if err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("over-long line error = %v, want line-numbered failure", err)
+	}
+}
+
+func TestParseConstraintsRangeAndRel(t *testing.T) {
+	sp := constraintSpec(t)
+	cons, err := ParseConstraints(strings.NewReader(`
+pc=0x14 reg=pc min=0x1 max=0X3
+pc=* rel=dff:pc[0]!=dff:pc[1]
+pc=2 rel=dff:pc[0]==dff:pc[1]
+`), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cons) != 3 {
+		t.Fatalf("parsed %d constraints", len(cons))
+	}
+	r := cons[0]
+	if r.Kind != FactRange || r.PC != 0x14 || len(r.Bits) != 2 || r.Min != 1 || r.Max != 3 {
+		t.Errorf("range fact: %+v", r)
+	}
+	if cons[1].Kind != FactRel || !cons[1].AnyPC || cons[1].Eq {
+		t.Errorf("!= fact: %+v", cons[1])
+	}
+	if cons[2].Kind != FactRel || !cons[2].Eq || cons[2].A == cons[2].B {
+		t.Errorf("== fact: %+v", cons[2])
+	}
+}
+
+func TestFactsFeasibleAndApply(t *testing.T) {
+	// 4-bit state; register value bits LSB-first are {0,1}.
+	facts, err := NewFacts(4, []Constraint{
+		{PC: 1, Bit: 3, Val: logic.Hi},
+		{Kind: FactRange, PC: 2, Bits: []int{0, 1}, Min: 2, Max: 3},
+		{Kind: FactRel, PC: 3, A: 0, B: 1, Eq: false},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feasible := func(pc uint64, bits string) bool {
+		return facts.Feasible(vvp.State{PC: pc, Bits: logic.MustVec(bits), PCKnown: true})
+	}
+	// Pin: bit 3 must be 1 at PC 1; X never disproves.
+	if feasible(1, "0xxx") {
+		t.Error("pin-violating state feasible")
+	}
+	if !feasible(1, "xxxx") || !feasible(1, "1xxx") || !feasible(9, "0xxx") {
+		t.Error("pin-consistent state infeasible")
+	}
+	// Range: value(bits 1,0 as {0,1} LSB-first) must be in [2,3] at PC 2,
+	// i.e. bit 1 must be able to be 1.
+	if feasible(2, "xx0x") {
+		t.Error("range-violating state feasible (value <= 1)")
+	}
+	if !feasible(2, "xx1x") || !feasible(2, "xxxx") {
+		t.Error("range-consistent state infeasible")
+	}
+	// Rel: bits 0 and 1 must differ at PC 3.
+	if feasible(3, "xx11") || feasible(3, "xx00") {
+		t.Error("rel-violating state feasible")
+	}
+	if !feasible(3, "xx10") || !feasible(3, "xxx1") {
+		t.Error("rel-consistent state infeasible")
+	}
+
+	// Apply trims X bits: the range pins its agreed prefix (bit 1 -> 1),
+	// the relation propagates a known bit to its X partner.
+	v := logic.MustVec("xxxx")
+	facts.Apply(2, v)
+	if got := v.String(); got != "xx1x" {
+		t.Errorf("range apply = %s, want xx1x", got)
+	}
+	v = logic.MustVec("xxx1")
+	facts.Apply(3, v)
+	if got := v.String(); got != "xx01" {
+		t.Errorf("rel apply = %s, want xx01", got)
+	}
+	// Pin overwrite (the historical §3.3 trim semantic).
+	v = logic.MustVec("0000")
+	facts.Apply(1, v)
+	if got := v.String(); got != "1000" {
+		t.Errorf("pin apply = %s, want 1000", got)
 	}
 }

@@ -10,8 +10,10 @@
 // MergeAll reproduces the single-uber-state approach of prior work [4],
 // Clustered keeps up to k states per PC trading simulation effort for less
 // over-approximation, Exact never merges (exhaustive path enumeration),
-// and Constrained post-processes merged states with user-supplied
-// application constraints in the style of [15].
+// and Constrained refines states with user-supplied application facts in
+// the style of [15] — trimming each observation before the subsumption
+// test, proving forked children infeasible before they are scheduled
+// (Pruner), and ordering merges by per-PC fork heat (HeatSink).
 package csm
 
 import (
@@ -329,51 +331,164 @@ func (c *clustered) Observe(st vvp.State) Decision {
 
 // --- Constrained: merge-all refined by application constraints [15] ---
 
-// Constraint pins one state bit at one PC (or every PC) to a known value.
-// The CSM applies constraints after merging, trimming over-approximation
-// the designer knows to be impossible (paper §3.3: "The CSM accepts
-// constraints in the form of a text file and uses them to reduce
-// over-approximation of conservative states").
-type Constraint struct {
-	// PC restricts the constraint to states saved at this PC; AnyPC
-	// applies it everywhere.
-	PC uint64
-	// AnyPC makes the constraint PC-independent.
-	AnyPC bool
-	// Bit is the state-bit index (see vvp.StateSpec.BitLabel).
-	Bit int
-	// Val is the pinned value (must be a known level).
-	Val logic.Value
+// Pruner is implemented by managers that can prove a forked child state
+// infeasible under designer constraints. The scheduler consults it
+// *before* a fork child is pushed onto the worklist (and the cluster
+// coordinator before a child is registered on a unit or spilled to the
+// shared frontier), so provably-impossible paths are never scheduled at
+// all — the constraint-aware answer to path explosion, versus merging
+// the damage away after the fork.
+type Pruner interface {
+	// FeasibleChild reports whether st is consistent with every
+	// constraint scoped to its PC. Must be safe for concurrent use and
+	// cheap: it runs under the scheduler lock.
+	FeasibleChild(st vvp.State) bool
 }
 
+// HeatSink is implemented by managers whose merge ordering consults
+// per-PC fork heat. The analysis injects a heat source (its per-run
+// fork-by-PC counters) before instrumenting the policy; heat calls are
+// serialized by the same scheduler-lock discipline as Observe.
+type HeatSink interface {
+	// SetHeat installs the heat source: heat(pc) is how many forks the
+	// run has observed at pc so far. A nil heat source (the default)
+	// selects eager merging everywhere.
+	SetHeat(heat func(pc uint64) int)
+}
+
+// Merge-ordering knobs for the constrained policy.
+const (
+	// HotForkThreshold is the per-PC fork count at which the policy
+	// switches from lazy clustering to eager merge-all for that PC: a PC
+	// forking this often is a convergence point (a loop branch) where
+	// one wide superstate ends the explosion fastest.
+	HotForkThreshold = 4
+	// ColdMaxStates bounds the distinct states a cold PC may accumulate
+	// before it collapses regardless of heat — lazy merging trades
+	// precision for extra paths, and the trade is only worth it while
+	// the PC stays quiet.
+	ColdMaxStates = 4
+)
+
+// constrained owns a per-PC table of conservative states refined by
+// designer facts (paper §3.3 [15]). Every incoming halt state is trimmed
+// by the facts *before* the subsumption test — so a trimmed state an
+// existing conservative state already covers is recognized as subsumed
+// instead of being reported as a fresh fork (the pre-PR-10 verdict leak).
+// Merge ordering is heat-directed: hot PCs merge eagerly into one
+// superstate (fast convergence where paths concentrate), cold PCs keep up
+// to ColdMaxStates distinct states (less over-approximation where the
+// extra paths are cheap). Without a heat source every PC merges eagerly,
+// reproducing merge-all-with-trim.
 type constrained struct {
-	inner Manager
-	cons  []Constraint
-	bits  int
+	mu    sync.Mutex
+	facts *Facts
+	table map[uint64][]logic.Vec
+	n     int
+	heat  func(pc uint64) int
 }
 
-// NewConstrained wraps the merge-all policy with application constraints.
-// bits is the state width (vvp.StateSpec.Bits()).
-func NewConstrained(bits int, cons []Constraint) Manager {
-	return &constrained{inner: NewMergeAll(), cons: cons, bits: bits}
+// NewConstrained builds the constrained policy from application
+// constraints. bits is the state width (vvp.StateSpec.Bits()). Invalid
+// constraints — an out-of-range bit, a non-binary pin value, an empty
+// range — are rejected with a *ConstraintError instead of being silently
+// skipped at observe time.
+func NewConstrained(bits int, cons []Constraint) (Manager, error) {
+	f, err := NewFacts(bits, cons)
+	if err != nil {
+		return nil, err
+	}
+	return &constrained{facts: f, table: make(map[uint64][]logic.Vec)}, nil
 }
 
 func (c *constrained) Name() string { return "constrained" }
-func (c *constrained) States() int  { return c.inner.States() }
 
-func (c *constrained) Export() []SavedState { return c.inner.Export() }
+func (c *constrained) States() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
 
-func (c *constrained) Import(states []SavedState) error { return c.inner.Import(states) }
+func (c *constrained) SetHeat(heat func(pc uint64) int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.heat = heat
+}
 
-func (c *constrained) Observe(st vvp.State) Decision {
-	d := c.inner.Observe(st)
-	if d.Subsumed {
-		return d
-	}
-	for _, con := range c.cons {
-		if (con.AnyPC || con.PC == d.Explore.PC) && con.Bit >= 0 && con.Bit < c.bits {
-			d.Explore.Bits.Set(con.Bit, con.Val)
+// FeasibleChild implements Pruner: facts are immutable after
+// construction, so the check needs no lock.
+func (c *constrained) FeasibleChild(st vvp.State) bool {
+	return c.facts.Feasible(st)
+}
+
+func (c *constrained) Export() []SavedState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []SavedState
+	for _, pc := range sortedPCs(c.table) {
+		for _, v := range c.table[pc] {
+			out = append(out, SavedState{PC: pc, Bits: v.Clone()})
 		}
 	}
-	return d
+	return out
+}
+
+// Import appends the states verbatim (like exact), so Export/Import
+// round-trips losslessly; a PC restored above ColdMaxStates collapses on
+// its next eager observe.
+func (c *constrained) Import(states []SavedState) error {
+	if err := checkWidths(states); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range states {
+		c.table[s.PC] = append(c.table[s.PC], s.Bits.Clone())
+		c.n++
+	}
+	return nil
+}
+
+func (c *constrained) Observe(st vvp.State) Decision {
+	// Trim the observation with the designer facts before anything else:
+	// the subsumption test must see the state that would actually be
+	// simulated. Pre-PR-10 the pins were applied after the merge verdict,
+	// so a pinned state the stored state already covered was still
+	// reported as a fork.
+	trimmed := st.Bits.Clone()
+	c.facts.Apply(st.PC, trimmed)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	states := c.table[st.PC]
+	for _, cs := range states {
+		if trimmed.Subset(cs) {
+			return Decision{Subsumed: true}
+		}
+	}
+	// Merge ordering: cold PCs accumulate distinct states lazily; hot PCs
+	// (and everything, absent a heat source) collapse eagerly into one
+	// superstate.
+	eager := c.heat == nil || c.heat(st.PC) >= HotForkThreshold
+	if !eager && len(states) < ColdMaxStates {
+		c.table[st.PC] = append(states, trimmed.Clone())
+		c.n++
+		out := st
+		out.Bits = trimmed
+		return Decision{Explore: out}
+	}
+	// No fact re-application after the merge: stored states must keep
+	// covering every trimmed observation (the cluster replay lemma), and
+	// merging trimmed states preserves that on its own — pins the
+	// observations agree on survive a merge unaided.
+	merged := trimmed
+	for _, cs := range states {
+		merged = merged.Merge(cs)
+	}
+	c.n -= len(states)
+	c.table[st.PC] = []logic.Vec{merged}
+	c.n++
+	out := st
+	out.Bits = merged.Clone()
+	return Decision{Explore: out}
 }

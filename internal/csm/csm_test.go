@@ -1,6 +1,7 @@
 package csm
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"sync"
@@ -141,12 +142,22 @@ func TestClusteredRequiresPositiveK(t *testing.T) {
 	NewClustered(0)
 }
 
+// mustConstrained builds a constrained policy or fails the test.
+func mustConstrained(t testing.TB, bits int, cons []Constraint) Manager {
+	t.Helper()
+	c, err := NewConstrained(bits, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
 func TestConstrainedAppliesConstraints(t *testing.T) {
 	cons := []Constraint{
 		{PC: 1, Bit: 0, Val: logic.Lo},
 		{AnyPC: true, Bit: 2, Val: logic.Hi},
 	}
-	c := NewConstrained(4, cons)
+	c := mustConstrained(t, 4, cons)
 	if c.Name() != "constrained" {
 		t.Errorf("name = %q", c.Name())
 	}
@@ -167,8 +178,118 @@ func TestConstrainedAppliesConstraints(t *testing.T) {
 	}
 }
 
+// Regression for the constrained verdict leak: a state whose fact-trimmed
+// form is already covered by the stored conservative state must be
+// subsumed, not reported as a fork. The pre-PR-10 policy pinned bits only
+// after the inner merge-all verdict and never re-tested subsumption, so
+// this Observe created two worklist entries the constraints themselves
+// prove redundant.
+func TestConstrainedRetestsSubsumptionAfterPin(t *testing.T) {
+	c := mustConstrained(t, 2, []Constraint{{AnyPC: true, Bit: 0, Val: logic.Lo}})
+	if d := c.Observe(st(1, "x0")); d.Subsumed {
+		t.Fatal("first observation subsumed")
+	}
+	// Raw "01" is not covered by the stored "x0" (bit 0 differs), but the
+	// designer pins bit 0 low: the state actually simulated would be "00",
+	// which the stored state covers.
+	d := c.Observe(st(1, "01"))
+	if !d.Subsumed {
+		t.Fatalf("pinned-covered state reported as fork: explore=%v", d.Explore.Bits)
+	}
+	// And the table stays untouched: the stored state already covers
+	// everything this halt can do.
+	if got := c.States(); got != 1 {
+		t.Fatalf("states = %d, want 1", got)
+	}
+	if exp := c.Export(); len(exp) != 1 || exp[0].Bits.String() != "x0" {
+		t.Fatalf("stored state changed: %+v", exp)
+	}
+}
+
+// Regression for silent constraint skipping: an out-of-range bit (or any
+// otherwise-invalid fact) must be rejected at construction with a typed
+// error, never ignored forever at observe time.
+func TestNewConstrainedRejectsBadConstraints(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cons []Constraint
+	}{
+		{"bit-too-big", []Constraint{{AnyPC: true, Bit: 7, Val: logic.Hi}}},
+		{"bit-negative", []Constraint{{AnyPC: true, Bit: -1, Val: logic.Hi}}},
+		{"x-pin", []Constraint{{AnyPC: true, Bit: 0, Val: logic.X}}},
+		{"empty-range", []Constraint{{Kind: FactRange, AnyPC: true}}},
+		{"range-bit-out", []Constraint{{Kind: FactRange, AnyPC: true, Bits: []int{0, 9}, Max: 3}}},
+		{"range-dup-bit", []Constraint{{Kind: FactRange, AnyPC: true, Bits: []int{1, 1}, Max: 3}}},
+		{"inverted-range", []Constraint{{Kind: FactRange, AnyPC: true, Bits: []int{0, 1}, Min: 3, Max: 1}}},
+		{"overflow-range", []Constraint{{Kind: FactRange, AnyPC: true, Bits: []int{0, 1}, Max: 4}}},
+		{"self-rel", []Constraint{{Kind: FactRel, AnyPC: true, A: 1, B: 1}}},
+		{"rel-bit-out", []Constraint{{Kind: FactRel, AnyPC: true, A: 0, B: 4}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewConstrained(4, tc.cons)
+			if err == nil {
+				t.Fatal("invalid constraint accepted")
+			}
+			var ce *ConstraintError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error %v is not a *ConstraintError", err)
+			}
+			if ce.Index != 0 {
+				t.Errorf("index = %d, want 0", ce.Index)
+			}
+		})
+	}
+	// A valid set still constructs.
+	if _, err := NewConstrained(4, []Constraint{
+		{AnyPC: true, Bit: 3, Val: logic.Hi},
+		{Kind: FactRange, PC: 2, Bits: []int{0, 1}, Min: 1, Max: 2},
+		{Kind: FactRel, AnyPC: true, A: 0, B: 1, Eq: false},
+	}); err != nil {
+		t.Fatalf("valid constraints rejected: %v", err)
+	}
+}
+
+// The heat-directed merge ordering: a cold PC keeps distinct states
+// (lazy), a hot PC collapses everything into one superstate (eager), and
+// a cold PC that outgrows ColdMaxStates collapses regardless.
+func TestConstrainedMergeOrderingByHeat(t *testing.T) {
+	c := mustConstrained(t, 4, nil)
+	heat := map[uint64]int{1: 0, 2: HotForkThreshold}
+	c.(HeatSink).SetHeat(func(pc uint64) int { return heat[pc] })
+
+	// Cold PC: two differing states stay distinct.
+	c.Observe(st(1, "0000"))
+	d := c.Observe(st(1, "1111"))
+	if d.Subsumed || d.Explore.Bits.CountX() != 0 {
+		t.Fatalf("cold PC merged eagerly: %+v", d.Explore.Bits)
+	}
+	if c.States() != 2 {
+		t.Fatalf("cold states = %d, want 2", c.States())
+	}
+
+	// Hot PC: the same pair collapses into one superstate.
+	c.Observe(st(2, "0000"))
+	d = c.Observe(st(2, "1111"))
+	if d.Subsumed || d.Explore.Bits.String() != "xxxx" {
+		t.Fatalf("hot PC did not merge: %+v", d.Explore.Bits)
+	}
+	if c.States() != 3 {
+		t.Fatalf("states after hot merge = %d, want 3", c.States())
+	}
+
+	// Cold overflow: past ColdMaxStates the PC collapses regardless.
+	for _, bits := range []string{"0011", "1100", "0101", "1010"} {
+		c.Observe(st(1, bits))
+	}
+	if got := len(c.Export()); got != 2 {
+		// PC 1 must have collapsed to a single state; PC 2 already has one.
+		t.Fatalf("exported states = %d, want 2 (cold PC did not collapse)", got)
+	}
+}
+
 func TestManagersAreConcurrencySafe(t *testing.T) {
-	for _, m := range []Manager{NewMergeAll(), NewClustered(3), NewExact(100)} {
+	cons := mustConstrained(t, 16, []Constraint{{AnyPC: true, Bit: 15, Val: logic.Lo}})
+	for _, m := range []Manager{NewMergeAll(), NewClustered(3), NewExact(100), cons} {
 		var wg sync.WaitGroup
 		for w := 0; w < 8; w++ {
 			wg.Add(1)

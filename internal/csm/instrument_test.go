@@ -71,7 +71,7 @@ func TestInstrumentVerdictsClustered(t *testing.T) {
 }
 
 func TestInstrumentVerdictsConstrained(t *testing.T) {
-	evs := collectEvents(t, NewConstrained(4, nil))
+	evs := collectEvents(t, mustConstrained(t, 4, nil))
 	want := []string{VerdictNew, VerdictSubsumed, VerdictMerged}
 	for i, w := range want {
 		if evs[i].Verdict != w {

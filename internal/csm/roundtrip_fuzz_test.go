@@ -63,10 +63,16 @@ func FuzzExportImportRoundTrip(f *testing.F) {
 			{"clustered", func() Manager { return NewClustered(3) }, 0},
 			{"exact", func() Manager { return NewExact(16) }, 0},
 			{"constrained", func() Manager {
-				return NewConstrained(8, []Constraint{
+				m, err := NewConstrained(8, []Constraint{
 					{AnyPC: true, Bit: 0, Val: logic.Lo},
 					{PC: 2, Bit: 3, Val: logic.Hi},
+					{Kind: FactRange, PC: 3, Bits: []int{4, 5, 6}, Min: 2, Max: 3},
+					{Kind: FactRel, PC: 4, A: 1, B: 2, Eq: false},
 				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return m
 			}, 1},
 		}
 		for _, pc := range policies {

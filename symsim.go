@@ -169,12 +169,21 @@ func ClusteredPolicy(k int) Policy { return csm.NewClustered(k) }
 // budget after which it degrades to merging.
 func ExactPolicy(maxStates int) Policy { return csm.NewExact(maxStates) }
 
-// Constraint pins a state bit at a PC, refining merged conservative
-// states with application knowledge ([15]).
+// Constraint states an application fact about state bits at a PC — a
+// pinned bit, a register value range, or a bit relation — refining merged
+// conservative states with application knowledge ([15]).
 type Constraint = csm.Constraint
 
-// ConstrainedPolicy is merge-all refined by application constraints.
-func ConstrainedPolicy(bits int, cons []Constraint) Policy {
+// ConstraintError identifies which constraint in a set was rejected and
+// why; recover it from a ConstrainedPolicy error with errors.As.
+type ConstraintError = csm.ConstraintError
+
+// ConstrainedPolicy is merge-all refined by application constraints. It
+// rejects malformed facts (out-of-range bits, inverted ranges) up front
+// with a *ConstraintError rather than silently skipping them at observe
+// time. The returned policy also proves forked children infeasible before
+// the engine schedules them (see Config.DisablePrune).
+func ConstrainedPolicy(bits int, cons []Constraint) (Policy, error) {
 	return csm.NewConstrained(bits, cons)
 }
 
